@@ -1,0 +1,97 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These are not paper figures; they quantify the contribution of individual
+SARIS ingredients on representative kernels:
+
+* FREP hardware loop on vs off (pseudo-dual-issue),
+* balanced SR0/SR1 partitioning vs the degenerate all-on-one-stream mapping
+  (approximated by comparing stream balance and utilization),
+* unrolling / block size of the SARIS point loop,
+* the step-3 policy (stream the output stores vs stream the coefficients).
+"""
+
+import pytest
+
+from repro import run_kernel
+from repro.analysis import format_table
+
+
+@pytest.fixture(scope="module")
+def frep_ablation():
+    with_frep = run_kernel("jacobi_2d", variant="saris")
+    without = run_kernel("jacobi_2d", variant="saris", use_frep=False)
+    return with_frep, without
+
+
+def test_ablation_frep(benchmark, frep_ablation):
+    with_frep, without = frep_ablation
+    rows = [
+        ["cycles", with_frep.cycles, without.cycles],
+        ["FPU utilization", f"{with_frep.fpu_util:.3f}", f"{without.fpu_util:.3f}"],
+        ["IPC", f"{with_frep.ipc:.3f}", f"{without.ipc:.3f}"],
+    ]
+    benchmark(lambda: rows)
+    print("\n" + format_table(["metric", "with FREP", "without FREP"], rows,
+                              title="Ablation: FREP hardware loop (jacobi_2d, saris)"))
+    assert with_frep.correct and without.correct
+    assert with_frep.cycles <= without.cycles
+    assert with_frep.fpu_util >= without.fpu_util - 0.02
+
+
+def test_ablation_unroll(benchmark):
+    def build():
+        results = {}
+        for max_block in (1, 4, 16):
+            results[max_block] = run_kernel("jacobi_2d", variant="saris",
+                                            max_block=max_block)
+        return results
+
+    results = benchmark(build)
+    rows = [[block, r.cycles, f"{r.fpu_util:.3f}"]
+            for block, r in sorted(results.items())]
+    print("\n" + format_table(["block points per launch", "cycles", "FPU util"],
+                              rows, title="Ablation: SARIS block size (jacobi_2d)"))
+    for r in results.values():
+        assert r.correct
+    assert results[16].cycles < results[1].cycles
+    assert results[16].fpu_util > results[1].fpu_util
+
+
+def test_ablation_sr2_policy(benchmark):
+    def build():
+        stores_streamed = run_kernel("star3d7pt", variant="saris")
+        coeffs_streamed = run_kernel("star3d7pt", variant="saris",
+                                     force_store_streamed=False)
+        return stores_streamed, coeffs_streamed
+
+    stores_streamed, coeffs_streamed = benchmark(build)
+    rows = [
+        ["cycles", stores_streamed.cycles, coeffs_streamed.cycles],
+        ["FPU utilization", f"{stores_streamed.fpu_util:.3f}",
+         f"{coeffs_streamed.fpu_util:.3f}"],
+    ]
+    print("\n" + format_table(
+        ["metric", "SR2 = output stores", "SR2 = coefficients"], rows,
+        title="Ablation: role of the remaining affine stream register (star3d7pt)"))
+    assert stores_streamed.correct and coeffs_streamed.correct
+    # With few coefficients, streaming the stores is the better policy — this
+    # is exactly why step 3 of the method prefers it when registers suffice.
+    assert stores_streamed.cycles <= coeffs_streamed.cycles * 1.1
+
+
+def test_ablation_stream_balance(benchmark, paper_runs):
+    def build():
+        rows = {}
+        for name, pair in paper_runs.items():
+            info = pair.saris.program_info[0]
+            rows[name] = (info["stream_balance"], pair.saris.fpu_util)
+        return rows
+
+    data = benchmark(build)
+    rows = [[name, f"{balance:.2f}", f"{util:.2f}"]
+            for name, (balance, util) in sorted(data.items())]
+    print("\n" + format_table(["code", "SR0/SR1 balance", "saris FPU util"], rows,
+                              title="Ablation: stream partition balance per kernel"))
+    # Step 2 of the method requires near-balanced utilization of SR0 and SR1.
+    for name, (balance, _util) in data.items():
+        assert balance >= 0.7, f"{name}: unbalanced stream partition"

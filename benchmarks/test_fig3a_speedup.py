@@ -1,0 +1,27 @@
+"""Figure 3a: execution speedup of saris over base code variants."""
+
+from repro.analysis import format_table, geomean
+from repro.core.kernels import TABLE1_KERNELS
+
+
+def test_fig3a_speedup(benchmark, paper_runs, paper_reference):
+    def build():
+        return {name: paper_runs[name].speedup for name in TABLE1_KERNELS}
+
+    speedups = benchmark(build)
+    rows = []
+    for name in TABLE1_KERNELS:
+        rows.append([name, f"{speedups[name]:.2f}",
+                     f"{paper_reference['speedup'][name]:.2f}"])
+    measured_geomean = geomean(speedups.values())
+    rows.append(["geomean", f"{measured_geomean:.2f}",
+                 f"{paper_reference['speedup_geomean']:.2f}"])
+    print("\n" + format_table(["code", "speedup (measured)", "speedup (paper)"],
+                              rows, title="Figure 3a: SARIS speedup over base"))
+    # Shape checks.
+    assert all(s > 1.2 for s in speedups.values()), "SARIS must win on every kernel"
+    assert 1.5 <= measured_geomean <= 4.0
+    # The register-bound codes (most FLOPs/point) must show the largest gains.
+    assert speedups["j3d27pt"] > speedups["jacobi_2d"]
+    assert speedups["box3d1r"] > geomean(
+        [speedups[n] for n in TABLE1_KERNELS[:6]])

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Define a custom stencil, inspect the generated code, and project to 256 cores.
+
+SARIS "supports any sequence of computations on grids of any dimensionality
+and size" (Section 2.1).  This example builds a stencil that is *not* part of
+the paper's suite — an anisotropic 2D operator mixing a star and a diagonal
+cross — straight from the expression IR, then:
+
+1. applies the SARIS method and prints the resulting stream partition,
+2. shows the generated baseline and SARIS point-loop assembly,
+3. simulates both variants and verifies them against NumPy,
+4. projects the kernel onto the Manticore-256s scaleout model.
+
+Run with::
+
+    python examples/custom_stencil.py
+"""
+
+from __future__ import annotations
+
+from repro import compare_variants
+from repro.analysis import format_table
+from repro.core.ir import Coeff, GridRef, add, mul
+from repro.core.stencil import StencilKernel
+from repro.scaleout import ManticoreConfig, estimate_scaleout_pair
+
+
+def build_anisotropic_kernel() -> StencilKernel:
+    """A 9-point anisotropic stencil: radius-2 star along x, diagonal cross."""
+    taps = [
+        ((0, 0), "c_center"),
+        ((0, -1), "c_x1"), ((0, 1), "c_x1"),
+        ((0, -2), "c_x2"), ((0, 2), "c_x2"),
+        ((-1, -1), "c_diag"), ((-1, 1), "c_diag"),
+        ((1, -1), "c_diag"), ((1, 1), "c_diag"),
+    ]
+    expr = add(*[mul(Coeff(name), GridRef("inp", offset)) for offset, name in taps])
+    return StencilKernel(
+        name="aniso2d",
+        dims=2,
+        radius=2,
+        inputs=["inp"],
+        output="out",
+        expr=expr,
+        coefficients={"c_center": 0.4, "c_x1": 0.12, "c_x2": 0.05, "c_diag": 0.065},
+        description="custom anisotropic 2D stencil (star along x + diagonal cross)",
+    )
+
+
+def main() -> int:
+    kernel = build_anisotropic_kernel()
+    print(f"Custom kernel {kernel.name}: {kernel.loads_per_point} loads, "
+          f"{kernel.coeffs_per_point} coefficients, {kernel.flops_per_point} FLOPs/point\n")
+
+    comparison = compare_variants(kernel, tile_shape=(64, 64))
+    base, saris = comparison.base, comparison.saris
+
+    print("Generated SARIS point loop (core 0, excerpt):")
+    saris_source = saris.program_info[0]
+    print(f"  block points per launch: {saris_source['block_points']}, "
+          f"FREP reps: {saris_source['frep_reps']}, "
+          f"SR0/SR1 lengths: {saris_source['stream_lengths']}, "
+          f"balance: {saris_source['stream_balance']:.2f}\n")
+
+    rows = [
+        ["cycles", base.cycles, saris.cycles],
+        ["FPU utilization", f"{base.fpu_util:.3f}", f"{saris.fpu_util:.3f}"],
+        ["verified vs NumPy", base.correct, saris.correct],
+    ]
+    print(format_table(["metric", "base", "saris"], rows))
+    print(f"SARIS speedup: {comparison.speedup:.2f}x\n")
+
+    config = ManticoreConfig()
+    scale = estimate_scaleout_pair(kernel, base, saris, config=config,
+                                   grid_shape=(16384, 16384))
+    saris_est = scale["saris"]
+    print("Manticore-256s projection (16384 x 16384 grid):")
+    print(f"  compute-to-memory time ratio : {scale['cmtr']:.2f} "
+          f"({'memory' if scale['memory_bound'] else 'compute'}-bound)")
+    print(f"  estimated SARIS FPU util     : {saris_est.fpu_util:.2f}")
+    print(f"  estimated speedup over base  : {scale['speedup']:.2f}x")
+    print(f"  estimated throughput         : {saris_est.gflops:.0f} GFLOP/s "
+          f"({saris_est.fraction_of_peak * 100:.0f}% of peak)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

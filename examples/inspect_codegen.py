@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Reproduce Listing 1: baseline vs SARIS point-loop assembly side by side.
+
+The example generates both code variants for the symmetric 7-point star
+stencil of Figure 2 / Listing 1, extracts the inner point loop of each and
+prints the instruction mix — showing how SARIS raises the fraction of useful
+compute instructions in the loop body (35 % -> 58 % in the paper, before
+further optimizations).
+
+Run with::
+
+    python examples/inspect_codegen.py [kernel_name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import get_kernel
+from repro.analysis import format_table
+from repro.core.codegen_base import generate_base_program
+from repro.core.codegen_saris import generate_saris_program
+from repro.core.layout import build_layout
+from repro.core.parallel import cluster_geometry
+from repro.snitch.cluster import SnitchCluster
+
+
+def loop_mix(program, label="xloop"):
+    start, end = program.loop_bounds(label)
+    mix = program.static_instruction_mix(start, end)
+    total = sum(mix.values())
+    return mix, total, end - start
+
+
+def main() -> int:
+    name = sys.argv[1] if len(sys.argv) > 1 else "star3d7pt"
+    kernel = get_kernel(name)
+    cluster = SnitchCluster()
+    layout = build_layout(kernel, cluster.allocator)
+    geometry = cluster_geometry(kernel, layout.tile_shape)[0]
+
+    base = generate_base_program(kernel, layout, geometry, max_unroll=1)
+    saris = generate_saris_program(kernel, layout, geometry, cluster.allocator,
+                                   max_block=1, max_body_unroll=1)
+
+    print(f"=== {kernel.name}: baseline point loop (core 0, no unrolling) ===")
+    b_start, b_end = base.program.loop_bounds("xloop")
+    for inst in base.program.instructions[b_start:b_end]:
+        print(f"    {inst.to_text()}")
+    print(f"\n=== {kernel.name}: SARIS point loop (core 0, no unrolling) ===")
+    s_start, s_end = saris.program.loop_bounds("xloop")
+    for inst in saris.program.instructions[s_start:s_end]:
+        print(f"    {inst.to_text()}")
+
+    base_mix, base_total, _ = loop_mix(base.program)
+    saris_mix, saris_total, _ = loop_mix(saris.program)
+    rows = []
+    for key in ("fp_compute", "fp_mem", "int_mem", "address", "branch", "ssr", "frep"):
+        rows.append([key, base_mix.get(key, 0), saris_mix.get(key, 0)])
+    rows.append(["total loop instructions", base_total, saris_total])
+    rows.append(["useful compute fraction",
+                 f"{base_mix['fp_compute'] / base_total:.0%}",
+                 f"{saris_mix['fp_compute'] / saris_total:.0%}"])
+    print("\n" + format_table(["category", "base", "saris"], rows,
+                              title="Point-loop instruction mix (Listing 1)"))
+    print("\nPaper reference: 35% useful compute in the baseline loop, "
+          "58% in the SARIS loop (before unrolling and FREP).")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

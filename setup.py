@@ -1,0 +1,21 @@
+"""Setuptools entry point (kept for environments without PEP 517 tooling)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "SARIS reproduction: stencil acceleration with indirect stream "
+        "registers on a simulated Snitch RISC-V cluster"
+    ),
+    author="SARIS reproduction authors",
+    license="Apache-2.0",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.21"],
+    extras_require={
+        "dev": ["pytest>=7.0", "pytest-benchmark>=4.0", "hypothesis>=6.0"],
+    },
+)

@@ -1,0 +1,44 @@
+"""SARIS reproduction: stencil acceleration with indirect stream registers.
+
+The package provides:
+
+* :mod:`repro.isa` — a RISC-V (RV32G + SSR/FREP) instruction set model and
+  assembler;
+* :mod:`repro.snitch` — a cycle-approximate simulator of the eight-core
+  Snitch compute cluster (FPU sequencer, FREP, SSR streamers, banked TCDM,
+  DMA engine);
+* :mod:`repro.core` — the SARIS methodology: stencil IR, the Table-1 kernel
+  suite, stream mapping, scheduling and the baseline/SARIS code generators;
+* :mod:`repro.runner` — a one-call API to compile, simulate and verify a
+  kernel variant;
+* :mod:`repro.energy` — the activity-based cluster power/energy model;
+* :mod:`repro.scaleout` — the Manticore-256s manycore performance model;
+* :mod:`repro.analysis` — metric aggregation and table rendering used by the
+  benchmark harness.
+"""
+
+from repro.core.kernels import KERNEL_NAMES, TABLE1_KERNELS, all_kernels, get_kernel
+from repro.core.stencil import StencilKernel
+from repro.runner import (
+    KernelRunResult,
+    VariantComparison,
+    compare_variants,
+    run_kernel,
+)
+from repro.snitch.params import TimingParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KERNEL_NAMES",
+    "TABLE1_KERNELS",
+    "all_kernels",
+    "get_kernel",
+    "StencilKernel",
+    "KernelRunResult",
+    "VariantComparison",
+    "compare_variants",
+    "run_kernel",
+    "TimingParams",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""Metric aggregation and report formatting used by examples and benchmarks."""
+
+from repro.analysis.metrics import geomean, relative_error, summarize_pairs
+from repro.analysis.tables import format_table, render_comparison
+
+__all__ = [
+    "geomean",
+    "relative_error",
+    "summarize_pairs",
+    "format_table",
+    "render_comparison",
+]

@@ -1,0 +1,39 @@
+"""Small numeric helpers shared by the benchmark harness and examples."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (the paper's aggregate of choice)."""
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        return 0.0
+    if np.any(data <= 0):
+        raise ValueError("geomean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(data))))
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """Relative deviation of a measured value from a reference value."""
+    if reference == 0:
+        return float("inf") if measured != 0 else 0.0
+    return abs(measured - reference) / abs(reference)
+
+
+def summarize_pairs(pairs: Dict[str, Dict[str, float]],
+                    metric: str) -> Dict[str, float]:
+    """Summarize a per-kernel {kernel: {metric: value}} mapping.
+
+    Returns the per-kernel values plus ``geomean``, ``min`` and ``max`` keys.
+    """
+    values = {name: row[metric] for name, row in pairs.items()}
+    series = list(values.values())
+    summary = dict(values)
+    summary["geomean"] = geomean(series)
+    summary["min"] = float(min(series))
+    summary["max"] = float(max(series))
+    return summary

@@ -1,0 +1,41 @@
+"""Plain-text table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render a fixed-width text table (used by the benchmark harness output)."""
+    str_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_comparison(title: str, headers: Sequence[str],
+                      per_kernel: Dict[str, Sequence[object]],
+                      footer: Optional[Dict[str, object]] = None) -> str:
+    """Render a per-kernel comparison table with an optional aggregate footer."""
+    rows = [[kernel] + list(values) for kernel, values in per_kernel.items()]
+    if footer:
+        rows.append([footer.get("label", "geomean")]
+                    + [footer.get(h, "") for h in headers[1:]])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,115 @@
+"""Command-line interface for the SARIS reproduction.
+
+Usage examples::
+
+    python -m repro.cli list
+    python -m repro.cli run j3d27pt --variant saris
+    python -m repro.cli compare jacobi_2d
+    python -m repro.cli scaleout star3d2r
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import KERNEL_NAMES, compare_variants, get_kernel, run_kernel
+from repro.analysis import format_table
+from repro.energy import energy_comparison
+from repro.scaleout import estimate_scaleout_pair
+
+
+def _cmd_list(_args) -> int:
+    rows = [[k.name, f"{k.dims}D", k.radius, k.loads_per_point,
+             k.coeffs_per_point, k.flops_per_point]
+            for k in (get_kernel(name) for name in KERNEL_NAMES)]
+    print(format_table(["code", "dims", "radius", "loads", "coeffs", "flops"],
+                       rows, title="Implemented stencil kernels"))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    result = run_kernel(args.kernel, variant=args.variant,
+                        tile_shape=tuple(args.tile) if args.tile else None,
+                        seed=args.seed)
+    rows = [[key, value] for key, value in result.as_dict().items()]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.kernel} ({args.variant})"))
+    return 0 if result.correct else 1
+
+
+def _cmd_compare(args) -> int:
+    cmp = compare_variants(args.kernel,
+                           tile_shape=tuple(args.tile) if args.tile else None,
+                           seed=args.seed)
+    energy = energy_comparison(cmp.base, cmp.saris)
+    rows = [
+        ["cycles", cmp.base.cycles, cmp.saris.cycles],
+        ["FPU utilization", f"{cmp.base.fpu_util:.3f}", f"{cmp.saris.fpu_util:.3f}"],
+        ["IPC", f"{cmp.base.ipc:.3f}", f"{cmp.saris.ipc:.3f}"],
+        ["power [W]", f"{energy['base_power_w']:.3f}", f"{energy['saris_power_w']:.3f}"],
+    ]
+    print(format_table(["metric", "base", "saris"], rows, title=args.kernel))
+    print(f"speedup: {cmp.speedup:.2f}x, "
+          f"energy-efficiency gain: {energy['energy_efficiency_gain']:.2f}x")
+    return 0
+
+
+def _cmd_scaleout(args) -> int:
+    kernel = get_kernel(args.kernel)
+    cmp = compare_variants(kernel, seed=args.seed)
+    pair = estimate_scaleout_pair(kernel, cmp.base, cmp.saris)
+    saris = pair["saris"]
+    rows = [
+        ["regime", "memory-bound" if pair["memory_bound"] else "compute-bound"],
+        ["compute-to-memory time ratio", f"{pair['cmtr']:.2f}"],
+        ["saris FPU utilization", f"{saris.fpu_util:.2f}"],
+        ["saris speedup over base", f"{pair['speedup']:.2f}"],
+        ["saris throughput [GFLOP/s]", f"{saris.gflops:.0f}"],
+        ["fraction of peak", f"{saris.fraction_of_peak:.2f}"],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{kernel.name} on Manticore-256s"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description="SARIS reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list implemented kernels").set_defaults(func=_cmd_list)
+
+    def add_common(p):
+        p.add_argument("kernel", choices=sorted(KERNEL_NAMES))
+        p.add_argument("--tile", type=int, nargs="+", default=None,
+                       help="tile shape including halo (default: paper size)")
+        p.add_argument("--seed", type=int, default=0)
+
+    run_p = sub.add_parser("run", help="simulate one kernel variant")
+    add_common(run_p)
+    run_p.add_argument("--variant", choices=["base", "saris"], default="saris")
+    run_p.set_defaults(func=_cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="compare base and saris variants")
+    add_common(cmp_p)
+    cmp_p.set_defaults(func=_cmd_compare)
+
+    scale_p = sub.add_parser("scaleout", help="project a kernel to Manticore-256s")
+    scale_p.add_argument("kernel", choices=sorted(KERNEL_NAMES))
+    scale_p.add_argument("--seed", type=int, default=0)
+    scale_p.set_defaults(func=_cmd_scaleout)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""SARIS core library: stencil IR, kernels, method and code generators.
+
+The package is organised as a small compilation pipeline:
+
+1. :mod:`repro.core.ir` / :mod:`repro.core.stencil` — expression IR and the
+   :class:`StencilKernel` description (arrays, radius, coefficients).
+2. :mod:`repro.core.kernels` — the ten stencil codes of Table 1 plus the
+   Listing-1 example, with NumPy reference semantics
+   (:mod:`repro.core.reference`).
+3. :mod:`repro.core.lowering` / :mod:`repro.core.schedule` /
+   :mod:`repro.core.regalloc` — lowering to abstract FP operations, latency
+   aware list scheduling and register allocation.
+4. :mod:`repro.core.saris` — the SARIS method itself: mapping grid loads to
+   indirect streams, partitioning them across SR0/SR1, choosing the role of
+   the remaining affine SR, and deriving index arrays from the point-loop
+   schedule.
+5. :mod:`repro.core.codegen_base` / :mod:`repro.core.codegen_saris` — the
+   optimized RV32G baseline and the SARIS (SSSR + FREP) code generators.
+"""
+
+from repro.core.ir import BinOp, Coeff, Const, Expr, GridRef, add, count_flops, grid_refs, mul, sub
+from repro.core.stencil import StencilKernel
+from repro.core.kernels import KERNEL_NAMES, TABLE1_KERNELS, get_kernel, all_kernels
+from repro.core.layout import TileLayout
+from repro.core.parallel import CoreGeometry, cluster_geometry
+from repro.core.saris import SarisMapping, map_streams
+from repro.core.codegen_base import generate_base_program
+from repro.core.codegen_saris import generate_saris_program
+
+__all__ = [
+    "BinOp",
+    "Coeff",
+    "Const",
+    "Expr",
+    "GridRef",
+    "add",
+    "mul",
+    "sub",
+    "count_flops",
+    "grid_refs",
+    "StencilKernel",
+    "KERNEL_NAMES",
+    "TABLE1_KERNELS",
+    "get_kernel",
+    "all_kernels",
+    "TileLayout",
+    "CoreGeometry",
+    "cluster_geometry",
+    "SarisMapping",
+    "map_streams",
+    "generate_base_program",
+    "generate_saris_program",
+]

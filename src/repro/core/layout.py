@@ -1,0 +1,122 @@
+"""TCDM tile layout: where grids, coefficient tables and index arrays live.
+
+Both code generators need to know the absolute TCDM addresses of every array
+to emit pointer setup code and (for SARIS) to compute the element offsets
+stored in the indirection index arrays, so the layout is materialized before
+code generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.ir import coeff_names
+from repro.core.stencil import StencilKernel
+
+
+@dataclass
+class TileLayout:
+    """Placement of one kernel's tile data in TCDM."""
+
+    tile_shape: Tuple[int, ...]
+    arrays: Dict[str, int]
+    coeff_table: int = 0
+    coeff_order: List[str] = field(default_factory=list)
+    coeff_values: Dict[str, float] = field(default_factory=dict)
+
+    # -- geometry helpers ---------------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        """Grid dimensionality."""
+        return len(self.tile_shape)
+
+    @property
+    def row_elems(self) -> int:
+        """Number of elements per row (innermost dimension)."""
+        return self.tile_shape[-1]
+
+    @property
+    def plane_elems(self) -> int:
+        """Number of elements per z-plane (3D) or per tile (2D)."""
+        if self.dims == 3:
+            return self.tile_shape[1] * self.tile_shape[2]
+        return self.tile_shape[0] * self.tile_shape[1]
+
+    @property
+    def tile_elems(self) -> int:
+        """Total elements in one tile."""
+        return int(np.prod(self.tile_shape))
+
+    def elem_offset(self, coords: Sequence[int]) -> int:
+        """Linear element offset of grid coordinates (C order)."""
+        if len(coords) != self.dims:
+            raise ValueError(f"expected {self.dims} coordinates, got {len(coords)}")
+        offset = 0
+        for coord, size in zip(coords, self.tile_shape):
+            offset = offset * size + coord
+        return offset
+
+    def address(self, array: str, coords: Sequence[int]) -> int:
+        """Absolute TCDM address of ``array[coords]``."""
+        if array not in self.arrays:
+            raise KeyError(f"array {array!r} is not part of this layout")
+        return self.arrays[array] + self.elem_offset(coords) * 8
+
+    def array_elem_distance(self, array: str, base_array: str) -> int:
+        """Element distance between two array bases (used for index arrays)."""
+        return (self.arrays[array] - self.arrays[base_array]) // 8
+
+    def coeff_index(self, name: str) -> int:
+        """Position of a coefficient in the named coefficient table."""
+        return self.coeff_order.index(name)
+
+    def coeff_address(self, name: str) -> int:
+        """Absolute TCDM address of a named coefficient."""
+        return self.coeff_table + self.coeff_index(name) * 8
+
+    def coeff_table_values(self) -> List[float]:
+        """Coefficient values in table order (what the runner writes to TCDM)."""
+        return [self.coeff_values[name] for name in self.coeff_order]
+
+
+def build_layout(kernel: StencilKernel, allocator,
+                 tile_shape: Optional[Tuple[int, ...]] = None,
+                 extra_coeffs: Optional[Dict[str, float]] = None) -> TileLayout:
+    """Allocate tile arrays and the named coefficient table in TCDM.
+
+    ``allocator`` is any object with an ``alloc(nbytes, align=...)`` method
+    (normally :class:`repro.snitch.tcdm.TcdmAllocator` or the cluster itself).
+    Internal constants introduced by expression lowering (for example literal
+    constants in the kernel expression) are discovered here so they get a slot
+    in the coefficient table alongside the named coefficients.
+    """
+    # Imported lazily to keep the module dependency graph acyclic at import time.
+    from repro.core.lowering import lower_block
+
+    shape = tuple(tile_shape or kernel.default_tile)
+    if len(shape) != kernel.dims:
+        raise ValueError(
+            f"tile shape {shape} does not match kernel dims {kernel.dims}"
+        )
+    tile_bytes = int(np.prod(shape)) * 8
+    arrays = {name: allocator.alloc(tile_bytes, align=8) for name in kernel.arrays}
+    values = dict(kernel.coefficients)
+    values.update(lower_block(kernel, unroll=1).const_values)
+    if extra_coeffs:
+        values.update(extra_coeffs)
+    order = coeff_names(kernel.expr)
+    for name in values:
+        if name not in order:
+            order.append(name)
+    table = allocator.alloc(max(len(order), 1) * 8, align=8)
+    return TileLayout(
+        tile_shape=shape,
+        arrays=arrays,
+        coeff_table=table,
+        coeff_order=order,
+        coeff_values=values,
+    )

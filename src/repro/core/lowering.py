@@ -1,0 +1,302 @@
+"""Lowering of stencil expressions to abstract floating-point operations.
+
+The lowering stage turns the kernel's expression tree into a flat list of
+:class:`AbstractOp` three-address operations over virtual registers, applying
+two transformations both code generators rely on:
+
+* **FMA fusion** — ``x + a*b`` / ``x - a*b`` / ``a*b - x`` become single fused
+  multiply-add operations (``fmadd``/``fnmsub``/``fmsub``), matching what an
+  optimizing compiler emits and keeping the total FLOP count identical to the
+  Table 1 accounting (fused operations count as two FLOPs).
+* **Sum reassociation** — long accumulation chains are split into a small
+  number of independent partial sums so the in-order FPU's latency can be
+  hidden (Section 2.2, "reordering and reassociation").
+
+Grid loads and coefficient reads remain symbolic operands
+(:class:`GridOperand`, :class:`CoeffOperand`) at this level; whether they
+become explicit ``fld`` operations (baseline) or stream-register reads
+(SARIS) is decided by the respective code generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.ir import BinOp, Coeff, Const, Expr, GridRef
+from repro.core.stencil import StencilKernel
+
+
+@dataclass(frozen=True)
+class VReg:
+    """A virtual floating-point register produced by one abstract operation."""
+
+    id: int
+
+
+@dataclass(frozen=True)
+class GridOperand:
+    """A grid load: ``array[point + offset]`` for unrolled point ``point``."""
+
+    array: str
+    offset: Tuple[int, ...]
+    point: int = 0
+
+
+@dataclass(frozen=True)
+class CoeffOperand:
+    """A read of a named constant coefficient."""
+
+    name: str
+
+
+Operand = Union[VReg, GridOperand, CoeffOperand]
+
+
+@dataclass
+class AbstractOp:
+    """One abstract operation: an FP compute op, a load or a store.
+
+    ``mnemonic`` is one of the FP compute mnemonics (``fadd.d``, ``fmul.d``,
+    ``fmadd.d``, ...), ``load`` (materialize an operand into a register,
+    inserted by the baseline code generator) or ``store`` (store a virtual
+    register to the output array of the unrolled point ``point``).
+    """
+
+    mnemonic: str
+    dest: Optional[VReg]
+    srcs: List[Operand]
+    point: int = 0
+
+    @property
+    def is_store(self) -> bool:
+        """Whether this is the output store of a point."""
+        return self.mnemonic == "store"
+
+    @property
+    def is_load(self) -> bool:
+        """Whether this is an explicit load operation."""
+        return self.mnemonic == "load"
+
+    @property
+    def is_compute(self) -> bool:
+        """Whether this is an FP compute operation."""
+        return not self.is_store and not self.is_load
+
+    @property
+    def flops(self) -> int:
+        """FLOPs contributed by one execution of this operation."""
+        if self.mnemonic in ("fmadd.d", "fmsub.d", "fnmadd.d", "fnmsub.d"):
+            return 2
+        if self.is_compute:
+            return 1
+        return 0
+
+    def grid_operands(self) -> List[Tuple[int, GridOperand]]:
+        """(source index, operand) pairs for every grid operand of this op."""
+        return [(i, src) for i, src in enumerate(self.srcs)
+                if isinstance(src, GridOperand)]
+
+    def coeff_operands(self) -> List[Tuple[int, CoeffOperand]]:
+        """(source index, operand) pairs for every coefficient operand."""
+        return [(i, src) for i, src in enumerate(self.srcs)
+                if isinstance(src, CoeffOperand)]
+
+
+@dataclass
+class LoweredBlock:
+    """The result of lowering ``unroll`` consecutive points of a kernel."""
+
+    kernel_name: str
+    unroll: int
+    ops: List[AbstractOp]
+    const_values: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def compute_ops(self) -> List[AbstractOp]:
+        """All FP compute operations of the block."""
+        return [op for op in self.ops if op.is_compute]
+
+    @property
+    def store_ops(self) -> List[AbstractOp]:
+        """All output stores of the block, in point order."""
+        return [op for op in self.ops if op.is_store]
+
+    def flops(self) -> int:
+        """Total FLOPs of the block (fused operations count twice)."""
+        return sum(op.flops for op in self.ops)
+
+
+class _Lowerer:
+    """Stateful helper building the abstract-op list for one block."""
+
+    def __init__(self, reassoc_width: int = 3) -> None:
+        self.reassoc_width = max(1, reassoc_width)
+        self.ops: List[AbstractOp] = []
+        self.const_values: Dict[str, float] = {}
+        self._next_vreg = 0
+        self._uses_zero = False
+
+    def new_vreg(self) -> VReg:
+        vreg = VReg(self._next_vreg)
+        self._next_vreg += 1
+        return vreg
+
+    def emit(self, mnemonic: str, srcs: List[Operand], point: int) -> VReg:
+        dest = self.new_vreg()
+        self.ops.append(AbstractOp(mnemonic=mnemonic, dest=dest, srcs=list(srcs),
+                                   point=point))
+        return dest
+
+    def _zero(self) -> CoeffOperand:
+        self._uses_zero = True
+        self.const_values.setdefault("__zero", 0.0)
+        return CoeffOperand("__zero")
+
+    # -- operand lowering ---------------------------------------------------------
+
+    def _leaf(self, expr: Expr, point: int) -> Operand:
+        if isinstance(expr, GridRef):
+            return GridOperand(array=expr.array, offset=expr.offset, point=point)
+        if isinstance(expr, Coeff):
+            return CoeffOperand(name=expr.name)
+        if isinstance(expr, Const):
+            for existing, value in self.const_values.items():
+                if value == expr.value and existing.startswith("__const"):
+                    return CoeffOperand(existing)
+            name = f"__const_{len(self.const_values)}"
+            self.const_values[name] = expr.value
+            return CoeffOperand(name)
+        raise TypeError(f"unexpected leaf {type(expr).__name__}")
+
+    def lower_operand(self, expr: Expr, point: int) -> Operand:
+        """Lower a sub-expression to an operand (leaf or virtual register)."""
+        if isinstance(expr, (GridRef, Coeff, Const)):
+            return self._leaf(expr, point)
+        return self.lower_value(expr, point)
+
+    # -- sum handling -----------------------------------------------------------------
+
+    @staticmethod
+    def _flatten_sum(expr: Expr) -> List[Tuple[str, Expr]]:
+        """Flatten a +/- chain into (sign, term) pairs."""
+        if isinstance(expr, BinOp) and expr.op in ("+", "-"):
+            left = _Lowerer._flatten_sum(expr.lhs)
+            right = _Lowerer._flatten_sum(expr.rhs)
+            if expr.op == "-":
+                right = [("-" if sign == "+" else "+", term) for sign, term in right]
+            return left + right
+        return [("+", expr)]
+
+    @staticmethod
+    def _is_product(expr: Expr) -> bool:
+        return isinstance(expr, BinOp) and expr.op == "*"
+
+    def _accumulate(self, term: Expr, acc: Optional[Operand], sign: str,
+                    point: int) -> VReg:
+        """Fold ``acc (+/-) term`` into the accumulator, fusing products."""
+        if self._is_product(term):
+            a = self.lower_operand(term.lhs, point)
+            b = self.lower_operand(term.rhs, point)
+            if acc is None:
+                if sign == "+":
+                    return self.emit("fmul.d", [a, b], point)
+                return self.emit("fnmsub.d", [a, b, self._zero()], point)
+            mnemonic = "fmadd.d" if sign == "+" else "fnmsub.d"
+            return self.emit(mnemonic, [a, b, acc], point)
+        value = self.lower_operand(term, point)
+        if acc is None:
+            if sign == "+" and isinstance(value, VReg):
+                return value
+            if sign == "+":
+                return self.emit("fadd.d", [value, self._zero()], point)
+            return self.emit("fsub.d", [self._zero(), value], point)
+        mnemonic = "fadd.d" if sign == "+" else "fsub.d"
+        return self.emit(mnemonic, [acc, value], point)
+
+    def _lower_group(self, group: List[Tuple[str, Expr]], point: int) -> VReg:
+        """Lower one partial sum (a group of signed terms)."""
+        group = list(group)
+        # Prefer a positive non-product head (products can then fuse into it
+        # as fmadd); fall back to a positive product head, then to a zero seed.
+        head_idx = None
+        for idx, (sign, term) in enumerate(group):
+            if sign == "+" and not self._is_product(term):
+                head_idx = idx
+                break
+        if head_idx is None:
+            for idx, (sign, _term) in enumerate(group):
+                if sign == "+":
+                    head_idx = idx
+                    break
+        if head_idx is not None and head_idx != 0:
+            group[0], group[head_idx] = group[head_idx], group[0]
+        acc: Optional[Operand] = None
+        for position, (sign, term) in enumerate(group):
+            if position == 0 and sign == "+" and not self._is_product(term):
+                acc = self.lower_operand(term, point)
+                continue
+            acc = self._accumulate(term, acc, sign, point)
+        if not isinstance(acc, VReg):
+            acc = self.emit("fadd.d", [acc, self._zero()], point)
+        return acc
+
+    def _lower_sum(self, terms: List[Tuple[str, Expr]], point: int) -> VReg:
+        """Lower a flattened sum, splitting it into independent partial sums."""
+        num_groups = min(self.reassoc_width, max(1, len(terms) // 2))
+        if num_groups <= 1:
+            return self._lower_group(terms, point)
+        groups = [terms[i::num_groups] for i in range(num_groups)]
+        partials = [self._lower_group(group, point) for group in groups if group]
+        while len(partials) > 1:
+            merged = []
+            for i in range(0, len(partials) - 1, 2):
+                merged.append(self.emit("fadd.d", [partials[i], partials[i + 1]],
+                                        point))
+            if len(partials) % 2:
+                merged.append(partials[-1])
+            partials = merged
+        return partials[0]
+
+    # -- entry point --------------------------------------------------------------------
+
+    def lower_value(self, expr: Expr, point: int) -> VReg:
+        """Lower an expression to a virtual register holding its value."""
+        if isinstance(expr, (GridRef, Coeff, Const)):
+            return self.emit("fadd.d", [self._leaf(expr, point), self._zero()],
+                             point)
+        if not isinstance(expr, BinOp):
+            raise TypeError(f"unexpected expression {type(expr).__name__}")
+        if expr.op == "*":
+            a = self.lower_operand(expr.lhs, point)
+            b = self.lower_operand(expr.rhs, point)
+            return self.emit("fmul.d", [a, b], point)
+        terms = self._flatten_sum(expr)
+        if len(terms) == 2:
+            return self._lower_group(terms, point)
+        return self._lower_sum(terms, point)
+
+
+def lower_block(kernel: StencilKernel, unroll: int = 1,
+                reassoc_width: int = 3) -> LoweredBlock:
+    """Lower ``unroll`` consecutive points of ``kernel`` into one block.
+
+    Each point's computation ends with a ``store`` operation; the unrolled
+    points are independent except for the ordering of their stores, which the
+    scheduler preserves so that stream-mapped output writes arrive in point
+    order.
+    """
+    if unroll < 1:
+        raise ValueError("unroll factor must be >= 1")
+    lowerer = _Lowerer(reassoc_width=reassoc_width)
+    for point in range(unroll):
+        value = lowerer.lower_value(kernel.expr, point)
+        lowerer.ops.append(AbstractOp(mnemonic="store", dest=None, srcs=[value],
+                                      point=point))
+    return LoweredBlock(kernel_name=kernel.name, unroll=unroll,
+                        ops=lowerer.ops, const_values=dict(lowerer.const_values))
+
+
+def lower_point(kernel: StencilKernel, reassoc_width: int = 3) -> LoweredBlock:
+    """Lower a single point update of ``kernel``."""
+    return lower_block(kernel, unroll=1, reassoc_width=reassoc_width)

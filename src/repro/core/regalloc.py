@@ -1,0 +1,94 @@
+"""Floating-point register allocation for generated point-loop bodies.
+
+A simple linear-scan allocator over the scheduled operation order.  The code
+generators reserve physical registers for stream registers (SARIS) and for
+resident coefficients before handing the remaining pool to the allocator; a
+failed allocation makes the generator retry with a smaller unroll factor or
+without resident coefficients — which is exactly the register-pressure
+trade-off the paper describes for the coefficient-heavy baseline codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.lowering import AbstractOp, VReg
+
+
+class AllocationError(RuntimeError):
+    """Raised when a block cannot be register-allocated with the given pool."""
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of register allocation for one scheduled block."""
+
+    assignment: Dict[VReg, int] = field(default_factory=dict)
+    success: bool = True
+    max_live: int = 0
+    spilled: bool = False
+
+    def reg_of(self, vreg: VReg) -> int:
+        """Physical register assigned to ``vreg``."""
+        return self.assignment[vreg]
+
+
+def live_intervals(ops: Sequence[AbstractOp]) -> Dict[VReg, List[int]]:
+    """Compute [def_index, last_use_index] for every virtual register."""
+    intervals: Dict[VReg, List[int]] = {}
+    for idx, op in enumerate(ops):
+        if op.dest is not None:
+            intervals[op.dest] = [idx, idx]
+        for src in op.srcs:
+            if isinstance(src, VReg):
+                if src not in intervals:
+                    raise AllocationError(f"use of undefined vreg {src} at op {idx}")
+                intervals[src][1] = idx
+    return intervals
+
+
+def max_pressure(ops: Sequence[AbstractOp]) -> int:
+    """Maximum number of simultaneously live virtual registers."""
+    intervals = live_intervals(ops)
+    events = []
+    for start, end in intervals.values():
+        events.append((start, 1))
+        events.append((end + 1, -1))
+    live = peak = 0
+    for _pos, delta in sorted(events):
+        live += delta
+        peak = max(peak, live)
+    return peak
+
+
+def linear_scan(ops: Sequence[AbstractOp], pool: Sequence[int]) -> AllocationResult:
+    """Allocate physical registers from ``pool`` to the block's virtual registers.
+
+    ``pool`` is an ordered list of available physical FP register indices.
+    Returns an unsuccessful result (rather than raising) when the pool is too
+    small, so callers can retry with a different configuration.
+    """
+    intervals = live_intervals(ops)
+    result = AllocationResult()
+    free: List[int] = list(pool)
+    active: Dict[VReg, int] = {}
+    live_now = 0
+    for idx, op in enumerate(ops):
+        # Free registers whose last use is at or before this operation.  A
+        # source read at `idx` may share its register with the destination
+        # written at `idx`: the FPU reads operands before writing the result.
+        for vreg in list(active):
+            if intervals[vreg][1] <= idx:
+                free.append(active.pop(vreg))
+        if op.dest is not None:
+            if not free:
+                result.success = False
+                result.max_live = max_pressure(ops)
+                return result
+            reg = free.pop(0)
+            active[op.dest] = reg
+            result.assignment[op.dest] = reg
+            live_now = len(active)
+            result.max_live = max(result.max_live, live_now)
+    return result

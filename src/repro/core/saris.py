@@ -1,0 +1,172 @@
+"""The SARIS method: mapping stencil accesses onto indirect stream registers.
+
+This module implements the four steps of Section 2.1 on a scheduled block of
+abstract operations:
+
+1. every grid load becomes an indirect stream read;
+2. the reads are partitioned between the two indirection-capable stream
+   registers (SR0/SR1), pairing the operands of two-load operations so they
+   can be consumed concurrently and otherwise balancing utilization;
+3. the remaining affine stream register (SR2) is mapped either to the output
+   store stream (when the coefficients fit in the register file) or to a
+   repeating coefficient read stream (for register-bound codes);
+4. the point-loop schedule determines the order of stream accesses, from
+   which the index arrays (and, for streamed coefficients, the table layout)
+   are derived.
+
+The index entries produced here are *symbolic* (array, offset, unrolled point
+index); the SARIS code generator resolves them to numeric element offsets once
+the TCDM layout is known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.layout import TileLayout
+from repro.core.lowering import AbstractOp, CoeffOperand, GridOperand
+from repro.core.parallel import X_INTERLEAVE
+
+#: Stream register indices (data movers) as in Figure 1.
+SR0, SR1, SR2 = 0, 1, 2
+
+
+@dataclass
+class SarisMapping:
+    """Result of applying the SARIS method to one scheduled block."""
+
+    #: data-mover index for every grid operand, keyed by (op index, src index).
+    grid_assignment: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    #: symbolic index sequences of SR0 and SR1, in stream (schedule) order.
+    sr_sequences: Dict[int, List[GridOperand]] = field(default_factory=lambda: {SR0: [], SR1: []})
+    #: whether SR2 carries the output store stream (True) or coefficients (False).
+    store_streamed: bool = True
+    #: coefficient names streamed through SR2, in schedule order (one block).
+    coeff_sequence: List[str] = field(default_factory=list)
+    #: coefficient names kept resident in the register file.
+    resident_coeffs: List[str] = field(default_factory=list)
+
+    @property
+    def stream_lengths(self) -> Dict[int, int]:
+        """Number of elements per launch for SR0 and SR1."""
+        return {dm: len(seq) for dm, seq in self.sr_sequences.items()}
+
+    @property
+    def balance(self) -> float:
+        """Utilization balance between SR0 and SR1 (1.0 = perfectly balanced)."""
+        a, b = len(self.sr_sequences[SR0]), len(self.sr_sequences[SR1])
+        if max(a, b) == 0:
+            return 1.0
+        return min(a, b) / max(a, b)
+
+    def assigned_dm(self, op_index: int, src_index: int) -> int:
+        """Data mover assigned to the grid operand at (op, source) position."""
+        return self.grid_assignment[(op_index, src_index)]
+
+
+def map_streams(scheduled_ops: Sequence[AbstractOp], num_coeffs: int,
+                coeff_reg_budget: int = 14,
+                force_store_streamed: Optional[bool] = None) -> SarisMapping:
+    """Apply SARIS steps 1-3 to a scheduled block.
+
+    ``num_coeffs`` is the number of distinct coefficients the kernel needs;
+    when it exceeds ``coeff_reg_budget`` the remaining stream register is used
+    to stream coefficients instead of output stores (step 3).
+    ``force_store_streamed`` overrides that policy for ablation studies.
+    """
+    mapping = SarisMapping()
+    if force_store_streamed is None:
+        mapping.store_streamed = num_coeffs <= coeff_reg_budget
+    else:
+        mapping.store_streamed = force_store_streamed
+    counts = {SR0: 0, SR1: 0}
+
+    def less_loaded() -> int:
+        return SR0 if counts[SR0] <= counts[SR1] else SR1
+
+    for op_index, op in enumerate(scheduled_ops):
+        grid_ops = op.grid_operands()
+        if not grid_ops:
+            continue
+        if len(grid_ops) >= 2:
+            # Opposing grid loads consumed by the same operation go to
+            # different stream registers so they can be read concurrently.
+            first_dm = less_loaded()
+            order = [first_dm, SR1 if first_dm == SR0 else SR0]
+            for slot, (src_index, operand) in enumerate(grid_ops):
+                dm = order[slot % 2]
+                mapping.grid_assignment[(op_index, src_index)] = dm
+                mapping.sr_sequences[dm].append(operand)
+                counts[dm] += 1
+        else:
+            src_index, operand = grid_ops[0]
+            dm = less_loaded()
+            mapping.grid_assignment[(op_index, src_index)] = dm
+            mapping.sr_sequences[dm].append(operand)
+            counts[dm] += 1
+
+    if mapping.store_streamed:
+        mapping.resident_coeffs = _all_coeff_names(scheduled_ops)
+    else:
+        mapping.coeff_sequence = [
+            operand.name
+            for op in scheduled_ops if op.is_compute
+            for _idx, operand in op.coeff_operands()
+        ]
+        mapping.resident_coeffs = []
+    return mapping
+
+
+def _all_coeff_names(ops: Sequence[AbstractOp]) -> List[str]:
+    names: List[str] = []
+    for op in ops:
+        for _idx, operand in op.coeff_operands():
+            if operand.name not in names:
+                names.append(operand.name)
+    return names
+
+
+# ---------------------------------------------------------------------------
+# Index array resolution
+# ---------------------------------------------------------------------------
+
+
+def resolve_index_entries(sequence: Sequence[GridOperand], layout: TileLayout,
+                          base_array: str,
+                          x_interleave: int = X_INTERLEAVE,
+                          block_reps: int = 1,
+                          block_points: int = 1) -> List[int]:
+    """Turn a symbolic stream sequence into numeric element-offset indices.
+
+    The indirection base of each launch is the address of the *first* point of
+    the block in ``base_array``; every index is the element distance from that
+    base to the accessed element.  When the FREP hardware loop repeats the
+    block body ``block_reps`` times per launch, the per-repetition pattern is
+    replicated with the points shifted by ``block_points * x_interleave``
+    elements, so a single launch covers ``block_reps * block_points`` points.
+    """
+    base_entries = []
+    for operand in sequence:
+        array_shift = layout.array_elem_distance(operand.array, base_array)
+        offset = list(operand.offset)
+        offset[-1] += operand.point * x_interleave
+        linear = 0
+        for component, size in zip(offset, layout.tile_shape):
+            linear = linear * size + component
+        base_entries.append(array_shift + linear)
+    entries: List[int] = []
+    for rep in range(block_reps):
+        shift = rep * block_points * x_interleave
+        entries.extend(entry + shift for entry in base_entries)
+    return entries
+
+
+def index_width_bytes(entries: Sequence[int]) -> int:
+    """Smallest supported index width (2 or 4 bytes) that fits all entries."""
+    if not entries:
+        return 2
+    lo, hi = min(entries), max(entries)
+    if -(1 << 15) <= lo and hi < (1 << 15):
+        return 2
+    return 4

@@ -1,0 +1,177 @@
+"""Latency-aware list scheduling of abstract operation blocks.
+
+Both code generators feed the lowered block through the same greedy list
+scheduler.  The scheduler respects true (register) dependencies, keeps the
+output stores in point order (required when stores are mapped to the affine
+stream register), and otherwise reorders freely to hide the FPU latency —
+interleaving the independent unrolled points and the independent partial
+sums created by the lowering stage.  This plays the role of the paper's
+"custom reassociation pass" and manual SARIS point-loop scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.lowering import AbstractOp, VReg
+
+
+#: Default operation latencies (cycles until the result may be consumed).
+DEFAULT_LATENCIES = {
+    "load": 2,
+    "store": 1,
+    "compute": 3,
+}
+
+
+def _latency_of(op: AbstractOp, latencies: Dict[str, int]) -> int:
+    if op.is_load:
+        return latencies["load"]
+    if op.is_store:
+        return latencies["store"]
+    return latencies["compute"]
+
+
+@dataclass
+class ScheduledBlock:
+    """A scheduled block: ordered ops plus an estimated issue makespan."""
+
+    ops: List[AbstractOp]
+    issue_cycles: List[int] = field(default_factory=list)
+    makespan: int = 0
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+
+def build_dependencies(ops: Sequence[AbstractOp],
+                       extra_deps: Optional[Sequence[tuple]] = None) -> List[List[int]]:
+    """Return, for each op index, the list of op indices it depends on.
+
+    Dependencies are register (RAW) dependencies plus an ordering chain among
+    the store operations so stream-mapped output writes stay in point order.
+    ``extra_deps`` adds further (from_index, to_index) ordering edges in the
+    *original* operation order — the SARIS generator uses this to keep the
+    operations that write directly into the affine store stream in point
+    order.
+    """
+    defs: Dict[VReg, int] = {}
+    for idx, op in enumerate(ops):
+        if op.dest is not None:
+            defs[op.dest] = idx
+    preds: List[List[int]] = [[] for _ in ops]
+    last_store: Optional[int] = None
+    for idx, op in enumerate(ops):
+        for src in op.srcs:
+            if isinstance(src, VReg):
+                producer = defs.get(src)
+                if producer is None:
+                    raise ValueError(f"operation {idx} reads undefined vreg {src}")
+                if producer >= idx:
+                    raise ValueError(
+                        f"operation {idx} reads vreg {src} defined later (op {producer})"
+                    )
+                preds[idx].append(producer)
+        if op.is_store:
+            if last_store is not None:
+                preds[idx].append(last_store)
+            last_store = idx
+    if extra_deps:
+        for src_idx, dst_idx in extra_deps:
+            if not (0 <= src_idx < len(ops) and 0 <= dst_idx < len(ops)):
+                raise ValueError(f"extra dependency ({src_idx}, {dst_idx}) out of range")
+            if src_idx != dst_idx and src_idx not in preds[dst_idx]:
+                preds[dst_idx].append(src_idx)
+    return preds
+
+
+def schedule_block(ops: Sequence[AbstractOp],
+                   latencies: Optional[Dict[str, int]] = None,
+                   extra_deps: Optional[Sequence[tuple]] = None) -> ScheduledBlock:
+    """Greedy list-schedule ``ops`` on a single-issue FP pipeline.
+
+    Returns the new operation order together with the estimated issue cycle of
+    every operation and the overall makespan.  The estimate assumes one issue
+    per cycle and the given result latencies; it is used to pick unroll
+    factors and residency policies, while the authoritative performance number
+    always comes from the cluster simulation.
+    """
+    lat = dict(DEFAULT_LATENCIES)
+    if latencies:
+        lat.update(latencies)
+    ops = list(ops)
+    n = len(ops)
+    if n == 0:
+        return ScheduledBlock(ops=[], issue_cycles=[], makespan=0)
+    preds = build_dependencies(ops, extra_deps=extra_deps)
+    succs: List[List[int]] = [[] for _ in ops]
+    for idx, plist in enumerate(preds):
+        for pred in plist:
+            succs[pred].append(idx)
+    # Critical-path priority (longest latency-weighted path to any sink).
+    priority = [0] * n
+    for idx in range(n - 1, -1, -1):
+        best = 0
+        for succ in succs[idx]:
+            best = max(best, priority[succ])
+        priority[idx] = best + _latency_of(ops[idx], lat)
+    unscheduled_preds = [len(plist) for plist in preds]
+    ready_time = [0] * n
+    ready = [idx for idx in range(n) if unscheduled_preds[idx] == 0]
+    order: List[int] = []
+    issue_cycle: List[int] = [0] * n
+    cycle = 0
+    scheduled = 0
+    while scheduled < n:
+        if not ready:
+            raise ValueError(
+                "cyclic dependency: no schedulable operation remains "
+                f"({n - scheduled} operations unscheduled)"
+            )
+        available = [idx for idx in ready if ready_time[idx] <= cycle]
+        if not available:
+            cycle = min(ready_time[idx] for idx in ready)
+            available = [idx for idx in ready if ready_time[idx] <= cycle]
+        # Highest priority first; original order breaks ties for determinism.
+        chosen = max(available, key=lambda idx: (priority[idx], -idx))
+        ready.remove(chosen)
+        order.append(chosen)
+        issue_cycle[chosen] = cycle
+        finish = cycle + _latency_of(ops[chosen], lat)
+        for succ in succs[chosen]:
+            unscheduled_preds[succ] -= 1
+            ready_time[succ] = max(ready_time[succ], finish)
+            if unscheduled_preds[succ] == 0:
+                ready.append(succ)
+        scheduled += 1
+        cycle += 1
+    ordered_ops = [ops[idx] for idx in order]
+    ordered_cycles = [issue_cycle[idx] for idx in order]
+    makespan = max(c + _latency_of(ops[i], lat) for c, i in zip(ordered_cycles, order))
+    return ScheduledBlock(ops=ordered_ops, issue_cycles=ordered_cycles,
+                          makespan=makespan)
+
+
+def verify_schedule(original: Sequence[AbstractOp],
+                    scheduled: Sequence[AbstractOp]) -> bool:
+    """Check that a schedule is a permutation preserving dependencies and store order.
+
+    Used by tests and as a cheap internal sanity check by the code generators.
+    """
+    if len(original) != len(scheduled) or \
+            {id(op) for op in original} != {id(op) for op in scheduled}:
+        return False
+    position = {id(op): idx for idx, op in enumerate(scheduled)}
+    preds = build_dependencies(list(original))
+    for idx, op in enumerate(original):
+        for pred in preds[idx]:
+            if position[id(original[pred])] >= position[id(op)]:
+                return False
+    stores = [op for op in scheduled if op.is_store]
+    if [op.point for op in stores] != sorted(op.point for op in stores):
+        return False
+    return True

@@ -1,0 +1,15 @@
+"""Cluster power and energy model (Section 3.2 reproduction)."""
+
+from repro.energy.power_model import (
+    EnergyModel,
+    PowerEstimate,
+    energy_comparison,
+    estimate_power,
+)
+
+__all__ = [
+    "EnergyModel",
+    "PowerEstimate",
+    "energy_comparison",
+    "estimate_power",
+]

@@ -1,0 +1,124 @@
+"""Activity-based cluster power model.
+
+The paper obtains power numbers from post-layout gate-level simulation of the
+cluster in GlobalFoundries 12LP+ (Section 3.2).  We substitute an
+activity-based model: the energy of one cycle is a static share plus
+per-event energies for integer issue slots, FPU operations and TCDM accesses.
+The per-event energies are calibrated so that the *geomean* powers of the two
+variants land near the paper's reported 227 mW (base) and 390 mW (saris); the
+per-kernel variation, the base/saris power ratio and the energy-efficiency
+gains are then genuine outputs of the model driven by the simulated activity
+counters, not per-kernel constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.snitch.params import TimingParams
+from repro.snitch.trace import ClusterResult
+
+
+@dataclass
+class EnergyModel:
+    """Per-event energies (picojoules) and static power share of the cluster.
+
+    Defaults are calibrated against the paper's reported geomean cluster
+    powers at 1 GHz / 0.8 V / 25 C in 12LP+ (see module docstring).
+    """
+
+    #: static energy per core per cycle (clock tree, instruction cache share).
+    static_core_pj: float = 8.0
+    #: energy per integer-pipeline issue slot (fetch, decode, ALU).
+    int_issue_pj: float = 6.0
+    #: energy per FPU compute operation (FP64 datapath + register file).
+    fpu_op_pj: float = 34.0
+    #: energy per TCDM bank access (bank + interconnect).
+    tcdm_access_pj: float = 7.0
+    #: energy per DMA bus beat (only relevant when DMA traffic is simulated).
+    dma_beat_pj: float = 20.0
+    num_cores: int = 8
+
+    def cycle_energy_pj(self, result: ClusterResult) -> float:
+        """Mean energy per cycle (pJ) for a finished cluster run."""
+        if result.cycles == 0:
+            return 0.0
+        int_issues = sum(core.int_retired for core in result.cores)
+        fp_dispatch = sum(core.fp_issued for core in result.cores)
+        fpu_ops = sum(core.fp_compute for core in result.cores)
+        tcdm_accesses = result.tcdm_requests - result.tcdm_conflicts
+        dma_beats = result.dma_bytes / 64.0
+        total_pj = (
+            self.static_core_pj * self.num_cores * result.cycles
+            + self.int_issue_pj * (int_issues + fp_dispatch)
+            + self.fpu_op_pj * fpu_ops
+            + self.tcdm_access_pj * tcdm_accesses
+            + self.dma_beat_pj * dma_beats
+        )
+        return total_pj / result.cycles
+
+
+@dataclass
+class PowerEstimate:
+    """Power/energy estimate for one kernel run."""
+
+    kernel: str
+    variant: str
+    cycles: int
+    power_w: float
+    energy_j: float
+    flops: int
+
+    @property
+    def gflops_per_watt(self) -> float:
+        """Energy efficiency in GFLOP/s per watt (equivalently FLOP/nJ)."""
+        if self.energy_j == 0:
+            return 0.0
+        return self.flops / self.energy_j * 1e-9
+
+
+def estimate_power(result, params: Optional[TimingParams] = None,
+                   model: Optional[EnergyModel] = None) -> PowerEstimate:
+    """Estimate cluster power and energy for a :class:`KernelRunResult`.
+
+    ``result`` may be a :class:`repro.runner.KernelRunResult` or any object
+    exposing ``cluster`` (a :class:`ClusterResult`), ``kernel``, ``variant``,
+    ``cycles`` and ``total_flops``.
+    """
+    params = params or TimingParams()
+    model = model or EnergyModel(num_cores=params.num_cores)
+    cluster: ClusterResult = result.cluster
+    epc_pj = model.cycle_energy_pj(cluster)
+    power_w = epc_pj * params.clock_ghz * 1e-3  # pJ/cycle * GHz -> mW -> W? see below
+    # pJ per cycle at f GHz: P[W] = epc[pJ] * 1e-12 * f * 1e9 = epc * f * 1e-3.
+    energy_j = epc_pj * 1e-12 * result.cycles
+    return PowerEstimate(
+        kernel=result.kernel,
+        variant=result.variant,
+        cycles=result.cycles,
+        power_w=power_w,
+        energy_j=energy_j,
+        flops=result.total_flops,
+    )
+
+
+def energy_comparison(base_result, saris_result,
+                      params: Optional[TimingParams] = None,
+                      model: Optional[EnergyModel] = None) -> dict:
+    """Figure-4-style comparison: per-variant power and SARIS efficiency gain."""
+    base = estimate_power(base_result, params, model)
+    saris = estimate_power(saris_result, params, model)
+    speedup = base.cycles / saris.cycles if saris.cycles else 0.0
+    power_ratio = saris.power_w / base.power_w if base.power_w else 0.0
+    gain = speedup / power_ratio if power_ratio else 0.0
+    return {
+        "kernel": base.kernel,
+        "base_power_w": base.power_w,
+        "saris_power_w": saris.power_w,
+        "base_energy_j": base.energy_j,
+        "saris_energy_j": saris.energy_j,
+        "speedup": speedup,
+        "power_ratio": power_ratio,
+        "energy_efficiency_gain": gain,
+    }

@@ -1,0 +1,294 @@
+"""Instruction representation and operand format table.
+
+Every instruction understood by the assembler and the simulator is described
+here.  The operand *format* of each mnemonic (a tuple of operand kinds) drives
+both textual parsing in :mod:`repro.isa.assembler` and rendering back to text,
+so the two cannot drift apart.
+
+Operand kinds
+-------------
+
+``rd``/``rs1``/``rs2``
+    Integer destination / source registers.
+``frd``/``frs1``/``frs2``/``frs3``
+    Floating-point destination / source registers.
+``imm``/``imm2``
+    Signed immediates (the second one is used by SSR configuration
+    instructions that carry both a data-mover index and a dimension/index).
+``mem``
+    A ``offset(base)`` memory operand; sets both ``imm`` and ``rs1``.
+``label``
+    A branch/jump target label, resolved to an instruction index by
+    :class:`repro.isa.program.Program`.
+``csr``
+    A CSR name (only ``mhartid`` is used by generated code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.isa.registers import fp_reg_name, int_reg_name
+
+# ---------------------------------------------------------------------------
+# Operand format table
+# ---------------------------------------------------------------------------
+
+#: Maps each mnemonic to the tuple of operand kinds it takes, in textual order.
+MNEMONIC_FORMATS = {
+    # Integer register-register ALU.
+    "add": ("rd", "rs1", "rs2"),
+    "sub": ("rd", "rs1", "rs2"),
+    "and": ("rd", "rs1", "rs2"),
+    "or": ("rd", "rs1", "rs2"),
+    "xor": ("rd", "rs1", "rs2"),
+    "sll": ("rd", "rs1", "rs2"),
+    "srl": ("rd", "rs1", "rs2"),
+    "sra": ("rd", "rs1", "rs2"),
+    "slt": ("rd", "rs1", "rs2"),
+    "sltu": ("rd", "rs1", "rs2"),
+    "mul": ("rd", "rs1", "rs2"),
+    "mulh": ("rd", "rs1", "rs2"),
+    "div": ("rd", "rs1", "rs2"),
+    "divu": ("rd", "rs1", "rs2"),
+    "rem": ("rd", "rs1", "rs2"),
+    "remu": ("rd", "rs1", "rs2"),
+    # Integer register-immediate ALU.
+    "addi": ("rd", "rs1", "imm"),
+    "andi": ("rd", "rs1", "imm"),
+    "ori": ("rd", "rs1", "imm"),
+    "xori": ("rd", "rs1", "imm"),
+    "slli": ("rd", "rs1", "imm"),
+    "srli": ("rd", "rs1", "imm"),
+    "srai": ("rd", "rs1", "imm"),
+    "slti": ("rd", "rs1", "imm"),
+    "sltiu": ("rd", "rs1", "imm"),
+    "lui": ("rd", "imm"),
+    "auipc": ("rd", "imm"),
+    # Pseudo-instructions kept as first-class (the simulator executes them
+    # directly; `li` of a large constant is still a single issue slot, a
+    # one-cycle approximation documented in DESIGN.md).
+    "li": ("rd", "imm"),
+    "mv": ("rd", "rs1"),
+    "nop": (),
+    # Integer loads / stores.
+    "lw": ("rd", "mem"),
+    "lh": ("rd", "mem"),
+    "lhu": ("rd", "mem"),
+    "lb": ("rd", "mem"),
+    "lbu": ("rd", "mem"),
+    "sw": ("rs2", "mem"),
+    "sh": ("rs2", "mem"),
+    "sb": ("rs2", "mem"),
+    # Control flow.
+    "beq": ("rs1", "rs2", "label"),
+    "bne": ("rs1", "rs2", "label"),
+    "blt": ("rs1", "rs2", "label"),
+    "bge": ("rs1", "rs2", "label"),
+    "bltu": ("rs1", "rs2", "label"),
+    "bgeu": ("rs1", "rs2", "label"),
+    "j": ("label",),
+    "jal": ("rd", "label"),
+    "jalr": ("rd", "rs1", "imm"),
+    "csrr": ("rd", "csr"),
+    # Double-precision floating point.
+    "fld": ("frd", "mem"),
+    "fsd": ("frs2", "mem"),
+    "fadd.d": ("frd", "frs1", "frs2"),
+    "fsub.d": ("frd", "frs1", "frs2"),
+    "fmul.d": ("frd", "frs1", "frs2"),
+    "fdiv.d": ("frd", "frs1", "frs2"),
+    "fmin.d": ("frd", "frs1", "frs2"),
+    "fmax.d": ("frd", "frs1", "frs2"),
+    "fsgnj.d": ("frd", "frs1", "frs2"),
+    "fsgnjn.d": ("frd", "frs1", "frs2"),
+    "fsgnjx.d": ("frd", "frs1", "frs2"),
+    "fmadd.d": ("frd", "frs1", "frs2", "frs3"),
+    "fmsub.d": ("frd", "frs1", "frs2", "frs3"),
+    "fnmadd.d": ("frd", "frs1", "frs2", "frs3"),
+    "fnmsub.d": ("frd", "frs1", "frs2", "frs3"),
+    "fmv.d": ("frd", "frs1"),
+    "fabs.d": ("frd", "frs1"),
+    "fcvt.d.w": ("frd", "rs1"),
+    # Snitch FREP hardware loop: repeat the next `imm` FP instructions
+    # `reg[rs1]` times in the FPU sequencer.
+    "frep.o": ("rs1", "imm"),
+    # Snitch SSR / SSSR stream configuration and control.
+    "ssr.enable": (),
+    "ssr.disable": (),
+    "ssr.cfg.idx": ("imm", "rs1", "rs2"),
+    "ssr.cfg.idxsize": ("imm", "imm2"),
+    "ssr.cfg.dims": ("imm", "imm2"),
+    "ssr.cfg.bound": ("imm", "imm2", "rs1"),
+    "ssr.cfg.stride": ("imm", "imm2", "rs1"),
+    "ssr.cfg.base": ("imm", "rs1"),
+    "ssr.cfg.write": ("imm", "imm2"),
+    "ssr.cfg.repeat": ("imm", "rs1"),
+    "ssr.launch": ("imm", "rs1"),
+    "ssr.commit": (),
+    "ssr.start": ("imm",),
+    "ssr.barrier": (),
+}
+
+# ---------------------------------------------------------------------------
+# Classification sets
+# ---------------------------------------------------------------------------
+
+#: FP instructions that occupy the FPU datapath and perform useful compute.
+FP_COMPUTE_MNEMONICS = frozenset(
+    {
+        "fadd.d",
+        "fsub.d",
+        "fmul.d",
+        "fdiv.d",
+        "fmin.d",
+        "fmax.d",
+        "fmadd.d",
+        "fmsub.d",
+        "fnmadd.d",
+        "fnmsub.d",
+    }
+)
+
+#: FP instructions that move data but do not count as useful FLOPs.
+FP_MOVE_MNEMONICS = frozenset(
+    {"fsgnj.d", "fsgnjn.d", "fsgnjx.d", "fmv.d", "fabs.d", "fcvt.d.w"}
+)
+
+#: FP memory instructions, executed by the FPU-side load/store unit.
+FP_MEM_MNEMONICS = frozenset({"fld", "fsd"})
+
+#: All instructions dispatched to the FPU sequencer.
+FP_MNEMONICS = FP_COMPUTE_MNEMONICS | FP_MOVE_MNEMONICS | FP_MEM_MNEMONICS
+
+BRANCH_MNEMONICS = frozenset({"beq", "bne", "blt", "bge", "bltu", "bgeu"})
+JUMP_MNEMONICS = frozenset({"j", "jal", "jalr"})
+FREP_MNEMONICS = frozenset({"frep.o"})
+SSR_MNEMONICS = frozenset(m for m in MNEMONIC_FORMATS if m.startswith("ssr."))
+INT_LOAD_MNEMONICS = frozenset({"lw", "lh", "lhu", "lb", "lbu"})
+INT_STORE_MNEMONICS = frozenset({"sw", "sh", "sb"})
+
+#: Everything the integer pipeline executes itself (not offloaded to the FPU).
+INT_MNEMONICS = frozenset(MNEMONIC_FORMATS) - FP_MNEMONICS
+
+#: FLOPs contributed by one execution of each FP compute mnemonic.
+_FLOPS_PER_MNEMONIC = {
+    "fadd.d": 1,
+    "fsub.d": 1,
+    "fmul.d": 1,
+    "fdiv.d": 1,
+    "fmin.d": 1,
+    "fmax.d": 1,
+    "fmadd.d": 2,
+    "fmsub.d": 2,
+    "fnmadd.d": 2,
+    "fnmsub.d": 2,
+}
+
+
+def flops_of(mnemonic: str) -> int:
+    """Return the number of FLOPs one execution of ``mnemonic`` performs."""
+    return _FLOPS_PER_MNEMONIC.get(mnemonic, 0)
+
+
+def is_fp_instruction(mnemonic: str) -> bool:
+    """Return ``True`` when ``mnemonic`` is dispatched to the FPU sequencer."""
+    return mnemonic in FP_MNEMONICS
+
+
+# ---------------------------------------------------------------------------
+# Instruction dataclass
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Instruction:
+    """A single decoded instruction.
+
+    Register fields hold register indices; ``imm``/``imm2`` hold immediates
+    (for SSR configuration instructions ``imm`` is the data-mover index).
+    ``target`` holds the textual label of a branch/jump; ``target_idx`` is the
+    resolved instruction index filled in by :class:`repro.isa.program.Program`.
+    """
+
+    mnemonic: str
+    rd: Optional[int] = None
+    rs1: Optional[int] = None
+    rs2: Optional[int] = None
+    rs3: Optional[int] = None
+    imm: Optional[int] = None
+    imm2: Optional[int] = None
+    target: Optional[str] = None
+    target_idx: Optional[int] = None
+    csr: Optional[str] = None
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        if self.mnemonic not in MNEMONIC_FORMATS:
+            raise ValueError(f"unknown mnemonic {self.mnemonic!r}")
+
+    @property
+    def fmt(self) -> Tuple[str, ...]:
+        """The operand format tuple of this instruction's mnemonic."""
+        return MNEMONIC_FORMATS[self.mnemonic]
+
+    @property
+    def is_fp(self) -> bool:
+        """Whether this instruction is dispatched to the FPU sequencer."""
+        return self.mnemonic in FP_MNEMONICS
+
+    @property
+    def is_fp_compute(self) -> bool:
+        """Whether this instruction performs useful floating-point compute."""
+        return self.mnemonic in FP_COMPUTE_MNEMONICS
+
+    @property
+    def is_branch(self) -> bool:
+        """Whether this instruction is a conditional branch."""
+        return self.mnemonic in BRANCH_MNEMONICS
+
+    @property
+    def flops(self) -> int:
+        """FLOPs contributed by one execution of this instruction."""
+        return flops_of(self.mnemonic)
+
+    def to_text(self) -> str:
+        """Render the instruction back to assembler syntax."""
+        parts = []
+        for kind in self.fmt:
+            if kind == "rd":
+                parts.append(int_reg_name(self.rd))
+            elif kind == "rs1":
+                parts.append(int_reg_name(self.rs1))
+            elif kind == "rs2":
+                parts.append(int_reg_name(self.rs2))
+            elif kind == "frd":
+                parts.append(fp_reg_name(self.rd))
+            elif kind == "frs1":
+                parts.append(fp_reg_name(self.rs1))
+            elif kind == "frs2":
+                parts.append(fp_reg_name(self.rs2))
+            elif kind == "frs3":
+                parts.append(fp_reg_name(self.rs3))
+            elif kind == "imm":
+                parts.append(str(self.imm))
+            elif kind == "imm2":
+                parts.append(str(self.imm2))
+            elif kind == "mem":
+                parts.append(f"{self.imm}({int_reg_name(self.rs1)})")
+            elif kind == "label":
+                parts.append(self.target if self.target is not None else str(self.target_idx))
+            elif kind == "csr":
+                parts.append(self.csr)
+            else:  # pragma: no cover - format table is static
+                raise AssertionError(f"unhandled operand kind {kind!r}")
+        text = self.mnemonic
+        if parts:
+            text += " " + ", ".join(parts)
+        if self.comment:
+            text += f"  # {self.comment}"
+        return text
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_text()

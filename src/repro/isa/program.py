@@ -1,0 +1,134 @@
+"""Program container with label resolution and static statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.isa.instruction import (
+    BRANCH_MNEMONICS,
+    FP_COMPUTE_MNEMONICS,
+    FP_MNEMONICS,
+    JUMP_MNEMONICS,
+    Instruction,
+)
+
+
+class ProgramError(ValueError):
+    """Raised for malformed programs (duplicate or missing labels)."""
+
+
+@dataclass
+class Program:
+    """An assembled program: a list of instructions plus a label map.
+
+    Program counters in the simulator are *instruction indices*.  All branch
+    and jump targets are resolved to indices when the program is constructed,
+    so the simulator never needs to consult the label map on the hot path.
+    """
+
+    instructions: List[Instruction]
+    labels: Dict[str, int] = field(default_factory=dict)
+    name: str = "program"
+
+    def __post_init__(self) -> None:
+        self._resolve_targets()
+
+    def _resolve_targets(self) -> None:
+        for inst in self.instructions:
+            if inst.target is not None:
+                if inst.target not in self.labels:
+                    raise ProgramError(
+                        f"undefined label {inst.target!r} in {self.name!r}"
+                    )
+                inst.target_idx = self.labels[inst.target]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def to_text(self) -> str:
+        """Render the whole program, re-inserting label definitions."""
+        index_to_labels: Dict[int, List[str]] = {}
+        for label, idx in self.labels.items():
+            index_to_labels.setdefault(idx, []).append(label)
+        lines: List[str] = []
+        for idx, inst in enumerate(self.instructions):
+            for label in sorted(index_to_labels.get(idx, [])):
+                lines.append(f"{label}:")
+            lines.append(f"    {inst.to_text()}")
+        for label in sorted(index_to_labels.get(len(self.instructions), [])):
+            lines.append(f"{label}:")
+        return "\n".join(lines) + "\n"
+
+    # -- static statistics -------------------------------------------------
+
+    def count(self, mnemonics: Iterable[str]) -> int:
+        """Count instructions whose mnemonic is in ``mnemonics``."""
+        wanted = set(mnemonics)
+        return sum(1 for inst in self.instructions if inst.mnemonic in wanted)
+
+    def static_instruction_mix(self, start: Optional[int] = None,
+                               end: Optional[int] = None) -> Dict[str, int]:
+        """Classify instructions in ``[start, end)`` into coarse categories.
+
+        Categories mirror the discussion of Listing 1 in the paper:
+        ``fp_compute`` (useful compute), ``fp_mem`` (FP loads/stores),
+        ``int_mem``, ``address`` (integer ALU), ``branch``, ``ssr``, ``frep``
+        and ``other``.
+        """
+        lo = 0 if start is None else start
+        hi = len(self.instructions) if end is None else end
+        mix = {
+            "fp_compute": 0,
+            "fp_mem": 0,
+            "fp_move": 0,
+            "int_mem": 0,
+            "address": 0,
+            "branch": 0,
+            "ssr": 0,
+            "frep": 0,
+            "other": 0,
+        }
+        for inst in self.instructions[lo:hi]:
+            m = inst.mnemonic
+            if m in FP_COMPUTE_MNEMONICS:
+                mix["fp_compute"] += 1
+            elif m in ("fld", "fsd"):
+                mix["fp_mem"] += 1
+            elif m in FP_MNEMONICS:
+                mix["fp_move"] += 1
+            elif m in ("lw", "lh", "lhu", "lb", "lbu", "sw", "sh", "sb"):
+                mix["int_mem"] += 1
+            elif m in BRANCH_MNEMONICS or m in JUMP_MNEMONICS:
+                mix["branch"] += 1
+            elif m.startswith("ssr."):
+                mix["ssr"] += 1
+            elif m == "frep.o":
+                mix["frep"] += 1
+            elif m == "nop":
+                mix["other"] += 1
+            else:
+                mix["address"] += 1
+        return mix
+
+    def loop_bounds(self, label: str) -> tuple:
+        """Return ``(start, end)`` instruction indices of the loop at ``label``.
+
+        The loop body is defined as the instructions from the label up to and
+        including the first backward branch/jump targeting it.  Useful for
+        computing the point-loop instruction mix of Listing 1.
+        """
+        if label not in self.labels:
+            raise ProgramError(f"undefined label {label!r}")
+        start = self.labels[label]
+        for idx in range(start, len(self.instructions)):
+            inst = self.instructions[idx]
+            if inst.target_idx == start and idx >= start:
+                return start, idx + 1
+        raise ProgramError(f"no backward branch to label {label!r} found")

@@ -1,0 +1,141 @@
+"""Register files and ABI register naming for the RV32G + SSR model.
+
+The Snitch core has the standard 32 integer registers and 32 double-precision
+floating-point registers.  When the SSR extension is enabled, reads and writes
+of ``ft0``, ``ft1`` and ``ft2`` are register-mapped to the three stream data
+movers (two indirection-capable, one affine), exactly as in the SSSR paper and
+in Figure 1 of the SARIS paper.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+
+#: Floating-point register indices that are stream-mapped when SSRs are
+#: enabled: ``ft0`` (SR0, indirect), ``ft1`` (SR1, indirect), ``ft2`` (SR2,
+#: affine).
+SSR_FP_REGS = (0, 1, 2)
+
+# ABI names for the integer register file, indexed by register number.
+_INT_ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+)
+
+# ABI names for the floating-point register file, indexed by register number.
+_FP_ABI_NAMES = (
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+    "fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+    "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+    "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+)
+
+_INT_NAME_TO_IDX = {name: idx for idx, name in enumerate(_INT_ABI_NAMES)}
+_INT_NAME_TO_IDX["fp"] = 8  # alternate name for s0
+_INT_NAME_TO_IDX.update({f"x{i}": i for i in range(NUM_INT_REGS)})
+
+_FP_NAME_TO_IDX = {name: idx for idx, name in enumerate(_FP_ABI_NAMES)}
+_FP_NAME_TO_IDX.update({f"f{i}": i for i in range(NUM_FP_REGS)})
+
+
+class RegisterError(ValueError):
+    """Raised when a register name or index cannot be interpreted."""
+
+
+def parse_int_reg(name: str) -> int:
+    """Return the integer register index for an ABI or ``x<n>`` name.
+
+    >>> parse_int_reg("t0")
+    5
+    >>> parse_int_reg("x31")
+    31
+    """
+    key = name.strip().lower()
+    if key not in _INT_NAME_TO_IDX:
+        raise RegisterError(f"unknown integer register {name!r}")
+    return _INT_NAME_TO_IDX[key]
+
+
+def parse_fp_reg(name: str) -> int:
+    """Return the floating-point register index for an ABI or ``f<n>`` name.
+
+    >>> parse_fp_reg("ft0")
+    0
+    >>> parse_fp_reg("fa0")
+    10
+    """
+    key = name.strip().lower()
+    if key not in _FP_NAME_TO_IDX:
+        raise RegisterError(f"unknown floating-point register {name!r}")
+    return _FP_NAME_TO_IDX[key]
+
+
+def int_reg_name(index: int) -> str:
+    """Return the ABI name of integer register ``index``."""
+    if not 0 <= index < NUM_INT_REGS:
+        raise RegisterError(f"integer register index {index} out of range")
+    return _INT_ABI_NAMES[index]
+
+
+def fp_reg_name(index: int) -> str:
+    """Return the ABI name of floating-point register ``index``."""
+    if not 0 <= index < NUM_FP_REGS:
+        raise RegisterError(f"floating-point register index {index} out of range")
+    return _FP_ABI_NAMES[index]
+
+
+class IntRegisterFile:
+    """The 32-entry integer register file, with ``x0`` hard-wired to zero.
+
+    Values are stored as Python ints and wrapped to 32-bit two's complement on
+    write, matching RV32 semantics closely enough for address arithmetic and
+    loop counters.
+    """
+
+    __slots__ = ("_regs",)
+
+    _MASK = (1 << 32) - 1
+
+    def __init__(self) -> None:
+        self._regs = [0] * NUM_INT_REGS
+
+    def read(self, index: int) -> int:
+        """Return the (sign-interpreted, 32-bit wrapped) value of a register."""
+        return self._regs[index]
+
+    def write(self, index: int, value: int) -> None:
+        """Write ``value`` to register ``index`` (writes to ``x0`` are ignored)."""
+        if index == 0:
+            return
+        value &= self._MASK
+        if value >= 1 << 31:
+            value -= 1 << 32
+        self._regs[index] = value
+
+    def snapshot(self) -> list:
+        """Return a copy of all register values (for tests and tracing)."""
+        return list(self._regs)
+
+
+class FpRegisterFile:
+    """The 32-entry double-precision floating-point register file."""
+
+    __slots__ = ("_regs",)
+
+    def __init__(self) -> None:
+        self._regs = [0.0] * NUM_FP_REGS
+
+    def read(self, index: int) -> float:
+        """Return the value of floating-point register ``index``."""
+        return self._regs[index]
+
+    def write(self, index: int, value: float) -> None:
+        """Write ``value`` to floating-point register ``index``."""
+        self._regs[index] = float(value)
+
+    def snapshot(self) -> list:
+        """Return a copy of all register values (for tests and tracing)."""
+        return list(self._regs)

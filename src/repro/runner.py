@@ -1,0 +1,261 @@
+"""High-level API: compile, simulate and verify stencil kernels on the cluster.
+
+This is the main entry point of the library::
+
+    from repro import run_kernel, compare_variants
+
+    result = run_kernel("jacobi_2d", variant="saris")
+    print(result.cycles, result.fpu_util, result.correct)
+
+    comparison = compare_variants("j3d27pt")
+    print(comparison.speedup)
+
+``run_kernel`` builds the TCDM layout, generates one program per cluster core
+(baseline RV32G or SARIS), writes grids / coefficient tables / index arrays
+into the simulated TCDM, runs the cycle-approximate cluster simulation and
+checks the produced output grid against the NumPy reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.codegen_base import generate_base_program
+from repro.core.codegen_common import GeneratedProgram
+from repro.core.codegen_saris import generate_saris_program
+from repro.core.kernels import get_kernel
+from repro.core.layout import TileLayout, build_layout
+from repro.core.parallel import cluster_geometry
+from repro.core.reference import reference_time_step
+from repro.core.stencil import StencilKernel
+from repro.snitch.cluster import SnitchCluster
+from repro.snitch.dma import DmaEngine, DmaTransfer
+from repro.snitch.params import TimingParams
+from repro.snitch.trace import ClusterResult
+
+VARIANTS = ("base", "saris")
+
+
+class RunnerError(RuntimeError):
+    """Raised when a kernel run cannot be set up or produces invalid results."""
+
+
+@dataclass
+class KernelRunResult:
+    """Result of simulating one kernel variant on the eight-core cluster."""
+
+    kernel: str
+    variant: str
+    tile_shape: Tuple[int, ...]
+    cycles: int
+    total_flops: int
+    fpu_util: float
+    ipc: float
+    flops_per_cycle: float
+    correct: bool
+    max_abs_error: float
+    runtime_imbalance: float
+    tcdm_conflict_rate: float
+    dma_utilization: float
+    tile_traffic_bytes: int
+    cluster: ClusterResult = field(repr=False, default=None)
+    program_info: List[Dict[str, object]] = field(default_factory=list, repr=False)
+
+    @property
+    def flops_fraction_of_peak(self) -> float:
+        """Achieved fraction of the cluster's peak FLOP rate (2 FLOP/cycle/core)."""
+        cores = len(self.cluster.cores) if self.cluster else 8
+        if self.cycles == 0:
+            return 0.0
+        return self.total_flops / (self.cycles * 2.0 * cores)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Headline metrics as a plain dictionary (for tables and reports)."""
+        return {
+            "kernel": self.kernel,
+            "variant": self.variant,
+            "cycles": self.cycles,
+            "fpu_util": self.fpu_util,
+            "ipc": self.ipc,
+            "flops_per_cycle": self.flops_per_cycle,
+            "fraction_of_peak": self.flops_fraction_of_peak,
+            "correct": self.correct,
+        }
+
+
+@dataclass
+class VariantComparison:
+    """Base vs SARIS comparison for one kernel (one tile, one cluster)."""
+
+    kernel: str
+    base: KernelRunResult
+    saris: KernelRunResult
+
+    @property
+    def speedup(self) -> float:
+        """Execution speedup of the SARIS variant over the baseline."""
+        if self.saris.cycles == 0:
+            return 0.0
+        return self.base.cycles / self.saris.cycles
+
+
+def _resolve_kernel(kernel: Union[str, StencilKernel]) -> StencilKernel:
+    if isinstance(kernel, StencilKernel):
+        return kernel
+    return get_kernel(kernel)
+
+
+def tile_traffic_bytes(kernel: StencilKernel, tile_shape: Tuple[int, ...]) -> int:
+    """Main-memory traffic per tile: full input tiles in, interior points out."""
+    tile_points = int(np.prod(tile_shape))
+    interior = kernel.interior_points(tile_shape)
+    return len(kernel.inputs) * tile_points * 8 + interior * 8
+
+
+def measure_dma_utilization(kernel: StencilKernel, tile_shape: Tuple[int, ...],
+                            params: Optional[TimingParams] = None) -> float:
+    """Mean DMA bandwidth utilization for this kernel's double-buffer transfers.
+
+    The tiles are moved with 2D/3D strided transfers whose contiguous rows are
+    one tile row long; short rows (3D tiles) achieve lower utilization, which
+    feeds the memory-time side of the scaleout model.
+    """
+    params = params or TimingParams()
+    engine = DmaEngine([], params)
+    row_bytes = tile_shape[-1] * 8
+    rows = int(np.prod(tile_shape[:-1]))
+    transfer = DmaTransfer(src=0, dst=0, inner_bytes=row_bytes, outer_reps=rows)
+    utils = []
+    for _array in kernel.inputs:
+        utils.append(engine.transfer_utilization(transfer))
+    out_transfer = DmaTransfer(src=0, dst=0, inner_bytes=row_bytes,
+                               outer_reps=max(rows // 1, 1))
+    utils.append(engine.transfer_utilization(out_transfer))
+    return float(np.mean(utils))
+
+
+def generate_programs(kernel: StencilKernel, layout: TileLayout, cluster: SnitchCluster,
+                      variant: str, **codegen_kwargs) -> List[GeneratedProgram]:
+    """Generate one program per cluster core for the requested variant."""
+    geometries = cluster_geometry(kernel, layout.tile_shape,
+                                  num_cores=cluster.params.num_cores)
+    generated = []
+    for geometry in geometries:
+        if variant == "base":
+            generated.append(generate_base_program(kernel, layout, geometry,
+                                                   **codegen_kwargs))
+        elif variant == "saris":
+            generated.append(generate_saris_program(
+                kernel, layout, geometry, cluster.allocator,
+                frep_limit=cluster.params.frep_max_insts, **codegen_kwargs))
+        else:
+            raise RunnerError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
+    return generated
+
+
+def run_kernel(kernel: Union[str, StencilKernel], variant: str = "saris",
+               tile_shape: Optional[Tuple[int, ...]] = None,
+               params: Optional[TimingParams] = None, seed: int = 0,
+               check: bool = True, max_cycles: int = 5_000_000,
+               grids: Optional[Dict[str, np.ndarray]] = None,
+               **codegen_kwargs) -> KernelRunResult:
+    """Compile and simulate one time iteration of ``kernel`` on the cluster.
+
+    Parameters
+    ----------
+    kernel:
+        Kernel name (see :data:`repro.core.kernels.KERNEL_NAMES`) or a
+        :class:`StencilKernel` instance.
+    variant:
+        ``"base"`` for the optimized RV32G baseline or ``"saris"`` for the
+        stream-register accelerated variant.
+    tile_shape:
+        Tile shape including halo; defaults to the paper's 64x64 / 16x16x16.
+    params:
+        Cluster timing parameters (defaults to :class:`TimingParams`).
+    seed / grids:
+        Either a seed for random input grids or explicit input grids.
+    check:
+        Verify the simulated output grid against the NumPy reference.
+    codegen_kwargs:
+        Forwarded to the code generator (e.g. ``use_frep=False`` or
+        ``force_store_streamed=...`` for ablations).
+    """
+    kernel = _resolve_kernel(kernel)
+    params = params or TimingParams()
+    shape = tuple(tile_shape or kernel.default_tile)
+    cluster = SnitchCluster(params)
+    layout = build_layout(kernel, cluster.allocator, shape)
+    if grids is None:
+        grids = kernel.make_grids(shape, seed=seed)
+    else:
+        grids = {name: np.asarray(g, dtype=np.float64) for name, g in grids.items()}
+        for name in kernel.inputs:
+            if name not in grids:
+                raise RunnerError(f"missing input grid {name!r}")
+        grids.setdefault(kernel.output, np.zeros(shape, dtype=np.float64))
+
+    for name in kernel.arrays:
+        cluster.write_grid(layout.arrays[name], grids[name])
+    cluster.tcdm.write_f64_array(layout.coeff_table, layout.coeff_table_values())
+
+    generated = generate_programs(kernel, layout, cluster, variant, **codegen_kwargs)
+    for gen in generated:
+        for addr, values in gen.data:
+            arr = np.asarray(values)
+            if arr.size:
+                cluster.tcdm.write_bytes(addr, arr.tobytes())
+
+    cluster.load_programs([gen.program for gen in generated])
+    result = cluster.run(max_cycles=max_cycles)
+
+    correct = True
+    max_err = 0.0
+    if check:
+        simulated = cluster.read_grid(layout.arrays[kernel.output], shape)
+        expected = reference_time_step(kernel, grids)
+        max_err = float(np.max(np.abs(simulated - expected))) if simulated.size else 0.0
+        scale = float(np.max(np.abs(expected))) or 1.0
+        correct = bool(np.allclose(simulated, expected, rtol=1e-9, atol=1e-9 * scale))
+        if not correct:
+            raise RunnerError(
+                f"{kernel.name} ({variant}): simulated output deviates from the "
+                f"NumPy reference (max abs error {max_err:.3e})"
+            )
+
+    return KernelRunResult(
+        kernel=kernel.name,
+        variant=variant,
+        tile_shape=shape,
+        cycles=result.cycles,
+        total_flops=result.total_flops,
+        fpu_util=result.mean_fpu_util,
+        ipc=result.mean_ipc,
+        flops_per_cycle=result.flops_per_cycle,
+        correct=correct,
+        max_abs_error=max_err,
+        runtime_imbalance=result.runtime_imbalance,
+        tcdm_conflict_rate=result.tcdm_conflict_rate,
+        dma_utilization=measure_dma_utilization(kernel, shape, params),
+        tile_traffic_bytes=tile_traffic_bytes(kernel, shape),
+        cluster=result,
+        program_info=[gen.info for gen in generated],
+    )
+
+
+def compare_variants(kernel: Union[str, StencilKernel],
+                     tile_shape: Optional[Tuple[int, ...]] = None,
+                     params: Optional[TimingParams] = None, seed: int = 0,
+                     check: bool = True,
+                     base_kwargs: Optional[Dict[str, object]] = None,
+                     saris_kwargs: Optional[Dict[str, object]] = None) -> VariantComparison:
+    """Run both variants of ``kernel`` and return the paired results."""
+    kernel = _resolve_kernel(kernel)
+    base = run_kernel(kernel, variant="base", tile_shape=tile_shape, params=params,
+                      seed=seed, check=check, **(base_kwargs or {}))
+    saris = run_kernel(kernel, variant="saris", tile_shape=tile_shape, params=params,
+                       seed=seed, check=check, **(saris_kwargs or {}))
+    return VariantComparison(kernel=kernel.name, base=base, saris=saris)

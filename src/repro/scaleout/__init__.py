@@ -1,0 +1,27 @@
+"""Manticore-256s manycore scaleout model (Section 3.3 and Table 2)."""
+
+from repro.scaleout.manticore import (
+    ManticoreConfig,
+    ScaleoutEstimate,
+    estimate_scaleout,
+    estimate_scaleout_pair,
+    scaleout_grid_shape,
+)
+from repro.scaleout.related_work import (
+    LEADING_GPU_GENERATOR,
+    RELATED_WORK,
+    best_gpu_fraction,
+    peak_fraction_table,
+)
+
+__all__ = [
+    "ManticoreConfig",
+    "ScaleoutEstimate",
+    "estimate_scaleout",
+    "estimate_scaleout_pair",
+    "scaleout_grid_shape",
+    "LEADING_GPU_GENERATOR",
+    "RELATED_WORK",
+    "best_gpu_fraction",
+    "peak_fraction_table",
+]

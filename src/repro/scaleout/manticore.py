@@ -1,0 +1,169 @@
+"""Analytical performance model of the Manticore-256s scaleout.
+
+Section 3.3 of the paper estimates SARIS performance on a simplified
+Manticore system: one compute chiplet with eight groups of four Snitch
+clusters (256 cores) attached to one HBM2E stack of eight 3.2 Gb/s/pin
+devices, each group sharing one device's bandwidth.  Following the paper's
+methodology, the model here combines
+
+* the per-tile compute time measured in the single-cluster simulation,
+* the per-tile main-memory traffic divided by the per-cluster share of HBM
+  bandwidth scaled by the measured DMA bandwidth utilization, and
+* the per-core runtime imbalance distribution observed in the cluster run,
+  reused as the imbalance among clusters,
+
+into per-kernel estimates of FPU utilization, speedup, compute-to-memory
+time ratio (CMTR) and achieved GFLOP/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.stencil import StencilKernel
+
+
+@dataclass
+class ManticoreConfig:
+    """Machine description of the Manticore-256s system."""
+
+    num_groups: int = 8
+    clusters_per_group: int = 4
+    cores_per_cluster: int = 8
+    clock_ghz: float = 1.0
+    #: one HBM2E device per group: 3.2 Gb/s/pin x 128 pins = 51.2 GB/s.
+    hbm_device_gbs: float = 51.2
+    #: peak FLOP/cycle per core (one FP64 FMA per cycle).
+    flops_per_core_per_cycle: float = 2.0
+
+    @property
+    def num_clusters(self) -> int:
+        """Total number of compute clusters."""
+        return self.num_groups * self.clusters_per_group
+
+    @property
+    def num_cores(self) -> int:
+        """Total number of worker cores."""
+        return self.num_clusters * self.cores_per_cluster
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak double-precision GFLOP/s of the system."""
+        return self.num_cores * self.flops_per_core_per_cycle * self.clock_ghz
+
+    @property
+    def bytes_per_cycle_per_cluster(self) -> float:
+        """HBM bandwidth share of one cluster in bytes per clock cycle."""
+        per_cluster_gbs = self.hbm_device_gbs / self.clusters_per_group
+        return per_cluster_gbs / self.clock_ghz
+
+
+def scaleout_grid_shape(kernel: StencilKernel) -> Tuple[int, ...]:
+    """Problem sizes used in the paper's scaleout: 16384^2 (2D), 512^3 (3D)."""
+    return (16384, 16384) if kernel.dims == 2 else (512, 512, 512)
+
+
+@dataclass
+class ScaleoutEstimate:
+    """Per-kernel, per-variant scaleout estimate."""
+
+    kernel: str
+    variant: str
+    compute_cycles_per_tile: float
+    memory_cycles_per_tile: float
+    effective_cycles_per_tile: float
+    tiles: int
+    fpu_util: float
+    gflops: float
+    fraction_of_peak: float
+    memory_bound: bool
+    cmtr: float
+
+    @property
+    def total_cycles(self) -> float:
+        """Total cycles to sweep the full grid once (all clusters in parallel)."""
+        return self.effective_cycles_per_tile * self.tiles
+
+
+def _tiles_in_grid(kernel: StencilKernel, grid_shape: Tuple[int, ...],
+                   tile_shape: Tuple[int, ...]) -> int:
+    interior = [t - 2 * kernel.radius for t in tile_shape]
+    usable = [g - 2 * kernel.radius for g in grid_shape]
+    count = 1
+    for u, i in zip(usable, interior):
+        count *= int(np.ceil(u / i))
+    return count
+
+
+def estimate_scaleout(kernel: StencilKernel, run_result, dma_utilization: float,
+                      config: Optional[ManticoreConfig] = None,
+                      grid_shape: Optional[Tuple[int, ...]] = None) -> ScaleoutEstimate:
+    """Estimate scaled-out performance of one kernel variant.
+
+    ``run_result`` is the single-cluster :class:`repro.runner.KernelRunResult`
+    of that variant; ``dma_utilization`` the measured DMA bandwidth
+    utilization (fraction of peak achieved for this kernel's tile transfers).
+    """
+    config = config or ManticoreConfig()
+    grid = tuple(grid_shape or scaleout_grid_shape(kernel))
+    tile = tuple(run_result.tile_shape)
+    tiles_total = _tiles_in_grid(kernel, grid, tile)
+    tiles_per_cluster = int(np.ceil(tiles_total / config.num_clusters))
+
+    # Compute side: measured single-cluster cycles per tile, inflated by the
+    # runtime imbalance distribution observed among the cluster's cores.
+    compute = float(run_result.cycles)
+    imbalance = float(run_result.runtime_imbalance)
+    compute_eff = compute * (1.0 + imbalance)
+
+    # Memory side: tile traffic over the cluster's HBM bandwidth share, scaled
+    # by the DMA utilization measured in the single-cluster experiments.
+    bandwidth = config.bytes_per_cycle_per_cluster * max(dma_utilization, 1e-6)
+    memory = run_result.tile_traffic_bytes / bandwidth
+
+    effective = max(compute_eff, memory)
+    cmtr = compute_eff / memory if memory > 0 else float("inf")
+    memory_bound = memory > compute_eff
+
+    flops_per_tile = run_result.total_flops
+    gflops = (flops_per_tile / effective) * config.num_clusters * config.clock_ghz
+    fraction = gflops / config.peak_gflops
+    # FPU occupancy degrades by the fraction of time spent waiting on memory.
+    fpu_util = run_result.fpu_util * (compute / effective)
+
+    return ScaleoutEstimate(
+        kernel=kernel.name,
+        variant=run_result.variant,
+        compute_cycles_per_tile=compute_eff,
+        memory_cycles_per_tile=memory,
+        effective_cycles_per_tile=effective,
+        tiles=tiles_per_cluster,
+        fpu_util=fpu_util,
+        gflops=gflops,
+        fraction_of_peak=fraction,
+        memory_bound=memory_bound,
+        cmtr=cmtr,
+    )
+
+
+def estimate_scaleout_pair(kernel: StencilKernel, base_result, saris_result,
+                           config: Optional[ManticoreConfig] = None,
+                           grid_shape: Optional[Tuple[int, ...]] = None) -> Dict[str, object]:
+    """Figure-5-style row: scaled-out utilizations, speedup and CMTR."""
+    config = config or ManticoreConfig()
+    dma_util = saris_result.dma_utilization
+    base = estimate_scaleout(kernel, base_result, dma_util, config, grid_shape)
+    saris = estimate_scaleout(kernel, saris_result, dma_util, config, grid_shape)
+    speedup = (base.effective_cycles_per_tile / saris.effective_cycles_per_tile
+               if saris.effective_cycles_per_tile else 0.0)
+    return {
+        "kernel": kernel.name,
+        "base": base,
+        "saris": saris,
+        "speedup": speedup,
+        "cmtr": saris.cmtr,
+        "memory_bound": saris.memory_bound,
+    }

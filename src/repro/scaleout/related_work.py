@@ -1,0 +1,67 @@
+"""Reference points for Table 2: fraction of peak compute of prior software.
+
+These are the numbers reported by the cited works and collected in Table 2 of
+the paper; they describe external systems (CPUs, GPUs, wafer-scale engines)
+and are therefore constants here.  Only the SARIS / Manticore-256s entry is
+computed by this reproduction (:mod:`repro.scaleout.manticore`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class RelatedWorkEntry:
+    """One row of Table 2."""
+
+    category: str
+    work: str
+    platform: str
+    precision: str
+    peak_fraction: float
+
+
+#: Table 2 of the paper, excluding the SARIS row (which we compute).
+RELATED_WORK: Tuple[RelatedWorkEntry, ...] = (
+    RelatedWorkEntry("CPU", "Zhang et al.", "FT-2000+ (1 core)", "FP64", 0.29),
+    RelatedWorkEntry("CPU", "Yount", "Xeon Phi 7120A", "FP32", 0.30),
+    RelatedWorkEntry("CPU", "Bricks", "Xeon Gold 6130", "FP32", 0.45),
+    RelatedWorkEntry("GPU", "ARTEMIS", "Tesla P100", "FP64", 0.36),
+    RelatedWorkEntry("GPU", "DRStencil", "Tesla P100", "FP64", 0.48),
+    RelatedWorkEntry("GPU", "AN5D", "Tesla V100 SXM2", "FP32", 0.69),
+    RelatedWorkEntry("GPU", "EBISU", "A100", "FP64", 0.49),
+    RelatedWorkEntry("WSE", "Rocki et al.", "Cerebras WSE-1", "FP16-32", 0.28),
+    RelatedWorkEntry("WSE", "Jacquelin et al.", "Cerebras WSE-2", "FP32", 0.28),
+)
+
+#: The leading GPU code generator the paper compares against.
+LEADING_GPU_GENERATOR = "AN5D"
+
+
+def best_gpu_fraction() -> float:
+    """Highest fraction of peak among the GPU code generators of Table 2."""
+    return max(e.peak_fraction for e in RELATED_WORK if e.category == "GPU")
+
+
+def peak_fraction_table(saris_fraction: float) -> List[dict]:
+    """Assemble the full Table 2, appending our computed SARIS entry."""
+    rows = [
+        {
+            "category": entry.category,
+            "work": entry.work,
+            "platform": entry.platform,
+            "precision": entry.precision,
+            "peak_fraction": entry.peak_fraction,
+        }
+        for entry in RELATED_WORK
+    ]
+    rows.append({
+        "category": "SR",
+        "work": "SARIS (this reproduction)",
+        "platform": "Manticore-256s (model)",
+        "precision": "FP64",
+        "peak_fraction": saris_fraction,
+    })
+    return rows

@@ -1,0 +1,49 @@
+"""Cycle-approximate simulator of the Snitch RISC-V compute cluster.
+
+The model follows the architecture evaluated in the SARIS paper:
+
+* eight single-issue, in-order RV32G cores (:mod:`repro.snitch.core`), each
+  offloading floating-point instructions to a double-precision FPU sequencer
+  (:mod:`repro.snitch.fpu`),
+* the FREP hardware loop providing pseudo-dual-issue execution,
+* three stream registers per core — two indirection-capable, one affine —
+  modelled in :mod:`repro.snitch.ssr`,
+* 128 KiB of tightly coupled data memory across 32 banks with per-cycle bank
+  arbitration (:mod:`repro.snitch.tcdm`),
+* a 512-bit DMA engine for bulk transfers between main memory and TCDM
+  (:mod:`repro.snitch.dma`),
+* a small shared instruction cache (:mod:`repro.snitch.icache`).
+
+The timing model is *cycle-approximate*: it reproduces the first-order
+performance effects the paper discusses (issue-slot contention, FP dependency
+stalls, SSR data/index traffic, TCDM bank conflicts, FREP overlap) without
+claiming RTL-exact cycle counts.
+"""
+
+from repro.snitch.params import TimingParams
+from repro.snitch.tcdm import TCDM
+from repro.snitch.main_memory import MainMemory
+from repro.snitch.ssr import DataMover, SsrUnit
+from repro.snitch.fpu import FpuSequencer, FrepBlock
+from repro.snitch.icache import InstructionCache
+from repro.snitch.dma import DmaEngine, DmaTransfer
+from repro.snitch.core import SnitchCore
+from repro.snitch.cluster import SnitchCluster
+from repro.snitch.trace import ClusterResult, CoreStats
+
+__all__ = [
+    "TimingParams",
+    "TCDM",
+    "MainMemory",
+    "DataMover",
+    "SsrUnit",
+    "FpuSequencer",
+    "FrepBlock",
+    "InstructionCache",
+    "DmaEngine",
+    "DmaTransfer",
+    "SnitchCore",
+    "SnitchCluster",
+    "ClusterResult",
+    "CoreStats",
+]

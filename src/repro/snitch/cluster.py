@@ -1,0 +1,143 @@
+"""The eight-core Snitch cluster: cores, TCDM, instruction cache and DMA."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.isa.program import Program
+from repro.snitch.core import SnitchCore
+from repro.snitch.dma import DmaEngine
+from repro.snitch.icache import InstructionCache
+from repro.snitch.main_memory import MainMemory
+from repro.snitch.params import TimingParams
+from repro.snitch.ssr import SsrUnit  # noqa: F401  (re-exported convenience)
+from repro.snitch.tcdm import TCDM, TcdmAllocator
+from repro.snitch.trace import ClusterResult, CoreStats
+
+
+class ClusterError(RuntimeError):
+    """Raised when a simulation cannot complete (e.g. cycle limit exceeded)."""
+
+
+class SnitchCluster:
+    """Top-level simulation harness for one Snitch compute cluster.
+
+    Typical usage::
+
+        cluster = SnitchCluster()
+        addr = cluster.alloc_f64(1024)
+        cluster.tcdm.write_f64_array(addr, data)
+        cluster.load_programs([program0, program1, ...])
+        result = cluster.run()
+    """
+
+    def __init__(self, params: Optional[TimingParams] = None) -> None:
+        self.params = params or TimingParams()
+        self.tcdm = TCDM(base=self.params.tcdm_base, size=self.params.tcdm_size,
+                         num_banks=self.params.tcdm_banks,
+                         bank_width=self.params.tcdm_bank_width)
+        self.main_memory = MainMemory(base=self.params.main_memory_base,
+                                      size=self.params.main_memory_size)
+        self.icache = InstructionCache(self.params)
+        self.dma = DmaEngine([self.tcdm, self.main_memory], self.params)
+        self.allocator = TcdmAllocator(self.tcdm)
+        self._main_alloc_next = self.main_memory.base
+        self.cores: List[SnitchCore] = []
+        self.cycle = 0
+
+    # -- memory management -------------------------------------------------------
+
+    def alloc(self, nbytes: int, align: int = 8) -> int:
+        """Allocate ``nbytes`` of TCDM and return the base address."""
+        return self.allocator.alloc(nbytes, align=align)
+
+    def alloc_f64(self, count: int, align: int = 8) -> int:
+        """Allocate space for ``count`` doubles in TCDM."""
+        return self.allocator.alloc_f64(count, align=align)
+
+    def alloc_main(self, nbytes: int, align: int = 64) -> int:
+        """Allocate ``nbytes`` of main memory (bump allocator)."""
+        addr = (self._main_alloc_next + align - 1) // align * align
+        if addr + nbytes > self.main_memory.base + self.main_memory.size:
+            raise MemoryError("main memory exhausted")
+        self._main_alloc_next = addr + nbytes
+        return addr
+
+    def write_grid(self, addr: int, grid: np.ndarray) -> None:
+        """Write a (flattened) NumPy grid of doubles into TCDM."""
+        self.tcdm.write_f64_array(addr, np.asarray(grid, dtype=np.float64).ravel())
+
+    def read_grid(self, addr: int, shape: Sequence[int]) -> np.ndarray:
+        """Read a NumPy grid of doubles of the given ``shape`` from TCDM."""
+        count = int(np.prod(shape))
+        return self.tcdm.read_f64_array(addr, count).reshape(tuple(shape))
+
+    # -- program loading / execution -------------------------------------------------
+
+    def load_programs(self, programs: Sequence[Program]) -> None:
+        """Create one core per program (up to the cluster's core count)."""
+        if len(programs) > self.params.num_cores:
+            raise ClusterError(
+                f"{len(programs)} programs for a {self.params.num_cores}-core cluster"
+            )
+        self.cores = [
+            SnitchCore(hart_id, program, self.tcdm, self.icache, self.params)
+            for hart_id, program in enumerate(programs)
+        ]
+
+    def run(self, max_cycles: int = 5_000_000, wait_for_dma: bool = True) -> ClusterResult:
+        """Run until every core (and optionally the DMA engine) has finished."""
+        if not self.cores:
+            raise ClusterError("no programs loaded")
+        num_cores = len(self.cores)
+        start_cycle = self.cycle
+        while True:
+            if self.cycle - start_cycle > max_cycles:
+                raise ClusterError(
+                    f"simulation exceeded {max_cycles} cycles; "
+                    "the program is probably deadlocked"
+                )
+            all_done = all(core.finished for core in self.cores)
+            dma_done = self.dma.idle() or not wait_for_dma
+            if all_done and dma_done:
+                break
+            self.tcdm.begin_cycle()
+            rotation = self.cycle % num_cores
+            for offset in range(num_cores):
+                core = self.cores[(offset + rotation) % num_cores]
+                core.tick(self.cycle)
+            self.dma.tick(self.cycle)
+            self.cycle += 1
+        return self._collect_result(start_cycle)
+
+    def _collect_result(self, start_cycle: int) -> ClusterResult:
+        core_stats = []
+        for core in self.cores:
+            finish = core.finish_cycle if core.finish_cycle is not None else self.cycle
+            core_stats.append(CoreStats(
+                hart_id=core.hart_id,
+                cycles=finish - start_cycle,
+                int_retired=core.int_retired,
+                fp_issued=core.fpu.stats.issued_total,
+                fp_compute=core.fpu.stats.issued_compute,
+                flops=core.fpu.stats.flops,
+                stalls=core.stalls.as_dict(),
+                fpu_stalls={
+                    "ssr_read": core.fpu.stats.stall_ssr_read,
+                    "ssr_write": core.fpu.stats.stall_ssr_write,
+                    "raw": core.fpu.stats.stall_raw,
+                    "mem": core.fpu.stats.stall_mem,
+                },
+            ))
+        return ClusterResult(
+            cycles=self.cycle - start_cycle,
+            cores=core_stats,
+            tcdm_requests=self.tcdm.total_requests,
+            tcdm_conflicts=self.tcdm.conflicts,
+            icache_hits=self.icache.hits,
+            icache_misses=self.icache.misses,
+            dma_bytes=self.dma.bytes_moved,
+            dma_busy_cycles=self.dma.busy_cycles,
+        )

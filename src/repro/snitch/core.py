@@ -1,0 +1,388 @@
+"""Snitch core model: a single-issue, in-order integer pipeline with FP offload.
+
+The integer pipeline fetches and executes at most one instruction per cycle.
+Floating-point instructions consume an integer issue slot for dispatch (the
+key inefficiency of the baseline codes) and are executed by the
+:class:`repro.snitch.fpu.FpuSequencer`; FREP blocks are handed to the
+sequencer wholesale, freeing subsequent integer issue slots and producing the
+pseudo-dual-issue behaviour exploited by the SARIS variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.isa.instruction import Instruction
+from repro.isa.program import Program
+from repro.isa.registers import FpRegisterFile, IntRegisterFile
+from repro.snitch.fpu import FpuError, FpuSequencer, FrepBlock
+from repro.snitch.icache import InstructionCache
+from repro.snitch.params import TimingParams
+from repro.snitch.ssr import SsrUnit
+from repro.snitch.tcdm import TCDM
+
+
+class SimulationError(RuntimeError):
+    """Raised when a program performs an unsupported or inconsistent action."""
+
+
+_U32 = (1 << 32) - 1
+
+
+def _to_unsigned(value: int) -> int:
+    return value & _U32
+
+
+@dataclass
+class CoreStallCounters:
+    """Breakdown of integer-pipeline stall cycles by cause."""
+
+    offload_full: int = 0
+    ssr_launch: int = 0
+    barrier: int = 0
+    icache: int = 0
+    branch: int = 0
+    lsu_conflict: int = 0
+    div: int = 0
+
+    def total(self) -> int:
+        """Total stall cycles attributed to the integer pipeline."""
+        return (self.offload_full + self.ssr_launch + self.barrier + self.icache
+                + self.branch + self.lsu_conflict + self.div)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the counters as a plain dictionary."""
+        return {
+            "offload_full": self.offload_full,
+            "ssr_launch": self.ssr_launch,
+            "barrier": self.barrier,
+            "icache": self.icache,
+            "branch": self.branch,
+            "lsu_conflict": self.lsu_conflict,
+            "div": self.div,
+        }
+
+
+class SnitchCore:
+    """One cluster core: integer pipeline, FPU sequencer and SSR streamers."""
+
+    def __init__(self, hart_id: int, program: Program, tcdm: TCDM,
+                 icache: InstructionCache,
+                 params: Optional[TimingParams] = None) -> None:
+        self.hart_id = hart_id
+        self.program = program
+        self.tcdm = tcdm
+        self.icache = icache
+        self.params = params or TimingParams()
+        self.int_regs = IntRegisterFile()
+        self.fp_regs = FpRegisterFile()
+        self.ssr = SsrUnit(tcdm, self.params)
+        self.fpu = FpuSequencer(self.fp_regs, self.ssr, tcdm, self.params)
+        self.pc = 0
+        self.finished = False
+        self.finish_cycle: Optional[int] = None
+        self.int_retired = 0
+        self.stalls = CoreStallCounters()
+        self._stall_until = 0
+        self._pending_icache_pc = -1
+
+    # -- public helpers ---------------------------------------------------------
+
+    @property
+    def instructions_retired(self) -> int:
+        """Total instructions retired: integer-side plus FPU-issued."""
+        return self.int_retired + self.fpu.stats.issued_total
+
+    def set_reg(self, name_or_idx, value: int) -> None:
+        """Set an integer register before simulation (used by tests)."""
+        from repro.isa.registers import parse_int_reg
+
+        idx = parse_int_reg(name_or_idx) if isinstance(name_or_idx, str) else name_or_idx
+        self.int_regs.write(idx, value)
+
+    # -- per-cycle behaviour ------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        """Advance the core by one cycle (FPU issue, integer issue, SSR movers)."""
+        if self.finished:
+            return
+        self.fpu.tick(cycle)
+        self._int_step(cycle)
+        self.ssr.tick()
+
+    def _int_step(self, cycle: int) -> None:
+        if self.pc >= len(self.program):
+            if not self.fpu.busy() and self.ssr.all_writes_drained():
+                self.finished = True
+                self.finish_cycle = cycle
+            return
+        if cycle < self._stall_until:
+            return
+        if not self.icache.lookup(self.hart_id, self.pc):
+            self.stalls.icache += self.params.icache_miss_penalty
+            self._stall_until = cycle + self.params.icache_miss_penalty
+            return
+        inst = self.program[self.pc]
+        mnemonic = inst.mnemonic
+        if inst.is_fp:
+            self._dispatch_fp(inst, cycle)
+        elif mnemonic == "frep.o":
+            self._dispatch_frep(inst, cycle)
+        elif mnemonic.startswith("ssr."):
+            self._exec_ssr(inst, cycle)
+        elif inst.is_branch:
+            self._exec_branch(inst, cycle)
+        elif mnemonic in ("j", "jal", "jalr"):
+            self._exec_jump(inst, cycle)
+        else:
+            self._exec_int(inst, cycle)
+
+    # -- dispatch paths ------------------------------------------------------------
+
+    def _dispatch_fp(self, inst: Instruction, cycle: int) -> None:
+        if not self.fpu.can_offload():
+            self.stalls.offload_full += 1
+            return
+        address: Optional[int] = None
+        if inst.mnemonic in ("fld", "fsd"):
+            address = _to_unsigned(self.int_regs.read(inst.rs1) + inst.imm)
+        elif inst.mnemonic == "fcvt.d.w":
+            address = self.int_regs.read(inst.rs1)
+        self.fpu.offload(inst, address)
+        self.pc += 1
+
+    def _dispatch_frep(self, inst: Instruction, cycle: int) -> None:
+        if not self.fpu.can_offload():
+            self.stalls.offload_full += 1
+            return
+        reps = self.int_regs.read(inst.rs1)
+        count = inst.imm
+        body = self.program.instructions[self.pc + 1:self.pc + 1 + count]
+        if len(body) != count:
+            raise SimulationError(
+                f"hart {self.hart_id}: FREP block at pc {self.pc} runs past the "
+                "end of the program"
+            )
+        for fp_inst in body:
+            if not fp_inst.is_fp:
+                raise SimulationError(
+                    f"hart {self.hart_id}: non-FP instruction "
+                    f"{fp_inst.mnemonic!r} inside FREP block at pc {self.pc}"
+                )
+        if reps <= 0:
+            self.pc += 1 + count
+            self.int_retired += 1
+            return
+        try:
+            self.fpu.offload_frep(FrepBlock(instructions=list(body), reps=reps))
+        except FpuError as exc:
+            raise SimulationError(str(exc)) from exc
+        self.int_retired += 1
+        self.pc += 1 + count
+
+    # -- SSR configuration ------------------------------------------------------------
+
+    def _exec_ssr(self, inst: Instruction, cycle: int) -> None:
+        m = inst.mnemonic
+        regs = self.int_regs
+        if m == "ssr.enable":
+            self.ssr.enabled = True
+        elif m == "ssr.disable":
+            self.ssr.enabled = False
+        elif m == "ssr.cfg.idx":
+            self.ssr.mover(inst.imm).cfg_indirect(regs.read(inst.rs1),
+                                                  regs.read(inst.rs2))
+        elif m == "ssr.cfg.idxsize":
+            self.ssr.mover(inst.imm).cfg_idx_size(inst.imm2)
+        elif m == "ssr.cfg.dims":
+            self.ssr.mover(inst.imm).cfg_dims(inst.imm2)
+        elif m == "ssr.cfg.bound":
+            self.ssr.mover(inst.imm).cfg_bound(inst.imm2, regs.read(inst.rs1))
+        elif m == "ssr.cfg.stride":
+            self.ssr.mover(inst.imm).cfg_stride(inst.imm2, regs.read(inst.rs1))
+        elif m == "ssr.cfg.base":
+            self.ssr.mover(inst.imm).cfg_base(_to_unsigned(regs.read(inst.rs1)))
+        elif m == "ssr.cfg.write":
+            self.ssr.mover(inst.imm).cfg_write(bool(inst.imm2))
+        elif m == "ssr.cfg.repeat":
+            pass  # element repetition is not used by the generated codes
+        elif m == "ssr.launch":
+            if not self.ssr.mover(inst.imm).launch(
+                    _to_unsigned(regs.read(inst.rs1))):
+                self.stalls.ssr_launch += 1
+                return
+        elif m == "ssr.start":
+            if not self.ssr.mover(inst.imm).start_affine():
+                self.stalls.ssr_launch += 1
+                return
+        elif m == "ssr.commit":
+            pass
+        elif m == "ssr.barrier":
+            if self.fpu.busy() or not self.ssr.all_writes_drained():
+                self.stalls.barrier += 1
+                return
+        else:  # pragma: no cover - mnemonic table is static
+            raise SimulationError(f"unsupported SSR instruction {m!r}")
+        self.int_retired += 1
+        self.pc += 1
+
+    # -- control flow -----------------------------------------------------------------
+
+    def _exec_branch(self, inst: Instruction, cycle: int) -> None:
+        a = self.int_regs.read(inst.rs1)
+        b = self.int_regs.read(inst.rs2)
+        m = inst.mnemonic
+        if m == "beq":
+            taken = a == b
+        elif m == "bne":
+            taken = a != b
+        elif m == "blt":
+            taken = a < b
+        elif m == "bge":
+            taken = a >= b
+        elif m == "bltu":
+            taken = _to_unsigned(a) < _to_unsigned(b)
+        else:  # bgeu
+            taken = _to_unsigned(a) >= _to_unsigned(b)
+        self.int_retired += 1
+        if taken:
+            self.pc = inst.target_idx
+            penalty = self.params.branch_taken_penalty
+            if penalty:
+                self.stalls.branch += penalty
+                self._stall_until = cycle + 1 + penalty
+        else:
+            self.pc += 1
+
+    def _exec_jump(self, inst: Instruction, cycle: int) -> None:
+        m = inst.mnemonic
+        self.int_retired += 1
+        if m == "j":
+            self.pc = inst.target_idx
+        elif m == "jal":
+            if inst.rd is not None:
+                self.int_regs.write(inst.rd, self.pc + 1)
+            self.pc = inst.target_idx
+        else:  # jalr
+            target = self.int_regs.read(inst.rs1) + inst.imm
+            if inst.rd is not None:
+                self.int_regs.write(inst.rd, self.pc + 1)
+            self.pc = target
+        penalty = self.params.branch_taken_penalty
+        if penalty:
+            self.stalls.branch += penalty
+            self._stall_until = cycle + 1 + penalty
+
+    # -- integer execution -----------------------------------------------------------
+
+    def _exec_int(self, inst: Instruction, cycle: int) -> None:
+        m = inst.mnemonic
+        regs = self.int_regs
+        if m in ("lw", "lh", "lhu", "lb", "lbu", "sw", "sh", "sb"):
+            addr = _to_unsigned(regs.read(inst.rs1) + inst.imm)
+            if not self.tcdm.request(addr, write=m in ("sw", "sh", "sb")):
+                self.stalls.lsu_conflict += 1
+                return
+            if m == "lw":
+                regs.write(inst.rd, self.tcdm.read_i32(addr))
+            elif m == "lh":
+                regs.write(inst.rd, self.tcdm.read_i16(addr))
+            elif m == "lhu":
+                regs.write(inst.rd, self.tcdm.read_u16(addr))
+            elif m == "lb":
+                raw = self.tcdm.read_u8(addr)
+                regs.write(inst.rd, raw - 256 if raw >= 128 else raw)
+            elif m == "lbu":
+                regs.write(inst.rd, self.tcdm.read_u8(addr))
+            elif m == "sw":
+                self.tcdm.write_u32(addr, _to_unsigned(regs.read(inst.rs2)))
+            elif m == "sh":
+                self.tcdm.write_u16(addr, regs.read(inst.rs2) & 0xFFFF)
+            else:  # sb
+                self.tcdm.write_u8(addr, regs.read(inst.rs2) & 0xFF)
+            self.int_retired += 1
+            self.pc += 1
+            return
+        if m == "csrr":
+            if inst.csr == "mhartid":
+                regs.write(inst.rd, self.hart_id)
+            elif inst.csr == "mcycle":
+                regs.write(inst.rd, cycle)
+            else:  # minstret
+                regs.write(inst.rd, self.instructions_retired)
+            self.int_retired += 1
+            self.pc += 1
+            return
+        a = regs.read(inst.rs1) if inst.rs1 is not None else 0
+        b = regs.read(inst.rs2) if inst.rs2 is not None else 0
+        imm = inst.imm if inst.imm is not None else 0
+        result: Optional[int] = None
+        if m == "add":
+            result = a + b
+        elif m == "sub":
+            result = a - b
+        elif m == "and":
+            result = a & b
+        elif m == "or":
+            result = a | b
+        elif m == "xor":
+            result = a ^ b
+        elif m == "sll":
+            result = a << (b & 31)
+        elif m == "srl":
+            result = _to_unsigned(a) >> (b & 31)
+        elif m == "sra":
+            result = a >> (b & 31)
+        elif m == "slt":
+            result = int(a < b)
+        elif m == "sltu":
+            result = int(_to_unsigned(a) < _to_unsigned(b))
+        elif m == "mul":
+            result = a * b
+        elif m == "mulh":
+            result = (a * b) >> 32
+        elif m in ("div", "divu", "rem", "remu"):
+            self.stalls.div += self.params.div_latency
+            self._stall_until = cycle + 1 + self.params.div_latency
+            if b == 0:
+                result = -1 if m in ("div", "divu") else a
+            else:
+                ua, ub = (_to_unsigned(a), _to_unsigned(b)) if m.endswith("u") else (a, b)
+                quotient = int(ua / ub) if ub != 0 else -1
+                remainder = ua - quotient * ub
+                result = quotient if m.startswith("div") else remainder
+        elif m == "addi":
+            result = a + imm
+        elif m == "andi":
+            result = a & imm
+        elif m == "ori":
+            result = a | imm
+        elif m == "xori":
+            result = a ^ imm
+        elif m == "slli":
+            result = a << (imm & 31)
+        elif m == "srli":
+            result = _to_unsigned(a) >> (imm & 31)
+        elif m == "srai":
+            result = a >> (imm & 31)
+        elif m == "slti":
+            result = int(a < imm)
+        elif m == "sltiu":
+            result = int(_to_unsigned(a) < _to_unsigned(imm))
+        elif m == "lui":
+            result = imm << 12
+        elif m == "auipc":
+            result = (imm << 12) + self.pc
+        elif m == "li":
+            result = imm
+        elif m == "mv":
+            result = a
+        elif m == "nop":
+            result = None
+        else:  # pragma: no cover - mnemonic table is static
+            raise SimulationError(f"unsupported integer instruction {m!r}")
+        if result is not None and inst.rd is not None:
+            regs.write(inst.rd, result)
+        self.int_retired += 1
+        self.pc += 1

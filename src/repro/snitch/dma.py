@@ -1,0 +1,144 @@
+"""Cluster DMA engine model for bulk TCDM <-> main memory transfers.
+
+The Snitch cluster integrates a 512-bit programmable DMA engine used by the
+double-buffered stencil codes to move grid tiles between main memory and
+TCDM.  The model supports 1D/2D/3D strided transfers, moves up to
+``dma_bus_bytes`` per cycle, and charges a per-row and per-transfer setup
+overhead.  The resulting bandwidth utilization is the quantity fed into the
+manycore scaleout model of Section 3.3 ("we assume the mean DMA bandwidth
+utilization measured in our single-cluster experiments").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from collections import deque
+
+from repro.snitch.main_memory import ByteStore
+from repro.snitch.params import TimingParams
+
+
+class DmaError(ValueError):
+    """Raised for malformed DMA transfer descriptors."""
+
+
+@dataclass
+class DmaTransfer:
+    """A strided transfer descriptor (1D, 2D or 3D).
+
+    ``inner_bytes`` is the contiguous row length; ``outer_reps`` rows are
+    transferred with the given source/destination strides; ``plane_reps``
+    repeats the 2D pattern with plane strides, giving 3D transfers.
+    """
+
+    src: int
+    dst: int
+    inner_bytes: int
+    outer_reps: int = 1
+    src_stride: int = 0
+    dst_stride: int = 0
+    plane_reps: int = 1
+    src_plane_stride: int = 0
+    dst_plane_stride: int = 0
+
+    def __post_init__(self) -> None:
+        if self.inner_bytes <= 0:
+            raise DmaError("inner_bytes must be positive")
+        if self.outer_reps <= 0 or self.plane_reps <= 0:
+            raise DmaError("repetition counts must be positive")
+
+    @property
+    def total_bytes(self) -> int:
+        """Total payload bytes moved by this transfer."""
+        return self.inner_bytes * self.outer_reps * self.plane_reps
+
+    @property
+    def total_rows(self) -> int:
+        """Total number of contiguous rows in this transfer."""
+        return self.outer_reps * self.plane_reps
+
+
+class DmaEngine:
+    """Queue-based DMA engine with a simple bandwidth/overhead timing model."""
+
+    def __init__(self, regions: List[ByteStore],
+                 params: Optional[TimingParams] = None) -> None:
+        self.regions = regions
+        self.params = params or TimingParams()
+        self._queue: Deque[DmaTransfer] = deque()
+        self._remaining_cycles = 0
+        self.bytes_moved = 0
+        self.busy_cycles = 0
+        self.transfers_completed = 0
+
+    # -- functional helpers -------------------------------------------------------
+
+    def _resolve(self, addr: int, nbytes: int) -> ByteStore:
+        for region in self.regions:
+            if region.contains(addr, nbytes):
+                return region
+        raise DmaError(f"address 0x{addr:08x} (+{nbytes}) is not in any memory region")
+
+    def _copy(self, transfer: DmaTransfer) -> None:
+        for plane in range(transfer.plane_reps):
+            for row in range(transfer.outer_reps):
+                src = (transfer.src + plane * transfer.src_plane_stride
+                       + row * transfer.src_stride)
+                dst = (transfer.dst + plane * transfer.dst_plane_stride
+                       + row * transfer.dst_stride)
+                src_region = self._resolve(src, transfer.inner_bytes)
+                dst_region = self._resolve(dst, transfer.inner_bytes)
+                dst_region.write_bytes(dst, src_region.read_bytes(src, transfer.inner_bytes))
+
+    def transfer_cycles(self, transfer: DmaTransfer) -> int:
+        """Number of cycles the engine is busy with ``transfer``."""
+        bus = self.params.dma_bus_bytes
+        row_beats = -(-transfer.inner_bytes // bus)  # ceil division
+        per_row = row_beats + self.params.dma_row_setup_cycles
+        return transfer.total_rows * per_row + self.params.dma_transfer_setup_cycles
+
+    def transfer_utilization(self, transfer: DmaTransfer) -> float:
+        """Achieved fraction of peak bandwidth for ``transfer`` alone."""
+        cycles = self.transfer_cycles(transfer)
+        return transfer.total_bytes / (cycles * self.params.dma_bus_bytes)
+
+    # -- engine interface --------------------------------------------------------------
+
+    def enqueue(self, transfer: DmaTransfer) -> None:
+        """Queue a transfer; data is copied when the transfer starts."""
+        self._queue.append(transfer)
+
+    def idle(self) -> bool:
+        """Whether the engine has no pending or in-flight transfers."""
+        return self._remaining_cycles == 0 and not self._queue
+
+    def tick(self, cycle: int) -> None:
+        """Advance the engine by one cycle."""
+        del cycle
+        if self._remaining_cycles == 0:
+            if not self._queue:
+                return
+            transfer = self._queue.popleft()
+            self._copy(transfer)
+            self._remaining_cycles = self.transfer_cycles(transfer)
+            self.bytes_moved += transfer.total_bytes
+            self.transfers_completed += 1
+        self._remaining_cycles -= 1
+        self.busy_cycles += 1
+
+    def run_to_completion(self) -> int:
+        """Drain the queue, returning the number of cycles consumed."""
+        cycles = 0
+        while not self.idle():
+            self.tick(cycles)
+            cycles += 1
+        return cycles
+
+    @property
+    def utilization(self) -> float:
+        """Mean achieved fraction of peak DMA bandwidth while busy."""
+        if self.busy_cycles == 0:
+            return 0.0
+        return self.bytes_moved / (self.busy_cycles * self.params.dma_bus_bytes)

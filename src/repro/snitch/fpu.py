@@ -1,0 +1,290 @@
+"""FPU sequencer: offloaded floating-point execution with FREP support.
+
+Snitch couples a minimal integer core to a double-precision FPU through an
+offload queue; the FREP hardware loop additionally lets the FPU sequencer
+repeat a short buffer of FP instructions without occupying integer issue
+slots, which is what enables the pseudo-dual-issue behaviour the paper relies
+on for near-ideal FPU utilization.
+
+The sequencer model here issues at most one FP instruction per cycle, in
+order, and stalls on:
+
+* empty SSR read FIFOs (operand not yet streamed from TCDM),
+* full SSR write FIFOs,
+* RAW hazards on the FP register file (pipelined FPU with a fixed latency),
+* TCDM bank conflicts for ``fld``/``fsd``.
+
+Functional execution happens at issue time; the latency scoreboard only
+affects *when* dependent instructions may issue, keeping functional and
+timing behaviour cleanly separated.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+from repro.isa.instruction import Instruction
+from repro.isa.registers import FpRegisterFile
+from repro.snitch.params import TimingParams
+from repro.snitch.ssr import SsrUnit
+from repro.snitch.tcdm import TCDM
+
+
+class FpuError(RuntimeError):
+    """Raised on invalid FPU sequencer usage (e.g. memory ops inside FREP)."""
+
+
+@dataclass
+class FrepBlock:
+    """A hardware-loop block: ``reps`` repetitions of a short FP sequence."""
+
+    instructions: List[Instruction]
+    reps: int
+
+    def __post_init__(self) -> None:
+        for inst in self.instructions:
+            if inst.mnemonic in ("fld", "fsd"):
+                raise FpuError(
+                    "FP memory instructions are not allowed inside FREP blocks"
+                )
+        if self.reps < 1:
+            raise FpuError(f"FREP repetition count must be >= 1, got {self.reps}")
+
+
+@dataclass
+class _QueuedInst:
+    """A single offloaded instruction with its dispatch-time effective address."""
+
+    inst: Instruction
+    address: Optional[int] = None
+
+
+_QueueItem = Union[_QueuedInst, FrepBlock]
+
+
+@dataclass
+class FpuStats:
+    """Issue and stall counters of one FPU sequencer."""
+
+    issued_total: int = 0
+    issued_compute: int = 0
+    issued_mem: int = 0
+    flops: int = 0
+    stall_ssr_read: int = 0
+    stall_ssr_write: int = 0
+    stall_raw: int = 0
+    stall_mem: int = 0
+    idle_empty: int = 0
+
+
+class FpuSequencer:
+    """In-order, single-issue FPU with offload queue and FREP repetition."""
+
+    def __init__(self, fp_regs: FpRegisterFile, ssr: SsrUnit, tcdm: TCDM,
+                 params: Optional[TimingParams] = None) -> None:
+        self.fp_regs = fp_regs
+        self.ssr = ssr
+        self.tcdm = tcdm
+        self.params = params or TimingParams()
+        self._queue: Deque[_QueueItem] = deque()
+        self._current: Optional[_QueueItem] = None
+        self._block_inst_idx = 0
+        self._block_rep_idx = 0
+        self._scoreboard: Dict[int, int] = {}
+        self.stats = FpuStats()
+
+    # -- integer-core facing interface ---------------------------------------
+
+    def can_offload(self) -> bool:
+        """Whether the offload queue can accept another item this cycle."""
+        return len(self._queue) < self.params.offload_queue_depth
+
+    def offload(self, inst: Instruction, address: Optional[int] = None) -> None:
+        """Dispatch a single FP instruction (with a precomputed address if any)."""
+        if not self.can_offload():
+            raise FpuError("offload queue overflow")
+        self._queue.append(_QueuedInst(inst=inst, address=address))
+
+    def offload_frep(self, block: FrepBlock) -> None:
+        """Dispatch an FREP block to the sequencer."""
+        if not self.can_offload():
+            raise FpuError("offload queue overflow")
+        if len(block.instructions) > self.params.frep_max_insts:
+            raise FpuError(
+                f"FREP block of {len(block.instructions)} instructions exceeds "
+                f"the {self.params.frep_max_insts}-entry repetition buffer"
+            )
+        self._queue.append(block)
+
+    def busy(self) -> bool:
+        """Whether any offloaded work is still pending."""
+        return self._current is not None or bool(self._queue)
+
+    # -- per-cycle issue -------------------------------------------------------
+
+    def tick(self, cycle: int) -> bool:
+        """Try to issue one FP instruction; return ``True`` if one issued."""
+        if self._current is None:
+            if not self._queue:
+                self.stats.idle_empty += 1
+                return False
+            self._current = self._queue.popleft()
+            self._block_inst_idx = 0
+            self._block_rep_idx = 0
+
+        inst, address = self._peek_instruction()
+        if not self._operands_ready(inst, cycle):
+            return False
+        if inst.mnemonic in ("fld", "fsd"):
+            if not self.tcdm.request(address, write=(inst.mnemonic == "fsd")):
+                self.stats.stall_mem += 1
+                return False
+        self._execute(inst, address, cycle)
+        self._advance()
+        return True
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _peek_instruction(self) -> Tuple[Instruction, Optional[int]]:
+        if isinstance(self._current, _QueuedInst):
+            return self._current.inst, self._current.address
+        block = self._current
+        return block.instructions[self._block_inst_idx], None
+
+    def _advance(self) -> None:
+        if isinstance(self._current, _QueuedInst):
+            self._current = None
+            return
+        block = self._current
+        self._block_inst_idx += 1
+        if self._block_inst_idx >= len(block.instructions):
+            self._block_inst_idx = 0
+            self._block_rep_idx += 1
+            if self._block_rep_idx >= block.reps:
+                self._current = None
+
+    def _source_regs(self, inst: Instruction) -> List[int]:
+        regs: List[int] = []
+        for kind, value in (
+            ("frs1", inst.rs1),
+            ("frs2", inst.rs2),
+            ("frs3", inst.rs3),
+        ):
+            if kind in inst.fmt and value is not None:
+                regs.append(value)
+        return regs
+
+    def _dest_reg(self, inst: Instruction) -> Optional[int]:
+        if "frd" in inst.fmt:
+            return inst.rd
+        return None
+
+    def _operands_ready(self, inst: Instruction, cycle: int) -> bool:
+        sources = self._source_regs(inst)
+        pops_needed: Dict[int, int] = {}
+        for reg in sources:
+            if self.ssr.is_stream_reg(reg):
+                pops_needed[reg] = pops_needed.get(reg, 0) + 1
+            elif self._scoreboard.get(reg, 0) > cycle:
+                self.stats.stall_raw += 1
+                return False
+        for reg, count in pops_needed.items():
+            if not self.ssr.mover(reg).can_pop(count):
+                self.stats.stall_ssr_read += 1
+                return False
+        dest = self._dest_reg(inst)
+        if dest is not None and self.ssr.is_stream_reg(dest):
+            mover = self.ssr.mover(dest)
+            if mover.cfg.write and not mover.can_push(1):
+                self.stats.stall_ssr_write += 1
+                return False
+        return True
+
+    def _read_source(self, reg: int) -> float:
+        if self.ssr.is_stream_reg(reg):
+            return self.ssr.mover(reg).pop()
+        return self.fp_regs.read(reg)
+
+    def _write_dest(self, reg: int, value: float, cycle: int, latency: int) -> None:
+        if self.ssr.is_stream_reg(reg) and self.ssr.mover(reg).cfg.write:
+            self.ssr.mover(reg).push(value)
+            return
+        self.fp_regs.write(reg, value)
+        self._scoreboard[reg] = cycle + latency
+
+    def _execute(self, inst: Instruction, address: Optional[int], cycle: int) -> None:
+        m = inst.mnemonic
+        self.stats.issued_total += 1
+        if inst.is_fp_compute:
+            self.stats.issued_compute += 1
+            self.stats.flops += inst.flops
+        if m == "fld":
+            value = self.tcdm.read_f64(address)
+            self._write_dest(inst.rd, value, cycle, self.params.fpu_load_latency)
+            self.stats.issued_mem += 1
+            return
+        if m == "fsd":
+            value = self._read_source(inst.rs2)
+            self.tcdm.write_f64(address, value)
+            self.stats.issued_mem += 1
+            return
+        latency = self.params.fpu_latency
+        if m in ("fadd.d", "fsub.d", "fmul.d", "fdiv.d", "fmin.d", "fmax.d",
+                 "fsgnj.d", "fsgnjn.d", "fsgnjx.d"):
+            a = self._read_source(inst.rs1)
+            b = self._read_source(inst.rs2)
+            if m == "fadd.d":
+                result = a + b
+            elif m == "fsub.d":
+                result = a - b
+            elif m == "fmul.d":
+                result = a * b
+            elif m == "fdiv.d":
+                result = a / b
+                latency = self.params.fpu_latency + 8
+            elif m == "fmin.d":
+                result = min(a, b)
+            elif m == "fmax.d":
+                result = max(a, b)
+            elif m == "fsgnj.d":
+                result = abs(a) if b >= 0 else -abs(a)
+            elif m == "fsgnjn.d":
+                result = abs(a) if b < 0 else -abs(a)
+            else:  # fsgnjx.d
+                result = a if b >= 0 else -a
+            self._write_dest(inst.rd, result, cycle, latency)
+            return
+        if m in ("fmadd.d", "fmsub.d", "fnmadd.d", "fnmsub.d"):
+            a = self._read_source(inst.rs1)
+            b = self._read_source(inst.rs2)
+            c = self._read_source(inst.rs3)
+            if m == "fmadd.d":
+                result = a * b + c
+            elif m == "fmsub.d":
+                result = a * b - c
+            elif m == "fnmadd.d":
+                result = -(a * b) - c
+            else:  # fnmsub.d
+                result = -(a * b) + c
+            self._write_dest(inst.rd, result, cycle, latency)
+            return
+        if m == "fmv.d":
+            self._write_dest(inst.rd, self._read_source(inst.rs1), cycle, 1)
+            return
+        if m == "fabs.d":
+            self._write_dest(inst.rd, abs(self._read_source(inst.rs1)), cycle, 1)
+            return
+        if m == "fcvt.d.w":
+            # The integer source value is captured at dispatch time and passed
+            # through `address` to avoid a reverse dependency on the live
+            # integer register file.
+            self._write_dest(inst.rd, float(address or 0), cycle, latency)
+            return
+        raise FpuError(f"unsupported FP mnemonic {m!r}")
+
+    @property
+    def scoreboard(self) -> Dict[int, int]:
+        """Expose the latency scoreboard (read-only use in tests)."""
+        return dict(self._scoreboard)

@@ -1,0 +1,57 @@
+"""Shared instruction cache model.
+
+The Snitch cluster shares a small L1 instruction cache among its cores.  The
+model here is intentionally simple — LRU over instruction-index lines, a fixed
+miss penalty — because the kernels of interest are tight loops whose lines are
+resident after the first iteration; the main observable effect is the warm-up
+cost and capacity pressure for very large unrolled loop bodies, which is one
+of the residual inefficiencies listed in Section 3.1.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.snitch.params import TimingParams
+
+
+class InstructionCache:
+    """LRU instruction cache keyed by (hart, line) with a fixed miss penalty."""
+
+    def __init__(self, params: Optional[TimingParams] = None) -> None:
+        self.params = params or TimingParams()
+        self._lines: "OrderedDict[Tuple[int, int], bool]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, hart_id: int, pc: int) -> bool:
+        """Look up the line containing ``pc``; returns ``True`` on a hit.
+
+        On a miss the line is installed immediately; the caller is responsible
+        for stalling the core for :attr:`TimingParams.icache_miss_penalty`
+        cycles.
+        """
+        line = (hart_id, pc // self.params.icache_line_insts)
+        if line in self._lines:
+            self._lines.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._lines[line] = True
+        if len(self._lines) > self.params.icache_lines:
+            self._lines.popitem(last=False)
+        return False
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of lookups that missed."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.misses / total
+
+    def reset_stats(self) -> None:
+        """Clear hit/miss counters (keeps cache contents)."""
+        self.hits = 0
+        self.misses = 0

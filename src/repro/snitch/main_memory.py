@@ -1,0 +1,162 @@
+"""Simple byte-addressable main memory backing store.
+
+Main memory only participates in DMA transfers in this model (the cores and
+SSR streamers access TCDM exclusively, as in the double-buffered kernels of
+the paper), so no banking or latency is modelled here; bandwidth limits are
+applied by :class:`repro.snitch.dma.DmaEngine` and, at scale, by
+:mod:`repro.scaleout`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Sequence
+
+import numpy as np
+
+
+class MemoryError_(ValueError):
+    """Raised for out-of-range or misaligned memory accesses."""
+
+
+class ByteStore:
+    """A contiguous byte-addressable memory region with typed accessors."""
+
+    def __init__(self, base: int, size: int, name: str = "mem") -> None:
+        if size <= 0:
+            raise MemoryError_(f"{name}: size must be positive, got {size}")
+        self.base = base
+        self.size = size
+        self.name = name
+        self._data = bytearray(size)
+
+    # -- range handling ----------------------------------------------------
+
+    def contains(self, addr: int, nbytes: int = 1) -> bool:
+        """Return whether ``[addr, addr + nbytes)`` lies inside this region."""
+        return self.base <= addr and addr + nbytes <= self.base + self.size
+
+    def _offset(self, addr: int, nbytes: int) -> int:
+        if not self.contains(addr, nbytes):
+            raise MemoryError_(
+                f"{self.name}: access of {nbytes} bytes at 0x{addr:08x} out of "
+                f"range [0x{self.base:08x}, 0x{self.base + self.size:08x})"
+            )
+        return addr - self.base
+
+    # -- raw byte access ---------------------------------------------------
+
+    def read_bytes(self, addr: int, nbytes: int) -> bytes:
+        """Read ``nbytes`` raw bytes starting at ``addr``."""
+        off = self._offset(addr, nbytes)
+        return bytes(self._data[off:off + nbytes])
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        """Write raw bytes at ``addr``."""
+        off = self._offset(addr, len(data))
+        self._data[off:off + len(data)] = data
+
+    # -- typed scalar access -----------------------------------------------
+
+    def read_f64(self, addr: int) -> float:
+        """Read a double-precision float at ``addr``."""
+        off = self._offset(addr, 8)
+        return struct.unpack_from("<d", self._data, off)[0]
+
+    def write_f64(self, addr: int, value: float) -> None:
+        """Write a double-precision float at ``addr``."""
+        off = self._offset(addr, 8)
+        struct.pack_into("<d", self._data, off, float(value))
+
+    def read_u64(self, addr: int) -> int:
+        """Read an unsigned 64-bit integer at ``addr``."""
+        off = self._offset(addr, 8)
+        return struct.unpack_from("<Q", self._data, off)[0]
+
+    def write_u64(self, addr: int, value: int) -> None:
+        """Write an unsigned 64-bit integer at ``addr``."""
+        off = self._offset(addr, 8)
+        struct.pack_into("<Q", self._data, off, value & ((1 << 64) - 1))
+
+    def read_u32(self, addr: int) -> int:
+        """Read an unsigned 32-bit integer at ``addr``."""
+        off = self._offset(addr, 4)
+        return struct.unpack_from("<I", self._data, off)[0]
+
+    def write_u32(self, addr: int, value: int) -> None:
+        """Write an unsigned 32-bit integer at ``addr``."""
+        off = self._offset(addr, 4)
+        struct.pack_into("<I", self._data, off, value & ((1 << 32) - 1))
+
+    def read_i32(self, addr: int) -> int:
+        """Read a signed 32-bit integer at ``addr``."""
+        off = self._offset(addr, 4)
+        return struct.unpack_from("<i", self._data, off)[0]
+
+    def write_i32(self, addr: int, value: int) -> None:
+        """Write a signed 32-bit integer at ``addr``."""
+        off = self._offset(addr, 4)
+        struct.pack_into("<i", self._data, off, int(value))
+
+    def read_i16(self, addr: int) -> int:
+        """Read a signed 16-bit integer at ``addr``."""
+        off = self._offset(addr, 2)
+        return struct.unpack_from("<h", self._data, off)[0]
+
+    def write_i16(self, addr: int, value: int) -> None:
+        """Write a signed 16-bit integer at ``addr``."""
+        off = self._offset(addr, 2)
+        struct.pack_into("<h", self._data, off, int(value))
+
+    def read_u16(self, addr: int) -> int:
+        """Read an unsigned 16-bit integer at ``addr``."""
+        off = self._offset(addr, 2)
+        return struct.unpack_from("<H", self._data, off)[0]
+
+    def write_u16(self, addr: int, value: int) -> None:
+        """Write an unsigned 16-bit integer at ``addr``."""
+        off = self._offset(addr, 2)
+        struct.pack_into("<H", self._data, off, value & 0xFFFF)
+
+    def read_u8(self, addr: int) -> int:
+        """Read an unsigned byte at ``addr``."""
+        off = self._offset(addr, 1)
+        return self._data[off]
+
+    def write_u8(self, addr: int, value: int) -> None:
+        """Write an unsigned byte at ``addr``."""
+        off = self._offset(addr, 1)
+        self._data[off] = value & 0xFF
+
+    # -- array helpers -----------------------------------------------------
+
+    def write_f64_array(self, addr: int, values: Sequence[float]) -> None:
+        """Write a sequence of doubles contiguously starting at ``addr``."""
+        arr = np.asarray(values, dtype=np.float64)
+        self.write_bytes(addr, arr.tobytes())
+
+    def read_f64_array(self, addr: int, count: int) -> np.ndarray:
+        """Read ``count`` contiguous doubles starting at ``addr``."""
+        raw = self.read_bytes(addr, count * 8)
+        return np.frombuffer(raw, dtype=np.float64).copy()
+
+    def write_i16_array(self, addr: int, values: Sequence[int]) -> None:
+        """Write a sequence of signed 16-bit indices starting at ``addr``."""
+        arr = np.asarray(values, dtype=np.int16)
+        self.write_bytes(addr, arr.tobytes())
+
+    def write_i32_array(self, addr: int, values: Sequence[int]) -> None:
+        """Write a sequence of signed 32-bit indices starting at ``addr``."""
+        arr = np.asarray(values, dtype=np.int32)
+        self.write_bytes(addr, arr.tobytes())
+
+    def fill_f64(self, addr: int, count: int, value: float) -> None:
+        """Fill ``count`` doubles starting at ``addr`` with ``value``."""
+        self.write_f64_array(addr, np.full(count, value, dtype=np.float64))
+
+
+class MainMemory(ByteStore):
+    """Off-cluster main memory (HBM / DRAM side of the DMA engine)."""
+
+    def __init__(self, base: int = 0x8000_0000, size: int = 64 * 1024 * 1024) -> None:
+        super().__init__(base, size, name="main_memory")

@@ -1,0 +1,72 @@
+"""Architectural and timing parameters of the simulated Snitch cluster.
+
+All magic numbers of the timing model live here so they can be inspected,
+overridden in tests, and swept in ablation benchmarks.  Defaults follow the
+published Snitch / SSSR / SARIS system configuration where the papers state
+them (cluster geometry, TCDM size and banking, clock frequency) and use
+representative values for microarchitectural latencies otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass
+class TimingParams:
+    """Tunable parameters of the cluster timing model."""
+
+    # --- cluster geometry (Section 2.3 of the paper) ---
+    num_cores: int = 8
+    tcdm_base: int = 0x1000_0000
+    tcdm_size: int = 128 * 1024
+    tcdm_banks: int = 32
+    tcdm_bank_width: int = 8  # bytes per bank access (64 b granularity)
+    main_memory_base: int = 0x8000_0000
+    main_memory_size: int = 64 * 1024 * 1024
+    clock_ghz: float = 1.0
+
+    # --- core pipeline ---
+    branch_taken_penalty: int = 1  # extra cycles for a taken branch
+    int_load_latency: int = 1
+    mul_latency: int = 1
+    div_latency: int = 8
+
+    # --- FPU sequencer ---
+    fpu_latency: int = 3  # cycles until an FP result may be consumed
+    fpu_load_latency: int = 2
+    offload_queue_depth: int = 8  # instruction slots buffered ahead of the FPU
+    frep_max_insts: int = 32
+
+    # --- SSR streamers ---
+    ssr_fifo_depth: int = 4
+    ssr_index_size: int = 2  # bytes per indirection index
+    ssr_data_movers: int = 3
+    ssr_indirect_movers: int = 2  # DM0/DM1 support indirection, DM2 is affine
+
+    # --- instruction cache ---
+    icache_line_insts: int = 16
+    icache_lines: int = 128
+    icache_miss_penalty: int = 12
+
+    # --- DMA engine ---
+    dma_bus_bytes: int = 64  # 512-bit data path
+    dma_row_setup_cycles: int = 2
+    dma_transfer_setup_cycles: int = 8
+
+    def with_overrides(self, **kwargs) -> "TimingParams":
+        """Return a copy of the parameters with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    @property
+    def peak_flops_per_core_per_cycle(self) -> float:
+        """Peak FLOP/cycle of one core (one FMA per cycle on the FP64 FPU)."""
+        return 2.0
+
+    @property
+    def peak_cluster_gflops(self) -> float:
+        """Peak GFLOP/s of the eight-core cluster at the target clock."""
+        return self.num_cores * self.peak_flops_per_core_per_cycle * self.clock_ghz
+
+
+DEFAULT_PARAMS = TimingParams()

@@ -1,0 +1,120 @@
+"""Tightly coupled data memory (TCDM) with per-cycle bank arbitration.
+
+The Snitch cluster provides 128 KiB of scratchpad memory interleaved across 32
+banks of 64-bit words.  Every core data port and every SSR data mover issues at
+most one request per cycle; two requests that map to the same bank in the same
+cycle conflict and one of them is retried the next cycle.  The paper names
+"TCDM access contention" as one of the residual inefficiencies of SARIS codes,
+so conflicts are modelled explicitly here.
+"""
+
+from __future__ import annotations
+
+from repro.snitch.main_memory import ByteStore
+
+
+class TCDM(ByteStore):
+    """Banked scratchpad memory with a simple per-cycle arbitration model.
+
+    Functional accesses (``read_f64`` and friends, inherited from
+    :class:`ByteStore`) are always possible; the *timing* interface consists of
+    :meth:`begin_cycle` and :meth:`request`, which models bank conflicts by
+    granting at most one request per bank per cycle.
+    """
+
+    def __init__(self, base: int = 0x1000_0000, size: int = 128 * 1024,
+                 num_banks: int = 32, bank_width: int = 8) -> None:
+        super().__init__(base, size, name="tcdm")
+        if num_banks <= 0 or bank_width <= 0:
+            raise ValueError("num_banks and bank_width must be positive")
+        self.num_banks = num_banks
+        self.bank_width = bank_width
+        self._busy_banks = set()
+        # statistics
+        self.total_requests = 0
+        self.granted_requests = 0
+        self.conflicts = 0
+        self.cycles = 0
+
+    # -- timing model --------------------------------------------------------
+
+    def bank_of(self, addr: int) -> int:
+        """Return the bank index that serves ``addr``."""
+        return (addr // self.bank_width) % self.num_banks
+
+    def begin_cycle(self) -> None:
+        """Start a new arbitration cycle, clearing all bank grants."""
+        self._busy_banks.clear()
+        self.cycles += 1
+
+    def request(self, addr: int, write: bool = False) -> bool:
+        """Try to access the bank serving ``addr`` this cycle.
+
+        Returns ``True`` when the request is granted.  A denied request counts
+        as a conflict; the requester is expected to retry on a later cycle.
+        The ``write`` flag only matters for statistics (reads and writes share
+        the same bank port).
+        """
+        del write  # reads and writes are symmetric in this model
+        self.total_requests += 1
+        bank = self.bank_of(addr)
+        if bank in self._busy_banks:
+            self.conflicts += 1
+            return False
+        self._busy_banks.add(bank)
+        self.granted_requests += 1
+        return True
+
+    @property
+    def conflict_rate(self) -> float:
+        """Fraction of requests that were denied due to bank conflicts."""
+        if self.total_requests == 0:
+            return 0.0
+        return self.conflicts / self.total_requests
+
+    def reset_stats(self) -> None:
+        """Clear all arbitration statistics (keeps memory contents)."""
+        self.total_requests = 0
+        self.granted_requests = 0
+        self.conflicts = 0
+        self.cycles = 0
+
+
+class TcdmAllocator:
+    """Bump allocator for laying out tiles, index arrays and tables in TCDM."""
+
+    def __init__(self, tcdm: TCDM, reserve: int = 0) -> None:
+        self._tcdm = tcdm
+        self._next = tcdm.base + reserve
+        self._limit = tcdm.base + tcdm.size
+
+    def alloc(self, nbytes: int, align: int = 8) -> int:
+        """Allocate ``nbytes`` bytes aligned to ``align`` and return the address."""
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        addr = (self._next + align - 1) // align * align
+        if addr + nbytes > self._limit:
+            raise MemoryError(
+                f"TCDM exhausted: requested {nbytes} bytes, "
+                f"{self._limit - addr} available"
+            )
+        self._next = addr + nbytes
+        return addr
+
+    def alloc_f64(self, count: int, align: int = 8) -> int:
+        """Allocate space for ``count`` doubles and return the address."""
+        return self.alloc(count * 8, align=align)
+
+    @property
+    def used(self) -> int:
+        """Number of bytes allocated so far (including alignment padding)."""
+        return self._next - self._tcdm.base
+
+    @property
+    def remaining(self) -> int:
+        """Number of bytes still available."""
+        return self._limit - self._next
+
+    def reset(self, reserve: int = 0) -> None:
+        """Reset the allocator to the start of TCDM (plus ``reserve`` bytes)."""
+        self._next = self._tcdm.base + reserve

@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kernels import KERNEL_NAMES, TABLE1_KERNELS, get_kernel
+
+#: Small tile shapes per kernel that keep simulation-based tests fast while
+#: still exercising every loop level (several rows, several planes).
+SMALL_TILES = {
+    "jacobi_2d": (12, 12),
+    "j2d5pt": (12, 12),
+    "box2d1r": (12, 12),
+    "j2d9pt": (14, 14),
+    "j2d9pt_gol": (12, 12),
+    "star2d3r": (16, 16),
+    "star3d2r": (10, 10, 10),
+    "ac_iso_cd": (12, 12, 12),
+    "box3d1r": (8, 8, 8),
+    "j3d27pt": (8, 8, 8),
+    "star3d7pt": (8, 8, 8),
+}
+
+
+def small_tile(name: str):
+    """Small-but-valid tile shape for a kernel."""
+    return SMALL_TILES[name]
+
+
+@pytest.fixture(params=sorted(KERNEL_NAMES))
+def any_kernel(request):
+    """Every registered kernel."""
+    return get_kernel(request.param)
+
+
+@pytest.fixture(params=sorted(TABLE1_KERNELS))
+def table1_kernel(request):
+    """Every Table-1 kernel."""
+    return get_kernel(request.param)

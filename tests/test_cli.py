@@ -1,0 +1,33 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "jacobi_2d" in out and "j3d27pt" in out
+
+    def test_run_command_small_tile(self, capsys):
+        code = main(["run", "jacobi_2d", "--variant", "saris",
+                     "--tile", "12", "12"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fpu_util" in out
+
+    def test_compare_command(self, capsys):
+        code = main(["compare", "jacobi_2d", "--tile", "12", "12"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "not_a_kernel"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,199 @@
+"""Tests for both code generators: structure, constraints and simulated correctness."""
+
+import numpy as np
+import pytest
+
+from repro.core.codegen_base import generate_base_program
+from repro.core.codegen_common import CodegenError, IntRegAllocator
+from repro.core.codegen_saris import generate_saris_program
+from repro.core.kernels import KERNEL_NAMES, get_kernel
+from repro.core.layout import build_layout
+from repro.core.parallel import cluster_geometry
+from repro.isa.instruction import FP_COMPUTE_MNEMONICS
+from repro.runner import run_kernel
+from repro.snitch.cluster import SnitchCluster
+from tests.conftest import small_tile
+
+
+def _setup(kernel_name, tile=None):
+    kernel = get_kernel(kernel_name)
+    cluster = SnitchCluster()
+    layout = build_layout(kernel, cluster.allocator, tile or small_tile(kernel_name))
+    geometries = cluster_geometry(kernel, layout.tile_shape)
+    return kernel, cluster, layout, geometries
+
+
+class TestIntRegAllocator:
+    def test_roles_are_stable(self):
+        regs = IntRegAllocator()
+        first = regs.get("ptr")
+        assert regs.get("ptr") == first
+        assert regs.get("other") != first
+        assert regs.has("ptr") and not regs.has("missing")
+
+    def test_pool_exhaustion(self):
+        regs = IntRegAllocator(pool=("t0", "t1"))
+        regs.get("a")
+        regs.get("b")
+        with pytest.raises(CodegenError):
+            regs.get("c")
+
+
+class TestBaseCodegenStructure:
+    def test_program_has_expected_loop_labels(self):
+        kernel, cluster, layout, geoms = _setup("jacobi_2d")
+        gen = generate_base_program(kernel, layout, geoms[0])
+        assert "xloop" in gen.program.labels and "yloop" in gen.program.labels
+        assert "zloop" not in gen.program.labels
+
+    def test_3d_kernel_gets_z_loop(self):
+        kernel, cluster, layout, geoms = _setup("star3d2r")
+        gen = generate_base_program(kernel, layout, geoms[0])
+        assert "zloop" in gen.program.labels
+
+    def test_loop_body_instruction_mix(self):
+        kernel, cluster, layout, geoms = _setup("star3d7pt")
+        gen = generate_base_program(kernel, layout, geoms[0], max_unroll=1)
+        start, end = gen.program.loop_bounds("xloop")
+        mix = gen.program.static_instruction_mix(start, end)
+        assert mix["fp_mem"] == kernel.loads_per_point + 1  # loads + store
+        assert mix["fp_compute"] >= kernel.loads_per_point - 1
+        assert mix["ssr"] == 0 and mix["frep"] == 0
+
+    def test_unroll_respects_divisor_constraint(self, table1_kernel):
+        kernel, cluster, layout, geoms = _setup(table1_kernel.name)
+        gen = generate_base_program(table1_kernel, layout, geoms[0])
+        assert geoms[0].x_count % gen.info["unroll"] == 0
+
+    def test_register_bound_kernels_drop_residency_or_unroll(self):
+        kernel, cluster, layout, geoms = _setup("j3d27pt")
+        gen = generate_base_program(kernel, layout, geoms[0])
+        assert gen.info["unroll"] <= 2 or not gen.info["resident_coeffs"]
+
+    def test_no_stream_instructions_emitted(self, table1_kernel):
+        kernel, cluster, layout, geoms = _setup(table1_kernel.name)
+        gen = generate_base_program(table1_kernel, layout, geoms[0])
+        assert all(not inst.mnemonic.startswith("ssr.")
+                   and inst.mnemonic != "frep.o" for inst in gen.program)
+
+    def test_per_core_programs_differ_in_pointers(self):
+        kernel, cluster, layout, geoms = _setup("jacobi_2d")
+        gen0 = generate_base_program(kernel, layout, geoms[0])
+        gen1 = generate_base_program(kernel, layout, geoms[1])
+        assert gen0.source != gen1.source
+
+
+class TestSarisCodegenStructure:
+    def test_launch_sequence_is_three_instructions(self):
+        kernel, cluster, layout, geoms = _setup("jacobi_2d")
+        gen = generate_saris_program(kernel, layout, geoms[0], cluster.allocator)
+        start, end = gen.program.loop_bounds("xloop")
+        body = gen.program.instructions[start:end]
+        ssr_insts = [inst.mnemonic for inst in body if inst.mnemonic.startswith("ssr.")]
+        assert ssr_insts[:3] == ["ssr.launch", "ssr.launch", "ssr.commit"]
+
+    def test_no_grid_flds_in_point_loop(self, table1_kernel):
+        kernel, cluster, layout, geoms = _setup(table1_kernel.name)
+        gen = generate_saris_program(table1_kernel, layout, geoms[0],
+                                     cluster.allocator)
+        start, end = gen.program.loop_bounds("xloop")
+        body = gen.program.instructions[start:end]
+        assert all(inst.mnemonic != "fld" for inst in body)
+
+    def test_store_streamed_kernels_have_no_fsd(self):
+        kernel, cluster, layout, geoms = _setup("jacobi_2d")
+        gen = generate_saris_program(kernel, layout, geoms[0], cluster.allocator)
+        assert gen.info["store_streamed"]
+        assert gen.program.count(["fsd"]) == 0
+
+    def test_register_bound_kernels_stream_coefficients(self):
+        kernel, cluster, layout, geoms = _setup("j3d27pt")
+        gen = generate_saris_program(kernel, layout, geoms[0], cluster.allocator)
+        assert not gen.info["store_streamed"]
+        assert gen.program.count(["fsd"]) > 0
+        # A streamed coefficient table must be part of the generated data.
+        assert any(np.asarray(values).dtype == np.float64 for _a, values in gen.data)
+
+    def test_frep_used_for_streamable_kernels(self):
+        kernel, cluster, layout, geoms = _setup("jacobi_2d", tile=(64, 64))
+        gen = generate_saris_program(kernel, layout, geoms[0], cluster.allocator)
+        assert gen.info["frep_reps"] > 1
+        assert gen.program.count(["frep.o"]) == 1
+
+    def test_use_frep_false_disables_hardware_loop(self):
+        kernel, cluster, layout, geoms = _setup("jacobi_2d", tile=(64, 64))
+        gen = generate_saris_program(kernel, layout, geoms[0], cluster.allocator,
+                                     use_frep=False)
+        assert gen.program.count(["frep.o"]) == 0
+
+    def test_index_arrays_cover_block_loads(self, table1_kernel):
+        kernel, cluster, layout, geoms = _setup(table1_kernel.name)
+        gen = generate_saris_program(table1_kernel, layout, geoms[0],
+                                     cluster.allocator)
+        lengths = gen.info["stream_lengths"]
+        block = gen.info["block_points"]
+        body_unroll = gen.info["body_unroll"]
+        per_body = (lengths[0] + lengths[1])
+        assert per_body == body_unroll * table1_kernel.loads_per_point
+        # Index array data covers the full launch (body x FREP repetitions).
+        idx_entries = sum(np.asarray(values).size for _a, values in gen.data
+                          if np.asarray(values).dtype in (np.int16, np.int32))
+        assert idx_entries == block * table1_kernel.loads_per_point
+
+    def test_stream_balance_reported(self, table1_kernel):
+        kernel, cluster, layout, geoms = _setup(table1_kernel.name)
+        gen = generate_saris_program(table1_kernel, layout, geoms[0],
+                                     cluster.allocator)
+        assert 0.5 <= gen.info["stream_balance"] <= 1.0
+
+    def test_point_loop_compute_fraction_improves_over_base(self):
+        kernel, cluster, layout, geoms = _setup("star3d7pt")
+        base = generate_base_program(kernel, layout, geoms[0], max_unroll=1)
+        saris = generate_saris_program(kernel, layout, geoms[0], cluster.allocator,
+                                       max_block=1, max_body_unroll=1)
+        def compute_fraction(program):
+            start, end = program.loop_bounds("xloop")
+            mix = program.static_instruction_mix(start, end)
+            total = sum(mix.values())
+            return mix["fp_compute"] / total
+        assert compute_fraction(saris.program) > compute_fraction(base.program)
+
+
+class TestCodegenCorrectness:
+    """End-to-end: generated code must reproduce the NumPy reference exactly."""
+
+    @pytest.mark.parametrize("name", sorted(KERNEL_NAMES))
+    @pytest.mark.parametrize("variant", ["base", "saris"])
+    def test_small_tile_matches_reference(self, name, variant):
+        result = run_kernel(name, variant=variant, tile_shape=small_tile(name),
+                            seed=11)
+        assert result.correct
+        assert result.total_flops == get_kernel(name).flops_per_tile(small_tile(name))
+
+    @pytest.mark.parametrize("variant", ["base", "saris"])
+    def test_different_seeds_still_correct(self, variant):
+        for seed in (1, 2):
+            result = run_kernel("j2d5pt", variant=variant, tile_shape=(12, 12),
+                                seed=seed)
+            assert result.correct
+
+    @pytest.mark.parametrize("variant", ["base", "saris"])
+    def test_non_default_tile_shapes(self, variant):
+        result = run_kernel("jacobi_2d", variant=variant, tile_shape=(20, 12))
+        assert result.correct
+
+    def test_saris_without_frep_still_correct(self):
+        result = run_kernel("jacobi_2d", variant="saris", tile_shape=(12, 12),
+                            use_frep=False)
+        assert result.correct
+
+    def test_saris_forced_coefficient_streaming_still_correct(self):
+        result = run_kernel("star3d7pt", variant="saris", tile_shape=(8, 8, 8),
+                            force_store_streamed=False)
+        assert result.correct
+
+    def test_flops_counted_match_table(self, table1_kernel):
+        shape = small_tile(table1_kernel.name)
+        result = run_kernel(table1_kernel, variant="saris", tile_shape=shape)
+        expected = table1_kernel.interior_points(shape) * table1_kernel.flops_per_point
+        assert result.total_flops == expected

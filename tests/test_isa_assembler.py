@@ -1,0 +1,209 @@
+"""Tests for the instruction model, assembler and program container."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble, parse_instruction
+from repro.isa.instruction import (
+    FP_COMPUTE_MNEMONICS,
+    FP_MNEMONICS,
+    Instruction,
+    MNEMONIC_FORMATS,
+    flops_of,
+    is_fp_instruction,
+)
+from repro.isa.program import Program, ProgramError
+
+
+class TestInstructionModel:
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(mnemonic="bogus")
+
+    def test_classification_flags(self):
+        fadd = parse_instruction("fadd.d ft3, ft4, ft5")
+        assert fadd.is_fp and fadd.is_fp_compute and not fadd.is_branch
+        bne = parse_instruction("bne t0, t1, loop")
+        assert bne.is_branch and not bne.is_fp
+        fld = parse_instruction("fld ft3, 8(t0)")
+        assert fld.is_fp and not fld.is_fp_compute
+
+    @pytest.mark.parametrize("mnemonic,expected", [
+        ("fadd.d", 1), ("fsub.d", 1), ("fmul.d", 1),
+        ("fmadd.d", 2), ("fmsub.d", 2), ("fnmsub.d", 2), ("fnmadd.d", 2),
+        ("fld", 0), ("fsd", 0), ("addi", 0), ("fsgnj.d", 0),
+    ])
+    def test_flop_counts(self, mnemonic, expected):
+        assert flops_of(mnemonic) == expected
+
+    def test_fp_classification_sets_are_consistent(self):
+        assert FP_COMPUTE_MNEMONICS <= FP_MNEMONICS
+        for mnemonic in FP_MNEMONICS:
+            assert is_fp_instruction(mnemonic)
+        assert not is_fp_instruction("addi")
+
+    def test_every_mnemonic_renders_back_to_text(self):
+        # Build a minimal valid instruction for each mnemonic and round-trip it.
+        samples = {
+            "rd": 5, "rs1": 6, "rs2": 7, "rs3": 8, "imm": 4, "imm2": 1,
+        }
+        for mnemonic, fmt in MNEMONIC_FORMATS.items():
+            kwargs = {}
+            for kind in fmt:
+                if kind in ("rd", "frd"):
+                    kwargs["rd"] = samples["rd"]
+                elif kind in ("rs1", "frs1"):
+                    kwargs["rs1"] = samples["rs1"]
+                elif kind in ("rs2", "frs2"):
+                    kwargs["rs2"] = samples["rs2"]
+                elif kind == "frs3":
+                    kwargs["rs3"] = samples["rs3"]
+                elif kind == "imm":
+                    kwargs["imm"] = samples["imm"]
+                elif kind == "imm2":
+                    kwargs["imm2"] = samples["imm2"]
+                elif kind == "mem":
+                    kwargs["imm"] = 8
+                    kwargs["rs1"] = 6
+                elif kind == "label":
+                    kwargs["target"] = "somewhere"
+                elif kind == "csr":
+                    kwargs["csr"] = "mhartid"
+            inst = Instruction(mnemonic=mnemonic, **kwargs)
+            text = inst.to_text()
+            assert text.startswith(mnemonic)
+            if "label" not in fmt:
+                reparsed = parse_instruction(text)
+                assert reparsed.mnemonic == mnemonic
+
+
+class TestAssemblerParsing:
+    def test_simple_alu(self):
+        inst = parse_instruction("addi t0, t1, -8")
+        assert (inst.mnemonic, inst.rd, inst.rs1, inst.imm) == ("addi", 5, 6, -8)
+
+    def test_memory_operand(self):
+        inst = parse_instruction("fld ft3, -16(a0)")
+        assert inst.rd == 3 and inst.rs1 == 10 and inst.imm == -16
+
+    def test_store_operand_order(self):
+        inst = parse_instruction("fsd ft4, 24(t2)")
+        assert inst.rs2 == 4 and inst.rs1 == 7 and inst.imm == 24
+
+    def test_hex_immediates(self):
+        inst = parse_instruction("li t0, 0x10000000")
+        assert inst.imm == 0x10000000
+
+    def test_fmadd_operands(self):
+        inst = parse_instruction("fmadd.d ft3, ft4, ft5, ft6")
+        assert (inst.rd, inst.rs1, inst.rs2, inst.rs3) == (3, 4, 5, 6)
+
+    def test_csr_parsing(self):
+        inst = parse_instruction("csrr a0, mhartid")
+        assert inst.rd == 10 and inst.csr == "mhartid"
+
+    def test_ssr_config_instruction(self):
+        inst = parse_instruction("ssr.cfg.bound 2, 1, t3")
+        assert inst.imm == 2 and inst.imm2 == 1 and inst.rs1 == 28
+
+    def test_wrong_operand_count_rejected(self):
+        with pytest.raises(AssemblerError):
+            parse_instruction("addi t0, t1")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblerError):
+            parse_instruction("frobnicate t0")
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(AssemblerError):
+            parse_instruction("addi q0, t1, 1")
+
+    def test_bad_memory_operand_rejected(self):
+        with pytest.raises(AssemblerError):
+            parse_instruction("fld ft0, t0")
+
+    def test_unsupported_csr_rejected(self):
+        with pytest.raises(AssemblerError):
+            parse_instruction("csrr t0, mstatus")
+
+
+class TestAssembleProgram:
+    SOURCE = """
+    # setup
+        li      t0, 100
+        li      t1, 116
+    loop:
+        addi    t0, t0, 8       # advance
+        bne     t0, t1, loop
+        nop
+    """
+
+    def test_labels_resolve_to_indices(self):
+        program = assemble(self.SOURCE, name="demo")
+        assert program.labels == {"loop": 2}
+        branch = program[3]
+        assert branch.target == "loop" and branch.target_idx == 2
+
+    def test_comments_and_blanks_skipped(self):
+        program = assemble(self.SOURCE)
+        assert len(program) == 5
+
+    def test_label_on_same_line_as_instruction(self):
+        program = assemble("start: addi t0, t0, 1\n  bne t0, t1, start\n")
+        assert program.labels["start"] == 0
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("a:\na:\n  nop\n")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(ProgramError):
+            assemble("  j nowhere\n")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblerError, match="line 2"):
+            assemble("  nop\n  bogus t0\n")
+
+    def test_round_trip_through_text(self):
+        program = assemble(self.SOURCE, name="demo")
+        again = assemble(program.to_text(), name="demo2")
+        assert [i.mnemonic for i in again] == [i.mnemonic for i in program]
+        assert again.labels == program.labels
+
+
+class TestProgramStatistics:
+    def test_instruction_mix_classification(self):
+        program = assemble("""
+        x:
+            fld ft3, 0(t0)
+            fmul.d ft4, ft3, ft3
+            fsd ft4, 0(t1)
+            addi t0, t0, 8
+            addi t1, t1, 8
+            bne t0, t2, x
+        """)
+        mix = program.static_instruction_mix()
+        assert mix["fp_compute"] == 1
+        assert mix["fp_mem"] == 2
+        assert mix["address"] == 2
+        assert mix["branch"] == 1
+
+    def test_loop_bounds(self):
+        program = assemble("""
+            li t0, 0
+        body:
+            addi t0, t0, 1
+            bne t0, t1, body
+            nop
+        """)
+        start, end = program.loop_bounds("body")
+        assert (start, end) == (1, 3)
+
+    def test_loop_bounds_missing_label(self):
+        program = assemble("  nop\n")
+        with pytest.raises(ProgramError):
+            program.loop_bounds("body")
+
+    def test_count_helper(self):
+        program = assemble("  nop\n  nop\n  addi t0, t0, 1\n")
+        assert program.count(["nop"]) == 2
+        assert program.count(["addi", "nop"]) == 3

@@ -1,0 +1,114 @@
+"""Tests for register naming and register files."""
+
+import pytest
+
+from repro.isa.registers import (
+    FpRegisterFile,
+    IntRegisterFile,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    RegisterError,
+    SSR_FP_REGS,
+    fp_reg_name,
+    int_reg_name,
+    parse_fp_reg,
+    parse_int_reg,
+)
+
+
+class TestRegisterNames:
+    def test_int_abi_names_roundtrip(self):
+        for idx in range(NUM_INT_REGS):
+            assert parse_int_reg(int_reg_name(idx)) == idx
+
+    def test_fp_abi_names_roundtrip(self):
+        for idx in range(NUM_FP_REGS):
+            assert parse_fp_reg(fp_reg_name(idx)) == idx
+
+    def test_numeric_names(self):
+        assert parse_int_reg("x0") == 0
+        assert parse_int_reg("x31") == 31
+        assert parse_fp_reg("f0") == 0
+        assert parse_fp_reg("f31") == 31
+
+    @pytest.mark.parametrize("name,idx", [
+        ("zero", 0), ("ra", 1), ("sp", 2), ("t0", 5), ("t6", 31),
+        ("a0", 10), ("a7", 17), ("s0", 8), ("fp", 8), ("s11", 27),
+    ])
+    def test_known_int_names(self, name, idx):
+        assert parse_int_reg(name) == idx
+
+    @pytest.mark.parametrize("name,idx", [
+        ("ft0", 0), ("ft1", 1), ("ft2", 2), ("ft7", 7), ("fs0", 8),
+        ("fa0", 10), ("fa7", 17), ("fs11", 27), ("ft8", 28), ("ft11", 31),
+    ])
+    def test_known_fp_names(self, name, idx):
+        assert parse_fp_reg(name) == idx
+
+    def test_case_insensitive(self):
+        assert parse_int_reg("T0") == 5
+        assert parse_fp_reg("FT3") == 3
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(RegisterError):
+            parse_int_reg("t9")
+        with pytest.raises(RegisterError):
+            parse_fp_reg("ft12")
+        with pytest.raises(RegisterError):
+            int_reg_name(32)
+        with pytest.raises(RegisterError):
+            fp_reg_name(-1)
+
+    def test_ssr_regs_are_ft0_ft1_ft2(self):
+        assert SSR_FP_REGS == (0, 1, 2)
+        assert [fp_reg_name(r) for r in SSR_FP_REGS] == ["ft0", "ft1", "ft2"]
+
+
+class TestIntRegisterFile:
+    def test_x0_is_hardwired_zero(self):
+        regs = IntRegisterFile()
+        regs.write(0, 1234)
+        assert regs.read(0) == 0
+
+    def test_write_read(self):
+        regs = IntRegisterFile()
+        regs.write(5, 42)
+        assert regs.read(5) == 42
+
+    def test_wraps_to_32_bits(self):
+        regs = IntRegisterFile()
+        regs.write(6, 1 << 33)
+        assert regs.read(6) == 0
+        regs.write(6, (1 << 31))
+        assert regs.read(6) == -(1 << 31)
+
+    def test_negative_values_preserved(self):
+        regs = IntRegisterFile()
+        regs.write(7, -8)
+        assert regs.read(7) == -8
+
+    def test_snapshot_is_copy(self):
+        regs = IntRegisterFile()
+        regs.write(3, 9)
+        snap = regs.snapshot()
+        snap[3] = 0
+        assert regs.read(3) == 9
+
+
+class TestFpRegisterFile:
+    def test_initial_zero(self):
+        regs = FpRegisterFile()
+        assert regs.read(10) == 0.0
+
+    def test_write_read(self):
+        regs = FpRegisterFile()
+        regs.write(4, 3.5)
+        assert regs.read(4) == 3.5
+
+    def test_write_coerces_to_float(self):
+        regs = FpRegisterFile()
+        regs.write(4, 3)
+        assert isinstance(regs.read(4), float)
+
+    def test_snapshot_length(self):
+        assert len(FpRegisterFile().snapshot()) == NUM_FP_REGS

@@ -1,0 +1,200 @@
+"""Tests for lowering, list scheduling and register allocation."""
+
+import pytest
+
+from repro.core.kernels import get_kernel
+from repro.core.lowering import (
+    AbstractOp,
+    CoeffOperand,
+    GridOperand,
+    VReg,
+    lower_block,
+    lower_point,
+)
+from repro.core.regalloc import AllocationError, linear_scan, live_intervals, max_pressure
+from repro.core.schedule import (
+    DEFAULT_LATENCIES,
+    build_dependencies,
+    schedule_block,
+    verify_schedule,
+)
+
+
+class TestLowering:
+    def test_flop_count_preserved(self, any_kernel):
+        block = lower_point(any_kernel)
+        assert block.flops() == any_kernel.flops_per_point
+
+    def test_flop_count_preserved_under_unroll(self, any_kernel):
+        block = lower_block(any_kernel, unroll=3)
+        assert block.flops() == 3 * any_kernel.flops_per_point
+
+    def test_grid_operand_count_matches_loads(self, any_kernel):
+        block = lower_point(any_kernel)
+        grid_ops = [src for op in block.ops for src in op.srcs
+                    if isinstance(src, GridOperand)]
+        assert len(grid_ops) == any_kernel.loads_per_point
+
+    def test_one_store_per_point(self, any_kernel):
+        block = lower_block(any_kernel, unroll=4)
+        stores = block.store_ops
+        assert len(stores) == 4
+        assert [op.point for op in stores] == [0, 1, 2, 3]
+
+    def test_points_tagged_on_operands(self):
+        block = lower_block(get_kernel("jacobi_2d"), unroll=2)
+        points = {src.point for op in block.ops for src in op.srcs
+                  if isinstance(src, GridOperand)}
+        assert points == {0, 1}
+
+    def test_reassociation_creates_partial_sums(self):
+        kernel = get_kernel("box3d1r")
+        wide = lower_point(kernel, reassoc_width=3)
+        narrow = lower_point(kernel, reassoc_width=1)
+        assert wide.flops() == narrow.flops() == kernel.flops_per_point
+        # The reassociated form should have a shorter critical path.
+        assert schedule_block(wide.ops).makespan < schedule_block(narrow.ops).makespan
+
+    def test_fma_fusion_used(self):
+        block = lower_point(get_kernel("box2d1r"))
+        mnemonics = {op.mnemonic for op in block.compute_ops}
+        assert "fmadd.d" in mnemonics
+
+    def test_subtraction_lowered(self):
+        block = lower_point(get_kernel("ac_iso_cd"))
+        mnemonics = [op.mnemonic for op in block.compute_ops]
+        assert any(m in ("fsub.d", "fnmsub.d") for m in mnemonics)
+
+    def test_invalid_unroll_rejected(self):
+        with pytest.raises(ValueError):
+            lower_block(get_kernel("jacobi_2d"), unroll=0)
+
+    def test_literal_constants_become_named_operands(self):
+        from repro.core.ir import GridRef, add, mul
+        from repro.core.stencil import StencilKernel
+
+        kernel = StencilKernel(
+            name="const_kernel", dims=2, radius=1, inputs=["inp"], output="out",
+            expr=add(mul(2.0, GridRef("inp", (0, 0))), GridRef("inp", (0, 1))),
+            coefficients={},
+        )
+        block = lower_point(kernel)
+        names = {src.name for op in block.ops for src in op.srcs
+                 if isinstance(src, CoeffOperand)}
+        assert any(name.startswith("__const") for name in names)
+        assert any(name.startswith("__const") for name in block.const_values)
+
+
+class TestScheduler:
+    def test_schedule_is_valid_permutation(self, any_kernel):
+        block = lower_block(any_kernel, unroll=2)
+        scheduled = schedule_block(block.ops)
+        assert verify_schedule(block.ops, scheduled.ops)
+
+    def test_store_order_preserved(self, any_kernel):
+        block = lower_block(any_kernel, unroll=4)
+        scheduled = schedule_block(block.ops)
+        stores = [op.point for op in scheduled.ops if op.is_store]
+        assert stores == sorted(stores)
+
+    def test_dependencies_respected(self):
+        block = lower_block(get_kernel("j2d9pt"), unroll=2)
+        preds = build_dependencies(block.ops)
+        scheduled = schedule_block(block.ops)
+        position = {id(op): idx for idx, op in enumerate(scheduled.ops)}
+        for idx, op in enumerate(block.ops):
+            for pred in preds[idx]:
+                assert position[id(block.ops[pred])] < position[id(op)]
+
+    def test_extra_deps_enforced(self):
+        ops = [
+            AbstractOp(mnemonic="fadd.d", dest=VReg(0),
+                       srcs=[CoeffOperand("a"), CoeffOperand("b")]),
+            AbstractOp(mnemonic="fmul.d", dest=VReg(1),
+                       srcs=[CoeffOperand("c"), CoeffOperand("d")]),
+        ]
+        scheduled = schedule_block(ops, extra_deps=[(1, 0)])
+        position = {id(op): idx for idx, op in enumerate(scheduled.ops)}
+        assert position[id(ops[1])] < position[id(ops[0])]
+
+    def test_cyclic_extra_deps_rejected(self):
+        block = lower_block(get_kernel("jacobi_2d"), unroll=2)
+        n = len(block.ops)
+        with pytest.raises(ValueError, match="cyclic"):
+            schedule_block(block.ops, extra_deps=[(n - 1, 0)])
+
+    def test_undefined_vreg_rejected(self):
+        bogus = [AbstractOp(mnemonic="fadd.d", dest=VReg(0),
+                            srcs=[VReg(5), CoeffOperand("c")])]
+        with pytest.raises(ValueError):
+            schedule_block(bogus)
+
+    def test_makespan_at_least_op_count(self):
+        block = lower_point(get_kernel("star2d3r"))
+        scheduled = schedule_block(block.ops)
+        assert scheduled.makespan >= len(block.ops)
+
+    def test_unrolling_improves_issue_density(self):
+        kernel = get_kernel("jacobi_2d")
+        single = schedule_block(lower_block(kernel, unroll=1).ops)
+        quad = schedule_block(lower_block(kernel, unroll=4).ops)
+        assert quad.makespan / 4 <= single.makespan
+
+    def test_empty_block(self):
+        scheduled = schedule_block([])
+        assert scheduled.makespan == 0 and len(scheduled.ops) == 0
+
+    def test_custom_latencies(self):
+        block = lower_point(get_kernel("jacobi_2d"))
+        slow = schedule_block(block.ops, latencies={"compute": 9})
+        fast = schedule_block(block.ops, latencies={"compute": 1})
+        assert slow.makespan >= fast.makespan
+
+
+class TestRegisterAllocation:
+    def test_intervals_cover_defs_and_uses(self):
+        block = lower_point(get_kernel("jacobi_2d"))
+        intervals = live_intervals(block.ops)
+        for op_idx, op in enumerate(block.ops):
+            if op.dest is not None:
+                start, end = intervals[op.dest]
+                assert start == op_idx and end >= start
+
+    def test_allocation_success_with_large_pool(self, any_kernel):
+        block = lower_block(any_kernel, unroll=2)
+        scheduled = schedule_block(block.ops)
+        result = linear_scan(scheduled.ops, list(range(32)))
+        assert result.success
+        assert result.max_live <= 32
+
+    def test_allocation_fails_with_tiny_pool(self):
+        block = lower_block(get_kernel("box3d1r"), unroll=4)
+        scheduled = schedule_block(block.ops)
+        result = linear_scan(scheduled.ops, [0, 1])
+        assert not result.success
+
+    def test_no_two_live_vregs_share_a_register(self, any_kernel):
+        block = lower_block(any_kernel, unroll=2)
+        scheduled = schedule_block(block.ops)
+        result = linear_scan(scheduled.ops, list(range(3, 32)))
+        assert result.success
+        intervals = live_intervals(scheduled.ops)
+        assigned = result.assignment
+        vregs = list(assigned)
+        for i, a in enumerate(vregs):
+            for b in vregs[i + 1:]:
+                if assigned[a] != assigned[b]:
+                    continue
+                a_start, a_end = intervals[a]
+                b_start, b_end = intervals[b]
+                # Overlap is only allowed at the read/write boundary.
+                assert a_end <= b_start or b_end <= a_start
+
+    def test_max_pressure_positive(self, any_kernel):
+        block = lower_point(any_kernel)
+        assert max_pressure(block.ops) >= 1
+
+    def test_use_of_undefined_vreg_rejected(self):
+        ops = [AbstractOp(mnemonic="fadd.d", dest=VReg(1), srcs=[VReg(0), VReg(0)])]
+        with pytest.raises(AllocationError):
+            linear_scan(ops, list(range(8)))

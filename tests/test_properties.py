@@ -1,0 +1,247 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.ir import Coeff, GridRef, add, mul
+from repro.core.kernels import get_kernel
+from repro.core.lowering import GridOperand, lower_block
+from repro.core.parallel import choose_block, cluster_geometry, coverage
+from repro.core.reference import reference_time_step
+from repro.core.regalloc import linear_scan, live_intervals
+from repro.core.saris import index_width_bytes, map_streams
+from repro.core.schedule import schedule_block, verify_schedule
+from repro.core.stencil import StencilKernel
+from repro.isa.assembler import assemble, parse_instruction
+from repro.isa.registers import fp_reg_name, int_reg_name, parse_fp_reg, parse_int_reg
+from repro.runner import run_kernel
+from repro.snitch.ssr import DataMover
+from repro.snitch.tcdm import TCDM
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+_reg_index = st.integers(min_value=0, max_value=31)
+_imm12 = st.integers(min_value=-2048, max_value=2047)
+
+
+@st.composite
+def random_2d_kernels(draw):
+    """Random weighted-sum 2D stencils within a radius-2 window."""
+    radius = draw(st.integers(min_value=1, max_value=2))
+    num_taps = draw(st.integers(min_value=1, max_value=9))
+    offsets = st.tuples(st.integers(-radius, radius), st.integers(-radius, radius))
+    taps = draw(st.lists(offsets, min_size=num_taps, max_size=num_taps, unique=True))
+    coeffs = {f"c{i}": draw(st.floats(min_value=-2.0, max_value=2.0,
+                                      allow_nan=False, allow_infinity=False))
+              for i in range(len(taps))}
+    expr = add(*[mul(Coeff(f"c{i}"), GridRef("inp", off))
+                 for i, off in enumerate(taps)])
+    return StencilKernel(name="random2d", dims=2, radius=radius, inputs=["inp"],
+                         output="out", expr=expr, coefficients=coeffs)
+
+
+# ---------------------------------------------------------------------------
+# ISA properties
+# ---------------------------------------------------------------------------
+
+
+class TestIsaProperties:
+    @given(_reg_index)
+    def test_int_register_names_roundtrip(self, idx):
+        assert parse_int_reg(int_reg_name(idx)) == idx
+
+    @given(_reg_index)
+    def test_fp_register_names_roundtrip(self, idx):
+        assert parse_fp_reg(fp_reg_name(idx)) == idx
+
+    @given(rd=_reg_index, rs1=_reg_index, imm=_imm12)
+    def test_addi_text_roundtrip(self, rd, rs1, imm):
+        text = f"addi {int_reg_name(rd)}, {int_reg_name(rs1)}, {imm}"
+        inst = parse_instruction(text)
+        assert (inst.rd, inst.rs1, inst.imm) == (rd, rs1, imm)
+        assert parse_instruction(inst.to_text()).to_text() == inst.to_text()
+
+    @given(frd=_reg_index, base=_reg_index, imm=_imm12)
+    def test_fld_text_roundtrip(self, frd, base, imm):
+        text = f"fld {fp_reg_name(frd)}, {imm}({int_reg_name(base)})"
+        inst = parse_instruction(text)
+        assert (inst.rd, inst.rs1, inst.imm) == (frd, base, imm)
+
+    @given(st.lists(st.sampled_from(["nop", "addi t0, t0, 1", "fadd.d ft3, ft4, ft5"]),
+                    min_size=1, max_size=20))
+    def test_program_roundtrip(self, lines):
+        program = assemble("\n".join(lines))
+        again = assemble(program.to_text())
+        assert [i.to_text() for i in again] == [i.to_text() for i in program]
+
+
+# ---------------------------------------------------------------------------
+# SSR address generation properties
+# ---------------------------------------------------------------------------
+
+
+class TestSsrProperties:
+    @given(bounds=st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=3),
+           strides=st.lists(st.integers(min_value=0, max_value=4), min_size=3, max_size=3))
+    @settings(max_examples=30, deadline=None)
+    def test_affine_stream_matches_nested_loops(self, bounds, strides):
+        tcdm = TCDM()
+        data = np.arange(2048, dtype=np.float64)
+        tcdm.write_f64_array(tcdm.base, data)
+        mover = DataMover(2, tcdm, indirect_capable=False)
+        dims = len(bounds)
+        mover.cfg_dims(dims)
+        byte_strides = [s * 8 for s in strides[:dims]]
+        for dim, (bound, stride) in enumerate(zip(bounds, byte_strides)):
+            mover.cfg_bound(dim, bound)
+            mover.cfg_stride(dim, stride)
+        mover.cfg_base(tcdm.base)
+        mover.start_affine()
+        total = int(np.prod(bounds))
+        got = []
+        for _ in range(100_000):
+            tcdm.begin_cycle()
+            mover.tick()
+            while mover.can_pop():
+                got.append(mover.pop())
+            if len(got) == total:
+                break
+        expected = []
+        counters = [range(b) for b in bounds]
+        import itertools
+        for idx in itertools.product(*reversed(counters)):
+            idx = tuple(reversed(idx))
+            offset = sum(i * s for i, s in zip(idx, strides[:dims]))
+            expected.append(float(offset))
+        assert got == expected
+
+    @given(st.lists(st.integers(min_value=-200, max_value=200), min_size=1, max_size=16),
+           st.integers(min_value=0, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_indirect_gather_matches_numpy_take(self, indices, base_elem):
+        tcdm = TCDM()
+        data = np.arange(4096, dtype=np.float64)
+        data_addr = tcdm.base
+        tcdm.write_f64_array(data_addr, data)
+        idx_addr = tcdm.base + 100 * 1024
+        tcdm.write_i16_array(idx_addr, indices)
+        mover = DataMover(0, tcdm, indirect_capable=True)
+        mover.cfg_indirect(idx_addr, len(indices))
+        base_elem = base_elem + 200  # keep base + index in range
+        mover.launch(data_addr + base_elem * 8)
+        got = []
+        for _ in range(100_000):
+            tcdm.begin_cycle()
+            mover.tick()
+            while mover.can_pop():
+                got.append(mover.pop())
+            if len(got) == len(indices):
+                break
+        assert got == [float(base_elem + i) for i in indices]
+
+    @given(st.lists(st.integers(min_value=-(1 << 20), max_value=(1 << 20)), max_size=32))
+    def test_index_width_covers_all_entries(self, entries):
+        width = index_width_bytes(entries)
+        assert width in (2, 4)
+        if entries and width == 2:
+            assert max(abs(e) for e in entries) < (1 << 15)
+
+
+# ---------------------------------------------------------------------------
+# Compiler pipeline properties
+# ---------------------------------------------------------------------------
+
+
+class TestCompilerProperties:
+    @given(random_2d_kernels(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_lowering_preserves_flops_and_loads(self, kernel, unroll):
+        block = lower_block(kernel, unroll=unroll)
+        assert block.flops() == unroll * kernel.flops_per_point
+        grid_ops = [src for op in block.ops for src in op.srcs
+                    if isinstance(src, GridOperand)]
+        assert len(grid_ops) == unroll * kernel.loads_per_point
+
+    @given(random_2d_kernels(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_schedule_validity_for_random_kernels(self, kernel, unroll):
+        block = lower_block(kernel, unroll=unroll)
+        scheduled = schedule_block(block.ops)
+        assert verify_schedule(block.ops, scheduled.ops)
+
+    @given(random_2d_kernels())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_stream_mapping_covers_all_loads(self, kernel):
+        block = lower_block(kernel, unroll=2)
+        scheduled = schedule_block(block.ops)
+        mapping = map_streams(scheduled.ops, num_coeffs=kernel.coeffs_per_point)
+        total = sum(len(seq) for seq in mapping.sr_sequences.values())
+        assert total == 2 * kernel.loads_per_point
+        assert abs(len(mapping.sr_sequences[0]) - len(mapping.sr_sequences[1])) <= 1
+
+    @given(random_2d_kernels())
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_register_allocation_respects_liveness(self, kernel):
+        block = lower_block(kernel, unroll=2)
+        scheduled = schedule_block(block.ops)
+        result = linear_scan(scheduled.ops, list(range(3, 32)))
+        if not result.success:
+            return
+        intervals = live_intervals(scheduled.ops)
+        by_reg = {}
+        for vreg, reg in result.assignment.items():
+            by_reg.setdefault(reg, []).append(intervals[vreg])
+        for spans in by_reg.values():
+            spans.sort()
+            for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+                assert e1 <= s2
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=1, max_value=16))
+    def test_choose_block_divides_count(self, count, limit):
+        block = choose_block(count, limit)
+        assert 1 <= block <= max(count, 1)
+        assert count % block == 0
+        assert block <= max(limit, 1)
+
+    @given(random_2d_kernels())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_parallel_coverage_partition(self, kernel):
+        shape = (16, 16)
+        geometries = cluster_geometry(kernel, shape)
+        counts = coverage(geometries)
+        assert set(counts.values()) == {1}
+        assert len(counts) == kernel.interior_points(shape)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end property: random stencils compile and match NumPy on both paths
+# ---------------------------------------------------------------------------
+
+
+class TestEndToEndProperties:
+    @given(random_2d_kernels(), st.sampled_from(["base", "saris"]))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+    def test_random_kernels_simulate_correctly(self, kernel, variant):
+        result = run_kernel(kernel, variant=variant, tile_shape=(12, 12), seed=5)
+        assert result.correct
+
+    @given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=5, deadline=None)
+    def test_reference_and_simulation_agree_for_any_seed(self, seed):
+        kernel = get_kernel("jacobi_2d")
+        grids = kernel.make_grids((12, 12), seed=seed % 1000)
+        result = run_kernel(kernel, variant="saris", tile_shape=(12, 12),
+                            grids=grids)
+        assert result.correct
+        expected = reference_time_step(kernel, grids)
+        assert np.isfinite(expected).all()

@@ -1,0 +1,197 @@
+"""Tests for the runner API, energy model, scaleout model and analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro import compare_variants, get_kernel, run_kernel
+from repro.analysis import format_table, geomean, relative_error, summarize_pairs
+from repro.energy import EnergyModel, energy_comparison, estimate_power
+from repro.runner import RunnerError, measure_dma_utilization, tile_traffic_bytes
+from repro.scaleout import (
+    ManticoreConfig,
+    RELATED_WORK,
+    best_gpu_fraction,
+    estimate_scaleout,
+    estimate_scaleout_pair,
+    peak_fraction_table,
+    scaleout_grid_shape,
+)
+from repro.snitch.params import TimingParams
+from tests.conftest import small_tile
+
+
+@pytest.fixture(scope="module")
+def jacobi_pair():
+    """One base/saris comparison shared by the runner/energy/scaleout tests."""
+    return compare_variants("jacobi_2d", tile_shape=(16, 16))
+
+
+@pytest.fixture(scope="module")
+def heavy_pair():
+    """A register-bound 3D kernel comparison (coefficient streaming path)."""
+    return compare_variants("j3d27pt", tile_shape=(8, 8, 8))
+
+
+class TestRunner:
+    def test_result_fields_populated(self, jacobi_pair):
+        result = jacobi_pair.saris
+        assert result.kernel == "jacobi_2d" and result.variant == "saris"
+        assert result.cycles > 0
+        assert 0.0 < result.fpu_util <= 1.0
+        assert 0.0 < result.ipc <= 2.0
+        assert result.correct
+        assert len(result.program_info) == 8
+        assert 0.0 < result.flops_fraction_of_peak <= 1.0
+
+    def test_saris_beats_base(self, jacobi_pair):
+        assert jacobi_pair.speedup > 1.2
+        assert jacobi_pair.saris.fpu_util > jacobi_pair.base.fpu_util
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(Exception):
+            run_kernel("jacobi_2d", variant="gpu", tile_shape=(12, 12))
+
+    def test_explicit_grids_accepted(self):
+        kernel = get_kernel("jacobi_2d")
+        grids = {"inp": np.ones((12, 12))}
+        result = run_kernel(kernel, variant="saris", tile_shape=(12, 12), grids=grids)
+        assert result.correct
+
+    def test_missing_input_grid_rejected(self):
+        kernel = get_kernel("ac_iso_cd")
+        with pytest.raises(RunnerError):
+            run_kernel(kernel, variant="saris", tile_shape=(12, 12, 12),
+                       grids={"u": np.zeros((12, 12, 12))})
+
+    def test_as_dict_contains_headline_metrics(self, jacobi_pair):
+        row = jacobi_pair.base.as_dict()
+        assert {"kernel", "variant", "cycles", "fpu_util", "ipc"} <= set(row)
+
+    def test_tile_traffic_accounting(self):
+        kernel = get_kernel("ac_iso_cd")
+        traffic = tile_traffic_bytes(kernel, (12, 12, 12))
+        assert traffic == 2 * 12 ** 3 * 8 + 4 ** 3 * 8
+
+    def test_dma_utilization_in_range(self, table1_kernel):
+        util = measure_dma_utilization(table1_kernel, table1_kernel.default_tile)
+        assert 0.2 < util <= 1.0
+
+    def test_dma_utilization_lower_for_3d_tiles(self):
+        util_2d = measure_dma_utilization(get_kernel("jacobi_2d"), (64, 64))
+        util_3d = measure_dma_utilization(get_kernel("star3d2r"), (16, 16, 16))
+        assert util_3d < util_2d
+
+
+class TestEnergyModel:
+    def test_power_in_plausible_range(self, jacobi_pair):
+        base = estimate_power(jacobi_pair.base)
+        saris = estimate_power(jacobi_pair.saris)
+        assert 0.1 < base.power_w < 0.5
+        assert 0.2 < saris.power_w < 0.7
+        assert saris.power_w > base.power_w
+
+    def test_energy_efficiency_gain_positive(self, jacobi_pair):
+        row = energy_comparison(jacobi_pair.base, jacobi_pair.saris)
+        assert row["energy_efficiency_gain"] > 1.0
+        assert row["speedup"] == pytest.approx(jacobi_pair.speedup)
+
+    def test_energy_scales_with_cycles(self, jacobi_pair):
+        base = estimate_power(jacobi_pair.base)
+        saris = estimate_power(jacobi_pair.saris)
+        assert base.energy_j > saris.energy_j  # saris wins overall energy
+
+    def test_gflops_per_watt(self, jacobi_pair):
+        saris = estimate_power(jacobi_pair.saris)
+        assert saris.gflops_per_watt > 0
+
+    def test_custom_model_parameters(self, jacobi_pair):
+        hot = EnergyModel(fpu_op_pj=100.0)
+        cold = EnergyModel(fpu_op_pj=10.0)
+        assert (estimate_power(jacobi_pair.saris, model=hot).power_w
+                > estimate_power(jacobi_pair.saris, model=cold).power_w)
+
+    def test_power_tracks_activity(self, jacobi_pair, heavy_pair):
+        # Both saris variants should have clearly higher power than both bases.
+        base_powers = [estimate_power(p.base).power_w for p in (jacobi_pair, heavy_pair)]
+        saris_powers = [estimate_power(p.saris).power_w for p in (jacobi_pair, heavy_pair)]
+        assert min(saris_powers) > max(base_powers) * 1.2
+
+
+class TestScaleoutModel:
+    def test_config_derived_quantities(self):
+        config = ManticoreConfig()
+        assert config.num_clusters == 32
+        assert config.num_cores == 256
+        assert config.peak_gflops == pytest.approx(512.0)
+        assert config.bytes_per_cycle_per_cluster == pytest.approx(12.8)
+
+    def test_grid_shapes_match_paper(self):
+        assert scaleout_grid_shape(get_kernel("jacobi_2d")) == (16384, 16384)
+        assert scaleout_grid_shape(get_kernel("j3d27pt")) == (512, 512, 512)
+
+    def test_low_intensity_kernel_is_memory_bound(self, jacobi_pair):
+        pair = estimate_scaleout_pair(get_kernel("jacobi_2d"),
+                                      jacobi_pair.base, jacobi_pair.saris)
+        assert pair["memory_bound"]
+        assert pair["cmtr"] < 1.0
+
+    def test_high_intensity_kernel_is_compute_bound(self, heavy_pair):
+        pair = estimate_scaleout_pair(get_kernel("j3d27pt"),
+                                      heavy_pair.base, heavy_pair.saris)
+        assert not pair["memory_bound"]
+        assert pair["cmtr"] > 1.0
+        assert pair["speedup"] > 1.5
+
+    def test_memory_bound_degrades_fpu_util(self, jacobi_pair):
+        kernel = get_kernel("jacobi_2d")
+        est = estimate_scaleout(kernel, jacobi_pair.saris,
+                                jacobi_pair.saris.dma_utilization)
+        assert est.fpu_util <= jacobi_pair.saris.fpu_util
+
+    def test_fraction_of_peak_bounded(self, heavy_pair):
+        kernel = get_kernel("j3d27pt")
+        est = estimate_scaleout(kernel, heavy_pair.saris,
+                                heavy_pair.saris.dma_utilization)
+        assert 0.0 < est.fraction_of_peak < 1.0
+        assert est.gflops == pytest.approx(est.fraction_of_peak * 512.0)
+
+    def test_more_bandwidth_removes_memory_boundedness(self, jacobi_pair):
+        kernel = get_kernel("jacobi_2d")
+        fat_pipe = ManticoreConfig(hbm_device_gbs=51.2 * 100)
+        est = estimate_scaleout(kernel, jacobi_pair.saris,
+                                jacobi_pair.saris.dma_utilization, config=fat_pipe)
+        assert not est.memory_bound
+
+    def test_related_work_table(self):
+        assert len(RELATED_WORK) == 9
+        assert best_gpu_fraction() == pytest.approx(0.69)
+        rows = peak_fraction_table(0.75)
+        assert rows[-1]["work"].startswith("SARIS")
+        assert rows[-1]["peak_fraction"] == 0.75
+
+
+class TestAnalysisHelpers:
+    def test_geomean_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_relative_error(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(1.0, 0.0) == float("inf")
+
+    def test_summarize_pairs(self):
+        pairs = {"a": {"speedup": 2.0}, "b": {"speedup": 8.0}}
+        summary = summarize_pairs(pairs, "speedup")
+        assert summary["geomean"] == pytest.approx(4.0)
+        assert summary["min"] == 2.0 and summary["max"] == 8.0
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["x", 1.2345], ["longer", 2]],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "-" in lines[2]
+        assert len(lines) == 5

@@ -1,0 +1,222 @@
+"""Tests for the SARIS stream-mapping method, parallelization and layout."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import get_kernel
+from repro.core.layout import build_layout
+from repro.core.lowering import GridOperand, lower_block
+from repro.core.parallel import (
+    GeometryError,
+    X_INTERLEAVE,
+    Y_INTERLEAVE,
+    choose_block,
+    cluster_geometry,
+    coverage,
+)
+from repro.core.saris import (
+    SR0,
+    SR1,
+    index_width_bytes,
+    map_streams,
+    resolve_index_entries,
+)
+from repro.core.schedule import schedule_block
+from repro.snitch.tcdm import TCDM, TcdmAllocator
+from tests.conftest import small_tile
+
+
+def _mapped_block(kernel_name, unroll=1, **kwargs):
+    kernel = get_kernel(kernel_name)
+    block = lower_block(kernel, unroll=unroll)
+    scheduled = schedule_block(block.ops)
+    mapping = map_streams(scheduled.ops, num_coeffs=kernel.coeffs_per_point, **kwargs)
+    return kernel, scheduled, mapping
+
+
+class TestStreamMapping:
+    def test_every_grid_load_is_mapped(self, any_kernel):
+        block = lower_block(any_kernel, unroll=2)
+        scheduled = schedule_block(block.ops)
+        mapping = map_streams(scheduled.ops, num_coeffs=any_kernel.coeffs_per_point)
+        mapped = sum(len(seq) for seq in mapping.sr_sequences.values())
+        assert mapped == 2 * any_kernel.loads_per_point
+
+    def test_only_indirect_movers_used(self, any_kernel):
+        _, _, mapping = _mapped_block(any_kernel.name)
+        assert set(mapping.sr_sequences) == {SR0, SR1}
+        assert set(mapping.grid_assignment.values()) <= {SR0, SR1}
+
+    def test_pairs_split_across_streams(self):
+        # The 7-point star pairs opposing neighbours in single operations; the
+        # two operands of such an operation must land on different SRs.
+        kernel, scheduled, mapping = _mapped_block("star3d7pt")
+        for op_index, op in enumerate(scheduled.ops):
+            grid_ops = op.grid_operands()
+            if len(grid_ops) == 2:
+                dms = {mapping.assigned_dm(op_index, src_idx)
+                       for src_idx, _ in grid_ops}
+                assert dms == {SR0, SR1}
+
+    def test_utilization_balance(self, any_kernel):
+        _, _, mapping = _mapped_block(any_kernel.name, unroll=2)
+        lengths = mapping.stream_lengths
+        assert abs(lengths[SR0] - lengths[SR1]) <= 1
+        assert mapping.balance > 0.7
+
+    def test_store_streamed_policy_follows_budget(self):
+        _, _, few = _mapped_block("jacobi_2d")
+        assert few.store_streamed and few.resident_coeffs
+        _, _, many = _mapped_block("j3d27pt")
+        assert not many.store_streamed
+        assert len(many.coeff_sequence) > 0
+
+    def test_force_override(self):
+        _, _, forced = _mapped_block("jacobi_2d", force_store_streamed=False)
+        assert not forced.store_streamed
+
+    def test_coeff_sequence_in_schedule_order(self):
+        kernel, scheduled, mapping = _mapped_block("box3d1r")
+        expected = [operand.name for op in scheduled.ops if op.is_compute
+                    for _i, operand in op.coeff_operands()]
+        assert mapping.coeff_sequence == expected
+
+    def test_sequences_follow_schedule_order(self):
+        kernel, scheduled, mapping = _mapped_block("j2d5pt")
+        # Rebuild the expected sequences by walking the schedule.
+        rebuilt = {SR0: [], SR1: []}
+        for op_index, op in enumerate(scheduled.ops):
+            for src_idx, operand in op.grid_operands():
+                rebuilt[mapping.assigned_dm(op_index, src_idx)].append(operand)
+        assert rebuilt == mapping.sr_sequences
+
+
+class TestIndexResolution:
+    def test_entries_point_at_correct_elements(self):
+        kernel = get_kernel("jacobi_2d")
+        tcdm = TCDM()
+        layout = build_layout(kernel, TcdmAllocator(tcdm), (12, 12))
+        sequence = [GridOperand("inp", (0, -1), 0), GridOperand("inp", (1, 0), 0),
+                    GridOperand("inp", (0, 0), 1)]
+        entries = resolve_index_entries(sequence, layout, "inp")
+        assert entries == [-1, 12, X_INTERLEAVE]
+
+    def test_multi_array_offsets(self):
+        kernel = get_kernel("ac_iso_cd")
+        tcdm = TCDM()
+        layout = build_layout(kernel, TcdmAllocator(tcdm), (12, 12, 12))
+        sequence = [GridOperand("u_prev", (0, 0, 0), 0)]
+        entries = resolve_index_entries(sequence, layout, "u")
+        expected = (layout.arrays["u_prev"] - layout.arrays["u"]) // 8
+        assert entries == [expected]
+
+    def test_block_replication_shifts_points(self):
+        kernel = get_kernel("jacobi_2d")
+        tcdm = TCDM()
+        layout = build_layout(kernel, TcdmAllocator(tcdm), (12, 12))
+        sequence = [GridOperand("inp", (0, 0), 0)]
+        entries = resolve_index_entries(sequence, layout, "inp",
+                                        block_reps=3, block_points=2)
+        assert entries == [0, 2 * X_INTERLEAVE, 4 * X_INTERLEAVE]
+
+    def test_index_width_selection(self):
+        assert index_width_bytes([0, 100, -100]) == 2
+        assert index_width_bytes([40000]) == 4
+        assert index_width_bytes([-40000]) == 4
+        assert index_width_bytes([]) == 2
+
+
+class TestParallelization:
+    def test_eight_cores_required(self):
+        kernel = get_kernel("jacobi_2d")
+        with pytest.raises(GeometryError):
+            cluster_geometry(kernel, (16, 16), num_cores=6)
+
+    def test_coverage_is_exact_partition(self, any_kernel):
+        shape = small_tile(any_kernel.name)
+        geometries = cluster_geometry(any_kernel, shape)
+        counts = coverage(geometries)
+        assert set(counts.values()) == {1}
+        assert len(counts) == any_kernel.interior_points(shape)
+
+    def test_lane_assignment(self):
+        kernel = get_kernel("jacobi_2d")
+        geometries = cluster_geometry(kernel, (16, 16))
+        assert len(geometries) == 8
+        for geom in geometries:
+            assert geom.x_lane == geom.core_id % X_INTERLEAVE
+            assert geom.y_lane == geom.core_id // X_INTERLEAVE
+            assert all((x - kernel.radius) % X_INTERLEAVE == geom.x_lane
+                       for x in geom.x_indices)
+            assert all((y - kernel.radius) % Y_INTERLEAVE == geom.y_lane
+                       for y in geom.y_indices)
+
+    def test_3d_kernels_sweep_all_planes(self):
+        kernel = get_kernel("star3d2r")
+        geometries = cluster_geometry(kernel, (10, 10, 10))
+        for geom in geometries:
+            assert geom.z_indices == list(range(2, 8))
+
+    def test_tiny_interior_rejected(self):
+        kernel = get_kernel("star2d3r")
+        with pytest.raises(GeometryError):
+            cluster_geometry(kernel, (9, 9))
+
+    def test_total_points_consistent(self, any_kernel):
+        shape = small_tile(any_kernel.name)
+        geometries = cluster_geometry(any_kernel, shape)
+        assert sum(g.total_points for g in geometries) == any_kernel.interior_points(shape)
+
+    @pytest.mark.parametrize("count,limit,expected", [
+        (16, 4, 4), (15, 4, 3), (14, 4, 2), (13, 4, 1), (12, 16, 12),
+        (15, 16, 15), (3, 4, 3), (1, 4, 1), (0, 4, 1),
+    ])
+    def test_choose_block(self, count, limit, expected):
+        assert choose_block(count, limit) == expected
+
+    def test_block_candidates_are_divisors(self):
+        kernel = get_kernel("jacobi_2d")
+        geom = cluster_geometry(kernel, (64, 64))[0]
+        for candidate in geom.block_candidates(4):
+            assert geom.x_count % candidate == 0
+
+
+class TestLayout:
+    def test_arrays_disjoint_and_aligned(self, any_kernel):
+        tcdm = TCDM()
+        layout = build_layout(any_kernel, TcdmAllocator(tcdm),
+                              small_tile(any_kernel.name))
+        addresses = sorted(layout.arrays.values())
+        tile_bytes = layout.tile_elems * 8
+        for addr in addresses:
+            assert addr % 8 == 0
+        for first, second in zip(addresses, addresses[1:]):
+            assert second >= first + tile_bytes
+
+    def test_address_computation_matches_linear_index(self):
+        kernel = get_kernel("star3d2r")
+        tcdm = TCDM()
+        layout = build_layout(kernel, TcdmAllocator(tcdm), (10, 10, 10))
+        addr = layout.address("inp", (2, 3, 4))
+        assert addr == layout.arrays["inp"] + ((2 * 10 + 3) * 10 + 4) * 8
+
+    def test_coeff_table_contains_all_coefficients(self, any_kernel):
+        tcdm = TCDM()
+        layout = build_layout(any_kernel, TcdmAllocator(tcdm),
+                              small_tile(any_kernel.name))
+        for name in any_kernel.coefficients:
+            assert name in layout.coeff_order
+            assert layout.coeff_address(name) >= layout.coeff_table
+        values = layout.coeff_table_values()
+        assert len(values) == len(layout.coeff_order)
+
+    def test_wrong_rank_tile_rejected(self):
+        kernel = get_kernel("jacobi_2d")
+        with pytest.raises(ValueError):
+            build_layout(kernel, TcdmAllocator(TCDM()), (8, 8, 8))
+
+    def test_unknown_array_rejected(self):
+        kernel = get_kernel("jacobi_2d")
+        layout = build_layout(kernel, TcdmAllocator(TCDM()), (12, 12))
+        with pytest.raises(KeyError):
+            layout.address("nope", (0, 0))

@@ -1,0 +1,312 @@
+"""Tests for the Snitch core: integer pipeline, FPU sequencer, FREP, cluster."""
+
+import numpy as np
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.snitch.cluster import ClusterError, SnitchCluster
+from repro.snitch.dma import DmaEngine, DmaTransfer
+from repro.snitch.fpu import FpuError, FrepBlock
+from repro.snitch.icache import InstructionCache
+from repro.snitch.params import TimingParams
+
+
+def run_single(source: str, setup=None, max_cycles=100_000, params=None):
+    """Assemble and run a single-core program; return (cluster, core, result)."""
+    cluster = SnitchCluster(params or TimingParams())
+    program = assemble(source, name="test")
+    cluster.load_programs([program])
+    core = cluster.cores[0]
+    if setup:
+        setup(cluster, core)
+    result = cluster.run(max_cycles=max_cycles)
+    return cluster, core, result
+
+
+class TestIntegerExecution:
+    def test_arithmetic_and_logic(self):
+        source = """
+            li   t0, 21
+            li   t1, 2
+            mul  t2, t0, t1
+            addi t3, t2, -2
+            sub  t4, t3, t1
+            xor  t5, t4, t4
+            slli t6, t1, 4
+            sw   t2, 0(a1)
+            sw   t4, 4(a1)
+            sw   t6, 8(a1)
+        """
+        def setup(cluster, core):
+            core.set_reg("a1", cluster.tcdm.base)
+        cluster, core, _ = run_single(source, setup)
+        assert cluster.tcdm.read_i32(cluster.tcdm.base) == 42
+        assert cluster.tcdm.read_i32(cluster.tcdm.base + 4) == 38
+        assert cluster.tcdm.read_i32(cluster.tcdm.base + 8) == 32
+
+    def test_branch_loop_and_counters(self):
+        source = """
+            li   t0, 0
+            li   t1, 10
+        loop:
+            addi t0, t0, 1
+            bne  t0, t1, loop
+        """
+        _, core, result = run_single(source)
+        assert core.int_regs.read(5) == 10
+        # 2 setup + 10 iterations x 2 instructions.
+        assert core.int_retired == 22
+        assert result.cycles >= 22  # taken-branch penalties add cycles
+
+    def test_division_and_remainder(self):
+        source = """
+            li t0, 17
+            li t1, 5
+            div t2, t0, t1
+            rem t3, t0, t1
+            li t4, 0
+            div t5, t0, t4
+        """
+        _, core, _ = run_single(source)
+        assert core.int_regs.read(7) == 3
+        assert core.int_regs.read(28) == 2
+        assert core.int_regs.read(30) == -1  # RISC-V division by zero
+
+    def test_loads_and_stores_all_widths(self):
+        source = """
+            li  t1, -5
+            sw  t1, 0(a1)
+            lw  t2, 0(a1)
+            sh  t1, 8(a1)
+            lhu t3, 8(a1)
+            sb  t1, 16(a1)
+            lb  t4, 16(a1)
+        """
+        def setup(cluster, core):
+            core.set_reg("a1", cluster.tcdm.base)
+        _, core, _ = run_single(source, setup)
+        assert core.int_regs.read(7) == -5
+        assert core.int_regs.read(28) == 0xFFFB
+        assert core.int_regs.read(29) == -5
+
+    def test_csr_reads(self):
+        source = "csrr a0, mhartid\ncsrr a2, minstret\n"
+        _, core, _ = run_single(source)
+        assert core.int_regs.read(10) == 0
+        assert core.int_regs.read(12) >= 1
+
+    def test_slt_and_comparisons(self):
+        source = """
+            li t0, -1
+            li t1, 1
+            slt t2, t0, t1
+            sltu t3, t0, t1
+        """
+        _, core, _ = run_single(source)
+        assert core.int_regs.read(7) == 1
+        assert core.int_regs.read(28) == 0  # -1 is large unsigned
+
+
+class TestFpExecution:
+    def test_fp_arithmetic_results(self):
+        source = """
+            fld ft3, 0(a1)
+            fld ft4, 8(a1)
+            fadd.d ft5, ft3, ft4
+            fmul.d ft6, ft3, ft4
+            fmadd.d ft7, ft3, ft4, ft5
+            fsub.d fs0, ft3, ft4
+            fsd ft5, 16(a1)
+            fsd ft6, 24(a1)
+            fsd ft7, 32(a1)
+            fsd fs0, 40(a1)
+        """
+        def setup(cluster, core):
+            core.set_reg("a1", cluster.tcdm.base)
+            cluster.tcdm.write_f64(cluster.tcdm.base, 3.0)
+            cluster.tcdm.write_f64(cluster.tcdm.base + 8, 0.5)
+        cluster, _, _ = run_single(source, setup)
+        base = cluster.tcdm.base
+        assert cluster.tcdm.read_f64(base + 16) == 3.5
+        assert cluster.tcdm.read_f64(base + 24) == 1.5
+        assert cluster.tcdm.read_f64(base + 32) == 5.0
+        assert cluster.tcdm.read_f64(base + 40) == 2.5
+
+    def test_fp_instruction_counts_and_flops(self):
+        source = """
+            fadd.d ft3, ft4, ft5
+            fmadd.d ft6, ft3, ft3, ft3
+            fsd ft6, 0(a1)
+        """
+        def setup(cluster, core):
+            core.set_reg("a1", cluster.tcdm.base)
+        _, core, result = run_single(source, setup)
+        assert core.fpu.stats.issued_compute == 2
+        assert core.fpu.stats.flops == 3
+        assert result.total_flops == 3
+
+    def test_raw_dependency_adds_latency(self):
+        chain = "\n".join(["fadd.d ft3, ft3, ft4"] * 8)
+        independent = "\n".join(
+            f"fadd.d ft{3 + (i % 4)}, ft8, ft9" for i in range(8))
+        _, _, chained = run_single(chain)
+        _, _, parallel = run_single(independent)
+        assert chained.cycles > parallel.cycles
+
+    def test_address_captured_at_dispatch(self):
+        # The pointer is incremented after the fsd is dispatched; the store
+        # must still go to the original address.
+        source = """
+            fld ft3, 0(a1)
+            fsd ft3, 8(a1)
+            addi a1, a1, 64
+            fsd ft3, 0(a1)
+        """
+        def setup(cluster, core):
+            core.set_reg("a1", cluster.tcdm.base)
+            cluster.tcdm.write_f64(cluster.tcdm.base, 7.5)
+        cluster, _, _ = run_single(source, setup)
+        assert cluster.tcdm.read_f64(cluster.tcdm.base + 8) == 7.5
+        assert cluster.tcdm.read_f64(cluster.tcdm.base + 64) == 7.5
+
+
+class TestFrep:
+    def test_frep_repeats_fp_block(self):
+        source = """
+            li t0, 4
+            fld ft3, 0(a1)
+            frep.o t0, 2
+            fadd.d ft4, ft4, ft3
+            fadd.d ft5, ft5, ft3
+            fsd ft4, 8(a1)
+            fsd ft5, 16(a1)
+        """
+        def setup(cluster, core):
+            core.set_reg("a1", cluster.tcdm.base)
+            cluster.tcdm.write_f64(cluster.tcdm.base, 1.0)
+        cluster, core, _ = run_single(source, setup)
+        assert cluster.tcdm.read_f64(cluster.tcdm.base + 8) == 4.0
+        assert cluster.tcdm.read_f64(cluster.tcdm.base + 16) == 4.0
+        assert core.fpu.stats.issued_compute == 8
+
+    def test_frep_zero_reps_skips_block(self):
+        source = """
+            li t0, 0
+            frep.o t0, 1
+            fadd.d ft4, ft4, ft5
+        """
+        _, core, _ = run_single(source)
+        assert core.fpu.stats.issued_compute == 0
+
+    def test_frep_frees_integer_issue_slots(self):
+        # With FREP the integer core finishes dispatching long before the FPU
+        # drains, so total cycles track the FP work, not 2x the FP work.
+        body = "fmul.d ft4, ft5, ft6\n" * 8
+        with_frep = f"li t0, 8\nfrep.o t0, 8\n{body}"
+        without = body * 8
+        _, _, frep_result = run_single(with_frep)
+        _, _, plain_result = run_single(without)
+        assert frep_result.total_flops == plain_result.total_flops
+        assert frep_result.cycles <= plain_result.cycles
+
+    def test_memory_ops_rejected_inside_frep(self):
+        with pytest.raises(FpuError):
+            FrepBlock(instructions=[assemble("fld ft3, 0(t0)")[0]], reps=2)
+
+    def test_frep_block_bad_reps(self):
+        with pytest.raises(FpuError):
+            FrepBlock(instructions=[assemble("fadd.d ft3, ft4, ft5")[0]], reps=0)
+
+
+class TestIcacheAndCluster:
+    def test_icache_hits_after_first_pass(self):
+        cache = InstructionCache(TimingParams())
+        assert not cache.lookup(0, 0)
+        assert cache.lookup(0, 1)
+        assert cache.lookup(0, 0)
+        assert cache.miss_rate < 1.0
+
+    def test_icache_capacity_eviction(self):
+        params = TimingParams(icache_lines=2, icache_line_insts=1)
+        cache = InstructionCache(params)
+        cache.lookup(0, 0)
+        cache.lookup(0, 1)
+        cache.lookup(0, 2)
+        assert not cache.lookup(0, 0)  # evicted
+
+    def test_cluster_requires_programs(self):
+        with pytest.raises(ClusterError):
+            SnitchCluster().run()
+
+    def test_cluster_detects_runaway_program(self):
+        source = "loop:\n  j loop\n"
+        cluster = SnitchCluster()
+        cluster.load_programs([assemble(source)])
+        with pytest.raises(ClusterError):
+            cluster.run(max_cycles=200)
+
+    def test_multicore_hartid_and_independent_state(self):
+        source = """
+            csrr a0, mhartid
+            slli t0, a0, 3
+            add  t1, a1, t0
+            fcvt.d.w ft3, a0
+            fsd ft3, 0(t1)
+        """
+        cluster = SnitchCluster()
+        programs = [assemble(source, name=f"p{i}") for i in range(4)]
+        cluster.load_programs(programs)
+        for core in cluster.cores:
+            core.set_reg("a1", cluster.tcdm.base)
+        cluster.run()
+        values = cluster.tcdm.read_f64_array(cluster.tcdm.base, 4)
+        assert list(values) == [0.0, 1.0, 2.0, 3.0]
+
+    def test_too_many_programs_rejected(self):
+        cluster = SnitchCluster()
+        programs = [assemble("nop") for _ in range(9)]
+        with pytest.raises(ClusterError):
+            cluster.load_programs(programs)
+
+
+class TestDmaEngine:
+    def test_1d_copy(self):
+        cluster = SnitchCluster()
+        src = cluster.alloc_main(256)
+        dst = cluster.alloc_f64(32)
+        data = np.arange(32, dtype=np.float64)
+        cluster.main_memory.write_f64_array(src, data)
+        cluster.dma.enqueue(DmaTransfer(src=src, dst=dst, inner_bytes=256))
+        cluster.dma.run_to_completion()
+        assert np.array_equal(cluster.tcdm.read_f64_array(dst, 32), data)
+
+    def test_2d_strided_copy(self):
+        cluster = SnitchCluster()
+        src = cluster.alloc_main(8 * 64)
+        dst = cluster.alloc(8 * 16)
+        rows = np.arange(64, dtype=np.float64).reshape(8, 8)
+        cluster.main_memory.write_f64_array(src, rows.ravel())
+        # Copy the first two elements of every row.
+        cluster.dma.enqueue(DmaTransfer(src=src, dst=dst, inner_bytes=16,
+                                        outer_reps=8, src_stride=64, dst_stride=16))
+        cluster.dma.run_to_completion()
+        got = cluster.tcdm.read_f64_array(dst, 16).reshape(8, 2)
+        assert np.array_equal(got, rows[:, :2])
+
+    def test_utilization_increases_with_row_length(self):
+        engine = DmaEngine([], TimingParams())
+        short = DmaTransfer(src=0, dst=0, inner_bytes=128, outer_reps=16)
+        long = DmaTransfer(src=0, dst=0, inner_bytes=512, outer_reps=4)
+        assert engine.transfer_utilization(long) > engine.transfer_utilization(short)
+
+    def test_cycle_accounting(self):
+        engine = DmaEngine([], TimingParams())
+        transfer = DmaTransfer(src=0, dst=0, inner_bytes=512, outer_reps=4)
+        cycles = engine.transfer_cycles(transfer)
+        assert cycles == 4 * (8 + 2) + 8
+
+    def test_invalid_descriptor_rejected(self):
+        with pytest.raises(ValueError):
+            DmaTransfer(src=0, dst=0, inner_bytes=0)
+        with pytest.raises(ValueError):
+            DmaTransfer(src=0, dst=0, inner_bytes=8, outer_reps=0)

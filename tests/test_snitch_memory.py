@@ -1,0 +1,141 @@
+"""Tests for the TCDM (banked scratchpad), main memory and allocator."""
+
+import numpy as np
+import pytest
+
+from repro.snitch.main_memory import ByteStore, MainMemory, MemoryError_
+from repro.snitch.tcdm import TCDM, TcdmAllocator
+
+
+class TestByteStore:
+    def test_typed_roundtrips(self):
+        mem = ByteStore(0x1000, 256)
+        mem.write_f64(0x1000, 3.25)
+        assert mem.read_f64(0x1000) == 3.25
+        mem.write_u32(0x1010, 0xDEADBEEF)
+        assert mem.read_u32(0x1010) == 0xDEADBEEF
+        mem.write_i16(0x1020, -7)
+        assert mem.read_i16(0x1020) == -7
+        mem.write_u8(0x1030, 200)
+        assert mem.read_u8(0x1030) == 200
+
+    def test_signed_i32(self):
+        mem = ByteStore(0, 64)
+        mem.write_i32(0, -123456)
+        assert mem.read_i32(0) == -123456
+
+    def test_array_helpers(self):
+        mem = ByteStore(0, 1024)
+        data = np.linspace(0.0, 1.0, 16)
+        mem.write_f64_array(64, data)
+        assert np.array_equal(mem.read_f64_array(64, 16), data)
+
+    def test_i16_array(self):
+        mem = ByteStore(0, 256)
+        mem.write_i16_array(0, [-1, 2, -3, 4])
+        assert [mem.read_i16(i * 2) for i in range(4)] == [-1, 2, -3, 4]
+
+    def test_fill(self):
+        mem = ByteStore(0, 256)
+        mem.fill_f64(0, 4, 2.5)
+        assert np.array_equal(mem.read_f64_array(0, 4), np.full(4, 2.5))
+
+    def test_out_of_range_rejected(self):
+        mem = ByteStore(0x1000, 64)
+        with pytest.raises(MemoryError_):
+            mem.read_f64(0x0FF8)
+        with pytest.raises(MemoryError_):
+            mem.write_f64(0x1000 + 64 - 4, 1.0)
+
+    def test_contains(self):
+        mem = ByteStore(0x100, 16)
+        assert mem.contains(0x100, 16)
+        assert not mem.contains(0x100, 17)
+        assert not mem.contains(0xFF)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(MemoryError_):
+            ByteStore(0, 0)
+
+
+class TestMainMemory:
+    def test_default_region(self):
+        mem = MainMemory()
+        assert mem.contains(0x8000_0000)
+        mem.write_f64(0x8000_0000, 1.5)
+        assert mem.read_f64(0x8000_0000) == 1.5
+
+
+class TestTcdmArbitration:
+    def test_bank_mapping_is_word_interleaved(self):
+        tcdm = TCDM()
+        assert tcdm.bank_of(tcdm.base) == 0
+        assert tcdm.bank_of(tcdm.base + 8) == 1
+        assert tcdm.bank_of(tcdm.base + 8 * 32) == 0
+
+    def test_same_bank_conflicts_within_cycle(self):
+        tcdm = TCDM()
+        tcdm.begin_cycle()
+        assert tcdm.request(tcdm.base)
+        assert not tcdm.request(tcdm.base)          # same bank, same cycle
+        assert tcdm.request(tcdm.base + 8)          # different bank
+        assert tcdm.conflicts == 1
+
+    def test_conflict_clears_next_cycle(self):
+        tcdm = TCDM()
+        tcdm.begin_cycle()
+        assert tcdm.request(tcdm.base)
+        tcdm.begin_cycle()
+        assert tcdm.request(tcdm.base)
+
+    def test_all_banks_usable_in_one_cycle(self):
+        tcdm = TCDM()
+        tcdm.begin_cycle()
+        grants = [tcdm.request(tcdm.base + 8 * i) for i in range(tcdm.num_banks)]
+        assert all(grants)
+        assert not tcdm.request(tcdm.base + 8 * tcdm.num_banks)
+
+    def test_conflict_rate_and_reset(self):
+        tcdm = TCDM()
+        tcdm.begin_cycle()
+        tcdm.request(tcdm.base)
+        tcdm.request(tcdm.base)
+        assert tcdm.conflict_rate == pytest.approx(0.5)
+        tcdm.reset_stats()
+        assert tcdm.total_requests == 0 and tcdm.conflict_rate == 0.0
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            TCDM(num_banks=0)
+
+
+class TestTcdmAllocator:
+    def test_alignment_and_progression(self):
+        tcdm = TCDM()
+        alloc = TcdmAllocator(tcdm)
+        a = alloc.alloc(10, align=8)
+        b = alloc.alloc(8, align=8)
+        assert a % 8 == 0 and b % 8 == 0 and b >= a + 10
+        assert alloc.used >= 18
+
+    def test_alloc_f64(self):
+        alloc = TcdmAllocator(TCDM())
+        addr = alloc.alloc_f64(16)
+        assert addr % 8 == 0
+
+    def test_exhaustion(self):
+        alloc = TcdmAllocator(TCDM())
+        with pytest.raises(MemoryError):
+            alloc.alloc(1 << 30)
+
+    def test_negative_size_rejected(self):
+        alloc = TcdmAllocator(TCDM())
+        with pytest.raises(ValueError):
+            alloc.alloc(-8)
+
+    def test_reset(self):
+        tcdm = TCDM()
+        alloc = TcdmAllocator(tcdm)
+        first = alloc.alloc(64)
+        alloc.reset()
+        assert alloc.alloc(64) == first

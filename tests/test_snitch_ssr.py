@@ -1,0 +1,242 @@
+"""Tests for the SSR data movers (affine and indirect streams)."""
+
+import numpy as np
+import pytest
+
+from repro.snitch.params import TimingParams
+from repro.snitch.ssr import DataMover, SsrConfigError, SsrUnit
+from repro.snitch.tcdm import TCDM
+
+
+@pytest.fixture
+def tcdm():
+    return TCDM()
+
+
+def drain_read(mover, tcdm, count, max_cycles=10_000):
+    """Run the mover until `count` elements have been popped; return them."""
+    values = []
+    cycles = 0
+    while len(values) < count:
+        tcdm.begin_cycle()
+        mover.tick()
+        while mover.can_pop() and len(values) < count:
+            values.append(mover.pop())
+        cycles += 1
+        assert cycles < max_cycles, "stream did not produce enough elements"
+    return values
+
+
+class TestAffineReadStream:
+    def test_1d_sequence(self, tcdm):
+        data = np.arange(8, dtype=np.float64)
+        tcdm.write_f64_array(tcdm.base, data)
+        mover = DataMover(2, tcdm, indirect_capable=False)
+        mover.cfg_dims(1)
+        mover.cfg_bound(0, 8)
+        mover.cfg_stride(0, 8)
+        mover.cfg_base(tcdm.base)
+        assert mover.start_affine()
+        assert drain_read(mover, tcdm, 8) == list(data)
+
+    def test_2d_strided_sequence(self, tcdm):
+        # 4x4 grid; read column 0 of every row (stride 32), twice nested.
+        grid = np.arange(16, dtype=np.float64)
+        tcdm.write_f64_array(tcdm.base, grid)
+        mover = DataMover(2, tcdm, indirect_capable=False)
+        mover.cfg_dims(2)
+        mover.cfg_bound(0, 2)
+        mover.cfg_stride(0, 8)      # two consecutive elements
+        mover.cfg_bound(1, 4)
+        mover.cfg_stride(1, 32)     # next row
+        mover.cfg_base(tcdm.base)
+        mover.start_affine()
+        values = drain_read(mover, tcdm, 8)
+        expected = [0.0, 1.0, 4.0, 5.0, 8.0, 9.0, 12.0, 13.0]
+        assert values == expected
+
+    def test_repeating_pattern_with_zero_stride(self, tcdm):
+        table = np.array([1.5, 2.5, 3.5])
+        tcdm.write_f64_array(tcdm.base, table)
+        mover = DataMover(2, tcdm, indirect_capable=False)
+        mover.cfg_dims(2)
+        mover.cfg_bound(0, 3)
+        mover.cfg_stride(0, 8)
+        mover.cfg_bound(1, 2)
+        mover.cfg_stride(1, 0)      # repeat the table per outer iteration
+        mover.cfg_base(tcdm.base)
+        mover.start_affine()
+        assert drain_read(mover, tcdm, 6) == [1.5, 2.5, 3.5, 1.5, 2.5, 3.5]
+
+    def test_fifo_depth_limits_prefetch(self, tcdm):
+        params = TimingParams(ssr_fifo_depth=2)
+        tcdm.write_f64_array(tcdm.base, np.arange(16, dtype=np.float64))
+        mover = DataMover(2, tcdm, params, indirect_capable=False)
+        mover.cfg_dims(1)
+        mover.cfg_bound(0, 16)
+        mover.cfg_stride(0, 8)
+        mover.cfg_base(tcdm.base)
+        mover.start_affine()
+        for _ in range(10):
+            tcdm.begin_cycle()
+            mover.tick()
+        assert mover.available() == 2
+
+    def test_busy_until_consumed(self, tcdm):
+        tcdm.write_f64_array(tcdm.base, np.arange(4, dtype=np.float64))
+        mover = DataMover(2, tcdm, indirect_capable=False)
+        mover.cfg_dims(1)
+        mover.cfg_bound(0, 4)
+        mover.cfg_stride(0, 8)
+        mover.cfg_base(tcdm.base)
+        mover.start_affine()
+        assert mover.busy()
+        assert not mover.start_affine()  # cannot restart while busy
+        drain_read(mover, tcdm, 4)
+        assert not mover.busy()
+        assert mover.start_affine()
+
+
+class TestAffineWriteStream:
+    def test_write_sequence_lands_in_memory(self, tcdm):
+        mover = DataMover(2, tcdm, indirect_capable=False)
+        mover.cfg_write(True)
+        mover.cfg_dims(1)
+        mover.cfg_bound(0, 4)
+        mover.cfg_stride(0, 8)
+        mover.cfg_base(tcdm.base + 64)
+        mover.start_affine()
+        values = [1.0, 2.0, 3.0, 4.0]
+        written = 0
+        cycle = 0
+        while not mover.drained() or written < 4:
+            tcdm.begin_cycle()
+            if written < 4 and mover.can_push():
+                mover.push(values[written])
+                written += 1
+            mover.tick()
+            cycle += 1
+            assert cycle < 1000
+        assert list(tcdm.read_f64_array(tcdm.base + 64, 4)) == values
+
+    def test_push_to_read_stream_rejected(self, tcdm):
+        mover = DataMover(2, tcdm, indirect_capable=False)
+        with pytest.raises(SsrConfigError):
+            mover.push(1.0)
+
+    def test_push_overflow_rejected(self, tcdm):
+        params = TimingParams(ssr_fifo_depth=1)
+        mover = DataMover(2, tcdm, params, indirect_capable=False)
+        mover.cfg_write(True)
+        mover.cfg_dims(1)
+        mover.cfg_bound(0, 4)
+        mover.cfg_stride(0, 8)
+        mover.cfg_base(tcdm.base)
+        mover.start_affine()
+        mover.push(1.0)
+        assert not mover.can_push()
+        with pytest.raises(SsrConfigError):
+            mover.push(2.0)
+
+
+class TestIndirectStream:
+    def _setup_indirect(self, tcdm, indices, data, idx_size=2):
+        data_addr = tcdm.base
+        tcdm.write_f64_array(data_addr, data)
+        idx_addr = tcdm.base + 4096
+        if idx_size == 2:
+            tcdm.write_i16_array(idx_addr, indices)
+        else:
+            tcdm.write_i32_array(idx_addr, indices)
+        mover = DataMover(0, tcdm, indirect_capable=True)
+        mover.cfg_idx_size(idx_size)
+        mover.cfg_indirect(idx_addr, len(indices))
+        return mover, data_addr
+
+    def test_gather_with_positive_and_negative_indices(self, tcdm):
+        data = np.arange(32, dtype=np.float64)
+        indices = [0, 3, -2, 5]
+        mover, data_addr = self._setup_indirect(tcdm, indices, data)
+        base = data_addr + 8 * 8  # element 8 as the indirection base
+        assert mover.launch(base)
+        values = drain_read(mover, tcdm, 4)
+        assert values == [8.0, 11.0, 6.0, 13.0]
+
+    def test_same_indices_with_new_base(self, tcdm):
+        data = np.arange(32, dtype=np.float64)
+        indices = [0, 1, 2]
+        mover, data_addr = self._setup_indirect(tcdm, indices, data)
+        mover.launch(data_addr)
+        assert drain_read(mover, tcdm, 3) == [0.0, 1.0, 2.0]
+        mover.launch(data_addr + 10 * 8)
+        assert drain_read(mover, tcdm, 3) == [10.0, 11.0, 12.0]
+
+    def test_32bit_indices(self, tcdm):
+        data = np.arange(64, dtype=np.float64)
+        indices = [0, 40000 % 64, 2]  # value fits i32, exercise 4-byte path
+        mover, data_addr = self._setup_indirect(tcdm, [0, 33, 2], data, idx_size=4)
+        mover.launch(data_addr)
+        assert drain_read(mover, tcdm, 3) == [0.0, 33.0, 2.0]
+
+    def test_launch_blocked_while_busy(self, tcdm):
+        data = np.arange(16, dtype=np.float64)
+        mover, data_addr = self._setup_indirect(tcdm, [0, 1, 2, 3], data)
+        assert mover.launch(data_addr)
+        assert not mover.launch(data_addr)  # previous stream not yet consumed
+        drain_read(mover, tcdm, 4)
+        assert mover.launch(data_addr)
+
+    def test_launch_without_indirect_cfg_rejected(self, tcdm):
+        mover = DataMover(0, tcdm, indirect_capable=True)
+        with pytest.raises(SsrConfigError):
+            mover.launch(tcdm.base)
+
+    def test_indirect_on_affine_only_mover_rejected(self, tcdm):
+        mover = DataMover(2, tcdm, indirect_capable=False)
+        with pytest.raises(SsrConfigError):
+            mover.cfg_indirect(tcdm.base, 4)
+
+    def test_index_fetch_counts_as_tcdm_traffic(self, tcdm):
+        data = np.arange(16, dtype=np.float64)
+        mover, data_addr = self._setup_indirect(tcdm, [0, 1, 2, 3, 4], data)
+        mover.launch(data_addr)
+        drain_read(mover, tcdm, 5)
+        assert mover.index_requests >= 2  # five 16-bit indices span two words
+        assert mover.data_requests >= 5
+
+
+class TestSsrUnit:
+    def test_stream_reg_mapping_follows_enable(self, tcdm):
+        unit = SsrUnit(tcdm)
+        assert not unit.is_stream_reg(0)
+        unit.enabled = True
+        assert unit.is_stream_reg(0) and unit.is_stream_reg(2)
+        assert not unit.is_stream_reg(3)
+
+    def test_mover_index_validation(self, tcdm):
+        unit = SsrUnit(tcdm)
+        with pytest.raises(SsrConfigError):
+            unit.mover(3)
+
+    def test_dm2_is_not_indirect_capable(self, tcdm):
+        unit = SsrUnit(tcdm)
+        assert unit.mover(0).indirect_capable
+        assert unit.mover(1).indirect_capable
+        assert not unit.mover(2).indirect_capable
+
+    def test_write_drain_tracking(self, tcdm):
+        unit = SsrUnit(tcdm)
+        assert unit.all_writes_drained()
+        mover = unit.mover(2)
+        mover.cfg_write(True)
+        mover.cfg_dims(1)
+        mover.cfg_bound(0, 1)
+        mover.cfg_stride(0, 8)
+        mover.cfg_base(tcdm.base)
+        mover.start_affine()
+        mover.push(9.0)
+        assert not unit.all_writes_drained()
+        tcdm.begin_cycle()
+        unit.tick()
+        assert unit.all_writes_drained()
+        assert tcdm.read_f64(tcdm.base) == 9.0
