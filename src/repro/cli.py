@@ -6,6 +6,7 @@ Usage examples::
     python -m repro.cli run j3d27pt --variant saris
     python -m repro.cli compare jacobi_2d
     python -m repro.cli scaleout star3d2r
+    python -m repro.cli bench-speed
 """
 
 from __future__ import annotations
@@ -74,6 +75,32 @@ def _cmd_scaleout(args) -> int:
     return 0
 
 
+def _cmd_bench_speed(args) -> int:
+    # Imported lazily: the harness lives in benchmarks/ when run from a repo
+    # checkout but is also importable standalone next to this module's tests.
+    import os
+    import sys as _sys
+
+    bench_dir = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))), "benchmarks")
+    if os.path.isdir(bench_dir) and bench_dir not in _sys.path:
+        _sys.path.insert(0, bench_dir)
+    try:
+        import bench_simspeed
+    except ImportError as exc:  # pragma: no cover - packaging corner
+        print(f"bench-speed requires benchmarks/bench_simspeed.py: {exc}",
+              file=_sys.stderr)
+        return 1
+    if args.repetitions < 1:
+        print("bench-speed: --repetitions must be >= 1", file=_sys.stderr)
+        return 2
+    report = bench_simspeed.run_benchmark(repetitions=args.repetitions,
+                                          output=args.output)
+    bench_simspeed.print_report(report)
+    print(f"report written to {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(prog="repro",
@@ -101,6 +128,13 @@ def build_parser() -> argparse.ArgumentParser:
     scale_p.add_argument("kernel", choices=sorted(KERNEL_NAMES))
     scale_p.add_argument("--seed", type=int, default=0)
     scale_p.set_defaults(func=_cmd_scaleout)
+
+    bench_p = sub.add_parser(
+        "bench-speed",
+        help="time the Table-1 sweep and write BENCH_simspeed.json")
+    bench_p.add_argument("-o", "--output", default="BENCH_simspeed.json")
+    bench_p.add_argument("-r", "--repetitions", type=int, default=2)
+    bench_p.set_defaults(func=_cmd_bench_speed)
     return parser
 
 

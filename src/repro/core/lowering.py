@@ -33,6 +33,9 @@ class VReg:
 
     id: int
 
+    def __hash__(self) -> int:  # hot in dependency/interval dicts
+        return self.id
+
 
 @dataclass(frozen=True)
 class GridOperand:

@@ -11,6 +11,7 @@ sums created by the lowering stage.  This plays the role of the paper's
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -121,32 +122,48 @@ def schedule_block(ops: Sequence[AbstractOp],
         priority[idx] = best + _latency_of(ops[idx], lat)
     unscheduled_preds = [len(plist) for plist in preds]
     ready_time = [0] * n
-    ready = [idx for idx in range(n) if unscheduled_preds[idx] == 0]
     order: List[int] = []
     issue_cycle: List[int] = [0] * n
     cycle = 0
     scheduled = 0
+    # Two-heap variant of the original list scheduler with identical output:
+    # `pending` orders ready-but-not-yet-available ops by ready time, and
+    # `available` pops the (priority, -index) maximum the original computed
+    # with a linear scan.  An op's ready_time is final once it enters the
+    # ready set (all predecessors scheduled), so the lazy split is exact.
+    pending: List[tuple] = []
+    available: List[tuple] = []
+    for idx in range(n):
+        if unscheduled_preds[idx] == 0:
+            heapq.heappush(available, (-priority[idx], idx))
     while scheduled < n:
-        if not ready:
-            raise ValueError(
-                "cyclic dependency: no schedulable operation remains "
-                f"({n - scheduled} operations unscheduled)"
-            )
-        available = [idx for idx in ready if ready_time[idx] <= cycle]
+        while pending and pending[0][0] <= cycle:
+            _, idx = heapq.heappop(pending)
+            heapq.heappush(available, (-priority[idx], idx))
         if not available:
-            cycle = min(ready_time[idx] for idx in ready)
-            available = [idx for idx in ready if ready_time[idx] <= cycle]
+            if not pending:
+                raise ValueError(
+                    "cyclic dependency: no schedulable operation remains "
+                    f"({n - scheduled} operations unscheduled)"
+                )
+            cycle = pending[0][0]
+            while pending and pending[0][0] <= cycle:
+                _, idx = heapq.heappop(pending)
+                heapq.heappush(available, (-priority[idx], idx))
         # Highest priority first; original order breaks ties for determinism.
-        chosen = max(available, key=lambda idx: (priority[idx], -idx))
-        ready.remove(chosen)
+        _, chosen = heapq.heappop(available)
         order.append(chosen)
         issue_cycle[chosen] = cycle
         finish = cycle + _latency_of(ops[chosen], lat)
         for succ in succs[chosen]:
             unscheduled_preds[succ] -= 1
-            ready_time[succ] = max(ready_time[succ], finish)
+            if finish > ready_time[succ]:
+                ready_time[succ] = finish
             if unscheduled_preds[succ] == 0:
-                ready.append(succ)
+                if ready_time[succ] <= cycle:
+                    heapq.heappush(available, (-priority[succ], succ))
+                else:
+                    heapq.heappush(pending, (ready_time[succ], succ))
         scheduled += 1
         cycle += 1
     ordered_ops = [ops[idx] for idx in order]

@@ -1,4 +1,23 @@
-"""The eight-core Snitch cluster: cores, TCDM, instruction cache and DMA."""
+"""The eight-core Snitch cluster: cores, TCDM, instruction cache and DMA.
+
+Fast path / slow path
+---------------------
+
+The simulation loop in :meth:`SnitchCluster.run` is still a faithful
+cycle-by-cycle model — every live component is stepped once per cycle in a
+fixed rotation so TCDM bank arbitration stays bit-identical to the original
+tick-everything interpreter — but it is *quiescence-aware*:
+
+* cores that have finished are skipped outright instead of being ticked into
+  an early return every cycle;
+* when every live core is stalled (icache miss / divider / branch penalty)
+  with an idle FPU and no stream able to make a TCDM request, the cluster
+  clock fast-forwards to the earliest wake-up cycle, charging the skipped
+  cycles to the same per-component idle/busy counters one-by-one ticking
+  would have charged;
+* the DMA engine is only ticked while it has queued or in-flight work, and
+  its busy countdown participates in the fast-forward.
+"""
 
 from __future__ import annotations
 
@@ -9,6 +28,7 @@ import numpy as np
 from repro.isa.program import Program
 from repro.snitch.core import SnitchCore
 from repro.snitch.dma import DmaEngine
+from repro.snitch.fpu import FrepBlock
 from repro.snitch.icache import InstructionCache
 from repro.snitch.main_memory import MainMemory
 from repro.snitch.params import TimingParams
@@ -91,29 +111,210 @@ class SnitchCluster:
         """Run until every core (and optionally the DMA engine) has finished."""
         if not self.cores:
             raise ClusterError("no programs loaded")
-        num_cores = len(self.cores)
-        start_cycle = self.cycle
+        cores = self.cores
+        num_cores = len(cores)
+        dma = self.dma
+        tcdm = self.tcdm
+        busy_banks = tcdm._busy_banks
+        icache = self.icache
+        lines = icache._lines
+        lines_move_to_end = lines.move_to_end
+        line_insts = self.params.icache_line_insts
+        line_cap = self.params.icache_lines
+        miss_penalty = self.params.icache_miss_penalty
+        # When the resident lines plus every line these programs could touch
+        # cannot reach capacity, no eviction can ever occur and the LRU
+        # recency order is unobservable — hits then skip the reorder.  (A
+        # later over-capacity run on a reused cluster would start from an
+        # unordered recency list; no workload does that.)
+        lru_needed = (len(lines) + sum((core._plen + line_insts - 1) // line_insts
+                                       for core in cores)) > line_cap
+        # One record per core with every hot attribute pre-resolved; the loop
+        # below is the inlined equivalent of SnitchCore.tick (FPU issue,
+        # integer issue, SSR movers, in that order).  The per-rotation record
+        # orders are prebuilt so the cycle loop needs no index arithmetic.
+        records = [(core, core.fpu, core.fpu.stats, core.ssr, core.ssr.movers,
+                    core._handlers, core.stalls) for core in cores]
+        rotations = [tuple(records[r:] + records[:r]) for r in range(num_cores)]
+        cycle = self.cycle
+        start_cycle = cycle
+        num_live = sum(1 for core in cores if not core.finished)
         while True:
-            if self.cycle - start_cycle > max_cycles:
+            if cycle - start_cycle > max_cycles:
+                # Settle deferred statistics so a caller diagnosing the
+                # deadlock sees consistent TCDM counters.
+                tcdm.cycles += cycle - self.cycle
+                self.cycle = cycle
+                for core in cores:
+                    core.fpu.flush_tcdm_stats()
+                    core.ssr.flush_tcdm_stats()
                 raise ClusterError(
                     f"simulation exceeded {max_cycles} cycles; "
                     "the program is probably deadlocked"
                 )
-            all_done = all(core.finished for core in self.cores)
-            dma_done = self.dma.idle() or not wait_for_dma
-            if all_done and dma_done:
+            if num_live == 0 and (not wait_for_dma
+                                  or (dma._remaining_cycles == 0 and not dma._queue)):
                 break
-            self.tcdm.begin_cycle()
-            rotation = self.cycle % num_cores
-            for offset in range(num_cores):
-                core = self.cores[(offset + rotation) % num_cores]
-                core.tick(self.cycle)
-            self.dma.tick(self.cycle)
-            self.cycle += 1
+            if num_live:
+                # Cheap pre-check: a quiescent cluster needs every live FPU
+                # idle, so probe the full condition only when the first live
+                # core's FPU has nothing in flight.
+                for record in records:
+                    if not record[0].finished:
+                        first_fpu = record[1]
+                        break
+                if first_fpu._current is None and not first_fpu._queue:
+                    wake = self._quiescent_until(cycle)
+                    if wake is not None and wake - cycle >= 2:
+                        cycle = self._fast_forward(cycle, wake)
+            busy_banks.clear()
+            for record in rotations[cycle % num_cores]:
+                core, fpu, fpu_stats, ssr, movers, handlers, stalls = record
+                if core.finished:
+                    continue
+                # FPU sequencer issue slot (inlined FpuSequencer.tick).
+                current = fpu._current
+                if current is None:
+                    fpu_queue = fpu._queue
+                    if not fpu_queue:
+                        fpu_stats.idle_empty += 1
+                    else:
+                        current = fpu._current = fpu_queue.popleft()
+                        fpu._block_inst_idx = 0
+                        fpu._block_rep_idx = 0
+                if current is not None:
+                    if current.__class__ is FrepBlock:
+                        idx = fpu._block_inst_idx
+                        plan = current._plan
+                        if plan[idx](cycle, None):
+                            idx += 1
+                            if idx >= current._plan_len:
+                                fpu._block_inst_idx = 0
+                                rep = fpu._block_rep_idx + 1
+                                fpu._block_rep_idx = rep
+                                if rep >= current.reps:
+                                    fpu._current = None
+                            else:
+                                fpu._block_inst_idx = idx
+                    elif current[2](cycle, current[1]):
+                        fpu._current = None
+                # Integer pipeline issue slot.
+                pc = core.pc
+                if pc >= core._plen:
+                    if (fpu._current is None and not fpu._queue
+                            and ssr.all_writes_drained()):
+                        core.finished = True
+                        core.finish_cycle = cycle
+                        num_live -= 1
+                        # fall through: movers still tick on the finish cycle
+                elif cycle >= core._stall_until:
+                    if core._resident[pc]:
+                        # Line guaranteed in-cache (no-eviction mode memo).
+                        icache.hits += 1
+                        handler = handlers[pc]
+                        if handler is None:
+                            handler = core._build_handler(pc)
+                        handler(cycle)
+                    else:
+                        line = core._line_base + pc // line_insts
+                        if line in lines:
+                            if lru_needed:
+                                lines_move_to_end(line)
+                            else:
+                                core._resident[pc] = True
+                            icache.hits += 1
+                            handler = handlers[pc]
+                            if handler is None:
+                                handler = core._build_handler(pc)
+                            handler(cycle)
+                        else:
+                            icache.misses += 1
+                            lines[line] = True
+                            if len(lines) > line_cap:
+                                lines.popitem(last=False)
+                            stalls.icache += miss_penalty
+                            core._stall_until = cycle + miss_penalty
+                # SSR data movers.
+                if ssr._any_active:
+                    ticked = False
+                    for mover in movers:
+                        if mover._active:
+                            mover.tick()
+                            ticked = True
+                    if not ticked:
+                        ssr._any_active = False
+            if dma._remaining_cycles or dma._queue:
+                dma.tick(cycle)
+            cycle += 1
+        # One arbitration cycle per simulated cycle (including fast-forwarded
+        # ones), settled wholesale instead of per iteration.
+        tcdm.cycles += cycle - self.cycle
+        self.cycle = cycle
         return self._collect_result(start_cycle)
+
+    # -- quiescence-aware scheduling ------------------------------------------------
+
+    def _quiescent_until(self, cycle: int) -> Optional[int]:
+        """Earliest cycle at which any live component can act again.
+
+        Returns ``None`` unless *every* live core is stalled in its integer
+        pipeline with an idle FPU and no data mover able to issue a TCDM
+        request, and the DMA engine is either idle or draining a known busy
+        countdown.  Under those conditions nothing observable can happen
+        before the returned cycle, so the clock may jump there.
+        """
+        wake = None
+        for core in self.cores:
+            if core.finished:
+                continue
+            fpu = core.fpu
+            if fpu._current is not None or fpu._queue:
+                return None
+            if core.pc >= core._plen:
+                return None  # about to finish: finish_cycle must be exact
+            stall_until = core._stall_until
+            if stall_until <= cycle + 1:
+                return None
+            for mover in core.ssr.movers:
+                if mover._active and (mover.cfg.write
+                                      or len(mover._fifo) < mover._fifo_depth):
+                    return None
+            if wake is None or stall_until < wake:
+                wake = stall_until
+        dma = self.dma
+        remaining = dma._remaining_cycles
+        if dma._queue and remaining == 0:
+            return None  # a queued transfer would start next tick
+        if remaining:
+            dma_wake = cycle + remaining
+            if wake is None or dma_wake < wake:
+                wake = dma_wake
+        return wake
+
+    def _fast_forward(self, cycle: int, wake: int) -> int:
+        """Jump the clock to ``wake``, charging per-cycle idle/busy counters.
+
+        ``tcdm.cycles`` needs no adjustment here: the caller settles it from
+        the total cycle advance when the run loop exits.
+        """
+        skipped = wake - cycle
+        for core in self.cores:
+            if not core.finished:
+                core.fpu.stats.idle_empty += skipped
+        dma = self.dma
+        if dma._remaining_cycles:
+            burned = min(skipped, dma._remaining_cycles)
+            dma._remaining_cycles -= burned
+            dma.busy_cycles += burned
+        return wake
 
     def _collect_result(self, start_cycle: int) -> ClusterResult:
         core_stats = []
+        for core in self.cores:
+            # Settle the deferred granted-request counts into the TCDM totals
+            # before reading them (see the ssr/fpu module docstrings).
+            core.fpu.flush_tcdm_stats()
+            core.ssr.flush_tcdm_stats()
         for core in self.cores:
             finish = core.finish_cycle if core.finish_cycle is not None else self.cycle
             core_stats.append(CoreStats(

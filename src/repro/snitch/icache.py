@@ -11,7 +11,7 @@ of the residual inefficiencies listed in Section 3.1.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import Optional
 
 from repro.snitch.params import TimingParams
 
@@ -21,9 +21,12 @@ class InstructionCache:
 
     def __init__(self, params: Optional[TimingParams] = None) -> None:
         self.params = params or TimingParams()
-        self._lines: "OrderedDict[Tuple[int, int], bool]" = OrderedDict()
+        self._lines: "OrderedDict[int, bool]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+
+    #: Packs (hart, line) into one int key — cheaper to hash than a tuple.
+    _HART_SHIFT = 1 << 48
 
     def lookup(self, hart_id: int, pc: int) -> bool:
         """Look up the line containing ``pc``; returns ``True`` on a hit.
@@ -32,7 +35,7 @@ class InstructionCache:
         for stalling the core for :attr:`TimingParams.icache_miss_penalty`
         cycles.
         """
-        line = (hart_id, pc // self.params.icache_line_insts)
+        line = hart_id * self._HART_SHIFT + pc // self.params.icache_line_insts
         if line in self._lines:
             self._lines.move_to_end(line)
             self.hits += 1

@@ -156,7 +156,29 @@ class ByteStore:
 
 
 class MainMemory(ByteStore):
-    """Off-cluster main memory (HBM / DRAM side of the DMA engine)."""
+    """Off-cluster main memory (HBM / DRAM side of the DMA engine).
+
+    The 64 MiB backing store is allocated lazily on first access: most
+    single-cluster simulations never touch main memory (the kernels run out
+    of TCDM), and eagerly zero-filling tens of megabytes per cluster was a
+    measurable fraction of short runs.
+    """
 
     def __init__(self, base: int = 0x8000_0000, size: int = 64 * 1024 * 1024) -> None:
-        super().__init__(base, size, name="main_memory")
+        if size <= 0:
+            raise MemoryError_(f"main_memory: size must be positive, got {size}")
+        self.base = base
+        self.size = size
+        self.name = "main_memory"
+        self._data_buf = None
+
+    @property
+    def _data(self) -> bytearray:
+        buf = self._data_buf
+        if buf is None:
+            buf = self._data_buf = bytearray(self.size)
+        return buf
+
+    @_data.setter
+    def _data(self, value) -> None:
+        self._data_buf = value

@@ -6,6 +6,13 @@ most one request per cycle; two requests that map to the same bank in the same
 cycle conflict and one of them is retried the next cycle.  The paper names
 "TCDM access contention" as one of the residual inefficiencies of SARIS codes,
 so conflicts are modelled explicitly here.
+
+Fast-path note: the :meth:`TCDM.request` method is the reference arbitration
+implementation (used by the integer LSU and by directly-driven components in
+tests).  The fast engine's hot paths — SSR movers and compiled fld/fsd issue
+closures — inline the same protocol against ``_busy_banks`` and settle their
+granted-request totals wholesale via their ``flush_tcdm_stats`` helpers, so
+the counters here are exact whenever results are collected.
 """
 
 from __future__ import annotations

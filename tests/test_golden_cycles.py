@@ -1,0 +1,78 @@
+"""Golden-numbers regression for the fast simulation engine.
+
+``golden_cycles.json`` was recorded from the original tick-everything
+interpreter (the seed simulator) for all ten Table-1 kernels in both
+variants at the paper tile sizes, *before* the engine was re-architected
+around quiescence-aware scheduling, precomputed stream sequences and
+compiled instruction handlers.  Every cycle count, per-core stall breakdown,
+FPU issue/stall statistic and TCDM conflict statistic must match the seed
+exactly — the fast engine is an optimization, not a model change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import run_kernel
+from repro.core.kernels import TABLE1_KERNELS
+
+GOLDEN_PATH = Path(__file__).parent / "golden_cycles.json"
+
+with GOLDEN_PATH.open() as fh:
+    GOLDEN = json.load(fh)
+
+
+def _snapshot(cluster_result) -> dict:
+    """The observable statistics of one run, in golden-file form."""
+    return {
+        "cycles": cluster_result.cycles,
+        "tcdm_requests": cluster_result.tcdm_requests,
+        "tcdm_conflicts": cluster_result.tcdm_conflicts,
+        "icache_hits": cluster_result.icache_hits,
+        "icache_misses": cluster_result.icache_misses,
+        "dma_bytes": cluster_result.dma_bytes,
+        "dma_busy_cycles": cluster_result.dma_busy_cycles,
+        "cores": [
+            {
+                "hart_id": core.hart_id,
+                "cycles": core.cycles,
+                "int_retired": core.int_retired,
+                "fp_issued": core.fp_issued,
+                "fp_compute": core.fp_compute,
+                "flops": core.flops,
+                "stalls": core.stalls,
+                "fpu_stalls": core.fpu_stalls,
+            }
+            for core in cluster_result.cores
+        ],
+    }
+
+
+def test_golden_file_covers_table1():
+    assert set(GOLDEN) == {f"{name}/{variant}"
+                           for name in TABLE1_KERNELS
+                           for variant in ("base", "saris")}
+
+
+@pytest.mark.parametrize("variant", ["base", "saris"])
+@pytest.mark.parametrize("name", sorted(TABLE1_KERNELS))
+def test_bit_identical_to_seed_simulator(name, variant):
+    result = run_kernel(name, variant=variant)
+    assert result.correct
+    got = _snapshot(result.cluster)
+    expected = GOLDEN[f"{name}/{variant}"]
+    # Compare piecewise for a readable failure before the full comparison.
+    assert got["cycles"] == expected["cycles"], "total cycle count drifted"
+    assert got["tcdm_conflicts"] == expected["tcdm_conflicts"], \
+        "TCDM conflict statistics drifted"
+    assert got["tcdm_requests"] == expected["tcdm_requests"], \
+        "TCDM request statistics drifted"
+    for got_core, exp_core in zip(got["cores"], expected["cores"]):
+        assert got_core["stalls"] == exp_core["stalls"], \
+            f"hart {exp_core['hart_id']}: integer stall breakdown drifted"
+        assert got_core["fpu_stalls"] == exp_core["fpu_stalls"], \
+            f"hart {exp_core['hart_id']}: FPU stall breakdown drifted"
+    assert got == expected

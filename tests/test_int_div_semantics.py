@@ -1,0 +1,123 @@
+"""RISC-V integer division/remainder and jump-target semantics.
+
+The original model divided through a 64-bit float (``int(ua / ub)``) and left
+the ``jalr`` target unmasked; these tests pin the exact-integer RISC-V
+behaviour: signed ``div``/``rem`` truncate toward zero, division by zero
+yields all-ones / the dividend, the INT_MIN / -1 overflow wraps, and computed
+jump targets stay inside the 32-bit address space.
+"""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.snitch.cluster import SnitchCluster
+
+
+def run_single(source: str, setup=None, max_cycles: int = 100_000):
+    cluster = SnitchCluster()
+    cluster.load_programs([assemble(source, name="test")])
+    core = cluster.cores[0]
+    if setup:
+        setup(cluster, core)
+    result = cluster.run(max_cycles=max_cycles)
+    return cluster, core, result
+
+
+def run_div(mnemonic: str, a: int, b: int) -> int:
+    source = f"""
+        {mnemonic} t2, t0, t1
+    """
+    def setup(cluster, core):
+        core.set_reg("t0", a)
+        core.set_reg("t1", b)
+    _, core, _ = run_single(source, setup)
+    return core.int_regs.read(7)
+
+
+class TestSignedDivision:
+    def test_truncates_toward_zero_negative_dividend(self):
+        assert run_div("div", -7, 2) == -3  # not floor (-4)
+        assert run_div("rem", -7, 2) == -1  # sign follows the dividend
+
+    def test_truncates_toward_zero_negative_divisor(self):
+        assert run_div("div", 7, -2) == -3
+        assert run_div("rem", 7, -2) == 1
+
+    def test_both_negative(self):
+        assert run_div("div", -7, -2) == 3
+        assert run_div("rem", -7, -2) == -1
+
+    def test_int_max_boundary(self):
+        assert run_div("div", 0x7FFFFFFF, 1) == 0x7FFFFFFF
+        assert run_div("div", 0x7FFFFFFF, 2) == 0x3FFFFFFF
+        assert run_div("rem", 0x7FFFFFFF, 2) == 1
+        # Large dividend over a large divisor: quotient must be exact even
+        # though the operands exhaust the 32-bit range.
+        assert run_div("div", 0x7FFFFFFF, 0x10001) == 0x7FFFFFFF // 0x10001
+        assert run_div("rem", 0x7FFFFFFF, 0x10001) == 0x7FFFFFFF % 0x10001
+
+    def test_overflow_int_min_by_minus_one_wraps(self):
+        # RISC-V: quotient overflows and wraps back to INT_MIN, remainder 0.
+        assert run_div("div", -(1 << 31), -1) == -(1 << 31)
+        assert run_div("rem", -(1 << 31), -1) == 0
+
+    def test_division_by_zero(self):
+        assert run_div("div", 41, 0) == -1  # all ones
+        assert run_div("rem", 41, 0) == 41  # dividend passes through
+
+
+class TestUnsignedDivision:
+    def test_operands_interpreted_unsigned(self):
+        # -1 is 0xFFFFFFFF unsigned; the register file stores the wrapped
+        # two's-complement view of the unsigned results.
+        assert run_div("divu", -1, 2) == 0x7FFFFFFF
+        assert run_div("remu", -1, 2) == 1
+
+    def test_large_unsigned_boundaries(self):
+        assert run_div("divu", -1, 1) == -1  # 0xFFFFFFFF / 1 = 0xFFFFFFFF
+        assert run_div("divu", 0x80000000 - (1 << 32), 3) == 0x80000000 // 3
+        assert run_div("remu", 0x80000000 - (1 << 32), 3) == 0x80000000 % 3
+
+    def test_division_by_zero(self):
+        assert run_div("divu", 41, 0) == -1  # all ones
+        assert run_div("remu", 41, 0) == 41
+
+
+class TestDivisionTiming:
+    def test_divider_latency_stalls_pipeline(self):
+        _, core, result = run_single("""
+            li t0, 17
+            li t1, 5
+            div t2, t0, t1
+            addi t3, t2, 1
+        """)
+        assert core.int_regs.read(28) == 4
+        assert core.stalls.div == core.params.div_latency
+        assert result.cycles > 4
+
+
+class TestJalrTargetMasking:
+    def test_negative_target_wraps_to_halt(self):
+        # t0 + (-4) is negative; the wrapped 32-bit target lies far past the
+        # end of the program, so the core must halt — the unmasked model
+        # indexed the program from the end and executed the tail again.
+        source = """
+            li t0, 2
+            jalr ra, t0, -4
+            li a0, 99
+        """
+        _, core, _ = run_single(source)
+        assert core.int_regs.read(10) == 0  # the tail li must not execute
+        assert core.int_regs.read(1) == 2  # link register still written
+        assert core.finished
+
+    def test_forward_computed_jump(self):
+        source = """
+            li t0, 4
+            jalr ra, t0, -1
+            li a0, 99
+            li a1, 7
+        """
+        _, core, _ = run_single(source)
+        assert core.int_regs.read(10) == 0  # skipped
+        assert core.int_regs.read(11) == 7  # landed on the last instruction
