@@ -1,116 +1,24 @@
-"""Simulation-speed benchmark: times the full Table-1 base+SARIS sweep.
+"""Thin shim: the simulation-speed harness lives in :mod:`repro.bench`.
 
-This harness measures how fast the *simulator itself* runs — wall seconds and
-simulated cycles per second for the exact sweep every figure/table benchmark
-consumes (all ten Table-1 kernels, both variants, paper tile sizes) — and
-writes the result to ``BENCH_simspeed.json`` so future changes have a
-performance trajectory to regress against.
-
-Two sweep repetitions are timed by default: the first is *cold* (codegen and
-stream-sequence caches empty, as in a fresh benchmark session), later ones are
-*warm* (memoized codegen, the steady state of a long-running service or a
-pytest session).  The headline cycles-per-second figure uses the best
-repetition.
-
-Usage::
+Kept so the historical invocation keeps working from a repo checkout::
 
     PYTHONPATH=src python benchmarks/bench_simspeed.py [-o OUTPUT] [-r REPS]
-    PYTHONPATH=src python -m repro.cli bench-speed
 
-Reference point: the seed (pre-fast-engine) simulator ran this sweep in
-~12.7 s on the machine that recorded ``tests/golden_cycles.json``.
+See :mod:`repro.bench.simspeed` for the implementation (Table-1 sweep timing
+plus the serial / parallel / warm-cache sweep-engine suite benchmark).
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
 import sys
-import time
-from typing import Dict, List, Optional
 
-from repro import compare_variants
-from repro.core.kernels import TABLE1_KERNELS
-
-
-def run_sweep() -> Dict[str, object]:
-    """Run the Table-1 base+SARIS sweep once; return timing and cycle totals."""
-    per_kernel: Dict[str, Dict[str, object]] = {}
-    total_cycles = 0
-    start = time.perf_counter()
-    for name in TABLE1_KERNELS:
-        kernel_start = time.perf_counter()
-        pair = compare_variants(name)
-        cycles = pair.base.cycles + pair.saris.cycles
-        total_cycles += cycles
-        per_kernel[name] = {
-            "wall_seconds": round(time.perf_counter() - kernel_start, 4),
-            "base_cycles": pair.base.cycles,
-            "saris_cycles": pair.saris.cycles,
-            "speedup": round(pair.speedup, 3),
-        }
-    wall = time.perf_counter() - start
-    return {
-        "wall_seconds": round(wall, 3),
-        "simulated_cycles": total_cycles,
-        "cycles_per_second": round(total_cycles / wall, 1),
-        "kernels": per_kernel,
-    }
-
-
-def run_benchmark(repetitions: int = 2,
-                  output: Optional[str] = "BENCH_simspeed.json") -> Dict[str, object]:
-    """Time ``repetitions`` sweeps and (optionally) write the JSON report."""
-    if repetitions < 1:
-        raise ValueError("repetitions must be >= 1")
-    sweeps: List[Dict[str, object]] = []
-    for _ in range(repetitions):
-        sweeps.append(run_sweep())
-    best = min(sweeps, key=lambda sweep: sweep["wall_seconds"])
-    report = {
-        "benchmark": "table1_sweep",
-        "description": "Full Table-1 base+SARIS sweep at paper tile sizes",
-        "python": platform.python_version(),
-        "repetitions": repetitions,
-        "cold_wall_seconds": sweeps[0]["wall_seconds"],
-        "best_wall_seconds": best["wall_seconds"],
-        "simulated_cycles": best["simulated_cycles"],
-        "best_cycles_per_second": best["cycles_per_second"],
-        "sweeps": sweeps,
-    }
-    if output:
-        with open(output, "w") as fh:
-            json.dump(report, fh, indent=1, sort_keys=True)
-            fh.write("\n")
-    return report
-
-
-def print_report(report: Dict[str, object]) -> None:
-    """Human-readable summary of a benchmark report."""
-    print(f"Table-1 sweep ({report['repetitions']} repetitions, "
-          f"python {report['python']}):")
-    for idx, sweep in enumerate(report["sweeps"]):
-        label = "cold" if idx == 0 else "warm"
-        print(f"  sweep {idx} ({label}): {sweep['wall_seconds']:.2f} s wall, "
-              f"{sweep['cycles_per_second']:,.0f} simulated cycles/s")
-    print(f"  best: {report['best_wall_seconds']:.2f} s "
-          f"({report['best_cycles_per_second']:,.0f} cycles/s) for "
-          f"{report['simulated_cycles']:,} simulated cycles")
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("-o", "--output", default="BENCH_simspeed.json",
-                        help="JSON report path (default: %(default)s)")
-    parser.add_argument("-r", "--repetitions", type=int, default=2,
-                        help="number of sweep repetitions (default: %(default)s)")
-    args = parser.parse_args(argv)
-    report = run_benchmark(repetitions=args.repetitions, output=args.output)
-    print_report(report)
-    print(f"report written to {args.output}")
-    return 0
-
+from repro.bench.simspeed import (  # noqa: F401  (re-exported API)
+    main,
+    print_report,
+    run_benchmark,
+    run_suite_benchmark,
+    run_sweep_timing,
+)
 
 if __name__ == "__main__":
     sys.exit(main())

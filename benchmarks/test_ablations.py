@@ -8,90 +8,67 @@ SARIS ingredients on representative kernels:
   (approximated by comparing stream balance and utilization),
 * unrolling / block size of the SARIS point loop,
 * the step-3 policy (stream the output stores vs stream the coefficients).
+
+All simulations run through the shared sweep engine (see the session-scoped
+``ablation_runs`` fixture); the tables are built by the same artifact
+builders the ``repro reproduce`` CLI uses.
 """
 
-import pytest
-
-from repro import run_kernel
 from repro.analysis import format_table
+from repro.sweep.artifacts import ABLATION_BLOCKS, build_ablations
 
 
-@pytest.fixture(scope="module")
-def frep_ablation():
-    with_frep = run_kernel("jacobi_2d", variant="saris")
-    without = run_kernel("jacobi_2d", variant="saris", use_frep=False)
-    return with_frep, without
+def _artifact(ablation_runs, paper_runs, title_prefix):
+    artifacts = build_ablations(ablation_runs, paper_runs)
+    for artifact in artifacts:
+        if artifact["title"].startswith(title_prefix):
+            return artifact
+    raise AssertionError(f"no ablation artifact titled {title_prefix!r}")
 
 
-def test_ablation_frep(benchmark, frep_ablation):
-    with_frep, without = frep_ablation
-    rows = [
-        ["cycles", with_frep.cycles, without.cycles],
-        ["FPU utilization", f"{with_frep.fpu_util:.3f}", f"{without.fpu_util:.3f}"],
-        ["IPC", f"{with_frep.ipc:.3f}", f"{without.ipc:.3f}"],
-    ]
-    benchmark(lambda: rows)
-    print("\n" + format_table(["metric", "with FREP", "without FREP"], rows,
-                              title="Ablation: FREP hardware loop (jacobi_2d, saris)"))
+def test_ablation_frep(benchmark, ablation_runs, paper_runs):
+    artifact = benchmark(_artifact, ablation_runs, paper_runs,
+                         "Ablation: FREP")
+    print("\n" + format_table(artifact["columns"], artifact["rows"],
+                              title=artifact["title"]))
+    with_frep = artifact["data"]["with_frep"]
+    without = artifact["data"]["without_frep"]
     assert with_frep.correct and without.correct
     assert with_frep.cycles <= without.cycles
     assert with_frep.fpu_util >= without.fpu_util - 0.02
 
 
-def test_ablation_unroll(benchmark):
-    def build():
-        results = {}
-        for max_block in (1, 4, 16):
-            results[max_block] = run_kernel("jacobi_2d", variant="saris",
-                                            max_block=max_block)
-        return results
-
-    results = benchmark(build)
-    rows = [[block, r.cycles, f"{r.fpu_util:.3f}"]
-            for block, r in sorted(results.items())]
-    print("\n" + format_table(["block points per launch", "cycles", "FPU util"],
-                              rows, title="Ablation: SARIS block size (jacobi_2d)"))
+def test_ablation_unroll(benchmark, ablation_runs, paper_runs):
+    artifact = benchmark(_artifact, ablation_runs, paper_runs,
+                         "Ablation: SARIS block size")
+    print("\n" + format_table(artifact["columns"], artifact["rows"],
+                              title=artifact["title"]))
+    results = artifact["data"]
+    assert set(results) == set(ABLATION_BLOCKS)
     for r in results.values():
         assert r.correct
     assert results[16].cycles < results[1].cycles
     assert results[16].fpu_util > results[1].fpu_util
 
 
-def test_ablation_sr2_policy(benchmark):
-    def build():
-        stores_streamed = run_kernel("star3d7pt", variant="saris")
-        coeffs_streamed = run_kernel("star3d7pt", variant="saris",
-                                     force_store_streamed=False)
-        return stores_streamed, coeffs_streamed
-
-    stores_streamed, coeffs_streamed = benchmark(build)
-    rows = [
-        ["cycles", stores_streamed.cycles, coeffs_streamed.cycles],
-        ["FPU utilization", f"{stores_streamed.fpu_util:.3f}",
-         f"{coeffs_streamed.fpu_util:.3f}"],
-    ]
-    print("\n" + format_table(
-        ["metric", "SR2 = output stores", "SR2 = coefficients"], rows,
-        title="Ablation: role of the remaining affine stream register (star3d7pt)"))
+def test_ablation_sr2_policy(benchmark, ablation_runs, paper_runs):
+    artifact = benchmark(_artifact, ablation_runs, paper_runs,
+                         "Ablation: role of the remaining affine stream")
+    print("\n" + format_table(artifact["columns"], artifact["rows"],
+                              title=artifact["title"]))
+    stores_streamed = artifact["data"]["stores"]
+    coeffs_streamed = artifact["data"]["coeffs"]
     assert stores_streamed.correct and coeffs_streamed.correct
     # With few coefficients, streaming the stores is the better policy — this
     # is exactly why step 3 of the method prefers it when registers suffice.
     assert stores_streamed.cycles <= coeffs_streamed.cycles * 1.1
 
 
-def test_ablation_stream_balance(benchmark, paper_runs):
-    def build():
-        rows = {}
-        for name, pair in paper_runs.items():
-            info = pair.saris.program_info[0]
-            rows[name] = (info["stream_balance"], pair.saris.fpu_util)
-        return rows
-
-    data = benchmark(build)
-    rows = [[name, f"{balance:.2f}", f"{util:.2f}"]
-            for name, (balance, util) in sorted(data.items())]
-    print("\n" + format_table(["code", "SR0/SR1 balance", "saris FPU util"], rows,
-                              title="Ablation: stream partition balance per kernel"))
+def test_ablation_stream_balance(benchmark, ablation_runs, paper_runs):
+    artifact = benchmark(_artifact, ablation_runs, paper_runs,
+                         "Ablation: stream partition balance")
+    print("\n" + format_table(artifact["columns"], artifact["rows"],
+                              title=artifact["title"]))
     # Step 2 of the method requires near-balanced utilization of SR0 and SR1.
-    for name, (balance, _util) in data.items():
+    for name, (balance, _util) in artifact["data"].items():
         assert balance >= 0.7, f"{name}: unbalanced stream partition"

@@ -2,22 +2,15 @@
 
 from repro.analysis import format_table, geomean
 from repro.core.kernels import TABLE1_KERNELS
+from repro.sweep.artifacts import build_fig3a
 
 
-def test_fig3a_speedup(benchmark, paper_runs, paper_reference):
-    def build():
-        return {name: paper_runs[name].speedup for name in TABLE1_KERNELS}
-
-    speedups = benchmark(build)
-    rows = []
-    for name in TABLE1_KERNELS:
-        rows.append([name, f"{speedups[name]:.2f}",
-                     f"{paper_reference['speedup'][name]:.2f}"])
-    measured_geomean = geomean(speedups.values())
-    rows.append(["geomean", f"{measured_geomean:.2f}",
-                 f"{paper_reference['speedup_geomean']:.2f}"])
-    print("\n" + format_table(["code", "speedup (measured)", "speedup (paper)"],
-                              rows, title="Figure 3a: SARIS speedup over base"))
+def test_fig3a_speedup(benchmark, paper_runs):
+    artifact = benchmark(build_fig3a, paper_runs)
+    print("\n" + format_table(artifact["columns"], artifact["rows"],
+                              title=artifact["title"]))
+    speedups = artifact["data"]["speedups"]
+    measured_geomean = artifact["data"]["geomean"]
     # Shape checks.
     assert all(s > 1.2 for s in speedups.values()), "SARIS must win on every kernel"
     assert 1.5 <= measured_geomean <= 4.0

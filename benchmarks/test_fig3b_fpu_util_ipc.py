@@ -1,44 +1,19 @@
 """Figure 3b: FPU utilization and per-core IPC for both variants."""
 
-from repro.analysis import format_table, geomean
+from repro.analysis import format_table
 from repro.core.kernels import TABLE1_KERNELS
+from repro.sweep.artifacts import build_fig3b
 
 
-def test_fig3b_fpu_util_and_ipc(benchmark, paper_runs, paper_reference):
-    def build():
-        rows = {}
-        for name in TABLE1_KERNELS:
-            pair = paper_runs[name]
-            rows[name] = {
-                "base_util": pair.base.fpu_util,
-                "saris_util": pair.saris.fpu_util,
-                "base_ipc": pair.base.ipc,
-                "saris_ipc": pair.saris.ipc,
-            }
-        return rows
-
-    data = benchmark(build)
-    rows = [[name,
-             f"{data[name]['base_util']:.2f}", f"{data[name]['saris_util']:.2f}",
-             f"{data[name]['base_ipc']:.2f}", f"{data[name]['saris_ipc']:.2f}"]
-            for name in TABLE1_KERNELS]
-    base_util = geomean(d["base_util"] for d in data.values())
-    saris_util = geomean(d["saris_util"] for d in data.values())
-    base_ipc = geomean(d["base_ipc"] for d in data.values())
-    saris_ipc = geomean(d["saris_ipc"] for d in data.values())
-    rows.append(["geomean (measured)", f"{base_util:.2f}", f"{saris_util:.2f}",
-                 f"{base_ipc:.2f}", f"{saris_ipc:.2f}"])
-    rows.append(["geomean (paper)",
-                 f"{paper_reference['base_fpu_util_geomean']:.2f}",
-                 f"{paper_reference['saris_fpu_util_geomean']:.2f}",
-                 f"{paper_reference['base_ipc_geomean']:.2f}",
-                 f"{paper_reference['saris_ipc_geomean']:.2f}"])
-    print("\n" + format_table(
-        ["code", "base util", "saris util", "base IPC", "saris IPC"], rows,
-        title="Figure 3b: FPU utilization and per-core IPC"))
+def test_fig3b_fpu_util_and_ipc(benchmark, paper_runs):
+    artifact = benchmark(build_fig3b, paper_runs)
+    print("\n" + format_table(artifact["columns"], artifact["rows"],
+                              title=artifact["title"]))
+    data = artifact["data"]["per_kernel"]
+    aggregates = artifact["data"]["geomean"]
     # Shape checks: SARIS reaches near-ideal utilization, the baseline does not.
-    assert 0.25 <= base_util <= 0.55
-    assert 0.65 <= saris_util <= 0.95
+    assert 0.25 <= aggregates["base_util"] <= 0.55
+    assert 0.65 <= aggregates["saris_util"] <= 0.95
     for name in TABLE1_KERNELS:
         assert data[name]["saris_util"] > data[name]["base_util"]
         assert data[name]["saris_util"] >= 0.60, f"{name}: saris utilization too low"

@@ -1,36 +1,20 @@
 """Figure 4: cluster power consumption and SARIS energy-efficiency gain."""
 
-from repro.analysis import format_table, geomean
+from repro.analysis import format_table
 from repro.core.kernels import TABLE1_KERNELS
-from repro.energy import energy_comparison
+from repro.sweep.artifacts import build_fig4
 
 
-def test_fig4_power_and_energy_efficiency(benchmark, paper_runs, paper_reference):
-    def build():
-        return {name: energy_comparison(paper_runs[name].base, paper_runs[name].saris)
-                for name in TABLE1_KERNELS}
-
-    data = benchmark(build)
-    rows = [[name,
-             f"{data[name]['base_power_w']:.3f}",
-             f"{data[name]['saris_power_w']:.3f}",
-             f"{data[name]['energy_efficiency_gain']:.2f}"]
-            for name in TABLE1_KERNELS]
-    base_power = geomean(d["base_power_w"] for d in data.values())
-    saris_power = geomean(d["saris_power_w"] for d in data.values())
-    gain = geomean(d["energy_efficiency_gain"] for d in data.values())
-    rows.append(["geomean (measured)", f"{base_power:.3f}", f"{saris_power:.3f}",
-                 f"{gain:.2f}"])
-    rows.append(["geomean (paper)", f"{paper_reference['base_power_w']:.3f}",
-                 f"{paper_reference['saris_power_w']:.3f}",
-                 f"{paper_reference['energy_gain_geomean']:.2f}"])
-    print("\n" + format_table(
-        ["code", "base power [W]", "saris power [W]", "energy eff. gain"], rows,
-        title="Figure 4: cluster power and SARIS energy-efficiency gain"))
+def test_fig4_power_and_energy_efficiency(benchmark, paper_runs):
+    artifact = benchmark(build_fig4, paper_runs)
+    print("\n" + format_table(artifact["columns"], artifact["rows"],
+                              title=artifact["title"]))
+    data = artifact["data"]["per_kernel"]
+    aggregates = artifact["data"]["geomean"]
     # Shape checks: SARIS burns more power but wins on energy for every code.
     for name in TABLE1_KERNELS:
         assert data[name]["saris_power_w"] > data[name]["base_power_w"]
         assert data[name]["energy_efficiency_gain"] > 1.0
-    assert 0.15 <= base_power <= 0.35
-    assert 0.30 <= saris_power <= 0.55
-    assert 1.1 <= gain <= 2.5
+    assert 0.15 <= aggregates["base_power_w"] <= 0.35
+    assert 0.30 <= aggregates["saris_power_w"] <= 0.55
+    assert 1.1 <= aggregates["gain"] <= 2.5

@@ -1,46 +1,15 @@
 """Figure 5: FPU utilization, speedup and CMTR on the Manticore-256s scaleout."""
 
-from repro.analysis import format_table, geomean
-from repro.core.kernels import TABLE1_KERNELS, get_kernel
-from repro.scaleout import estimate_scaleout_pair
+from repro.analysis import format_table
+from repro.sweep.artifacts import build_fig5
 
 
-def test_fig5_manycore_scaleout(benchmark, paper_runs, paper_reference):
-    def build():
-        data = {}
-        for name in TABLE1_KERNELS:
-            pair = paper_runs[name]
-            data[name] = estimate_scaleout_pair(get_kernel(name), pair.base,
-                                                pair.saris)
-        return data
-
-    data = benchmark(build)
-    rows = []
-    for name in TABLE1_KERNELS:
-        entry = data[name]
-        paper_cmtr = paper_reference["scaleout_cmtr"].get(name)
-        rows.append([
-            name,
-            f"{entry['base'].fpu_util:.2f}",
-            f"{entry['saris'].fpu_util:.2f}",
-            f"{entry['speedup']:.2f}",
-            f"{entry['cmtr']:.2f}" if entry["memory_bound"] else "-",
-            f"{paper_cmtr:.2f}" if paper_cmtr else "-",
-            f"{entry['saris'].gflops:.0f}",
-        ])
-    saris_util = geomean(d["saris"].fpu_util for d in data.values())
-    speedup = geomean(d["speedup"] for d in data.values())
-    peak = max(d["saris"].gflops for d in data.values())
-    rows.append(["geomean/max (measured)", "", f"{saris_util:.2f}", f"{speedup:.2f}",
-                 "", "", f"{peak:.0f}"])
-    rows.append(["geomean/max (paper)", "0.35",
-                 f"{paper_reference['scaleout_saris_util_geomean']:.2f}",
-                 f"{paper_reference['scaleout_speedup_geomean']:.2f}", "", "",
-                 f"{paper_reference['scaleout_peak_gflops']:.0f}"])
-    print("\n" + format_table(
-        ["code", "base util", "saris util", "speedup",
-         "CMTR (measured)", "CMTR (paper)", "saris GFLOP/s"], rows,
-        title="Figure 5: Manticore-256s scaleout estimates"))
+def test_fig5_manycore_scaleout(benchmark, paper_runs):
+    artifact = benchmark(build_fig5, paper_runs)
+    print("\n" + format_table(artifact["columns"], artifact["rows"],
+                              title=artifact["title"]))
+    data = artifact["data"]["per_kernel"]
+    aggregates = artifact["data"]["aggregates"]
 
     # Shape checks.
     low_intensity = ["jacobi_2d", "j2d5pt"]
@@ -53,6 +22,6 @@ def test_fig5_manycore_scaleout(benchmark, paper_runs, paper_reference):
     assert data["star3d2r"]["cmtr"] < data["star2d3r"]["cmtr"]
     assert data["ac_iso_cd"]["memory_bound"]
     # SARIS still delivers a clear aggregate win and a sensible peak throughput.
-    assert speedup > 1.2
-    assert 200.0 <= peak <= 512.0
-    assert 0.35 <= saris_util <= 0.9
+    assert aggregates["speedup"] > 1.2
+    assert 200.0 <= aggregates["peak_gflops"] <= 512.0
+    assert 0.35 <= aggregates["saris_util"] <= 0.9

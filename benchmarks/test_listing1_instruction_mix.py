@@ -1,52 +1,14 @@
 """Listing 1: useful-compute fraction of the base vs SARIS point loop."""
 
 from repro.analysis import format_table
-from repro.core.codegen_base import generate_base_program
-from repro.core.codegen_saris import generate_saris_program
-from repro.core.kernels import get_kernel
-from repro.core.layout import build_layout
-from repro.core.parallel import cluster_geometry
-from repro.snitch.cluster import SnitchCluster
+from repro.sweep.artifacts import build_listing1
 
 
-def point_loop_mix():
-    """Generate both un-unrolled point loops for the 7-point star of Listing 1."""
-    kernel = get_kernel("star3d7pt")
-    cluster = SnitchCluster()
-    layout = build_layout(kernel, cluster.allocator)
-    geometry = cluster_geometry(kernel, layout.tile_shape)[0]
-    base = generate_base_program(kernel, layout, geometry, max_unroll=1)
-    saris = generate_saris_program(kernel, layout, geometry, cluster.allocator,
-                                   max_block=1, max_body_unroll=1)
-    result = {}
-    for label, gen in (("base", base), ("saris", saris)):
-        start, end = gen.program.loop_bounds("xloop")
-        mix = gen.program.static_instruction_mix(start, end)
-        total = sum(mix.values())
-        result[label] = {
-            "total": total,
-            "compute": mix["fp_compute"],
-            "fraction": mix["fp_compute"] / total,
-            "mix": mix,
-        }
-    return result
-
-
-def test_listing1_instruction_mix(benchmark, paper_reference):
-    result = benchmark(point_loop_mix)
-    rows = [
-        ["loop instructions", result["base"]["total"], result["saris"]["total"],
-         20, 12],
-        ["useful compute instructions", result["base"]["compute"],
-         result["saris"]["compute"], 7, 7],
-        ["useful compute fraction",
-         f"{result['base']['fraction']:.2f}", f"{result['saris']['fraction']:.2f}",
-         paper_reference["listing1_base_compute_fraction"],
-         paper_reference["listing1_saris_compute_fraction"]],
-    ]
-    print("\n" + format_table(
-        ["metric", "base (ours)", "saris (ours)", "base (paper)", "saris (paper)"],
-        rows, title="Listing 1: point-loop instruction mix, 7-point star, no unrolling"))
+def test_listing1_instruction_mix(benchmark):
+    artifact = benchmark(build_listing1)
+    print("\n" + format_table(artifact["columns"], artifact["rows"],
+                              title=artifact["title"]))
+    result = artifact["data"]
     # Shape checks: SARIS roughly halves the loop length and raises the
     # useful-compute fraction well above the baseline's.
     assert result["saris"]["total"] < result["base"]["total"]

@@ -1,27 +1,13 @@
 """Table 1: implemented stencil codes and their per-point characteristics."""
 
 from repro.analysis import format_table
-from repro.core.kernels import TABLE1_EXPECTED, TABLE1_KERNELS, get_kernel
+from repro.sweep.artifacts import build_table1
 
 
-def build_table1():
-    rows = []
-    for name in TABLE1_KERNELS:
-        kernel = get_kernel(name)
-        expected = TABLE1_EXPECTED[name]
-        rows.append([
-            name, f"{kernel.dims}D", kernel.radius,
-            kernel.loads_per_point, kernel.coeffs_per_point, kernel.flops_per_point,
-            expected["loads"], expected["coeffs"], expected["flops"],
-        ])
-    return rows
-
-
-def test_table1_characteristics(benchmark):
-    rows = benchmark(build_table1)
-    print("\n" + format_table(
-        ["code", "dims", "rad", "loads", "coeffs", "flops",
-         "paper loads", "paper coeffs", "paper flops"],
-        rows, title="Table 1: stencil code characteristics (measured vs paper)"))
-    for row in rows:
-        assert row[3:6] == row[6:9], f"{row[0]}: characteristics deviate from Table 1"
+def test_table1_characteristics(benchmark, paper_runs):
+    artifact = benchmark(build_table1, paper_runs)
+    print("\n" + format_table(artifact["columns"], artifact["rows"],
+                              title=artifact["title"]))
+    for name, entry in artifact["data"].items():
+        assert entry["measured"] == entry["paper"], (
+            f"{name}: characteristics deviate from Table 1")

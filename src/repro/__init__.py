@@ -14,7 +14,11 @@ The package provides:
 * :mod:`repro.energy` — the activity-based cluster power/energy model;
 * :mod:`repro.scaleout` — the Manticore-256s manycore performance model;
 * :mod:`repro.analysis` — metric aggregation and table rendering used by the
-  benchmark harness.
+  benchmark harness;
+* :mod:`repro.sweep` — the parallel sweep engine: declarative jobs,
+  process-pool fan-out, the persistent result store and the one-shot
+  ``repro reproduce`` artifact pipeline;
+* :mod:`repro.bench` — the simulation-speed benchmark harness.
 """
 
 from repro.core.kernels import KERNEL_NAMES, TABLE1_KERNELS, all_kernels, get_kernel
@@ -26,8 +30,9 @@ from repro.runner import (
     run_kernel,
 )
 from repro.snitch.params import TimingParams
+from repro.sweep import ResultStore, SweepJob, run_jobs, run_sweep
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "KERNEL_NAMES",
@@ -36,9 +41,13 @@ __all__ = [
     "get_kernel",
     "StencilKernel",
     "KernelRunResult",
+    "ResultStore",
+    "SweepJob",
     "VariantComparison",
     "compare_variants",
+    "run_jobs",
     "run_kernel",
+    "run_sweep",
     "TimingParams",
     "__version__",
 ]

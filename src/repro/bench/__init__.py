@@ -1,0 +1,21 @@
+"""Benchmark harnesses packaged for import (``repro.bench``).
+
+Historically the simulation-speed harness lived only as a loose script in
+``benchmarks/``; it is now an importable module so the CLI and tests reach
+it without ``sys.path`` manipulation.  ``benchmarks/bench_simspeed.py``
+remains as a thin shim for direct invocation from a repo checkout.
+"""
+
+from repro.bench.simspeed import (
+    print_report,
+    run_benchmark,
+    run_suite_benchmark,
+    run_sweep_timing,
+)
+
+__all__ = [
+    "print_report",
+    "run_benchmark",
+    "run_suite_benchmark",
+    "run_sweep_timing",
+]

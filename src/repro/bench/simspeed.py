@@ -1,0 +1,202 @@
+"""Simulation-speed benchmark: Table-1 sweep timing plus sweep-engine suite.
+
+This harness measures how fast the *simulator itself* runs and writes the
+result to ``BENCH_simspeed.json`` so future changes have a performance
+trajectory to regress against.  Two measurements are taken:
+
+* ``table1_sweep`` — wall seconds and simulated cycles per second for the
+  exact in-process sweep every figure/table benchmark consumes (all ten
+  Table-1 kernels, both variants, paper tile sizes).  The first repetition
+  is *cold* (codegen and stream-sequence caches empty), later ones *warm*.
+* ``suite`` — the full ``repro reproduce`` job list (Table-1 plus ablations)
+  through the sweep engine three ways: serial, process-pool parallel, and a
+  warm re-run served entirely from a fresh on-disk result store.  The serial
+  and parallel metrics are verified bit-identical as part of the run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_simspeed.py [-o OUTPUT] [-r REPS]
+    PYTHONPATH=src python -m repro.cli bench-speed
+
+Reference point: the seed (pre-fast-engine) simulator ran the Table-1 sweep
+in ~12.7 s on the machine that recorded ``tests/golden_cycles.json``; PR 1
+brought that to ~3 s single-process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+from repro import compare_variants
+from repro.core.kernels import TABLE1_KERNELS
+from repro.sweep import ResultStore, run_sweep
+from repro.sweep.artifacts import ablation_jobs, paper_jobs
+
+#: Default worker count for the parallel leg of the suite benchmark.
+DEFAULT_SUITE_WORKERS = 4
+
+
+def run_sweep_timing() -> Dict[str, object]:
+    """Run the Table-1 base+SARIS sweep once; return timing and cycle totals."""
+    per_kernel: Dict[str, Dict[str, object]] = {}
+    total_cycles = 0
+    start = time.perf_counter()
+    for name in TABLE1_KERNELS:
+        kernel_start = time.perf_counter()
+        pair = compare_variants(name)
+        cycles = pair.base.cycles + pair.saris.cycles
+        total_cycles += cycles
+        per_kernel[name] = {
+            "wall_seconds": round(time.perf_counter() - kernel_start, 4),
+            "base_cycles": pair.base.cycles,
+            "saris_cycles": pair.saris.cycles,
+            "speedup": round(pair.speedup, 3),
+        }
+    wall = time.perf_counter() - start
+    return {
+        "wall_seconds": round(wall, 3),
+        "simulated_cycles": total_cycles,
+        "cycles_per_second": round(total_cycles / wall, 1),
+        "kernels": per_kernel,
+    }
+
+
+#: Backward-compatible alias (the pre-package harness exported ``run_sweep``).
+run_table1_sweep = run_sweep_timing
+
+
+def _metrics_key(result) -> tuple:
+    """The full metric surface compared between serial and parallel runs."""
+    return (result.kernel, result.variant, result.tile_shape, result.cycles,
+            result.total_flops, result.fpu_util, result.ipc,
+            result.flops_per_cycle, result.correct, result.max_abs_error,
+            result.runtime_imbalance, result.tcdm_conflict_rate,
+            result.dma_utilization, result.tile_traffic_bytes, result.activity)
+
+
+def run_suite_benchmark(workers: int = DEFAULT_SUITE_WORKERS) -> Dict[str, object]:
+    """Time the full reproduce job list serial vs parallel vs warm cache.
+
+    The serial leg runs first in this process; the parallel leg's forked
+    workers therefore inherit the warmed codegen caches, making the
+    comparison one of steady-state simulation fan-out (the regime of pytest
+    sessions and long-running services).  The warm leg re-runs the sweep
+    against the store populated by the parallel leg.
+    """
+    jobs = list(paper_jobs()) + list(ablation_jobs().values())
+    with tempfile.TemporaryDirectory(prefix="repro-suite-") as cache_dir:
+        store = ResultStore(cache_dir)
+        serial = run_sweep(jobs, workers=1, store=None)
+        parallel = run_sweep(jobs, workers=workers, store=store)
+        warm = run_sweep(jobs, workers=1, store=store)
+        bit_identical = all(
+            _metrics_key(a) == _metrics_key(b)
+            for a, b in zip(serial.results, parallel.results))
+        warm_identical = all(
+            _metrics_key(a)[:4] == _metrics_key(b)[:4]
+            for a, b in zip(serial.results, warm.results))
+    serial_wall = serial.wall_seconds
+    return {
+        "jobs": len(jobs),
+        "executed": serial.executed,
+        "cpu_count": os.cpu_count(),
+        "parallel_workers": workers,
+        "serial_wall_seconds": round(serial_wall, 3),
+        "parallel_wall_seconds": round(parallel.wall_seconds, 3),
+        "warm_cache_wall_seconds": round(warm.wall_seconds, 3),
+        "parallel_speedup": round(serial_wall / parallel.wall_seconds, 2)
+        if parallel.wall_seconds else 0.0,
+        "warm_cache_speedup": round(serial_wall / warm.wall_seconds, 2)
+        if warm.wall_seconds else 0.0,
+        "warm_cache_hits": warm.cache_hits,
+        "bit_identical": bit_identical and warm_identical,
+    }
+
+
+def run_benchmark(repetitions: int = 2,
+                  output: Optional[str] = "BENCH_simspeed.json",
+                  suite_workers: int = DEFAULT_SUITE_WORKERS,
+                  include_suite: bool = True) -> Dict[str, object]:
+    """Time ``repetitions`` sweeps (and the engine suite); write the report."""
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    sweeps: List[Dict[str, object]] = []
+    for _ in range(repetitions):
+        sweeps.append(run_sweep_timing())
+    best = min(sweeps, key=lambda sweep: sweep["wall_seconds"])
+    report = {
+        "benchmark": "table1_sweep",
+        "description": "Full Table-1 base+SARIS sweep at paper tile sizes",
+        "python": platform.python_version(),
+        "repetitions": repetitions,
+        "cold_wall_seconds": sweeps[0]["wall_seconds"],
+        "best_wall_seconds": best["wall_seconds"],
+        "simulated_cycles": best["simulated_cycles"],
+        "best_cycles_per_second": best["cycles_per_second"],
+        "sweeps": sweeps,
+    }
+    if include_suite:
+        report["suite"] = run_suite_benchmark(workers=suite_workers)
+    if output:
+        with open(output, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+    return report
+
+
+def print_report(report: Dict[str, object]) -> None:
+    """Human-readable summary of a benchmark report."""
+    print(f"Table-1 sweep ({report['repetitions']} repetitions, "
+          f"python {report['python']}):")
+    for idx, sweep in enumerate(report["sweeps"]):
+        label = "cold" if idx == 0 else "warm"
+        print(f"  sweep {idx} ({label}): {sweep['wall_seconds']:.2f} s wall, "
+              f"{sweep['cycles_per_second']:,.0f} simulated cycles/s")
+    print(f"  best: {report['best_wall_seconds']:.2f} s "
+          f"({report['best_cycles_per_second']:,.0f} cycles/s) for "
+          f"{report['simulated_cycles']:,} simulated cycles")
+    suite = report.get("suite")
+    if suite:
+        print(f"Reproduce suite ({suite['jobs']} jobs, "
+              f"{suite['cpu_count']} CPU(s) available):")
+        print(f"  serial:             {suite['serial_wall_seconds']:.2f} s")
+        print(f"  parallel ({suite['parallel_workers']} workers): "
+              f"{suite['parallel_wall_seconds']:.2f} s "
+              f"({suite['parallel_speedup']:.2f}x)")
+        print(f"  warm cache:         {suite['warm_cache_wall_seconds']:.2f} s "
+              f"({suite['warm_cache_speedup']:.2f}x, "
+              f"{suite['warm_cache_hits']} hits)")
+        print(f"  serial/parallel metrics bit-identical: "
+              f"{suite['bit_identical']}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default="BENCH_simspeed.json",
+                        help="JSON report path (default: %(default)s)")
+    parser.add_argument("-r", "--repetitions", type=int, default=2,
+                        help="number of sweep repetitions (default: %(default)s)")
+    parser.add_argument("--suite-workers", type=int,
+                        default=DEFAULT_SUITE_WORKERS,
+                        help="workers for the parallel suite leg "
+                             "(default: %(default)s)")
+    parser.add_argument("--no-suite", action="store_true",
+                        help="skip the sweep-engine suite benchmark")
+    args = parser.parse_args(argv)
+    report = run_benchmark(repetitions=args.repetitions, output=args.output,
+                           suite_workers=args.suite_workers,
+                           include_suite=not args.no_suite)
+    print_report(report)
+    print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -76,28 +76,37 @@ def _cmd_scaleout(args) -> int:
 
 
 def _cmd_bench_speed(args) -> int:
-    # Imported lazily: the harness lives in benchmarks/ when run from a repo
-    # checkout but is also importable standalone next to this module's tests.
-    import os
-    import sys as _sys
+    # Imported lazily: the harness pulls in the sweep engine and is only
+    # needed for this subcommand.
+    from repro.bench import print_report, run_benchmark
 
-    bench_dir = os.path.join(os.path.dirname(os.path.dirname(
-        os.path.dirname(os.path.abspath(__file__)))), "benchmarks")
-    if os.path.isdir(bench_dir) and bench_dir not in _sys.path:
-        _sys.path.insert(0, bench_dir)
-    try:
-        import bench_simspeed
-    except ImportError as exc:  # pragma: no cover - packaging corner
-        print(f"bench-speed requires benchmarks/bench_simspeed.py: {exc}",
-              file=_sys.stderr)
-        return 1
     if args.repetitions < 1:
-        print("bench-speed: --repetitions must be >= 1", file=_sys.stderr)
+        print("bench-speed: --repetitions must be >= 1", file=sys.stderr)
         return 2
-    report = bench_simspeed.run_benchmark(repetitions=args.repetitions,
-                                          output=args.output)
-    bench_simspeed.print_report(report)
+    report = run_benchmark(repetitions=args.repetitions, output=args.output)
+    print_report(report)
     print(f"report written to {args.output}")
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    import json
+
+    from repro.sweep.artifacts import render_report, reproduce
+
+    def progress(done, total, job, source):
+        if not args.quiet:
+            print(f"[{done:>2}/{total}] {job.label} ({source})")
+
+    report = reproduce(subset=args.subset, workers=args.workers,
+                       use_cache=not args.no_cache, cache_dir=args.cache_dir,
+                       progress=progress)
+    print(render_report(report))
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.output}")
     return 0
 
 
@@ -135,6 +144,30 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("-o", "--output", default="BENCH_simspeed.json")
     bench_p.add_argument("-r", "--repetitions", type=int, default=2)
     bench_p.set_defaults(func=_cmd_bench_speed)
+
+    from repro.sweep.artifacts import SUBSET_CHOICES
+
+    repro_p = sub.add_parser(
+        "reproduce",
+        help="regenerate every paper artifact through the parallel sweep "
+             "engine and write a consolidated report")
+    repro_p.add_argument("--subset", choices=SUBSET_CHOICES, default="all",
+                         help="artifact subset to regenerate (default: all)")
+    repro_p.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: $REPRO_SWEEP_WORKERS "
+                              "or the CPU count)")
+    repro_p.add_argument("--no-cache", action="store_true",
+                         help="ignore and do not update the result store "
+                              "(force a cold run)")
+    repro_p.add_argument("--cache-dir", default=None,
+                         help="result store directory (default: "
+                              "$REPRO_CACHE_DIR or .repro_cache)")
+    repro_p.add_argument("-o", "--output", default="reproduction_report.json",
+                         help="consolidated JSON report path "
+                              "(default: %(default)s; '' to skip)")
+    repro_p.add_argument("-q", "--quiet", action="store_true",
+                         help="suppress per-job progress lines")
+    repro_p.set_defaults(func=_cmd_reproduce)
     return parser
 
 

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.snitch.params import TimingParams
-from repro.snitch.trace import ClusterResult
+from repro.snitch.trace import ActivityCounters, ClusterResult
 
 
 @dataclass
@@ -42,21 +42,22 @@ class EnergyModel:
 
     def cycle_energy_pj(self, result: ClusterResult) -> float:
         """Mean energy per cycle (pJ) for a finished cluster run."""
-        if result.cycles == 0:
+        return self.activity_energy_pj(result.activity(), result.cycles)
+
+    def activity_energy_pj(self, activity: ActivityCounters, cycles: int) -> float:
+        """Mean energy per cycle (pJ) from aggregate activity counters."""
+        if cycles == 0:
             return 0.0
-        int_issues = sum(core.int_retired for core in result.cores)
-        fp_dispatch = sum(core.fp_issued for core in result.cores)
-        fpu_ops = sum(core.fp_compute for core in result.cores)
-        tcdm_accesses = result.tcdm_requests - result.tcdm_conflicts
-        dma_beats = result.dma_bytes / 64.0
+        tcdm_accesses = activity.tcdm_requests - activity.tcdm_conflicts
+        dma_beats = activity.dma_bytes / 64.0
         total_pj = (
-            self.static_core_pj * self.num_cores * result.cycles
-            + self.int_issue_pj * (int_issues + fp_dispatch)
-            + self.fpu_op_pj * fpu_ops
+            self.static_core_pj * self.num_cores * cycles
+            + self.int_issue_pj * (activity.int_retired + activity.fp_issued)
+            + self.fpu_op_pj * activity.fp_compute
             + self.tcdm_access_pj * tcdm_accesses
             + self.dma_beat_pj * dma_beats
         )
-        return total_pj / result.cycles
+        return total_pj / cycles
 
 
 @dataclass
@@ -83,13 +84,24 @@ def estimate_power(result, params: Optional[TimingParams] = None,
     """Estimate cluster power and energy for a :class:`KernelRunResult`.
 
     ``result`` may be a :class:`repro.runner.KernelRunResult` or any object
-    exposing ``cluster`` (a :class:`ClusterResult`), ``kernel``, ``variant``,
-    ``cycles`` and ``total_flops``.
+    exposing ``kernel``, ``variant``, ``cycles``, ``total_flops`` and either
+    ``cluster`` (a :class:`ClusterResult`) or ``activity``
+    (:class:`ActivityCounters`).  Serialized sweep results drop the in-memory
+    cluster detail but keep the counters, so they remain energy-modelable.
     """
     params = params or TimingParams()
     model = model or EnergyModel(num_cores=params.num_cores)
-    cluster: ClusterResult = result.cluster
-    epc_pj = model.cycle_energy_pj(cluster)
+    cluster: Optional[ClusterResult] = getattr(result, "cluster", None)
+    if cluster is not None:
+        activity = cluster.activity()
+    else:
+        activity = getattr(result, "activity", None)
+        if activity is None:
+            raise ValueError(
+                f"{result.kernel} ({result.variant}): result carries neither "
+                "cluster detail nor activity counters; cannot estimate power"
+            )
+    epc_pj = model.activity_energy_pj(activity, result.cycles)
     power_w = epc_pj * params.clock_ghz * 1e-3  # pJ/cycle * GHz -> mW -> W? see below
     # pJ per cycle at f GHz: P[W] = epc[pJ] * 1e-12 * f * 1e9 = epc * f * 1e-3.
     energy_j = epc_pj * 1e-12 * result.cycles

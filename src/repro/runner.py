@@ -18,7 +18,7 @@ checks the produced output grid against the NumPy reference.
 
 from __future__ import annotations
 
-from dataclasses import astuple, dataclass, field
+from dataclasses import astuple, dataclass, field, replace
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -34,7 +34,7 @@ from repro.core.stencil import StencilKernel
 from repro.snitch.cluster import SnitchCluster
 from repro.snitch.dma import DmaEngine, DmaTransfer
 from repro.snitch.params import TimingParams
-from repro.snitch.trace import ClusterResult
+from repro.snitch.trace import ActivityCounters, ClusterResult
 
 VARIANTS = ("base", "saris")
 
@@ -43,9 +43,30 @@ class RunnerError(RuntimeError):
     """Raised when a kernel run cannot be set up or produces invalid results."""
 
 
+def _json_safe(value):
+    """Recursively convert a value into plain JSON-serializable types."""
+    if isinstance(value, dict):
+        return {str(key): _json_safe(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    return value
+
+
 @dataclass
 class KernelRunResult:
-    """Result of simulating one kernel variant on the eight-core cluster."""
+    """Result of simulating one kernel variant on the eight-core cluster.
+
+    The scalar metrics plus ``activity`` form a *serializable core* that
+    survives pickling across sweep worker processes and JSON round trips
+    through the on-disk result store; ``cluster`` is optional in-memory
+    detail (per-core stall breakdowns) that is dropped on serialization.
+    """
 
     kernel: str
     variant: str
@@ -61,13 +82,19 @@ class KernelRunResult:
     tcdm_conflict_rate: float
     dma_utilization: float
     tile_traffic_bytes: int
-    cluster: ClusterResult = field(repr=False, default=None)
+    cluster: Optional[ClusterResult] = field(repr=False, default=None)
+    activity: Optional[ActivityCounters] = field(repr=False, default=None)
     program_info: List[Dict[str, object]] = field(default_factory=list, repr=False)
 
     @property
     def flops_fraction_of_peak(self) -> float:
         """Achieved fraction of the cluster's peak FLOP rate (2 FLOP/cycle/core)."""
-        cores = len(self.cluster.cores) if self.cluster else 8
+        if self.cluster is not None:
+            cores = len(self.cluster.cores)
+        elif self.activity is not None and self.activity.core_cycles:
+            cores = self.activity.num_cores
+        else:
+            cores = 8
         if self.cycles == 0:
             return 0.0
         return self.total_flops / (self.cycles * 2.0 * cores)
@@ -84,6 +111,80 @@ class KernelRunResult:
             "fraction_of_peak": self.flops_fraction_of_peak,
             "correct": self.correct,
         }
+
+    def without_cluster(self) -> "KernelRunResult":
+        """Serializable metrics core: this result minus the cluster detail."""
+        if self.cluster is None:
+            return self
+        return replace(self, cluster=None)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Full serializable payload for the on-disk result store."""
+        payload = {
+            "kernel": self.kernel,
+            "variant": self.variant,
+            "tile_shape": list(self.tile_shape),
+            "cycles": int(self.cycles),
+            "total_flops": int(self.total_flops),
+            "fpu_util": float(self.fpu_util),
+            "ipc": float(self.ipc),
+            "flops_per_cycle": float(self.flops_per_cycle),
+            "correct": bool(self.correct),
+            "max_abs_error": float(self.max_abs_error),
+            "runtime_imbalance": float(self.runtime_imbalance),
+            "tcdm_conflict_rate": float(self.tcdm_conflict_rate),
+            "dma_utilization": float(self.dma_utilization),
+            "tile_traffic_bytes": int(self.tile_traffic_bytes),
+            "program_info": _json_safe(self.program_info),
+        }
+        if self.activity is not None:
+            payload["activity"] = {
+                "int_retired": int(self.activity.int_retired),
+                "fp_issued": int(self.activity.fp_issued),
+                "fp_compute": int(self.activity.fp_compute),
+                "flops": int(self.activity.flops),
+                "tcdm_requests": int(self.activity.tcdm_requests),
+                "tcdm_conflicts": int(self.activity.tcdm_conflicts),
+                "dma_bytes": int(self.activity.dma_bytes),
+                "core_cycles": list(self.activity.core_cycles),
+            }
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, object]) -> "KernelRunResult":
+        """Rebuild a result (without cluster detail) from its JSON payload."""
+        raw_activity = payload.get("activity")
+        activity = None
+        if raw_activity is not None:
+            activity = ActivityCounters(
+                int_retired=int(raw_activity["int_retired"]),
+                fp_issued=int(raw_activity["fp_issued"]),
+                fp_compute=int(raw_activity["fp_compute"]),
+                flops=int(raw_activity["flops"]),
+                tcdm_requests=int(raw_activity["tcdm_requests"]),
+                tcdm_conflicts=int(raw_activity["tcdm_conflicts"]),
+                dma_bytes=int(raw_activity["dma_bytes"]),
+                core_cycles=tuple(int(c) for c in raw_activity["core_cycles"]),
+            )
+        return cls(
+            kernel=payload["kernel"],
+            variant=payload["variant"],
+            tile_shape=tuple(int(t) for t in payload["tile_shape"]),
+            cycles=int(payload["cycles"]),
+            total_flops=int(payload["total_flops"]),
+            fpu_util=float(payload["fpu_util"]),
+            ipc=float(payload["ipc"]),
+            flops_per_cycle=float(payload["flops_per_cycle"]),
+            correct=bool(payload["correct"]),
+            max_abs_error=float(payload["max_abs_error"]),
+            runtime_imbalance=float(payload["runtime_imbalance"]),
+            tcdm_conflict_rate=float(payload["tcdm_conflict_rate"]),
+            dma_utilization=float(payload["dma_utilization"]),
+            tile_traffic_bytes=int(payload["tile_traffic_bytes"]),
+            cluster=None,
+            activity=activity,
+            program_info=list(payload.get("program_info", [])),
+        )
 
 
 @dataclass
@@ -115,6 +216,13 @@ def tile_traffic_bytes(kernel: StencilKernel, tile_shape: Tuple[int, ...]) -> in
     return len(kernel.inputs) * tile_points * 8 + interior * 8
 
 
+#: Memoized DMA utilization per (kernel fingerprint, tile shape, timing
+#: params).  The measurement is pure — it only derives transfer efficiencies
+#: from shapes and the timing model — but was recomputed on every
+#: ``run_kernel`` call.
+_DMA_UTIL_CACHE: Dict[tuple, float] = {}
+
+
 def measure_dma_utilization(kernel: StencilKernel, tile_shape: Tuple[int, ...],
                             params: Optional[TimingParams] = None) -> float:
     """Mean DMA bandwidth utilization for this kernel's double-buffer transfers.
@@ -126,6 +234,11 @@ def measure_dma_utilization(kernel: StencilKernel, tile_shape: Tuple[int, ...],
     one interior-row long.
     """
     params = params or TimingParams()
+    tile_shape = tuple(tile_shape)
+    key = (_kernel_fingerprint(kernel), tile_shape, astuple(params))
+    cached = _DMA_UTIL_CACHE.get(key)
+    if cached is not None:
+        return cached
     engine = DmaEngine([], params)
     row_bytes = tile_shape[-1] * 8
     rows = int(np.prod(tile_shape[:-1]))
@@ -141,7 +254,11 @@ def measure_dma_utilization(kernel: StencilKernel, tile_shape: Tuple[int, ...],
     out_transfer = DmaTransfer(src=0, dst=0, inner_bytes=interior_row_bytes,
                                outer_reps=interior_rows)
     utils.append(engine.transfer_utilization(out_transfer))
-    return float(np.mean(utils))
+    utilization = float(np.mean(utils))
+    if len(_DMA_UTIL_CACHE) >= _CODEGEN_CACHE_LIMIT:
+        _DMA_UTIL_CACHE.pop(next(iter(_DMA_UTIL_CACHE)))
+    _DMA_UTIL_CACHE[key] = utilization
+    return utilization
 
 
 #: Memoized (layout, generated programs) per compilation request, so repeated
@@ -295,6 +412,7 @@ def run_kernel(kernel: Union[str, StencilKernel], variant: str = "saris",
         dma_utilization=measure_dma_utilization(kernel, shape, params),
         tile_traffic_bytes=tile_traffic_bytes(kernel, shape),
         cluster=result,
+        activity=result.activity(),
         program_info=[gen.info for gen in generated],
     )
 

@@ -3,9 +3,35 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+
+
+@dataclass(frozen=True)
+class ActivityCounters:
+    """Aggregate activity of one finished cluster run.
+
+    This is the serializable core the power model and the scaleout imbalance
+    model need once the full per-core :class:`ClusterResult` detail has been
+    dropped — results shipped back from sweep worker processes or reloaded
+    from the on-disk result store carry these counters instead of the
+    in-memory cluster object.
+    """
+
+    int_retired: int
+    fp_issued: int
+    fp_compute: int
+    flops: int
+    tcdm_requests: int
+    tcdm_conflicts: int
+    dma_bytes: int
+    core_cycles: Tuple[int, ...]
+
+    @property
+    def num_cores(self) -> int:
+        """Number of worker cores that contributed to the counters."""
+        return len(self.core_cycles)
 
 
 @dataclass
@@ -109,6 +135,19 @@ class ClusterResult:
     def core_cycle_distribution(self) -> List[int]:
         """Per-core completion cycles, used by the scaleout imbalance model."""
         return [core.cycles for core in self.cores]
+
+    def activity(self) -> ActivityCounters:
+        """Summarize the run into serializable aggregate activity counters."""
+        return ActivityCounters(
+            int_retired=sum(core.int_retired for core in self.cores),
+            fp_issued=sum(core.fp_issued for core in self.cores),
+            fp_compute=sum(core.fp_compute for core in self.cores),
+            flops=self.total_flops,
+            tcdm_requests=self.tcdm_requests,
+            tcdm_conflicts=self.tcdm_conflicts,
+            dma_bytes=self.dma_bytes,
+            core_cycles=tuple(core.cycles for core in self.cores),
+        )
 
     @property
     def dma_utilization(self) -> float:

@@ -1,0 +1,40 @@
+"""Parallel sweep engine: declarative jobs, process-pool fan-out, result store.
+
+The reproduction's full workload — every simulation behind the paper's
+tables, figures and ablations — is a list of independent, deterministic
+jobs.  This package turns that observation into infrastructure:
+
+* :class:`~repro.sweep.job.SweepJob` — a declarative, content-hashed job spec;
+* :mod:`repro.sweep.engine` — process-pool fan-out with a bit-identical
+  serial fallback and per-job progress streaming;
+* :class:`~repro.sweep.store.ResultStore` — a persistent JSON-per-job cache
+  under ``.repro_cache/``, keyed by job hash and engine version, making warm
+  re-runs of the entire paper near-instant;
+* :mod:`repro.sweep.artifacts` — paper-artifact builders and the one-shot
+  :func:`~repro.sweep.artifacts.reproduce` pipeline behind
+  ``repro reproduce``.
+"""
+
+from repro.sweep.engine import (
+    WORKERS_ENV_VAR,
+    SweepReport,
+    execute_job,
+    resolve_workers,
+    run_jobs,
+    run_sweep,
+)
+from repro.sweep.job import SweepJob
+from repro.sweep.store import DEFAULT_CACHE_DIR, ENGINE_VERSION, ResultStore
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ENGINE_VERSION",
+    "ResultStore",
+    "SweepJob",
+    "SweepReport",
+    "WORKERS_ENV_VAR",
+    "execute_job",
+    "resolve_workers",
+    "run_jobs",
+    "run_sweep",
+]

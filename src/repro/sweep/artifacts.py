@@ -1,0 +1,509 @@
+"""Every paper artifact, regenerated through the parallel sweep engine.
+
+This module is the single source of truth for the reproduction's artifact
+pipeline: the declarative job lists behind the paper's measurements, one
+builder per artifact (Table 1/2, Figures 3a/3b/4/5, Listing 1 and the
+ablations), and :func:`reproduce`, which runs every required job in one
+deduplicated sweep pass and assembles a consolidated report.  The pytest
+benchmark drivers under ``benchmarks/`` and the ``repro reproduce`` CLI both
+consume these builders, so the tables printed in CI and the report written by
+the CLI can never drift apart.
+
+Each builder returns a dictionary with ``title`` / ``columns`` / ``rows``
+(render with :func:`repro.analysis.format_table`) plus a ``data`` payload
+holding the raw values the benchmark assertions check.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import format_table, geomean
+from repro.core.codegen_base import generate_base_program
+from repro.core.codegen_saris import generate_saris_program
+from repro.core.kernels import TABLE1_EXPECTED, TABLE1_KERNELS, get_kernel
+from repro.core.layout import build_layout
+from repro.core.parallel import cluster_geometry
+from repro.energy import energy_comparison
+from repro.runner import KernelRunResult, VariantComparison
+from repro.scaleout import (
+    best_gpu_fraction,
+    estimate_scaleout_pair,
+    peak_fraction_table,
+)
+from repro.snitch.cluster import SnitchCluster
+from repro.sweep.engine import ProgressFn, SweepReport, run_sweep
+from repro.sweep.job import SweepJob
+from repro.sweep.store import ENGINE_VERSION, ResultStore
+
+#: Reference values reported by the paper, used in printed comparisons.
+PAPER_REFERENCE = {
+    "speedup_geomean": 2.72,
+    "speedup": {"jacobi_2d": 2.36, "j2d5pt": 2.52, "box2d1r": 2.48, "j2d9pt": 2.41,
+                "j2d9pt_gol": 2.42, "star2d3r": 2.40, "star3d2r": 2.42,
+                "ac_iso_cd": 3.01, "box3d1r": 3.48, "j3d27pt": 3.87},
+    "base_fpu_util_geomean": 0.35,
+    "saris_fpu_util_geomean": 0.81,
+    "base_ipc_geomean": 0.89,
+    "saris_ipc_geomean": 1.11,
+    "base_power_w": 0.227,
+    "saris_power_w": 0.390,
+    "energy_gain_geomean": 1.58,
+    "energy_gain_range": (1.27, 2.17),
+    "scaleout_saris_util_geomean": 0.64,
+    "scaleout_speedup_geomean": 2.14,
+    "scaleout_peak_gflops": 406.0,
+    "scaleout_cmtr": {"jacobi_2d": 0.48, "j2d5pt": 0.53, "box2d1r": 0.94,
+                      "j2d9pt": 0.80, "j2d9pt_gol": 0.86, "star3d2r": 0.80,
+                      "ac_iso_cd": 0.67},
+    "table2_saris_fraction": 0.79,
+    "table2_an5d_fraction": 0.69,
+    "listing1_base_compute_fraction": 0.35,
+    "listing1_saris_compute_fraction": 0.58,
+}
+
+#: SARIS block sizes swept by the unrolling ablation.
+ABLATION_BLOCKS = (1, 4, 16)
+
+#: Valid ``repro reproduce --subset`` values.
+SUBSET_CHOICES = ("all", "table1", "table2", "fig3a", "fig3b", "fig4", "fig5",
+                  "listing1", "ablations")
+
+
+# ---------------------------------------------------------------------------
+# Job lists
+# ---------------------------------------------------------------------------
+
+def paper_jobs() -> List[SweepJob]:
+    """Both variants of every Table-1 kernel at the paper tile sizes."""
+    return [SweepJob.make(name, variant=variant)
+            for name in TABLE1_KERNELS for variant in ("base", "saris")]
+
+
+def ablation_jobs() -> Dict[str, SweepJob]:
+    """The extra jobs behind the design-choice ablations, keyed by role."""
+    jobs = {
+        "frep_on": SweepJob.make("jacobi_2d", "saris"),
+        "frep_off": SweepJob.make("jacobi_2d", "saris", use_frep=False),
+        "sr2_stores": SweepJob.make("star3d7pt", "saris"),
+        "sr2_coeffs": SweepJob.make("star3d7pt", "saris",
+                                    force_store_streamed=False),
+    }
+    for block in ABLATION_BLOCKS:
+        jobs[f"block_{block}"] = SweepJob.make("jacobi_2d", "saris",
+                                               max_block=block)
+    return jobs
+
+
+def pair_up(results: Sequence[KernelRunResult]) -> Dict[str, VariantComparison]:
+    """Zip an alternating base/saris result list into comparisons by kernel."""
+    pairs: Dict[str, VariantComparison] = {}
+    for base, saris in zip(results[0::2], results[1::2]):
+        if base.kernel != saris.kernel or (base.variant, saris.variant) != (
+                "base", "saris"):
+            raise ValueError("result list is not an alternating base/saris sweep")
+        pairs[base.kernel] = VariantComparison(kernel=base.kernel, base=base,
+                                               saris=saris)
+    return pairs
+
+
+def run_paper_sweep(workers: Optional[int] = None,
+                    store: Optional[ResultStore] = None,
+                    progress: Optional[ProgressFn] = None
+                    ) -> Dict[str, VariantComparison]:
+    """Run the Table-1 sweep through the engine; comparisons by kernel name."""
+    report = run_sweep(paper_jobs(), workers=workers, store=store,
+                       progress=progress)
+    return pair_up(report.results)
+
+
+def run_ablation_sweep(workers: Optional[int] = None,
+                       store: Optional[ResultStore] = None,
+                       progress: Optional[ProgressFn] = None
+                       ) -> Dict[str, KernelRunResult]:
+    """Run the ablation jobs through the engine; results keyed by role."""
+    jobs = ablation_jobs()
+    keys = list(jobs)
+    report = run_sweep([jobs[key] for key in keys], workers=workers,
+                       store=store, progress=progress)
+    return dict(zip(keys, report.results))
+
+
+# ---------------------------------------------------------------------------
+# Artifact builders
+# ---------------------------------------------------------------------------
+
+def build_table1(runs: Optional[Dict[str, VariantComparison]] = None) -> Dict[str, object]:
+    """Table 1: per-point kernel characteristics, measured vs paper.
+
+    With ``runs`` given, the measured base/SARIS cycle counts and speedup of
+    each kernel are appended so the table doubles as the sweep's summary.
+    """
+    columns = ["code", "dims", "rad", "loads", "coeffs", "flops",
+               "paper loads", "paper coeffs", "paper flops"]
+    if runs is not None:
+        columns += ["base cyc", "saris cyc", "speedup"]
+    rows = []
+    characteristics = {}
+    for name in TABLE1_KERNELS:
+        kernel = get_kernel(name)
+        expected = TABLE1_EXPECTED[name]
+        row = [name, f"{kernel.dims}D", kernel.radius,
+               kernel.loads_per_point, kernel.coeffs_per_point,
+               kernel.flops_per_point,
+               expected["loads"], expected["coeffs"], expected["flops"]]
+        characteristics[name] = {
+            "measured": (kernel.loads_per_point, kernel.coeffs_per_point,
+                         kernel.flops_per_point),
+            "paper": (expected["loads"], expected["coeffs"], expected["flops"]),
+        }
+        if runs is not None:
+            pair = runs[name]
+            row += [pair.base.cycles, pair.saris.cycles, f"{pair.speedup:.2f}"]
+        rows.append(row)
+    return {
+        "title": "Table 1: stencil code characteristics (measured vs paper)",
+        "columns": columns,
+        "rows": rows,
+        "data": characteristics,
+    }
+
+
+def build_fig3a(runs: Dict[str, VariantComparison]) -> Dict[str, object]:
+    """Figure 3a: SARIS speedup over the baseline, per kernel and geomean."""
+    speedups = {name: runs[name].speedup for name in TABLE1_KERNELS}
+    measured_geomean = geomean(speedups.values())
+    rows = [[name, f"{speedups[name]:.2f}",
+             f"{PAPER_REFERENCE['speedup'][name]:.2f}"]
+            for name in TABLE1_KERNELS]
+    rows.append(["geomean", f"{measured_geomean:.2f}",
+                 f"{PAPER_REFERENCE['speedup_geomean']:.2f}"])
+    return {
+        "title": "Figure 3a: SARIS speedup over base",
+        "columns": ["code", "speedup (measured)", "speedup (paper)"],
+        "rows": rows,
+        "data": {"speedups": speedups, "geomean": measured_geomean},
+    }
+
+
+def build_fig3b(runs: Dict[str, VariantComparison]) -> Dict[str, object]:
+    """Figure 3b: FPU utilization and per-core IPC for both variants."""
+    per_kernel = {}
+    for name in TABLE1_KERNELS:
+        pair = runs[name]
+        per_kernel[name] = {
+            "base_util": pair.base.fpu_util,
+            "saris_util": pair.saris.fpu_util,
+            "base_ipc": pair.base.ipc,
+            "saris_ipc": pair.saris.ipc,
+        }
+    aggregates = {
+        "base_util": geomean(d["base_util"] for d in per_kernel.values()),
+        "saris_util": geomean(d["saris_util"] for d in per_kernel.values()),
+        "base_ipc": geomean(d["base_ipc"] for d in per_kernel.values()),
+        "saris_ipc": geomean(d["saris_ipc"] for d in per_kernel.values()),
+    }
+    rows = [[name,
+             f"{d['base_util']:.2f}", f"{d['saris_util']:.2f}",
+             f"{d['base_ipc']:.2f}", f"{d['saris_ipc']:.2f}"]
+            for name, d in per_kernel.items()]
+    rows.append(["geomean (measured)",
+                 f"{aggregates['base_util']:.2f}",
+                 f"{aggregates['saris_util']:.2f}",
+                 f"{aggregates['base_ipc']:.2f}",
+                 f"{aggregates['saris_ipc']:.2f}"])
+    rows.append(["geomean (paper)",
+                 f"{PAPER_REFERENCE['base_fpu_util_geomean']:.2f}",
+                 f"{PAPER_REFERENCE['saris_fpu_util_geomean']:.2f}",
+                 f"{PAPER_REFERENCE['base_ipc_geomean']:.2f}",
+                 f"{PAPER_REFERENCE['saris_ipc_geomean']:.2f}"])
+    return {
+        "title": "Figure 3b: FPU utilization and per-core IPC",
+        "columns": ["code", "base util", "saris util", "base IPC", "saris IPC"],
+        "rows": rows,
+        "data": {"per_kernel": per_kernel, "geomean": aggregates},
+    }
+
+
+def build_fig4(runs: Dict[str, VariantComparison]) -> Dict[str, object]:
+    """Figure 4: cluster power and SARIS energy-efficiency gain."""
+    per_kernel = {name: energy_comparison(runs[name].base, runs[name].saris)
+                  for name in TABLE1_KERNELS}
+    aggregates = {
+        "base_power_w": geomean(d["base_power_w"] for d in per_kernel.values()),
+        "saris_power_w": geomean(d["saris_power_w"] for d in per_kernel.values()),
+        "gain": geomean(d["energy_efficiency_gain"] for d in per_kernel.values()),
+    }
+    rows = [[name,
+             f"{d['base_power_w']:.3f}", f"{d['saris_power_w']:.3f}",
+             f"{d['energy_efficiency_gain']:.2f}"]
+            for name, d in per_kernel.items()]
+    rows.append(["geomean (measured)", f"{aggregates['base_power_w']:.3f}",
+                 f"{aggregates['saris_power_w']:.3f}", f"{aggregates['gain']:.2f}"])
+    rows.append(["geomean (paper)", f"{PAPER_REFERENCE['base_power_w']:.3f}",
+                 f"{PAPER_REFERENCE['saris_power_w']:.3f}",
+                 f"{PAPER_REFERENCE['energy_gain_geomean']:.2f}"])
+    return {
+        "title": "Figure 4: cluster power and SARIS energy-efficiency gain",
+        "columns": ["code", "base power [W]", "saris power [W]",
+                    "energy eff. gain"],
+        "rows": rows,
+        "data": {"per_kernel": per_kernel, "geomean": aggregates},
+    }
+
+
+def build_fig5(runs: Dict[str, VariantComparison]) -> Dict[str, object]:
+    """Figure 5: Manticore-256s scaleout estimates per kernel."""
+    per_kernel = {name: estimate_scaleout_pair(get_kernel(name),
+                                               runs[name].base,
+                                               runs[name].saris)
+                  for name in TABLE1_KERNELS}
+    aggregates = {
+        "saris_util": geomean(d["saris"].fpu_util for d in per_kernel.values()),
+        "speedup": geomean(d["speedup"] for d in per_kernel.values()),
+        "peak_gflops": max(d["saris"].gflops for d in per_kernel.values()),
+    }
+    rows = []
+    for name, entry in per_kernel.items():
+        paper_cmtr = PAPER_REFERENCE["scaleout_cmtr"].get(name)
+        rows.append([
+            name,
+            f"{entry['base'].fpu_util:.2f}",
+            f"{entry['saris'].fpu_util:.2f}",
+            f"{entry['speedup']:.2f}",
+            f"{entry['cmtr']:.2f}" if entry["memory_bound"] else "-",
+            f"{paper_cmtr:.2f}" if paper_cmtr else "-",
+            f"{entry['saris'].gflops:.0f}",
+        ])
+    rows.append(["geomean/max (measured)", "", f"{aggregates['saris_util']:.2f}",
+                 f"{aggregates['speedup']:.2f}", "", "",
+                 f"{aggregates['peak_gflops']:.0f}"])
+    rows.append(["geomean/max (paper)", "0.35",
+                 f"{PAPER_REFERENCE['scaleout_saris_util_geomean']:.2f}",
+                 f"{PAPER_REFERENCE['scaleout_speedup_geomean']:.2f}", "", "",
+                 f"{PAPER_REFERENCE['scaleout_peak_gflops']:.0f}"])
+    return {
+        "title": "Figure 5: Manticore-256s scaleout estimates",
+        "columns": ["code", "base util", "saris util", "speedup",
+                    "CMTR (measured)", "CMTR (paper)", "saris GFLOP/s"],
+        "rows": rows,
+        "data": {"per_kernel": per_kernel, "aggregates": aggregates},
+    }
+
+
+def build_table2(runs: Dict[str, VariantComparison]) -> Dict[str, object]:
+    """Table 2: best fraction of peak compute vs prior stencil software."""
+    best_fraction = 0.0
+    best_kernel = None
+    for name in TABLE1_KERNELS:
+        pair = runs[name]
+        est = estimate_scaleout_pair(get_kernel(name), pair.base, pair.saris)
+        if est["saris"].fraction_of_peak > best_fraction:
+            best_fraction = est["saris"].fraction_of_peak
+            best_kernel = name
+    rows = [[r["category"], r["work"], r["platform"], r["precision"],
+             f"{r['peak_fraction']:.2f}"]
+            for r in peak_fraction_table(best_fraction)]
+    return {
+        "title": (f"Table 2: highest fraction of peak compute "
+                  f"(our best kernel: {best_kernel}; paper reports "
+                  f"{PAPER_REFERENCE['table2_saris_fraction']:.2f})"),
+        "columns": ["category", "work", "platform", "precision", "% of peak"],
+        "rows": rows,
+        "data": {"best_fraction": best_fraction, "best_kernel": best_kernel,
+                 "best_gpu_fraction": best_gpu_fraction()},
+    }
+
+
+def build_listing1() -> Dict[str, object]:
+    """Listing 1: instruction mix of both un-unrolled star3d7pt point loops.
+
+    Static codegen analysis — no simulation — so it needs no sweep results.
+    """
+    kernel = get_kernel("star3d7pt")
+    cluster = SnitchCluster()
+    layout = build_layout(kernel, cluster.allocator)
+    geometry = cluster_geometry(kernel, layout.tile_shape)[0]
+    base = generate_base_program(kernel, layout, geometry, max_unroll=1)
+    saris = generate_saris_program(kernel, layout, geometry, cluster.allocator,
+                                   max_block=1, max_body_unroll=1)
+    data = {}
+    for label, gen in (("base", base), ("saris", saris)):
+        start, end = gen.program.loop_bounds("xloop")
+        mix = gen.program.static_instruction_mix(start, end)
+        total = sum(mix.values())
+        data[label] = {
+            "total": total,
+            "compute": mix["fp_compute"],
+            "fraction": mix["fp_compute"] / total,
+            "mix": mix,
+        }
+    rows = [
+        ["loop instructions", data["base"]["total"], data["saris"]["total"],
+         20, 12],
+        ["useful compute instructions", data["base"]["compute"],
+         data["saris"]["compute"], 7, 7],
+        ["useful compute fraction",
+         f"{data['base']['fraction']:.2f}", f"{data['saris']['fraction']:.2f}",
+         PAPER_REFERENCE["listing1_base_compute_fraction"],
+         PAPER_REFERENCE["listing1_saris_compute_fraction"]],
+    ]
+    return {
+        "title": ("Listing 1: point-loop instruction mix, 7-point star, "
+                  "no unrolling"),
+        "columns": ["metric", "base (ours)", "saris (ours)", "base (paper)",
+                    "saris (paper)"],
+        "rows": rows,
+        "data": data,
+    }
+
+
+def build_ablations(ablations: Dict[str, KernelRunResult],
+                    runs: Optional[Dict[str, VariantComparison]] = None
+                    ) -> List[Dict[str, object]]:
+    """Ablation tables: FREP, block size, SR2 policy and stream balance."""
+    artifacts = [
+        {
+            "title": "Ablation: FREP hardware loop (jacobi_2d, saris)",
+            "columns": ["metric", "with FREP", "without FREP"],
+            "rows": [
+                ["cycles", ablations["frep_on"].cycles,
+                 ablations["frep_off"].cycles],
+                ["FPU utilization", f"{ablations['frep_on'].fpu_util:.3f}",
+                 f"{ablations['frep_off'].fpu_util:.3f}"],
+                ["IPC", f"{ablations['frep_on'].ipc:.3f}",
+                 f"{ablations['frep_off'].ipc:.3f}"],
+            ],
+            "data": {"with_frep": ablations["frep_on"],
+                     "without_frep": ablations["frep_off"]},
+        },
+        {
+            "title": "Ablation: SARIS block size (jacobi_2d)",
+            "columns": ["block points per launch", "cycles", "FPU util"],
+            "rows": [[block, ablations[f"block_{block}"].cycles,
+                      f"{ablations[f'block_{block}'].fpu_util:.3f}"]
+                     for block in ABLATION_BLOCKS],
+            "data": {block: ablations[f"block_{block}"]
+                     for block in ABLATION_BLOCKS},
+        },
+        {
+            "title": ("Ablation: role of the remaining affine stream register "
+                      "(star3d7pt)"),
+            "columns": ["metric", "SR2 = output stores", "SR2 = coefficients"],
+            "rows": [
+                ["cycles", ablations["sr2_stores"].cycles,
+                 ablations["sr2_coeffs"].cycles],
+                ["FPU utilization", f"{ablations['sr2_stores'].fpu_util:.3f}",
+                 f"{ablations['sr2_coeffs'].fpu_util:.3f}"],
+            ],
+            "data": {"stores": ablations["sr2_stores"],
+                     "coeffs": ablations["sr2_coeffs"]},
+        },
+    ]
+    if runs is not None:
+        balances = {name: (pair.saris.program_info[0]["stream_balance"],
+                           pair.saris.fpu_util)
+                    for name, pair in runs.items()}
+        artifacts.append({
+            "title": "Ablation: stream partition balance per kernel",
+            "columns": ["code", "SR0/SR1 balance", "saris FPU util"],
+            "rows": [[name, f"{balance:.2f}", f"{util:.2f}"]
+                     for name, (balance, util) in sorted(balances.items())],
+            "data": balances,
+        })
+    return artifacts
+
+
+# ---------------------------------------------------------------------------
+# One-shot reproduction
+# ---------------------------------------------------------------------------
+
+def reproduce(subset: str = "all", workers: Optional[int] = None,
+              use_cache: bool = True, cache_dir: Optional[str] = None,
+              progress: Optional[ProgressFn] = None) -> Dict[str, object]:
+    """Regenerate the requested paper artifacts in one sweep pass.
+
+    Every simulation the selected artifacts need is collected into a single
+    deduplicated job list, fanned out through the sweep engine (consulting
+    the persistent result store unless ``use_cache`` is false), and the
+    artifact tables are then assembled from the results.
+    """
+    if subset not in SUBSET_CHOICES:
+        raise ValueError(f"unknown subset {subset!r}; expected one of "
+                         f"{SUBSET_CHOICES}")
+    store = ResultStore(cache_dir) if use_cache else None
+    needs_paper = subset != "listing1"
+    needs_ablation = subset in ("all", "ablations")
+
+    jobs: List[SweepJob] = list(paper_jobs()) if needs_paper else []
+    ablation_keys: List[str] = []
+    if needs_ablation:
+        for key, job in ablation_jobs().items():
+            ablation_keys.append(key)
+            jobs.append(job)
+
+    report: Optional[SweepReport] = None
+    runs: Optional[Dict[str, VariantComparison]] = None
+    ablations: Optional[Dict[str, KernelRunResult]] = None
+    if jobs:
+        report = run_sweep(jobs, workers=workers, store=store,
+                           progress=progress)
+        if needs_paper:
+            paper_count = 2 * len(TABLE1_KERNELS)
+            runs = pair_up(report.results[:paper_count])
+        if needs_ablation:
+            tail = report.results[len(jobs) - len(ablation_keys):]
+            ablations = dict(zip(ablation_keys, tail))
+
+    builders: Dict[str, Callable[[], object]] = {
+        "table1": lambda: [build_table1(runs)],
+        "fig3a": lambda: [build_fig3a(runs)],
+        "fig3b": lambda: [build_fig3b(runs)],
+        "fig4": lambda: [build_fig4(runs)],
+        "fig5": lambda: [build_fig5(runs)],
+        "table2": lambda: [build_table2(runs)],
+        "listing1": lambda: [build_listing1()],
+        "ablations": lambda: build_ablations(ablations, runs),
+    }
+    selected = list(builders) if subset == "all" else [subset]
+    artifacts: List[Dict[str, object]] = []
+    for key in selected:
+        artifacts.extend(builders[key]())
+
+    return {
+        "subset": subset,
+        "engine_version": ENGINE_VERSION,
+        "cpu_count": os.cpu_count(),
+        "sweep": report.stats() if report is not None else None,
+        "artifacts": [
+            {"title": art["title"], "columns": art["columns"],
+             "rows": [[_plain(cell) for cell in row] for row in art["rows"]]}
+            for art in artifacts
+        ],
+    }
+
+
+def _plain(cell):
+    """Coerce a table cell into a JSON-friendly scalar."""
+    if isinstance(cell, (str, int, float, bool)) or cell is None:
+        return cell
+    return str(cell)
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """Human-readable consolidated report (all tables plus sweep stats)."""
+    lines = []
+    sweep = report.get("sweep")
+    if sweep:
+        lines.append(
+            f"sweep: {sweep['jobs']} jobs, {sweep['executed']} executed, "
+            f"{sweep['cache_hits']} cache hits, {sweep['workers']} worker(s), "
+            f"{sweep['wall_seconds']:.2f} s wall"
+            + (f" (store: {sweep['store']})" if sweep.get("store") else ""))
+        lines.append("")
+    for artifact in report["artifacts"]:
+        lines.append(format_table(artifact["columns"], artifact["rows"],
+                                  title=artifact["title"]))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

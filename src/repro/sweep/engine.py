@@ -1,0 +1,192 @@
+"""Process-pool sweep executor with a bit-identical serial fallback.
+
+The full reproduction workload — every (kernel, variant, configuration) job
+behind the paper's tables and figures — is embarrassingly parallel: jobs
+share no mutable state and the simulator is deterministic.  ``run_sweep``
+therefore fans a job list across worker processes with
+:class:`concurrent.futures.ProcessPoolExecutor`, consults the persistent
+:class:`~repro.sweep.store.ResultStore` first, dedupes identical jobs within
+one sweep, and streams per-job progress to an optional callback.
+
+Workers execute the exact same function as the serial path
+(:func:`execute_job`), so serial and parallel sweeps produce bit-identical
+metrics; each worker process warms its own codegen / DMA-utilization caches
+as it goes (on fork start methods it additionally inherits the parent's warm
+caches for free).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.runner import KernelRunResult
+from repro.sweep.job import SweepJob
+from repro.sweep.store import ResultStore
+
+#: Environment variable overriding the default worker count.
+WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
+
+#: Progress callback signature: (done, total, job, source) where source is
+#: one of "cache", "serial", "parallel".
+ProgressFn = Callable[[int, int, SweepJob, str], None]
+
+
+def resolve_workers(workers: Optional[int] = None,
+                    num_jobs: Optional[int] = None) -> int:
+    """Worker count: explicit argument > $REPRO_SWEEP_WORKERS > CPU count."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV_VAR} must be an integer, got {env!r}"
+                ) from None
+        else:
+            workers = os.cpu_count() or 1
+    workers = max(1, int(workers))
+    if num_jobs is not None:
+        workers = min(workers, max(1, num_jobs))
+    return workers
+
+
+def execute_job(job: SweepJob) -> KernelRunResult:
+    """Run one job and return its serializable metrics core.
+
+    Module-level so it is picklable for pool workers; the serial fallback
+    calls the same function, which is what makes the two paths bit-identical.
+    The in-memory cluster detail is dropped before the result crosses the
+    process boundary (it is re-derivable and only the metrics are consumed
+    downstream).
+    """
+    return job.run().without_cluster()
+
+
+def _pool_context():
+    """Prefer fork workers (cheap, inherit warm caches) where available."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+@dataclass
+class SweepReport:
+    """Results of one sweep plus execution statistics."""
+
+    results: List[KernelRunResult]
+    jobs: int
+    executed: int
+    cache_hits: int
+    workers: int
+    wall_seconds: float
+    parallel: bool
+    store_root: Optional[str] = None
+    job_labels: List[str] = field(default_factory=list, repr=False)
+
+    def stats(self) -> Dict[str, object]:
+        """Summary dictionary for reports and benchmark records."""
+        return {
+            "jobs": self.jobs,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "workers": self.workers,
+            "parallel": self.parallel,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "store": self.store_root,
+        }
+
+
+def run_sweep(jobs: Sequence[SweepJob], workers: Optional[int] = None,
+              store: Optional[ResultStore] = None,
+              progress: Optional[ProgressFn] = None) -> SweepReport:
+    """Execute ``jobs``, returning results in input order plus statistics.
+
+    ``store`` is consulted before executing anything and updated with every
+    freshly computed result; pass ``None`` to force cold execution.  With
+    ``workers`` resolved to 1 (or a single pending job) the sweep runs
+    serially in-process — the parallel path produces bit-identical metrics.
+    """
+    jobs = list(jobs)
+    total = len(jobs)
+    results: List[Optional[KernelRunResult]] = [None] * total
+    start = time.perf_counter()
+    done = 0
+
+    def report_progress(index: int, source: str) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(done, total, jobs[index], source)
+
+    # Warm-cache pass: satisfy whatever the store already holds.
+    cache_hits = 0
+    pending: List[int] = []
+    for index, job in enumerate(jobs):
+        cached = store.load(job) if store is not None else None
+        if cached is not None:
+            results[index] = cached
+            cache_hits += 1
+            report_progress(index, "cache")
+        else:
+            pending.append(index)
+
+    # Dedupe identical jobs: simulate each distinct configuration once.
+    first_for_hash: Dict[str, int] = {}
+    duplicates: Dict[int, int] = {}
+    unique: List[int] = []
+    for index in pending:
+        job_hash = jobs[index].content_hash()
+        if job_hash in first_for_hash:
+            duplicates[index] = first_for_hash[job_hash]
+        else:
+            first_for_hash[job_hash] = index
+            unique.append(index)
+
+    workers = resolve_workers(workers, len(unique))
+    parallel = workers > 1 and len(unique) > 1
+
+    def finish(index: int, result: KernelRunResult, source: str) -> None:
+        results[index] = result
+        if store is not None:
+            store.save(jobs[index], result)
+        report_progress(index, source)
+
+    if not parallel:
+        for index in unique:
+            finish(index, execute_job(jobs[index]), "serial")
+    else:
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=_pool_context()) as pool:
+            futures = {pool.submit(execute_job, jobs[index]): index
+                       for index in unique}
+            for future in as_completed(futures):
+                finish(futures[future], future.result(), "parallel")
+
+    for index, source_index in duplicates.items():
+        results[index] = results[source_index]
+        report_progress(index, "cache")
+
+    return SweepReport(
+        results=results,  # type: ignore[arg-type]  # all slots filled above
+        jobs=total,
+        executed=len(unique),
+        cache_hits=cache_hits,
+        workers=workers,
+        wall_seconds=time.perf_counter() - start,
+        parallel=parallel,
+        store_root=str(store.root) if store is not None else None,
+        job_labels=[job.label for job in jobs],
+    )
+
+
+def run_jobs(jobs: Sequence[SweepJob], workers: Optional[int] = None,
+             store: Optional[ResultStore] = None,
+             progress: Optional[ProgressFn] = None) -> List[KernelRunResult]:
+    """Convenience wrapper around :func:`run_sweep` returning just results."""
+    return run_sweep(jobs, workers=workers, store=store, progress=progress).results

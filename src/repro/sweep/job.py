@@ -1,0 +1,94 @@
+"""Declarative description of one simulation job with a stable content hash.
+
+A :class:`SweepJob` captures everything that determines the outcome of one
+``run_kernel`` invocation — kernel name, code variant, tile shape, timing
+parameters, codegen keyword arguments and the input seed — as a frozen,
+picklable value.  Its :meth:`~SweepJob.content_hash` is computed from a
+canonical JSON form, so it is identical across processes, machines and
+``PYTHONHASHSEED`` values; the on-disk result store keys cache entries on it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import astuple, dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from repro.snitch.params import TimingParams
+
+#: Default simulation cycle budget, mirroring ``run_kernel``'s default.
+DEFAULT_MAX_CYCLES = 5_000_000
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One (kernel, variant, configuration) simulation request.
+
+    ``codegen_kwargs`` is stored as a sorted tuple of ``(name, value)`` pairs
+    so that jobs hash and compare independently of keyword order; build jobs
+    through :meth:`make` to get the normalization for free.
+    """
+
+    kernel: str
+    variant: str = "saris"
+    tile_shape: Optional[Tuple[int, ...]] = None
+    params: Optional[TimingParams] = None
+    seed: int = 0
+    check: bool = True
+    max_cycles: int = DEFAULT_MAX_CYCLES
+    codegen_kwargs: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, kernel: Union[str, object], variant: str = "saris", *,
+             tile_shape: Optional[Tuple[int, ...]] = None,
+             params: Optional[TimingParams] = None, seed: int = 0,
+             check: bool = True, max_cycles: int = DEFAULT_MAX_CYCLES,
+             **codegen_kwargs) -> "SweepJob":
+        """Build a normalized job (accepts a kernel name or kernel object)."""
+        name = kernel if isinstance(kernel, str) else kernel.name
+        return cls(
+            kernel=name,
+            variant=variant,
+            tile_shape=tuple(int(t) for t in tile_shape) if tile_shape else None,
+            params=params,
+            seed=int(seed),
+            check=bool(check),
+            max_cycles=int(max_cycles),
+            codegen_kwargs=tuple(sorted(codegen_kwargs.items())),
+        )
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity for progress lines and reports."""
+        extras = ",".join(f"{name}={value!r}" for name, value in self.codegen_kwargs)
+        return f"{self.kernel}/{self.variant}" + (f"[{extras}]" if extras else "")
+
+    def spec(self) -> Dict[str, object]:
+        """Canonical JSON-stable description — the content that is hashed."""
+        return {
+            "kernel": self.kernel,
+            "variant": self.variant,
+            "tile_shape": list(self.tile_shape) if self.tile_shape else None,
+            "params": list(astuple(self.params)) if self.params is not None else None,
+            "seed": self.seed,
+            "check": self.check,
+            "max_cycles": self.max_cycles,
+            "codegen_kwargs": {name: repr(value)
+                               for name, value in self.codegen_kwargs},
+        }
+
+    def content_hash(self) -> str:
+        """Hex digest of the canonical spec; stable across processes."""
+        canonical = json.dumps(self.spec(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def run(self):
+        """Execute the job in this process and return a `KernelRunResult`."""
+        from repro.runner import run_kernel
+
+        return run_kernel(self.kernel, variant=self.variant,
+                          tile_shape=self.tile_shape, params=self.params,
+                          seed=self.seed, check=self.check,
+                          max_cycles=self.max_cycles,
+                          **dict(self.codegen_kwargs))

@@ -1,0 +1,132 @@
+"""Persistent on-disk result store: one JSON file per finished sweep job.
+
+Results are keyed by the job's content hash *and* an engine stamp, stored
+under a per-stamp subdirectory of the cache root (default ``.repro_cache/``,
+overridable via the ``REPRO_CACHE_DIR`` environment variable).  The stamp
+combines :data:`ENGINE_VERSION` (bumped on semantic changes) with an
+automatic content fingerprint of the simulator sources, so warm re-runs of
+the whole paper are near-instant yet an edit to the timing model, code
+generators or metric assembly can never be served stale results — even if
+nobody remembers to bump the version.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.runner import KernelRunResult
+from repro.sweep.job import SweepJob
+
+#: Version stamp of the simulation engine, for *semantic* invalidation (e.g.
+#: a metric gains a new meaning without any simulator source changing).
+#: Source-level changes are caught automatically by
+#: :func:`engine_fingerprint`.  History: 1 = PR 1 fast engine; 2 =
+#: sweep-engine PR (activity counters).
+ENGINE_VERSION = 2
+
+#: Default cache directory, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Packages/modules whose source content determines every stored metric.
+_METRIC_SOURCES = ("runner.py", "core", "isa", "snitch")
+
+_FINGERPRINT_CACHE: Optional[str] = None
+
+
+def engine_fingerprint() -> str:
+    """Content hash of the simulator sources backing the stored metrics.
+
+    Hashes every ``.py`` file under :data:`_METRIC_SOURCES` (relative to the
+    ``repro`` package), so any edit to the timing model, ISA, code
+    generators or the runner silently lands every cache entry in a fresh
+    directory — no manual version bump required.
+    """
+    global _FINGERPRINT_CACHE
+    if _FINGERPRINT_CACHE is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for target in _METRIC_SOURCES:
+            path = package_root / target
+            files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+            for source in files:
+                try:
+                    content = source.read_bytes()
+                except OSError:
+                    continue
+                digest.update(str(source.relative_to(package_root)).encode())
+                digest.update(content)
+        _FINGERPRINT_CACHE = digest.hexdigest()[:12]
+    return _FINGERPRINT_CACHE
+
+
+class ResultStore:
+    """Content-addressed JSON store for :class:`SweepJob` results."""
+
+    def __init__(self, root: Union[str, Path, None] = None,
+                 engine_version: Optional[int] = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+        self.engine_version = (ENGINE_VERSION if engine_version is None
+                               else int(engine_version))
+
+    @property
+    def version_dir(self) -> Path:
+        """Directory holding entries for this engine version + source state."""
+        return self.root / f"v{self.engine_version}-{engine_fingerprint()}"
+
+    def path_for(self, job: SweepJob) -> Path:
+        """File path of the cache entry for ``job``."""
+        name = f"{job.kernel}-{job.variant}-{job.content_hash()}.json"
+        return self.version_dir / name
+
+    def load(self, job: SweepJob) -> Optional[KernelRunResult]:
+        """Return the stored result for ``job``, or ``None`` on a miss.
+
+        A hit requires the engine version *and* the full job spec recorded in
+        the file to match, so hash collisions or hand-edited files degrade to
+        a miss instead of serving wrong metrics.
+        """
+        path = self.path_for(job)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if payload.get("engine_version") != self.engine_version:
+            return None
+        if payload.get("job") != job.spec():
+            return None
+        try:
+            return KernelRunResult.from_json_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def save(self, job: SweepJob, result: KernelRunResult) -> Path:
+        """Persist ``result`` for ``job`` (atomic rename, no partial files)."""
+        path = self.path_for(job)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "engine_version": self.engine_version,
+            "job": job.spec(),
+            "result": result.without_cluster().to_json_dict(),
+        }
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        """Number of entries stored for this engine version."""
+        try:
+            return sum(1 for _ in self.version_dir.glob("*.json"))
+        except OSError:
+            return 0
+
+    def clear(self) -> None:
+        """Drop every entry of this engine version."""
+        shutil.rmtree(self.version_dir, ignore_errors=True)

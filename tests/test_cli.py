@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -31,3 +33,37 @@ class TestCli:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestReproduceCommand:
+    def test_reproduce_listing1(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        code = main(["reproduce", "--subset", "listing1",
+                     "-o", str(report_path), "-q"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Listing 1" in out
+        report = json.loads(report_path.read_text())
+        assert report["subset"] == "listing1"
+        assert report["sweep"] is None  # static artifact: no simulations
+        assert len(report["artifacts"]) == 1
+
+    def test_reproduce_table1_through_engine(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        code = main(["reproduce", "--subset", "table1", "--workers", "2",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "-o", str(report_path), "-q"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "sweep:" in out
+        report = json.loads(report_path.read_text())
+        assert report["sweep"]["jobs"] == 20
+        assert report["sweep"]["cache_hits"] == 0
+        # A warm re-run is served entirely from the store.
+        assert main(["reproduce", "--subset", "table1",
+                     "--cache-dir", str(tmp_path / "cache"), "-o", "", "-q"]) == 0
+        capsys.readouterr()
+
+    def test_reproduce_rejects_unknown_subset(self):
+        with pytest.raises(SystemExit):
+            main(["reproduce", "--subset", "fig9"])

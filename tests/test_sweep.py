@@ -1,0 +1,222 @@
+"""Tests for the sweep engine: job hashing, the result store and fan-out."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.energy import estimate_power
+from repro.scaleout import estimate_scaleout_pair
+from repro.core.kernels import get_kernel
+from repro.sweep import (
+    ENGINE_VERSION,
+    ResultStore,
+    SweepJob,
+    execute_job,
+    resolve_workers,
+    run_jobs,
+    run_sweep,
+)
+from repro.sweep.artifacts import ablation_jobs, paper_jobs
+from tests.conftest import small_tile
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def metrics_key(result):
+    """Every serializable metric of a result (the bit-identity surface)."""
+    return (result.kernel, result.variant, result.tile_shape, result.cycles,
+            result.total_flops, result.fpu_util, result.ipc,
+            result.flops_per_cycle, result.correct, result.max_abs_error,
+            result.runtime_imbalance, result.tcdm_conflict_rate,
+            result.dma_utilization, result.tile_traffic_bytes,
+            result.activity)
+
+
+def small_job(kernel="jacobi_2d", variant="saris", **kwargs):
+    return SweepJob.make(kernel, variant, tile_shape=small_tile(kernel),
+                         **kwargs)
+
+
+class TestSweepJobHash:
+    def test_kwarg_order_is_irrelevant(self):
+        a = SweepJob.make("jacobi_2d", "saris", max_block=4, use_frep=True)
+        b = SweepJob.make("jacobi_2d", "saris", use_frep=True, max_block=4)
+        assert a == b
+        assert a.content_hash() == b.content_hash()
+
+    def test_distinct_configs_get_distinct_hashes(self):
+        hashes = {job.content_hash()
+                  for job in paper_jobs() + list(ablation_jobs().values())}
+        jobs = paper_jobs() + list(ablation_jobs().values())
+        # frep_on duplicates the paper jacobi_2d/saris job by construction.
+        assert len(hashes) == len(jobs) - 1
+
+    def test_tile_shape_is_normalized(self):
+        a = SweepJob.make("jacobi_2d", tile_shape=[12, 12])
+        b = SweepJob.make("jacobi_2d", tile_shape=(12, 12))
+        assert a == b and a.tile_shape == (12, 12)
+
+    def test_seed_and_params_affect_hash(self):
+        from repro.snitch.params import TimingParams
+
+        base = SweepJob.make("jacobi_2d")
+        assert SweepJob.make("jacobi_2d", seed=1).content_hash() != base.content_hash()
+        custom = SweepJob.make("jacobi_2d",
+                               params=TimingParams(fpu_latency=4))
+        assert custom.content_hash() != base.content_hash()
+
+    def test_hash_stable_across_processes(self):
+        """Hashes must not depend on PYTHONHASHSEED or process state."""
+        jobs = [SweepJob.make("jacobi_2d", "base"),
+                SweepJob.make("star3d7pt", "saris", tile_shape=(8, 8, 8),
+                              force_store_streamed=False, seed=3)]
+        expected = [job.content_hash() for job in jobs]
+        code = (
+            "from repro.sweep import SweepJob\n"
+            "jobs = [SweepJob.make('jacobi_2d', 'base'),\n"
+            "        SweepJob.make('star3d7pt', 'saris', tile_shape=(8, 8, 8),\n"
+            "                      force_store_streamed=False, seed=3)]\n"
+            "print('\\n'.join(job.content_hash() for job in jobs))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = "271828"
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        out = subprocess.run([sys.executable, "-c", code], env=env,
+                             capture_output=True, text=True, check=True)
+        assert out.stdout.split() == expected
+
+
+class TestResultStore:
+    def test_roundtrip_preserves_metrics(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = small_job()
+        result = execute_job(job)
+        path = store.save(job, result)
+        assert path.exists() and len(store) == 1
+        loaded = store.load(job)
+        assert loaded is not None
+        assert metrics_key(loaded) == metrics_key(result)
+        assert loaded.cluster is None
+        info = loaded.program_info[0]
+        assert info["variant"] == "saris" and "stream_balance" in info
+        # Entries are stamped with version + simulator-source fingerprint.
+        from repro.sweep.store import engine_fingerprint
+        assert store.version_dir.name == (
+            f"v{ENGINE_VERSION}-{engine_fingerprint()}")
+
+    def test_miss_for_unknown_job(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.load(small_job()) is None
+
+    def test_engine_version_bump_invalidates(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = small_job()
+        store.save(job, execute_job(job))
+        assert store.load(job) is not None
+        bumped = ResultStore(tmp_path, engine_version=ENGINE_VERSION + 1)
+        assert bumped.load(job) is None
+        # The old version's entries survive untouched for rollback.
+        assert store.load(job) is not None
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = small_job()
+        store.save(job, execute_job(job))
+        store.path_for(job).write_text("{not json")
+        assert store.load(job) is None
+
+    def test_spec_mismatch_degrades_to_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = small_job()
+        store.save(job, execute_job(job))
+        payload = json.loads(store.path_for(job).read_text())
+        payload["job"]["seed"] = 99
+        store.path_for(job).write_text(json.dumps(payload))
+        assert store.load(job) is None
+
+    def test_clear_drops_version_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = small_job()
+        store.save(job, execute_job(job))
+        store.clear()
+        assert len(store) == 0 and store.load(job) is None
+
+
+class TestEngine:
+    def test_parallel_matches_serial_full_table1(self):
+        """The acceptance gate: every Table-1 kernel/variant, paper tiles."""
+        jobs = paper_jobs()
+        serial = run_sweep(jobs, workers=1, store=None)
+        parallel = run_sweep(jobs, workers=2, store=None)
+        assert not serial.parallel and parallel.parallel
+        assert serial.executed == parallel.executed == len(jobs)
+        for ser, par in zip(serial.results, parallel.results):
+            assert metrics_key(ser) == metrics_key(par)
+            assert ser.program_info == par.program_info
+
+    def test_results_keep_input_order(self, tmp_path):
+        jobs = [small_job("jacobi_2d", v) for v in ("base", "saris")]
+        results = run_jobs(jobs, workers=2, store=None)
+        assert [(r.kernel, r.variant) for r in results] == [
+            ("jacobi_2d", "base"), ("jacobi_2d", "saris")]
+
+    def test_cache_hits_skip_execution(self, tmp_path):
+        store = ResultStore(tmp_path)
+        jobs = [small_job("jacobi_2d", v) for v in ("base", "saris")]
+        cold = run_sweep(jobs, workers=1, store=store)
+        assert cold.executed == 2 and cold.cache_hits == 0
+        warm = run_sweep(jobs, workers=1, store=store)
+        assert warm.executed == 0 and warm.cache_hits == 2
+        for a, b in zip(cold.results, warm.results):
+            assert metrics_key(a) == metrics_key(b)
+
+    def test_duplicate_jobs_simulated_once(self):
+        job = small_job()
+        report = run_sweep([job, job, job], workers=1, store=None)
+        assert report.jobs == 3 and report.executed == 1
+        assert (metrics_key(report.results[0]) == metrics_key(report.results[1])
+                == metrics_key(report.results[2]))
+
+    def test_progress_streams_every_job(self, tmp_path):
+        store = ResultStore(tmp_path)
+        jobs = [small_job("jacobi_2d", v) for v in ("base", "saris")]
+        run_sweep(jobs, workers=1, store=store)
+        events = []
+        run_sweep(jobs, workers=1, store=store,
+                  progress=lambda done, total, job, source:
+                  events.append((done, total, source)))
+        assert events == [(1, 2, "cache"), (2, 2, "cache")]
+
+    def test_sweep_results_feed_energy_and_scaleout_models(self):
+        """Serialized cores (no cluster detail) still drive Fig 4 and Fig 5."""
+        jobs = [small_job("jacobi_2d", v) for v in ("base", "saris")]
+        base, saris = run_jobs(jobs, workers=1, store=None)
+        assert base.cluster is None and base.activity is not None
+        assert estimate_power(saris).power_w > estimate_power(base).power_w
+        pair = estimate_scaleout_pair(get_kernel("jacobi_2d"), base, saris)
+        assert pair["speedup"] > 0
+
+
+class TestResolveWorkers:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_var_overrides_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "5")
+        assert resolve_workers() == 5
+
+    def test_malformed_env_var_names_itself(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "abc")
+        with pytest.raises(ValueError, match="REPRO_SWEEP_WORKERS"):
+            resolve_workers()
+
+    def test_clamped_to_job_count_and_floor(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
+        assert resolve_workers(16, num_jobs=3) == 3
+        assert resolve_workers(0) == 1
