@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
-"""Quickstart: run one stencil kernel in both variants and compare.
+"""Quickstart: sweep one stencil kernel with the fluent Experiment API.
 
 This example compiles the 7-point star stencil of Listing 1 for the simulated
-eight-core Snitch cluster, runs the optimized RV32G baseline and the
-SARIS-accelerated variant, checks both against the NumPy reference and prints
-the headline metrics of the paper (speedup, FPU utilization, IPC).
+Snitch cluster, runs the optimized RV32G baseline and the SARIS-accelerated
+variant on the default eight-core machine *and* on the four-core preset,
+checks every run against the NumPy reference and prints the headline metrics
+of the paper (speedup, FPU utilization, IPC).
 
 Run with::
 
@@ -15,14 +16,14 @@ from __future__ import annotations
 
 import sys
 
-from repro import KERNEL_NAMES, compare_variants, get_kernel
-from repro.analysis import format_table
+from repro import Experiment, get_kernel, kernel_names
 
 
 def main() -> int:
     kernel_name = sys.argv[1] if len(sys.argv) > 1 else "star3d7pt"
-    if kernel_name not in KERNEL_NAMES:
-        print(f"unknown kernel {kernel_name!r}; choose one of: {', '.join(KERNEL_NAMES)}")
+    if kernel_name not in kernel_names():
+        print(f"unknown kernel {kernel_name!r}; choose one of: "
+              f"{', '.join(kernel_names())}")
         return 1
     kernel = get_kernel(kernel_name)
     print(f"Kernel {kernel.name}: {kernel.description}")
@@ -32,27 +33,26 @@ def main() -> int:
     print(f"  tile {kernel.default_tile} "
           f"({kernel.interior_points()} interior points per tile)\n")
 
-    print("Simulating both variants on the eight-core Snitch cluster model ...")
-    comparison = compare_variants(kernel)
-    base, saris = comparison.base, comparison.saris
+    print("Sweeping base and saris variants over two machine presets ...")
+    results = (Experiment()
+               .kernels(kernel)
+               .variants("base", "saris")
+               .machines("snitch-8", "snitch-4")
+               .run(workers=1, cache=False))
 
-    rows = [
-        ["cycles", base.cycles, saris.cycles],
-        ["FPU utilization", f"{base.fpu_util:.3f}", f"{saris.fpu_util:.3f}"],
-        ["IPC per core", f"{base.ipc:.3f}", f"{saris.ipc:.3f}"],
-        ["FLOP/cycle (cluster)", f"{base.flops_per_cycle:.2f}", f"{saris.flops_per_cycle:.2f}"],
-        ["output matches NumPy", base.correct, saris.correct],
-    ]
-    print(format_table(["metric", "base (RV32G)", "saris (SSSR+FREP)"], rows))
-    print(f"\nSARIS speedup over the optimized baseline: {comparison.speedup:.2f}x")
+    print(results.table(title="Experiment results"))
+    for machine, group in sorted(results.group_by("machine").items()):
+        print(f"  {machine}: SARIS speedup over base {group.speedup():.2f}x")
 
-    saris_info = saris.program_info[0]
-    print("\nSARIS configuration chosen by the code generator (core 0):")
-    print(f"  block points per stream launch : {saris_info['block_points']}")
-    print(f"  FREP repetitions               : {saris_info['frep_reps']}")
-    print(f"  SR0/SR1 stream lengths         : {saris_info['stream_lengths']}")
-    print(f"  output stores streamed via SR2 : {saris_info['store_streamed']}")
-    return 0
+    saris = results.filter(variant="saris", machine="snitch-8").only().result
+    info = saris.program_info[0]
+    print("\nSARIS configuration chosen by the code generator "
+          "(snitch-8, core 0):")
+    print(f"  block points per stream launch : {info['block_points']}")
+    print(f"  FREP repetitions               : {info['frep_reps']}")
+    print(f"  SR0/SR1 stream lengths         : {info['stream_lengths']}")
+    print(f"  output stores streamed via SR2 : {info['store_streamed']}")
+    return 0 if all(record.result.correct for record in results) else 1
 
 
 if __name__ == "__main__":

@@ -4,25 +4,49 @@ The package provides:
 
 * :mod:`repro.isa` — a RISC-V (RV32G + SSR/FREP) instruction set model and
   assembler;
-* :mod:`repro.snitch` — a cycle-approximate simulator of the eight-core
-  Snitch compute cluster (FPU sequencer, FREP, SSR streamers, banked TCDM,
-  DMA engine);
+* :mod:`repro.snitch` — a cycle-approximate simulator of the Snitch compute
+  cluster (FPU sequencer, FREP, SSR streamers, banked TCDM, DMA engine);
 * :mod:`repro.core` — the SARIS methodology: stencil IR, the Table-1 kernel
-  suite, stream mapping, scheduling and the baseline/SARIS code generators;
+  suite and kernel registry, stream mapping, scheduling and the registered
+  baseline/SARIS code generators;
+* :mod:`repro.machine` — frozen, hashable machine configurations with named
+  presets (``snitch-8`` default, ``snitch-4``, ``snitch-16``,
+  ``snitch-8-wide``);
 * :mod:`repro.runner` — a one-call API to compile, simulate and verify a
-  kernel variant;
+  kernel variant on any machine;
+* :mod:`repro.experiment` — the fluent experiment API: declarative
+  kernels x variants x machines sweeps returning a :class:`ResultSet`;
 * :mod:`repro.energy` — the activity-based cluster power/energy model;
 * :mod:`repro.scaleout` — the Manticore-256s manycore performance model;
 * :mod:`repro.analysis` — metric aggregation and table rendering used by the
   benchmark harness;
-* :mod:`repro.sweep` — the parallel sweep engine: declarative jobs,
-  process-pool fan-out, the persistent result store and the one-shot
-  ``repro reproduce`` artifact pipeline;
+* :mod:`repro.sweep` — the parallel sweep engine: declarative machine-aware
+  jobs, process-pool fan-out, the persistent result store and the one-shot
+  ``repro reproduce`` artifact pipeline (with its artifact registry);
 * :mod:`repro.bench` — the simulation-speed benchmark harness.
 """
 
-from repro.core.kernels import KERNEL_NAMES, TABLE1_KERNELS, all_kernels, get_kernel
+from repro.core.kernels import (
+    TABLE1_KERNELS,
+    all_kernels,
+    get_kernel,
+    kernel_names,
+    register_kernel,
+)
 from repro.core.stencil import StencilKernel
+from repro.core.variants import (
+    paper_variants,
+    register_variant,
+    variant_names,
+)
+from repro.experiment import Experiment, ExperimentRecord, ResultSet
+from repro.machine import (
+    MachineSpec,
+    default_machine,
+    get_machine,
+    machine_names,
+    register_machine,
+)
 from repro.runner import (
     KernelRunResult,
     VariantComparison,
@@ -32,22 +56,44 @@ from repro.runner import (
 from repro.snitch.params import TimingParams
 from repro.sweep import ResultStore, SweepJob, run_jobs, run_sweep
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+
+def __getattr__(name):
+    # Live view of the kernel registry (PEP 562): plug-in kernels registered
+    # after import show up without a stale snapshot.
+    if name == "KERNEL_NAMES":
+        return kernel_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "KERNEL_NAMES",
     "TABLE1_KERNELS",
     "all_kernels",
     "get_kernel",
+    "kernel_names",
+    "register_kernel",
     "StencilKernel",
+    "Experiment",
+    "ExperimentRecord",
+    "ResultSet",
     "KernelRunResult",
+    "MachineSpec",
     "ResultStore",
     "SweepJob",
     "VariantComparison",
     "compare_variants",
+    "default_machine",
+    "get_machine",
+    "machine_names",
+    "paper_variants",
+    "register_machine",
+    "register_variant",
     "run_jobs",
     "run_kernel",
     "run_sweep",
+    "variant_names",
     "TimingParams",
     "__version__",
 ]

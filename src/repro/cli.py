@@ -3,55 +3,157 @@
 Usage examples::
 
     python -m repro.cli list
-    python -m repro.cli run j3d27pt --variant saris
-    python -m repro.cli compare jacobi_2d
+    python -m repro.cli machines
+    python -m repro.cli run j3d27pt --variant saris --machine snitch-16
+    python -m repro.cli compare jacobi_2d --json
     python -m repro.cli scaleout star3d2r
+    python -m repro.cli reproduce --subset table1 --machine snitch-4
     python -m repro.cli bench-speed
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from repro import KERNEL_NAMES, compare_variants, get_kernel, run_kernel
+from repro import (
+    compare_variants,
+    get_kernel,
+    kernel_names,
+    machine_names,
+    run_kernel,
+    variant_names,
+)
 from repro.analysis import format_table
+from repro.core.variants import VARIANT_REGISTRY
 from repro.energy import energy_comparison
+from repro.machine import MACHINES, resolve_machine
 from repro.scaleout import estimate_scaleout_pair
 
 
-def _cmd_list(_args) -> int:
+def _print_json(payload) -> None:
+    print(json.dumps(payload, indent=1, sort_keys=True))
+
+
+def _cmd_list(args) -> int:
+    kernels = [get_kernel(name) for name in kernel_names()]
+    if args.json:
+        _print_json({
+            "kernels": [{"name": k.name, "dims": k.dims, "radius": k.radius,
+                         "loads": k.loads_per_point,
+                         "coeffs": k.coeffs_per_point,
+                         "flops": k.flops_per_point,
+                         "default_tile": list(k.default_tile),
+                         "interior_points": k.interior_points(),
+                         "description": k.description}
+                        for k in kernels],
+            "variants": [{"name": spec.name, "description": spec.description,
+                          "paper": spec.paper}
+                         for spec in VARIANT_REGISTRY.values()],
+            "machines": [_machine_json(spec) for spec in MACHINES.values()],
+        })
+        return 0
     rows = [[k.name, f"{k.dims}D", k.radius, k.loads_per_point,
-             k.coeffs_per_point, k.flops_per_point]
-            for k in (get_kernel(name) for name in KERNEL_NAMES)]
-    print(format_table(["code", "dims", "radius", "loads", "coeffs", "flops"],
-                       rows, title="Implemented stencil kernels"))
+             k.coeffs_per_point, k.flops_per_point,
+             "x".join(str(d) for d in k.default_tile),
+             k.interior_points()]
+            for k in kernels]
+    print(format_table(
+        ["code", "dims", "radius", "loads", "coeffs", "flops", "tile",
+         "points"],
+        rows, title="Registered stencil kernels"))
+    print()
+    print(format_table(
+        ["variant", "paper", "description"],
+        [[spec.name, "yes" if spec.paper else "no", spec.description]
+         for spec in VARIANT_REGISTRY.values()],
+        title="Registered codegen variants"))
+    print()
+    _print_machines()
     return 0
 
 
+def _print_machines() -> None:
+    rows = [[s["name"], s["cores"], s["lanes"], s["tcdm"], s["clock"],
+             s["peak"], s["overrides"], s["description"]]
+            for s in (spec.summary() for spec in MACHINES.values())]
+    print(format_table(
+        ["machine", "cores", "lanes", "TCDM", "clock", "peak", "overrides",
+         "description"],
+        rows, title="Registered machine presets"))
+
+
+def _machine_json(spec) -> dict:
+    """Typed machine payload for scripting (raw parameter values)."""
+    return {"name": spec.name,
+            "num_cores": spec.num_cores,
+            "x_interleave": spec.x_interleave,
+            "y_interleave": spec.y_interleave,
+            "tcdm_banks": spec.tcdm_banks,
+            "tcdm_size": spec.tcdm_size,
+            "tcdm_bank_width": spec.tcdm_bank_width,
+            "clock_ghz": spec.clock_ghz,
+            "timing_overrides": dict(spec.timing_overrides),
+            "peak_gflops": spec.peak_cluster_gflops,
+            "description": spec.description}
+
+
+def _cmd_machines(args) -> int:
+    if args.json:
+        _print_json([_machine_json(spec) for spec in MACHINES.values()])
+        return 0
+    _print_machines()
+    return 0
+
+
+def _run_payload(result, machine: str) -> dict:
+    payload = dict(result.as_dict())
+    payload["machine"] = machine
+    payload["tile_shape"] = list(result.tile_shape)
+    return payload
+
+
 def _cmd_run(args) -> int:
+    machine = resolve_machine(args.machine)
     result = run_kernel(args.kernel, variant=args.variant,
                         tile_shape=tuple(args.tile) if args.tile else None,
-                        seed=args.seed)
+                        seed=args.seed, machine=machine)
+    if args.json:
+        _print_json(_run_payload(result, machine.name))
+        return 0 if result.correct else 1
     rows = [[key, value] for key, value in result.as_dict().items()]
     print(format_table(["metric", "value"], rows,
-                       title=f"{args.kernel} ({args.variant})"))
+                       title=f"{args.kernel} ({args.variant}) on {machine.name}"))
     return 0 if result.correct else 1
 
 
 def _cmd_compare(args) -> int:
+    machine = resolve_machine(args.machine)
     cmp = compare_variants(args.kernel,
                            tile_shape=tuple(args.tile) if args.tile else None,
-                           seed=args.seed)
-    energy = energy_comparison(cmp.base, cmp.saris)
+                           seed=args.seed, machine=machine)
+    energy = energy_comparison(cmp.base, cmp.saris,
+                               params=machine.timing_params())
+    if args.json:
+        _print_json({
+            "kernel": cmp.kernel,
+            "machine": machine.name,
+            "base": _run_payload(cmp.base, machine.name),
+            "saris": _run_payload(cmp.saris, machine.name),
+            "speedup": cmp.speedup,
+            "energy": energy,
+        })
+        return 0 if (cmp.base.correct and cmp.saris.correct) else 1
     rows = [
         ["cycles", cmp.base.cycles, cmp.saris.cycles],
         ["FPU utilization", f"{cmp.base.fpu_util:.3f}", f"{cmp.saris.fpu_util:.3f}"],
         ["IPC", f"{cmp.base.ipc:.3f}", f"{cmp.saris.ipc:.3f}"],
         ["power [W]", f"{energy['base_power_w']:.3f}", f"{energy['saris_power_w']:.3f}"],
     ]
-    print(format_table(["metric", "base", "saris"], rows, title=args.kernel))
+    print(format_table(["metric", "base", "saris"], rows,
+                       title=f"{args.kernel} on {machine.name}"))
     print(f"speedup: {cmp.speedup:.2f}x, "
           f"energy-efficiency gain: {energy['energy_efficiency_gain']:.2f}x")
     return 0
@@ -90,8 +192,6 @@ def _cmd_bench_speed(args) -> int:
 
 
 def _cmd_reproduce(args) -> int:
-    import json
-
     from repro.sweep.artifacts import render_report, reproduce
 
     def progress(done, total, job, source):
@@ -100,7 +200,7 @@ def _cmd_reproduce(args) -> int:
 
     report = reproduce(subset=args.subset, workers=args.workers,
                        use_cache=not args.no_cache, cache_dir=args.cache_dir,
-                       progress=progress)
+                       progress=progress, machine=args.machine)
     print(render_report(report))
     if args.output:
         with open(args.output, "w") as fh:
@@ -111,22 +211,37 @@ def _cmd_reproduce(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Build the CLI argument parser."""
+    """Build the CLI argument parser (choices track the live registries)."""
     parser = argparse.ArgumentParser(prog="repro",
                                      description="SARIS reproduction CLI")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list implemented kernels").set_defaults(func=_cmd_list)
+    list_p = sub.add_parser(
+        "list", help="list registered kernels, variants and machine presets")
+    list_p.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    list_p.set_defaults(func=_cmd_list)
+
+    machines_p = sub.add_parser("machines",
+                                help="list registered machine presets")
+    machines_p.add_argument("--json", action="store_true",
+                            help="machine-readable output")
+    machines_p.set_defaults(func=_cmd_machines)
 
     def add_common(p):
-        p.add_argument("kernel", choices=sorted(KERNEL_NAMES))
+        p.add_argument("kernel", choices=sorted(kernel_names()))
         p.add_argument("--tile", type=int, nargs="+", default=None,
                        help="tile shape including halo (default: paper size)")
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--machine", choices=machine_names(), default=None,
+                       help="machine preset (default: snitch-8)")
+        p.add_argument("--json", action="store_true",
+                       help="print the metrics as JSON (for scripting)")
 
     run_p = sub.add_parser("run", help="simulate one kernel variant")
     add_common(run_p)
-    run_p.add_argument("--variant", choices=["base", "saris"], default="saris")
+    run_p.add_argument("--variant", choices=list(variant_names()),
+                       default="saris")
     run_p.set_defaults(func=_cmd_run)
 
     cmp_p = sub.add_parser("compare", help="compare base and saris variants")
@@ -134,7 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.set_defaults(func=_cmd_compare)
 
     scale_p = sub.add_parser("scaleout", help="project a kernel to Manticore-256s")
-    scale_p.add_argument("kernel", choices=sorted(KERNEL_NAMES))
+    scale_p.add_argument("kernel", choices=sorted(kernel_names()))
     scale_p.add_argument("--seed", type=int, default=0)
     scale_p.set_defaults(func=_cmd_scaleout)
 
@@ -145,14 +260,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("-r", "--repetitions", type=int, default=2)
     bench_p.set_defaults(func=_cmd_bench_speed)
 
-    from repro.sweep.artifacts import SUBSET_CHOICES
+    from repro.sweep.artifacts import subset_choices
 
     repro_p = sub.add_parser(
         "reproduce",
         help="regenerate every paper artifact through the parallel sweep "
              "engine and write a consolidated report")
-    repro_p.add_argument("--subset", choices=SUBSET_CHOICES, default="all",
+    repro_p.add_argument("--subset", choices=subset_choices(), default="all",
                          help="artifact subset to regenerate (default: all)")
+    repro_p.add_argument("--machine", choices=machine_names(), default=None,
+                         help="machine preset to run the pipeline on "
+                              "(default: snitch-8)")
     repro_p.add_argument("--workers", type=int, default=None,
                          help="worker processes (default: $REPRO_SWEEP_WORKERS "
                               "or the CPU count)")

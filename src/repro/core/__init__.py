@@ -20,12 +20,27 @@ The package is organised as a small compilation pipeline:
 
 from repro.core.ir import BinOp, Coeff, Const, Expr, GridRef, add, count_flops, grid_refs, mul, sub
 from repro.core.stencil import StencilKernel
-from repro.core.kernels import KERNEL_NAMES, TABLE1_KERNELS, get_kernel, all_kernels
+from repro.core.kernels import (
+    TABLE1_KERNELS,
+    all_kernels,
+    get_kernel,
+    kernel_names,
+    register_kernel,
+)
 from repro.core.layout import TileLayout
 from repro.core.parallel import CoreGeometry, cluster_geometry
 from repro.core.saris import SarisMapping, map_streams
 from repro.core.codegen_base import generate_base_program
 from repro.core.codegen_saris import generate_saris_program
+
+
+def __getattr__(name):
+    # Live view of the kernel registry (PEP 562), matching repro.core.kernels
+    # — a frozen import-time snapshot here would miss plug-in kernels.
+    if name == "KERNEL_NAMES":
+        return kernel_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "BinOp",
@@ -43,6 +58,8 @@ __all__ = [
     "TABLE1_KERNELS",
     "get_kernel",
     "all_kernels",
+    "kernel_names",
+    "register_kernel",
     "TileLayout",
     "CoreGeometry",
     "cluster_geometry",

@@ -38,7 +38,7 @@ from repro.core.lowering import (
     VReg,
     lower_block,
 )
-from repro.core.parallel import CoreGeometry, X_INTERLEAVE, Y_INTERLEAVE
+from repro.core.parallel import CoreGeometry
 from repro.core.regalloc import linear_scan
 from repro.core.schedule import ScheduledBlock, schedule_block
 from repro.core.stencil import StencilKernel
@@ -182,9 +182,9 @@ def _emit(kernel: StencilKernel, layout: TileLayout, geometry: CoreGeometry,
     builder = AsmBuilder()
     regs = IntRegAllocator()
     keys = _pointer_keys(kernel, layout, cfg.scheduled)
-    row_step, plane_step = loop_strides(layout)
-    x_advance = cfg.unroll * X_INTERLEAVE * 8
-    x_span = geometry.x_count * X_INTERLEAVE * 8
+    row_step, plane_step = loop_strides(layout, geometry.y_interleave)
+    x_advance = cfg.unroll * geometry.x_interleave * 8
+    x_span = geometry.x_count * geometry.x_interleave * 8
     row_adjust = row_step - x_span
     plane_adjust = plane_step - geometry.y_count * row_step
 
@@ -227,7 +227,8 @@ def _emit(kernel: StencilKernel, layout: TileLayout, geometry: CoreGeometry,
     builder.li(y_ctr, geometry.y_count)
     builder.label("yloop")
     builder.label("xloop")
-    _emit_block(builder, layout, cfg, pointer_regs, out_ptr, coeff_ptr)
+    _emit_block(builder, layout, geometry, cfg, pointer_regs, out_ptr,
+                coeff_ptr)
     for reg in all_pointers:
         builder.add_imm(reg, x_advance)
     builder.inst(f"bne {base_ptr}, {x_bound}, xloop")
@@ -259,7 +260,8 @@ def _emit(kernel: StencilKernel, layout: TileLayout, geometry: CoreGeometry,
                             info=info)
 
 
-def _emit_block(builder: AsmBuilder, layout: TileLayout, cfg: _BaseConfig,
+def _emit_block(builder: AsmBuilder, layout: TileLayout,
+                geometry: CoreGeometry, cfg: _BaseConfig,
                 pointer_regs: Dict[Tuple[str, int], str], out_ptr: str,
                 coeff_ptr: Optional[str]) -> None:
     def fp_of(operand) -> str:
@@ -275,7 +277,8 @@ def _emit_block(builder: AsmBuilder, layout: TileLayout, cfg: _BaseConfig,
             dest = fp_reg_name(cfg.assignment[op.dest])
             if isinstance(src, GridOperand):
                 ptr = pointer_regs[plane_key(layout, src)]
-                imm = check_imm12(grid_imm_offset(layout, src),
+                imm = check_imm12(grid_imm_offset(layout, src,
+                                                  geometry.x_interleave),
                                   f"load of {src.array}{src.offset}")
                 builder.inst(f"fld {dest}, {imm}({ptr})")
             else:
@@ -284,7 +287,8 @@ def _emit_block(builder: AsmBuilder, layout: TileLayout, cfg: _BaseConfig,
                 builder.inst(f"fld {dest}, {imm}({coeff_ptr})")
         elif op.is_store:
             value = fp_of(op.srcs[0])
-            imm = check_imm12(op.point * X_INTERLEAVE * 8, "output store")
+            imm = check_imm12(op.point * geometry.x_interleave * 8,
+                              "output store")
             builder.inst(f"fsd {value}, {imm}({out_ptr})")
         else:
             operands = ", ".join(fp_of(src) for src in op.srcs)

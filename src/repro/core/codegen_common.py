@@ -150,11 +150,12 @@ def start_pointer_address(layout: TileLayout, geometry: CoreGeometry,
     return layout.address(array, coords)
 
 
-def loop_strides(layout: TileLayout) -> Tuple[int, int]:
+def loop_strides(layout: TileLayout,
+                 y_interleave: int = Y_INTERLEAVE) -> Tuple[int, int]:
     """(row advance, plane advance) in bytes for the y/z loop bookkeeping."""
     row_bytes = layout.row_elems * 8
     plane_bytes = layout.plane_elems * 8
-    return Y_INTERLEAVE * row_bytes, plane_bytes
+    return y_interleave * row_bytes, plane_bytes
 
 
 def assemble_generated(builder: AsmBuilder, name: str) -> Program:

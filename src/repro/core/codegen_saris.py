@@ -39,7 +39,7 @@ from repro.core.lowering import (
     VReg,
     lower_block,
 )
-from repro.core.parallel import CoreGeometry, X_INTERLEAVE, Y_INTERLEAVE, choose_block
+from repro.core.parallel import CoreGeometry, choose_block
 from repro.core.regalloc import linear_scan
 from repro.core.saris import (
     SR0,
@@ -197,7 +197,7 @@ def _prepare_streams(kernel: StencilKernel, layout: TileLayout,
     for dm in (SR0, SR1):
         entries[dm] = resolve_index_entries(
             cfg.mapping.sr_sequences[dm], layout, kernel.base_array,
-            x_interleave=X_INTERLEAVE, block_reps=cfg.frep_reps,
+            x_interleave=geometry.x_interleave, block_reps=cfg.frep_reps,
             block_points=cfg.body_unroll)
     width = max(index_width_bytes(entries[SR0]), index_width_bytes(entries[SR1]))
     data: List[Tuple[int, np.ndarray]] = []
@@ -236,10 +236,10 @@ def _emit(kernel: StencilKernel, layout: TileLayout, geometry: CoreGeometry,
     streams = _prepare_streams(kernel, layout, geometry, allocator, cfg)
     builder = AsmBuilder()
     regs = IntRegAllocator()
-    row_step, plane_step = loop_strides(layout)
+    row_step, plane_step = loop_strides(layout, geometry.y_interleave)
     block_points = cfg.block_points
-    x_advance = block_points * X_INTERLEAVE * 8
-    x_span = geometry.x_count * X_INTERLEAVE * 8
+    x_advance = block_points * geometry.x_interleave * 8
+    x_span = geometry.x_count * geometry.x_interleave * 8
     row_adjust = row_step - x_span
     plane_adjust = plane_step - geometry.y_count * row_step
     blocks_per_row = geometry.x_count // block_points
@@ -291,7 +291,8 @@ def _emit(kernel: StencilKernel, layout: TileLayout, geometry: CoreGeometry,
         dims = 3 if kernel.dims == 3 else 2
         builder.inst(f"ssr.cfg.dims {SR2}, {dims}")
         bounds = [geometry.x_count, geometry.y_count]
-        strides = [X_INTERLEAVE * 8, Y_INTERLEAVE * layout.row_elems * 8]
+        strides = [geometry.x_interleave * 8,
+                   geometry.y_interleave * layout.row_elems * 8]
         if kernel.dims == 3:
             bounds.append(geometry.z_count)
             strides.append(layout.plane_elems * 8)
@@ -337,7 +338,7 @@ def _emit(kernel: StencilKernel, layout: TileLayout, geometry: CoreGeometry,
     builder.inst(f"ssr.launch {SR0}, {base_ptr}")
     builder.inst(f"ssr.launch {SR1}, {base_ptr}")
     builder.inst("ssr.commit")
-    body = _render_body(kernel, cfg, out_ptr)
+    body = _render_body(kernel, cfg, geometry, out_ptr)
     if frep_reg is not None:
         builder.inst(f"frep.o {frep_reg}, {len(body)}")
     for line in body:
@@ -383,6 +384,7 @@ def _emit(kernel: StencilKernel, layout: TileLayout, geometry: CoreGeometry,
 
 
 def _render_body(kernel: StencilKernel, cfg: _SarisConfig,
+                 geometry: CoreGeometry,
                  out_ptr: Optional[str]) -> List[str]:
     """Render the floating-point body of one block (the FREP-able region)."""
     mapping = cfg.mapping
@@ -403,7 +405,8 @@ def _render_body(kernel: StencilKernel, cfg: _SarisConfig,
                 continue  # the producing operation writes to the stream directly
             value = op.srcs[0]
             reg = fp_reg_name(cfg.assignment[value])
-            imm = check_imm12(op.point * X_INTERLEAVE * 8, "output store")
+            imm = check_imm12(op.point * geometry.x_interleave * 8,
+                              "output store")
             lines.append(f"fsd {reg}, {imm}({out_ptr})")
             continue
         if op.is_load:

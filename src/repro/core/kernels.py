@@ -29,10 +29,89 @@ coefficients, combined with the previous time step.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.ir import Coeff, Expr, GridRef, add, mul, sub
 from repro.core.stencil import StencilKernel
+from repro.registry import Registry
+
+#: Builders for every known stencil, in registration order (built-ins first).
+KERNEL_REGISTRY: Registry[Callable[[], StencilKernel]] = Registry("kernel")
+
+#: Memoized content fingerprints per registered name, so hot paths (sweep-job
+#: hashing consults the fingerprint several times per job) skip rebuilding
+#: the kernel IR.  Invalidated whenever the name is (re-/un-)registered.
+_NAME_FINGERPRINTS: Dict[str, tuple] = {}
+
+
+def register_kernel(name: Optional[str] = None, *, replace: bool = False):
+    """Decorator registering a zero-argument :class:`StencilKernel` builder.
+
+    Third-party stencils plug into every front end (``run_kernel``, the CLI,
+    :class:`~repro.experiment.Experiment` sweeps) by registering a builder::
+
+        @register_kernel("my_stencil")
+        def build_my_stencil() -> StencilKernel:
+            return StencilKernel(...)
+
+    Without an explicit ``name`` the builder's ``build_`` prefix is stripped
+    (``build_my_stencil`` registers ``my_stencil``); the bare form
+    ``@register_kernel`` (no parentheses) works too.
+    """
+    def apply(fn: Callable[[], StencilKernel]):
+        entry_name = name
+        if entry_name is None:
+            entry_name = fn.__name__
+            if entry_name.startswith("build_"):
+                entry_name = entry_name[len("build_"):]
+        KERNEL_REGISTRY.register(entry_name, fn, replace=replace)
+        _NAME_FINGERPRINTS.pop(entry_name, None)
+        return fn
+
+    if callable(name):
+        # Bare ``@register_kernel`` usage: ``name`` is the builder itself.
+        fn, name = name, None
+        return apply(fn)
+    return apply
+
+
+def unregister_kernel(name: str) -> Callable[[], StencilKernel]:
+    """Remove a registered kernel (mainly for tests of plug-in stencils)."""
+    _NAME_FINGERPRINTS.pop(name, None)
+    return KERNEL_REGISTRY.unregister(name)
+
+
+def kernel_names() -> Tuple[str, ...]:
+    """Every registered kernel name, in registration order."""
+    return KERNEL_REGISTRY.names()
+
+
+def kernel_fingerprint(kernel: StencilKernel) -> tuple:
+    """Content-based identity of a kernel definition (cached on the object).
+
+    Two kernels with the same fingerprint generate identical code and
+    metrics; the runner's codegen cache and the sweep-job content hash both
+    key on it, so editing a (plug-in) kernel under an unchanged name is
+    never served stale results.
+    """
+    fingerprint = getattr(kernel, "_codegen_fingerprint", None)
+    if fingerprint is None:
+        fingerprint = (kernel.name, kernel.dims, kernel.radius,
+                       tuple(kernel.inputs), kernel.output, repr(kernel.expr),
+                       tuple(sorted(kernel.coefficients.items())))
+        kernel._codegen_fingerprint = fingerprint
+    return fingerprint
+
+
+def registered_fingerprint(name: str) -> tuple:
+    """Content fingerprint of the kernel registered under ``name``, memoized
+    per name (``get_kernel`` builds a fresh instance per call, so the
+    per-object cache alone would rebuild the IR on every lookup)."""
+    fingerprint = _NAME_FINGERPRINTS.get(name)
+    if fingerprint is None:
+        fingerprint = _NAME_FINGERPRINTS[name] = kernel_fingerprint(
+            get_kernel(name))
+    return fingerprint
 
 
 def _coeff_value(index: int) -> float:
@@ -77,6 +156,7 @@ def _coeff_table(count: int, prefix: str = "c") -> Dict[str, float]:
 # ---------------------------------------------------------------------------
 
 
+@register_kernel()
 def build_jacobi_2d() -> StencilKernel:
     """PolyBench ``jacobi_2d``: unweighted 5-point average scaled by one coefficient."""
     offsets = star_offsets(2, 1)
@@ -89,6 +169,7 @@ def build_jacobi_2d() -> StencilKernel:
     )
 
 
+@register_kernel()
 def build_j2d5pt() -> StencilKernel:
     """AN5D ``j2d5pt``: 5-point star with per-tap coefficients plus an offset term."""
     offsets = star_offsets(2, 1)
@@ -102,6 +183,7 @@ def build_j2d5pt() -> StencilKernel:
     )
 
 
+@register_kernel()
 def build_box2d1r() -> StencilKernel:
     """AN5D ``box2d1r``: dense 3x3 box filter with per-tap coefficients."""
     expr = _weighted_sum("inp", box_offsets(2, 1))
@@ -112,6 +194,7 @@ def build_box2d1r() -> StencilKernel:
     )
 
 
+@register_kernel()
 def build_j2d9pt() -> StencilKernel:
     """AN5D ``j2d9pt``: radius-2 star with per-tap coefficients and a global scale."""
     expr = mul(Coeff("c9"), _weighted_sum("inp", star_offsets(2, 2)))
@@ -122,6 +205,7 @@ def build_j2d9pt() -> StencilKernel:
     )
 
 
+@register_kernel()
 def build_j2d9pt_gol() -> StencilKernel:
     """AN5D ``j2d9pt_gol``: dense 3x3 neighbourhood with a global scale."""
     expr = mul(Coeff("c9"), _weighted_sum("inp", box_offsets(2, 1)))
@@ -132,6 +216,7 @@ def build_j2d9pt_gol() -> StencilKernel:
     )
 
 
+@register_kernel()
 def build_star2d3r() -> StencilKernel:
     """AN5D ``star2d3r``: radius-3 star with per-tap coefficients."""
     expr = _weighted_sum("inp", star_offsets(2, 3))
@@ -142,6 +227,7 @@ def build_star2d3r() -> StencilKernel:
     )
 
 
+@register_kernel()
 def build_star3d2r() -> StencilKernel:
     """AN5D ``star3d2r``: radius-2 3D star with per-tap coefficients."""
     expr = _weighted_sum("inp", star_offsets(3, 2))
@@ -152,6 +238,7 @@ def build_star3d2r() -> StencilKernel:
     )
 
 
+@register_kernel()
 def build_ac_iso_cd() -> StencilKernel:
     """Acoustic isotropic constant-density propagator (radius-4 star + history).
 
@@ -181,6 +268,7 @@ def build_ac_iso_cd() -> StencilKernel:
     )
 
 
+@register_kernel()
 def build_box3d1r() -> StencilKernel:
     """AN5D ``box3d1r``: dense 3x3x3 box with per-tap coefficients."""
     expr = _weighted_sum("inp", box_offsets(3, 1))
@@ -191,6 +279,7 @@ def build_box3d1r() -> StencilKernel:
     )
 
 
+@register_kernel()
 def build_j3d27pt() -> StencilKernel:
     """AN5D ``j3d27pt``: dense 3x3x3 neighbourhood with a global scale."""
     expr = mul(Coeff("c27"), _weighted_sum("inp", box_offsets(3, 1)))
@@ -201,6 +290,7 @@ def build_j3d27pt() -> StencilKernel:
     )
 
 
+@register_kernel()
 def build_star3d7pt() -> StencilKernel:
     """The symmetric 7-point star of Listing 1 / Figure 2 (example kernel)."""
     c = GridRef("inp", (0, 0, 0))
@@ -222,31 +312,14 @@ def build_star3d7pt() -> StencilKernel:
 
 
 # ---------------------------------------------------------------------------
-# Registry
+# Registry views
 # ---------------------------------------------------------------------------
-
-_BUILDERS: Dict[str, Callable[[], StencilKernel]] = {
-    "jacobi_2d": build_jacobi_2d,
-    "j2d5pt": build_j2d5pt,
-    "box2d1r": build_box2d1r,
-    "j2d9pt": build_j2d9pt,
-    "j2d9pt_gol": build_j2d9pt_gol,
-    "star2d3r": build_star2d3r,
-    "star3d2r": build_star3d2r,
-    "ac_iso_cd": build_ac_iso_cd,
-    "box3d1r": build_box3d1r,
-    "j3d27pt": build_j3d27pt,
-    "star3d7pt": build_star3d7pt,
-}
 
 #: The ten codes of Table 1 in the paper's order (sorted by FLOPs per point).
 TABLE1_KERNELS: Tuple[str, ...] = (
     "jacobi_2d", "j2d5pt", "box2d1r", "j2d9pt", "j2d9pt_gol",
     "star2d3r", "star3d2r", "ac_iso_cd", "box3d1r", "j3d27pt",
 )
-
-#: All implemented kernels (Table 1 plus the Listing-1 example).
-KERNEL_NAMES: Tuple[str, ...] = tuple(_BUILDERS)
 
 #: Expected Table 1 characteristics, used by tests and the Table 1 bench.
 TABLE1_EXPECTED: Dict[str, Dict[str, int]] = {
@@ -265,14 +338,20 @@ TABLE1_EXPECTED: Dict[str, Dict[str, int]] = {
 
 def get_kernel(name: str) -> StencilKernel:
     """Build and return the kernel registered under ``name``."""
-    if name not in _BUILDERS:
-        raise KeyError(f"unknown kernel {name!r}; available: {sorted(_BUILDERS)}")
-    return _BUILDERS[name]()
+    return KERNEL_REGISTRY.get(name)()
 
 
 def all_kernels() -> List[StencilKernel]:
     """Build every registered kernel."""
-    return [get_kernel(name) for name in KERNEL_NAMES]
+    return [get_kernel(name) for name in kernel_names()]
+
+
+def __getattr__(name: str):
+    # KERNEL_NAMES tracks the live registry (PEP 562), so plug-in kernels
+    # registered after import show up in listings without a stale snapshot.
+    if name == "KERNEL_NAMES":
+        return kernel_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def table1_kernels() -> List[StencilKernel]:

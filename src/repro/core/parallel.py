@@ -22,6 +22,44 @@ X_INTERLEAVE = 4
 Y_INTERLEAVE = 2
 
 
+def default_interleave(num_cores: int) -> Tuple[int, int]:
+    """Factor a core count into (x, y) iteration-interleave lanes.
+
+    Prefers the paper's four-fold x interleaving whenever the core count
+    allows it (8 -> 4x2, 16 -> 4x4, 4 -> 4x1), falling back to the largest
+    x factor that divides the core count.
+    """
+    if num_cores < 1:
+        raise GeometryError(f"num_cores must be positive, got {num_cores}")
+    for x in (X_INTERLEAVE, 3, 2, 1):
+        if num_cores % x == 0:
+            return x, num_cores // x
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def resolve_interleave(num_cores: int, x_interleave: Optional[int] = None,
+                       y_interleave: Optional[int] = None) -> Tuple[int, int]:
+    """Fill in unspecified lane factors from the core count.
+
+    Shared by :func:`cluster_geometry` and
+    :meth:`repro.machine.MachineSpec.create`, so both derive lanes
+    identically; the caller still validates that the product matches the
+    core count (the division clamps to 1 so a mismatch fails that check
+    with sensible numbers instead of a zero lane).
+    """
+    for name, value in (("x_interleave", x_interleave),
+                        ("y_interleave", y_interleave)):
+        if value is not None and value <= 0:
+            raise GeometryError(f"{name} must be positive, got {value}")
+    if x_interleave is None and y_interleave is None:
+        return default_interleave(num_cores)
+    if x_interleave is None:
+        x_interleave = max(num_cores // y_interleave, 1)
+    elif y_interleave is None:
+        y_interleave = max(num_cores // x_interleave, 1)
+    return x_interleave, y_interleave
+
+
 class GeometryError(ValueError):
     """Raised when a tile cannot be distributed over the cores."""
 
@@ -39,6 +77,11 @@ class CoreGeometry:
     x_indices: List[int] = field(default_factory=list)
     y_indices: List[int] = field(default_factory=list)
     z_indices: List[int] = field(default_factory=list)
+    #: Lane arrangement this geometry was carved from; the code generators
+    #: derive their x/y address strides from these, so non-default machine
+    #: configurations (4- or 16-core clusters) compile correctly.
+    x_interleave: int = X_INTERLEAVE
+    y_interleave: int = Y_INTERLEAVE
 
     @property
     def x_count(self) -> int:
@@ -91,15 +134,18 @@ class CoreGeometry:
 def cluster_geometry(kernel: StencilKernel,
                      tile_shape: Optional[Tuple[int, ...]] = None,
                      num_cores: int = 8,
-                     x_interleave: int = X_INTERLEAVE,
-                     y_interleave: int = Y_INTERLEAVE) -> List[CoreGeometry]:
+                     x_interleave: Optional[int] = None,
+                     y_interleave: Optional[int] = None) -> List[CoreGeometry]:
     """Compute the per-core iteration geometry for a tile.
 
-    Cores are arranged as ``x_interleave * y_interleave`` lanes (4 x 2 = 8 by
-    default); core ``i`` handles interior points with
+    Cores are arranged as ``x_interleave * y_interleave`` lanes (derived from
+    the core count when not given: 4 x 2 for the default eight cores); core
+    ``i`` handles interior points with
     ``x ≡ radius + (i % x_interleave) (mod x_interleave)`` and
     ``y ≡ radius + (i // x_interleave) (mod y_interleave)``.
     """
+    x_interleave, y_interleave = resolve_interleave(num_cores, x_interleave,
+                                                    y_interleave)
     if num_cores != x_interleave * y_interleave:
         raise GeometryError(
             f"{num_cores} cores cannot be arranged as {x_interleave}x{y_interleave} lanes"
@@ -129,6 +175,8 @@ def cluster_geometry(kernel: StencilKernel,
             x_indices=x_indices,
             y_indices=y_indices,
             z_indices=z_indices,
+            x_interleave=x_interleave,
+            y_interleave=y_interleave,
         ))
     return geometries
 

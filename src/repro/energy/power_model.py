@@ -89,8 +89,6 @@ def estimate_power(result, params: Optional[TimingParams] = None,
     (:class:`ActivityCounters`).  Serialized sweep results drop the in-memory
     cluster detail but keep the counters, so they remain energy-modelable.
     """
-    params = params or TimingParams()
-    model = model or EnergyModel(num_cores=params.num_cores)
     cluster: Optional[ClusterResult] = getattr(result, "cluster", None)
     if cluster is not None:
         activity = cluster.activity()
@@ -101,6 +99,15 @@ def estimate_power(result, params: Optional[TimingParams] = None,
                 f"{result.kernel} ({result.variant}): result carries neither "
                 "cluster detail nor activity counters; cannot estimate power"
             )
+    if model is None:
+        # Without explicit params the core count comes from the run itself,
+        # so results from non-default machine presets (4- or 16-core
+        # clusters) are charged the right static power.  The clock cannot be
+        # recovered from counters, so a non-default clock_ghz still requires
+        # explicit ``params`` (ExperimentRecord.power() passes them).
+        cores = params.num_cores if params is not None else activity.num_cores
+        model = EnergyModel(num_cores=cores)
+    params = params or TimingParams()
     epc_pj = model.activity_energy_pj(activity, result.cycles)
     power_w = epc_pj * params.clock_ghz * 1e-3  # pJ/cycle * GHz -> mW -> W? see below
     # pJ per cycle at f GHz: P[W] = epc[pJ] * 1e-12 * f * 1e9 = epc * f * 1e-3.

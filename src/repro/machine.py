@@ -1,0 +1,207 @@
+"""Machine configurations: frozen, hashable cluster descriptions with presets.
+
+The seed API hard-coded the paper's eight-core Snitch cluster.  A
+:class:`MachineSpec` captures one cluster configuration — core count and lane
+arrangement, TCDM size/banking, clock, plus arbitrary
+:class:`~repro.snitch.params.TimingParams` overrides for the FPU / SSR / DMA
+timing model — as a frozen value that can be hashed into
+:class:`~repro.sweep.job.SweepJob` content hashes and result-store keys, so
+cached results are machine-aware.
+
+Named presets are kept in a registry (``@register_machine`` /
+:func:`get_machine`); ``snitch-8`` is the paper machine and the library-wide
+default, and on it every metric is bit-identical to the seed-era
+``run_kernel`` (its :meth:`MachineSpec.timing_params` equals a default
+:class:`TimingParams` and its 4x2 lane arrangement matches the paper's
+interleaving).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.parallel import resolve_interleave
+from repro.registry import Registry
+from repro.snitch.params import TimingParams
+
+#: Name of the preset used whenever no machine is requested (the paper's).
+DEFAULT_MACHINE_NAME = "snitch-8"
+
+_TIMING_FIELDS = frozenset(f.name for f in fields(TimingParams))
+
+#: TimingParams fields owned by the spec itself (not valid as overrides).
+_SPEC_OWNED = frozenset(("num_cores", "tcdm_banks", "tcdm_size",
+                         "tcdm_bank_width", "clock_ghz"))
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One simulated cluster configuration, hashable and picklable.
+
+    ``timing_overrides`` holds any further :class:`TimingParams` fields
+    (FPU latencies, SSR depths, DMA bus width, ...) as a sorted tuple of
+    ``(name, value)`` pairs; build specs through :meth:`create` to get the
+    normalization and validation for free.
+    """
+
+    name: str = DEFAULT_MACHINE_NAME
+    num_cores: int = 8
+    x_interleave: int = 4
+    y_interleave: int = 2
+    tcdm_banks: int = 32
+    tcdm_size: int = 128 * 1024
+    tcdm_bank_width: int = 8
+    clock_ghz: float = 1.0
+    timing_overrides: Tuple[Tuple[str, object], ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_cores != self.x_interleave * self.y_interleave:
+            raise ValueError(
+                f"machine {self.name!r}: {self.num_cores} cores cannot be "
+                f"arranged as {self.x_interleave}x{self.y_interleave} lanes")
+        for field_name, _value in self.timing_overrides:
+            if field_name not in _TIMING_FIELDS:
+                raise ValueError(
+                    f"machine {self.name!r}: unknown timing parameter "
+                    f"{field_name!r}")
+            if field_name in _SPEC_OWNED:
+                raise ValueError(
+                    f"machine {self.name!r}: {field_name!r} is a MachineSpec "
+                    f"field; set it directly instead of via an override")
+
+    @classmethod
+    def create(cls, name: str, num_cores: int = 8,
+               x_interleave: Optional[int] = None,
+               y_interleave: Optional[int] = None,
+               tcdm_banks: int = 32, tcdm_size: int = 128 * 1024,
+               tcdm_bank_width: int = 8, clock_ghz: float = 1.0,
+               description: str = "", **timing_overrides) -> "MachineSpec":
+        """Build a spec, deriving the lane arrangement when not given."""
+        x_interleave, y_interleave = resolve_interleave(num_cores, x_interleave,
+                                                        y_interleave)
+        return cls(name=name, num_cores=num_cores, x_interleave=x_interleave,
+                   y_interleave=y_interleave, tcdm_banks=tcdm_banks,
+                   tcdm_size=tcdm_size, tcdm_bank_width=tcdm_bank_width,
+                   clock_ghz=clock_ghz, description=description,
+                   timing_overrides=tuple(sorted(timing_overrides.items())))
+
+    def timing_params(self) -> TimingParams:
+        """The :class:`TimingParams` this machine simulates with."""
+        return TimingParams(num_cores=self.num_cores,
+                            tcdm_banks=self.tcdm_banks,
+                            tcdm_size=self.tcdm_size,
+                            tcdm_bank_width=self.tcdm_bank_width,
+                            clock_ghz=self.clock_ghz,
+                            **dict(self.timing_overrides))
+
+    def spec_dict(self) -> Dict[str, object]:
+        """Canonical JSON-stable description — the content that is hashed.
+
+        Exactly the fields that can change a simulation outcome are included
+        — not the ``name`` or ``description`` — so two machines differing in
+        any parameter get distinct sweep-job hashes and result-store keys,
+        while a renamed clone of an existing configuration still shares its
+        cache entries (the store puts the name in the entry *filename* for
+        browsability, never in the key).
+        """
+        return {
+            "num_cores": self.num_cores,
+            "x_interleave": self.x_interleave,
+            "y_interleave": self.y_interleave,
+            "tcdm_banks": self.tcdm_banks,
+            "tcdm_size": self.tcdm_size,
+            "tcdm_bank_width": self.tcdm_bank_width,
+            "clock_ghz": self.clock_ghz,
+            "timing_overrides": {name: repr(value)
+                                 for name, value in self.timing_overrides},
+        }
+
+    @property
+    def peak_cluster_gflops(self) -> float:
+        """Peak GFLOP/s of this configuration at its clock."""
+        return self.timing_params().peak_cluster_gflops
+
+    def summary(self) -> Dict[str, object]:
+        """Human-oriented row for listings (``repro machines``)."""
+        return {
+            "name": self.name,
+            "cores": self.num_cores,
+            "lanes": f"{self.x_interleave}x{self.y_interleave}",
+            "tcdm": f"{self.tcdm_size // 1024} KiB / {self.tcdm_banks} banks",
+            "clock": f"{self.clock_ghz:g} GHz",
+            "peak": f"{self.peak_cluster_gflops:g} GFLOP/s",
+            "overrides": ", ".join(f"{k}={v!r}"
+                                   for k, v in self.timing_overrides) or "-",
+            "description": self.description,
+        }
+
+
+MACHINES: Registry[MachineSpec] = Registry("machine preset")
+
+#: The paper machine's hashed parameters, frozen at import time (the
+#: :class:`MachineSpec` field defaults ARE the paper machine).  Sweep-job
+#: hashing canonicalizes machines with exactly these parameters to the
+#: "no machine" form — deliberately not read from the live registry, so
+#: replacing the ``snitch-8`` preset changes what default jobs run on
+#: without ever colliding with results cached before the replacement.
+PAPER_SPEC_DICT: Dict[str, object] = MachineSpec().spec_dict()
+
+
+def register_machine(spec: MachineSpec, replace: bool = False) -> MachineSpec:
+    """Register a named machine preset (usable wherever a name is accepted)."""
+    return MACHINES.register(spec.name, spec, replace=replace)
+
+
+def unregister_machine(name: str) -> MachineSpec:
+    """Remove a preset (mainly for tests of third-party registration)."""
+    return MACHINES.unregister(name)
+
+
+def machine_names() -> Tuple[str, ...]:
+    """Registered preset names, built-ins first."""
+    return MACHINES.names()
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a preset by name."""
+    return MACHINES.get(name)
+
+
+def default_machine() -> MachineSpec:
+    """The paper's eight-core cluster (the library-wide default)."""
+    return MACHINES.get(DEFAULT_MACHINE_NAME)
+
+
+def resolve_machine(machine: Union[str, MachineSpec, None]) -> MachineSpec:
+    """Coerce a preset name / spec / ``None`` (default) into a spec."""
+    if machine is None:
+        return default_machine()
+    if isinstance(machine, MachineSpec):
+        return machine
+    if isinstance(machine, str):
+        return get_machine(machine)
+    raise TypeError(f"expected a machine name, MachineSpec or None, "
+                    f"got {type(machine).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Built-in presets
+# ---------------------------------------------------------------------------
+
+register_machine(MachineSpec.create(
+    "snitch-8",
+    description="the paper's cluster: 8 cores, 128 KiB TCDM in 32 banks"))
+
+register_machine(MachineSpec.create(
+    "snitch-4", num_cores=4,
+    description="half cluster: 4 cores on the same TCDM"))
+
+register_machine(MachineSpec.create(
+    "snitch-16", num_cores=16,
+    description="double cluster: 16 cores, 4x4 lanes"))
+
+register_machine(MachineSpec.create(
+    "snitch-8-wide", tcdm_banks=64, tcdm_size=256 * 1024,
+    description="8 cores on a wide TCDM: 256 KiB in 64 banks"))

@@ -1,0 +1,98 @@
+"""A small ordered registry used for kernels, variants, machines and artifacts.
+
+The seed library wired its extension points shut: kernels lived in a closed
+module dict, the variant list was a frozen tuple copied into three places and
+the artifact pipeline hard-coded its builders.  Everything pluggable now goes
+through one :class:`Registry` instance per concept, exposed as a decorator
+(``@register_kernel`` / ``@register_variant`` / ``@register_machine`` /
+``@register_artifact``), so third-party stencils, codegen backends, machine
+configurations and report artifacts plug in without editing ``src/repro``.
+
+Registration order is preserved — listings and default sweeps iterate in the
+order things were registered, built-ins first.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class RegistryError(KeyError):
+    """Raised for unknown names and duplicate registrations."""
+
+    def __str__(self) -> str:  # KeyError repr()s its message; keep it readable
+        return self.args[0] if self.args else ""
+
+
+class Registry(Generic[T]):
+    """An insertion-ordered name -> object mapping with a decorator front end."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, T] = {}
+
+    def register(self, name: str, obj: T, replace: bool = False) -> T:
+        """Register ``obj`` under ``name``; duplicates require ``replace``."""
+        if not name or not isinstance(name, str):
+            raise RegistryError(f"{self.kind} name must be a non-empty string, "
+                                f"got {name!r}")
+        if name in self._entries and not replace:
+            raise RegistryError(
+                f"{self.kind} {name!r} is already registered; pass "
+                f"replace=True to override it")
+        self._entries[name] = obj
+        return obj
+
+    def decorator(self, name: Optional[str] = None, *, replace: bool = False,
+                  wrap: Optional[Callable[[str, Callable], T]] = None):
+        """Decorator form: ``@registry.decorator("name")``.
+
+        ``wrap`` lets a concrete registry turn the decorated callable into its
+        entry type (e.g. a builder function into a spec dataclass); the
+        decorated callable itself is always returned unchanged.
+        """
+        def apply(fn):
+            entry_name = name or getattr(fn, "__name__", None)
+            entry = wrap(entry_name, fn) if wrap is not None else fn
+            self.register(entry_name, entry, replace=replace)
+            return fn
+        return apply
+
+    def unregister(self, name: str) -> T:
+        """Remove and return the entry for ``name`` (mainly for tests)."""
+        try:
+            return self._entries.pop(name)
+        except KeyError:
+            raise RegistryError(f"unknown {self.kind} {name!r}") from None
+
+    def get(self, name: str) -> T:
+        """Look up a registered entry; unknown names list the alternatives."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}; registered: "
+                f"{', '.join(self._entries) or '(none)'}") from None
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered names in registration order."""
+        return tuple(self._entries)
+
+    def values(self) -> List[T]:
+        """Registered entries in registration order."""
+        return list(self._entries.values())
+
+    def items(self) -> List[Tuple[str, T]]:
+        """``(name, entry)`` pairs in registration order."""
+        return list(self._entries.items())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)

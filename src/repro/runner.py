@@ -23,20 +23,32 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.codegen_base import generate_base_program
 from repro.core.codegen_common import GeneratedProgram
-from repro.core.codegen_saris import generate_saris_program
-from repro.core.kernels import get_kernel
+from repro.core.kernels import get_kernel, kernel_fingerprint
 from repro.core.layout import TileLayout, build_layout
-from repro.core.parallel import cluster_geometry
+from repro.core.parallel import cluster_geometry, default_interleave
 from repro.core.reference import reference_time_step
 from repro.core.stencil import StencilKernel
+from repro.core.variants import get_variant, variant_names
+from repro.machine import MachineSpec, resolve_machine
+from repro.registry import RegistryError
 from repro.snitch.cluster import SnitchCluster
 from repro.snitch.dma import DmaEngine, DmaTransfer
 from repro.snitch.params import TimingParams
 from repro.snitch.trace import ActivityCounters, ClusterResult
 
-VARIANTS = ("base", "saris")
+#: Accepted by ``machine=`` parameters: a preset name, a spec, or None
+#: (the default ``snitch-8`` preset).
+MachineLike = Union[str, MachineSpec, None]
+
+
+def __getattr__(name: str):
+    # The legacy ``runner.VARIANTS`` tuple tracks the live variant registry
+    # (PEP 562) instead of freezing a copy; prefer
+    # :func:`repro.core.variants.variant_names`.
+    if name == "VARIANTS":
+        return variant_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class RunnerError(RuntimeError):
@@ -60,7 +72,7 @@ def _json_safe(value):
 
 @dataclass
 class KernelRunResult:
-    """Result of simulating one kernel variant on the eight-core cluster.
+    """Result of simulating one kernel variant on one cluster configuration.
 
     The scalar metrics plus ``activity`` form a *serializable core* that
     survives pickling across sweep worker processes and JSON round trips
@@ -85,6 +97,15 @@ class KernelRunResult:
     cluster: Optional[ClusterResult] = field(repr=False, default=None)
     activity: Optional[ActivityCounters] = field(repr=False, default=None)
     program_info: List[Dict[str, object]] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        # Normalize so an in-memory result compares equal to its JSON
+        # round-trip: the tile shape is always an int tuple and
+        # ``program_info`` holds only plain JSON types (tuples emitted by the
+        # code generators become lists, exactly as ``to_json_dict`` stores
+        # them).
+        self.tile_shape = tuple(int(t) for t in self.tile_shape)
+        self.program_info = _json_safe(self.program_info)
 
     @property
     def flops_fraction_of_peak(self) -> float:
@@ -235,7 +256,7 @@ def measure_dma_utilization(kernel: StencilKernel, tile_shape: Tuple[int, ...],
     """
     params = params or TimingParams()
     tile_shape = tuple(tile_shape)
-    key = (_kernel_fingerprint(kernel), tile_shape, astuple(params))
+    key = (kernel_fingerprint(kernel), tile_shape, astuple(params))
     cached = _DMA_UTIL_CACHE.get(key)
     if cached is not None:
         return cached
@@ -272,35 +293,41 @@ _CODEGEN_CACHE: Dict[tuple, Tuple[TileLayout, List[GeneratedProgram]]] = {}
 _CODEGEN_CACHE_LIMIT = 256
 
 
-def _kernel_fingerprint(kernel: StencilKernel) -> tuple:
-    """Content-based identity of a kernel definition (cached on the object)."""
-    fingerprint = getattr(kernel, "_codegen_fingerprint", None)
-    if fingerprint is None:
-        fingerprint = (kernel.name, kernel.dims, kernel.radius,
-                       tuple(kernel.inputs), kernel.output, repr(kernel.expr),
-                       tuple(sorted(kernel.coefficients.items())))
-        kernel._codegen_fingerprint = fingerprint
-    return fingerprint
+def _interleave_for(cluster: SnitchCluster,
+                    machine: Optional[MachineSpec]) -> Tuple[int, int]:
+    """Lane arrangement for a run: the machine's, if it matches the cluster.
+
+    When explicit ``params`` disagree with the machine's core count (legacy
+    callers passing ``TimingParams(num_cores=...)`` directly), the lanes are
+    derived from the actual core count instead.
+    """
+    if machine is not None and machine.num_cores == cluster.params.num_cores:
+        return machine.x_interleave, machine.y_interleave
+    return default_interleave(cluster.params.num_cores)
 
 
 def _generate_programs_cached(kernel: StencilKernel, cluster: SnitchCluster,
                               variant: str, shape: Tuple[int, ...],
                               params: TimingParams,
+                              machine: Optional[MachineSpec],
                               codegen_kwargs: Dict[str, object]):
     """Layout + codegen for one run, memoized across identical requests.
 
     On a cache hit the cluster's allocator is left untouched; the cached
     layout and index arrays refer to the same deterministic addresses a fresh
-    compilation would have produced.
+    compilation would have produced.  The machine only enters the key through
+    its lane arrangement — all its other knobs are already in ``params`` —
+    so e.g. the default preset and a bare ``run_kernel`` call share entries.
     """
-    key = (_kernel_fingerprint(kernel), variant, shape, astuple(params),
+    key = (kernel_fingerprint(kernel), variant, shape, astuple(params),
+           _interleave_for(cluster, machine),
            tuple(sorted((name, repr(value))
                         for name, value in codegen_kwargs.items())))
     cached = _CODEGEN_CACHE.get(key)
     if cached is None:
         layout = build_layout(kernel, cluster.allocator, shape)
         generated = generate_programs(kernel, layout, cluster, variant,
-                                      **codegen_kwargs)
+                                      machine=machine, **codegen_kwargs)
         if len(_CODEGEN_CACHE) >= _CODEGEN_CACHE_LIMIT:
             _CODEGEN_CACHE.pop(next(iter(_CODEGEN_CACHE)))
         cached = _CODEGEN_CACHE[key] = (layout, generated)
@@ -308,22 +335,25 @@ def _generate_programs_cached(kernel: StencilKernel, cluster: SnitchCluster,
 
 
 def generate_programs(kernel: StencilKernel, layout: TileLayout, cluster: SnitchCluster,
-                      variant: str, **codegen_kwargs) -> List[GeneratedProgram]:
-    """Generate one program per cluster core for the requested variant."""
+                      variant: str, machine: Optional[MachineSpec] = None,
+                      **codegen_kwargs) -> List[GeneratedProgram]:
+    """Generate one program per cluster core for the requested variant.
+
+    Dispatches through the variant registry
+    (:mod:`repro.core.variants`), so registered third-party backends work
+    everywhere built-ins do.
+    """
+    try:
+        spec = get_variant(variant)
+    except RegistryError as exc:
+        raise RunnerError(str(exc)) from None
+    x_interleave, y_interleave = _interleave_for(cluster, machine)
     geometries = cluster_geometry(kernel, layout.tile_shape,
-                                  num_cores=cluster.params.num_cores)
-    generated = []
-    for geometry in geometries:
-        if variant == "base":
-            generated.append(generate_base_program(kernel, layout, geometry,
-                                                   **codegen_kwargs))
-        elif variant == "saris":
-            generated.append(generate_saris_program(
-                kernel, layout, geometry, cluster.allocator,
-                frep_limit=cluster.params.frep_max_insts, **codegen_kwargs))
-        else:
-            raise RunnerError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
-    return generated
+                                  num_cores=cluster.params.num_cores,
+                                  x_interleave=x_interleave,
+                                  y_interleave=y_interleave)
+    return [spec.generate(kernel, layout, geometry, cluster, **codegen_kwargs)
+            for geometry in geometries]
 
 
 def run_kernel(kernel: Union[str, StencilKernel], variant: str = "saris",
@@ -331,21 +361,30 @@ def run_kernel(kernel: Union[str, StencilKernel], variant: str = "saris",
                params: Optional[TimingParams] = None, seed: int = 0,
                check: bool = True, max_cycles: int = 5_000_000,
                grids: Optional[Dict[str, np.ndarray]] = None,
+               machine: MachineLike = None,
                **codegen_kwargs) -> KernelRunResult:
     """Compile and simulate one time iteration of ``kernel`` on the cluster.
 
     Parameters
     ----------
     kernel:
-        Kernel name (see :data:`repro.core.kernels.KERNEL_NAMES`) or a
+        Kernel name (see :func:`repro.core.kernels.kernel_names`) or a
         :class:`StencilKernel` instance.
     variant:
-        ``"base"`` for the optimized RV32G baseline or ``"saris"`` for the
-        stream-register accelerated variant.
+        A registered codegen variant — ``"base"`` for the optimized RV32G
+        baseline, ``"saris"`` for the stream-register accelerated variant,
+        or any backend added via
+        :func:`repro.core.variants.register_variant`.
     tile_shape:
         Tile shape including halo; defaults to the paper's 64x64 / 16x16x16.
+    machine:
+        Machine configuration: a preset name (``repro machines`` lists
+        them), a :class:`~repro.machine.MachineSpec`, or ``None`` for the
+        paper's ``snitch-8`` cluster.
     params:
-        Cluster timing parameters (defaults to :class:`TimingParams`).
+        Explicit cluster timing parameters; overrides the machine's timing
+        model when given (the machine then only contributes its lane
+        arrangement, and only if its core count still matches).
     seed / grids:
         Either a seed for random input grids or explicit input grids.
     check:
@@ -355,11 +394,13 @@ def run_kernel(kernel: Union[str, StencilKernel], variant: str = "saris",
         ``force_store_streamed=...`` for ablations).
     """
     kernel = _resolve_kernel(kernel)
-    params = params or TimingParams()
+    machine_spec = resolve_machine(machine)
+    params = params or machine_spec.timing_params()
     shape = tuple(tile_shape or kernel.default_tile)
     cluster = SnitchCluster(params)
     layout, generated = _generate_programs_cached(kernel, cluster, variant,
-                                                  shape, params, codegen_kwargs)
+                                                  shape, params, machine_spec,
+                                                  codegen_kwargs)
     if grids is None:
         grids = kernel.make_grids(shape, seed=seed)
     else:
@@ -422,11 +463,14 @@ def compare_variants(kernel: Union[str, StencilKernel],
                      params: Optional[TimingParams] = None, seed: int = 0,
                      check: bool = True,
                      base_kwargs: Optional[Dict[str, object]] = None,
-                     saris_kwargs: Optional[Dict[str, object]] = None) -> VariantComparison:
-    """Run both variants of ``kernel`` and return the paired results."""
+                     saris_kwargs: Optional[Dict[str, object]] = None,
+                     machine: MachineLike = None) -> VariantComparison:
+    """Run both paper variants of ``kernel`` and return the paired results."""
     kernel = _resolve_kernel(kernel)
     base = run_kernel(kernel, variant="base", tile_shape=tile_shape, params=params,
-                      seed=seed, check=check, **(base_kwargs or {}))
+                      seed=seed, check=check, machine=machine,
+                      **(base_kwargs or {}))
     saris = run_kernel(kernel, variant="saris", tile_shape=tile_shape, params=params,
-                       seed=seed, check=check, **(saris_kwargs or {}))
+                       seed=seed, check=check, machine=machine,
+                       **(saris_kwargs or {}))
     return VariantComparison(kernel=kernel.name, base=base, saris=saris)

@@ -17,15 +17,17 @@ holding the raw values the benchmark assertions check.
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis import format_table, geomean
-from repro.core.codegen_base import generate_base_program
-from repro.core.codegen_saris import generate_saris_program
 from repro.core.kernels import TABLE1_EXPECTED, TABLE1_KERNELS, get_kernel
 from repro.core.layout import build_layout
 from repro.core.parallel import cluster_geometry
+from repro.core.variants import get_variant, paper_variants
 from repro.energy import energy_comparison
+from repro.machine import MachineSpec, resolve_machine
+from repro.registry import Registry
 from repro.runner import KernelRunResult, VariantComparison
 from repro.scaleout import (
     best_gpu_fraction,
@@ -36,6 +38,9 @@ from repro.snitch.cluster import SnitchCluster
 from repro.sweep.engine import ProgressFn, SweepReport, run_sweep
 from repro.sweep.job import SweepJob
 from repro.sweep.store import ENGINE_VERSION, ResultStore
+
+#: Machine selector accepted by the job-list builders and ``reproduce``.
+MachineLike = Union[str, MachineSpec, None]
 
 #: Reference values reported by the paper, used in printed comparisons.
 PAPER_REFERENCE = {
@@ -66,42 +71,56 @@ PAPER_REFERENCE = {
 #: SARIS block sizes swept by the unrolling ablation.
 ABLATION_BLOCKS = (1, 4, 16)
 
-#: Valid ``repro reproduce --subset`` values.
-SUBSET_CHOICES = ("all", "table1", "table2", "fig3a", "fig3b", "fig4", "fig5",
-                  "listing1", "ablations")
+
+def __getattr__(name: str):
+    # ``SUBSET_CHOICES`` tracks the live artifact registry (PEP 562), so
+    # artifacts registered by plug-ins appear as ``--subset`` choices.
+    if name == "SUBSET_CHOICES":
+        return subset_choices()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 # ---------------------------------------------------------------------------
 # Job lists
 # ---------------------------------------------------------------------------
 
-def paper_jobs() -> List[SweepJob]:
-    """Both variants of every Table-1 kernel at the paper tile sizes."""
-    return [SweepJob.make(name, variant=variant)
-            for name in TABLE1_KERNELS for variant in ("base", "saris")]
+def paper_jobs(machine: MachineLike = None) -> List[SweepJob]:
+    """The paper comparison variants of every Table-1 kernel, paper tiles."""
+    return [SweepJob.make(name, variant=variant, machine=machine)
+            for name in TABLE1_KERNELS for variant in paper_variants()]
 
 
-def ablation_jobs() -> Dict[str, SweepJob]:
+def ablation_jobs(machine: MachineLike = None) -> Dict[str, SweepJob]:
     """The extra jobs behind the design-choice ablations, keyed by role."""
     jobs = {
-        "frep_on": SweepJob.make("jacobi_2d", "saris"),
-        "frep_off": SweepJob.make("jacobi_2d", "saris", use_frep=False),
-        "sr2_stores": SweepJob.make("star3d7pt", "saris"),
-        "sr2_coeffs": SweepJob.make("star3d7pt", "saris",
+        "frep_on": SweepJob.make("jacobi_2d", "saris", machine=machine),
+        "frep_off": SweepJob.make("jacobi_2d", "saris", machine=machine,
+                                  use_frep=False),
+        "sr2_stores": SweepJob.make("star3d7pt", "saris", machine=machine),
+        "sr2_coeffs": SweepJob.make("star3d7pt", "saris", machine=machine,
                                     force_store_streamed=False),
     }
     for block in ABLATION_BLOCKS:
         jobs[f"block_{block}"] = SweepJob.make("jacobi_2d", "saris",
+                                               machine=machine,
                                                max_block=block)
     return jobs
 
 
 def pair_up(results: Sequence[KernelRunResult]) -> Dict[str, VariantComparison]:
     """Zip an alternating base/saris result list into comparisons by kernel."""
+    expected_variants = paper_variants()
+    if len(expected_variants) != 2:
+        # The paper comparison is a base-vs-saris *pair* by definition;
+        # third-party variants belong in Experiment sweeps, not in the
+        # paper=True set.
+        raise ValueError(
+            f"the paper comparison needs exactly two paper variants, "
+            f"registry has {expected_variants}")
     pairs: Dict[str, VariantComparison] = {}
     for base, saris in zip(results[0::2], results[1::2]):
-        if base.kernel != saris.kernel or (base.variant, saris.variant) != (
-                "base", "saris"):
+        if base.kernel != saris.kernel or (base.variant,
+                                           saris.variant) != expected_variants:
             raise ValueError("result list is not an alternating base/saris sweep")
         pairs[base.kernel] = VariantComparison(kernel=base.kernel, base=base,
                                                saris=saris)
@@ -110,20 +129,22 @@ def pair_up(results: Sequence[KernelRunResult]) -> Dict[str, VariantComparison]:
 
 def run_paper_sweep(workers: Optional[int] = None,
                     store: Optional[ResultStore] = None,
-                    progress: Optional[ProgressFn] = None
+                    progress: Optional[ProgressFn] = None,
+                    machine: MachineLike = None
                     ) -> Dict[str, VariantComparison]:
     """Run the Table-1 sweep through the engine; comparisons by kernel name."""
-    report = run_sweep(paper_jobs(), workers=workers, store=store,
+    report = run_sweep(paper_jobs(machine), workers=workers, store=store,
                        progress=progress)
     return pair_up(report.results)
 
 
 def run_ablation_sweep(workers: Optional[int] = None,
                        store: Optional[ResultStore] = None,
-                       progress: Optional[ProgressFn] = None
+                       progress: Optional[ProgressFn] = None,
+                       machine: MachineLike = None
                        ) -> Dict[str, KernelRunResult]:
     """Run the ablation jobs through the engine; results keyed by role."""
-    jobs = ablation_jobs()
+    jobs = ablation_jobs(machine)
     keys = list(jobs)
     report = run_sweep([jobs[key] for key in keys], workers=workers,
                        store=store, progress=progress)
@@ -226,9 +247,17 @@ def build_fig3b(runs: Dict[str, VariantComparison]) -> Dict[str, object]:
     }
 
 
-def build_fig4(runs: Dict[str, VariantComparison]) -> Dict[str, object]:
-    """Figure 4: cluster power and SARIS energy-efficiency gain."""
-    per_kernel = {name: energy_comparison(runs[name].base, runs[name].saris)
+def build_fig4(runs: Dict[str, VariantComparison],
+               machine: Optional[MachineSpec] = None) -> Dict[str, object]:
+    """Figure 4: cluster power and SARIS energy-efficiency gain.
+
+    ``machine`` supplies the timing parameters (clock, core count) of the
+    machine the runs were simulated on; without it the energy model falls
+    back to the default clock and per-result activity counters.
+    """
+    params = machine.timing_params() if machine is not None else None
+    per_kernel = {name: energy_comparison(runs[name].base, runs[name].saris,
+                                          params=params)
                   for name in TABLE1_KERNELS}
     aggregates = {
         "base_power_w": geomean(d["base_power_w"] for d in per_kernel.values()),
@@ -253,11 +282,30 @@ def build_fig4(runs: Dict[str, VariantComparison]) -> Dict[str, object]:
     }
 
 
-def build_fig5(runs: Dict[str, VariantComparison]) -> Dict[str, object]:
-    """Figure 5: Manticore-256s scaleout estimates per kernel."""
+def _scaleout_config(machine: Optional[MachineSpec]):
+    """Manticore model built from clusters of the given machine's shape
+    (``None`` keeps the paper's stock Manticore-256s)."""
+    if machine is None:
+        return None
+    from repro.scaleout import ManticoreConfig
+
+    return ManticoreConfig(cores_per_cluster=machine.num_cores,
+                           clock_ghz=machine.clock_ghz)
+
+
+def build_fig5(runs: Dict[str, VariantComparison],
+               machine: Optional[MachineSpec] = None) -> Dict[str, object]:
+    """Figure 5: Manticore-256s scaleout estimates per kernel.
+
+    With a non-default ``machine``, the Manticore model is built from
+    clusters of that machine's shape (core count and clock), so the
+    projected peak matches the clusters the per-tile results came from.
+    """
+    config = _scaleout_config(machine)
     per_kernel = {name: estimate_scaleout_pair(get_kernel(name),
                                                runs[name].base,
-                                               runs[name].saris)
+                                               runs[name].saris,
+                                               config=config)
                   for name in TABLE1_KERNELS}
     aggregates = {
         "saris_util": geomean(d["saris"].fpu_util for d in per_kernel.values()),
@@ -292,13 +340,16 @@ def build_fig5(runs: Dict[str, VariantComparison]) -> Dict[str, object]:
     }
 
 
-def build_table2(runs: Dict[str, VariantComparison]) -> Dict[str, object]:
+def build_table2(runs: Dict[str, VariantComparison],
+                 machine: Optional[MachineSpec] = None) -> Dict[str, object]:
     """Table 2: best fraction of peak compute vs prior stencil software."""
+    config = _scaleout_config(machine)
     best_fraction = 0.0
     best_kernel = None
     for name in TABLE1_KERNELS:
         pair = runs[name]
-        est = estimate_scaleout_pair(get_kernel(name), pair.base, pair.saris)
+        est = estimate_scaleout_pair(get_kernel(name), pair.base, pair.saris,
+                                     config=config)
         if est["saris"].fraction_of_peak > best_fraction:
             best_fraction = est["saris"].fraction_of_peak
             best_kernel = name
@@ -316,18 +367,25 @@ def build_table2(runs: Dict[str, VariantComparison]) -> Dict[str, object]:
     }
 
 
-def build_listing1() -> Dict[str, object]:
+def build_listing1(machine: Optional[MachineSpec] = None) -> Dict[str, object]:
     """Listing 1: instruction mix of both un-unrolled star3d7pt point loops.
 
-    Static codegen analysis — no simulation — so it needs no sweep results.
+    Static codegen analysis — no simulation — so it needs no sweep results;
+    ``machine`` selects the cluster configuration the code is generated for
+    (the per-point instruction mix is interleave-invariant, but FREP limits
+    and core count follow the machine).
     """
     kernel = get_kernel("star3d7pt")
-    cluster = SnitchCluster()
+    cluster = SnitchCluster(machine.timing_params() if machine else None)
     layout = build_layout(kernel, cluster.allocator)
-    geometry = cluster_geometry(kernel, layout.tile_shape)[0]
-    base = generate_base_program(kernel, layout, geometry, max_unroll=1)
-    saris = generate_saris_program(kernel, layout, geometry, cluster.allocator,
-                                   max_block=1, max_body_unroll=1)
+    geometry = cluster_geometry(
+        kernel, layout.tile_shape, num_cores=cluster.params.num_cores,
+        x_interleave=machine.x_interleave if machine else None,
+        y_interleave=machine.y_interleave if machine else None)[0]
+    base = get_variant("base").generate(kernel, layout, geometry, cluster,
+                                        max_unroll=1)
+    saris = get_variant("saris").generate(kernel, layout, geometry, cluster,
+                                          max_block=1, max_body_unroll=1)
     data = {}
     for label, gen in (("base", base), ("saris", saris)):
         start, end = gen.program.loop_bounds("xloop")
@@ -416,63 +474,140 @@ def build_ablations(ablations: Dict[str, KernelRunResult],
 
 
 # ---------------------------------------------------------------------------
-# One-shot reproduction
+# Artifact registry and one-shot reproduction
 # ---------------------------------------------------------------------------
+
+@dataclass
+class ArtifactContext:
+    """Sweep results an artifact builder may draw on."""
+
+    machine: Optional[MachineSpec] = None
+    runs: Optional[Dict[str, VariantComparison]] = None
+    ablations: Optional[Dict[str, KernelRunResult]] = None
+
+
+@dataclass(frozen=True)
+class ArtifactSpec:
+    """One registered paper artifact: a builder plus its sweep requirements."""
+
+    name: str
+    build: Callable[[ArtifactContext], List[Dict[str, object]]]
+    needs_paper: bool = False
+    needs_ablation: bool = False
+    description: str = ""
+
+
+ARTIFACT_REGISTRY: Registry[ArtifactSpec] = Registry("artifact")
+
+
+def register_artifact(name: str, *, needs_paper: bool = False,
+                      needs_ablation: bool = False, description: str = "",
+                      replace: bool = False):
+    """Decorator registering an artifact builder under ``name``.
+
+    The builder receives an :class:`ArtifactContext` (with the paper and/or
+    ablation sweep results it declared a need for) and returns a list of
+    table dictionaries (``title`` / ``columns`` / ``rows`` / ``data``).
+    Registered artifacts become ``repro reproduce --subset`` choices.
+    """
+    def wrap(entry_name: str, fn) -> ArtifactSpec:
+        return ArtifactSpec(name=entry_name, build=fn, needs_paper=needs_paper,
+                            needs_ablation=needs_ablation,
+                            description=description)
+    return ARTIFACT_REGISTRY.decorator(name, replace=replace, wrap=wrap)
+
+
+def unregister_artifact(name: str) -> ArtifactSpec:
+    """Remove an artifact (mainly for tests of plug-in artifacts)."""
+    return ARTIFACT_REGISTRY.unregister(name)
+
+
+def artifact_names() -> Tuple[str, ...]:
+    """Registered artifact names, built-ins first."""
+    return ARTIFACT_REGISTRY.names()
+
+
+def subset_choices() -> Tuple[str, ...]:
+    """Valid ``repro reproduce --subset`` values (``all`` + the registry)."""
+    return ("all",) + artifact_names()
+
+
+register_artifact("table1", needs_paper=True,
+                  description="kernel characteristics + measured cycles"
+                  )(lambda ctx: [build_table1(ctx.runs)])
+register_artifact("fig3a", needs_paper=True,
+                  description="SARIS speedup over base"
+                  )(lambda ctx: [build_fig3a(ctx.runs)])
+register_artifact("fig3b", needs_paper=True,
+                  description="FPU utilization and IPC"
+                  )(lambda ctx: [build_fig3b(ctx.runs)])
+register_artifact("fig4", needs_paper=True,
+                  description="power and energy-efficiency gain"
+                  )(lambda ctx: [build_fig4(ctx.runs, ctx.machine)])
+register_artifact("fig5", needs_paper=True,
+                  description="Manticore-256s scaleout estimates"
+                  )(lambda ctx: [build_fig5(ctx.runs, ctx.machine)])
+register_artifact("table2", needs_paper=True,
+                  description="best fraction of peak vs prior work"
+                  )(lambda ctx: [build_table2(ctx.runs, ctx.machine)])
+register_artifact("listing1",
+                  description="static point-loop instruction mix"
+                  )(lambda ctx: [build_listing1(ctx.machine)])
+register_artifact("ablations", needs_paper=True, needs_ablation=True,
+                  description="FREP / block size / SR2 / balance ablations"
+                  )(lambda ctx: build_ablations(ctx.ablations, ctx.runs))
+
 
 def reproduce(subset: str = "all", workers: Optional[int] = None,
               use_cache: bool = True, cache_dir: Optional[str] = None,
-              progress: Optional[ProgressFn] = None) -> Dict[str, object]:
+              progress: Optional[ProgressFn] = None,
+              machine: MachineLike = None) -> Dict[str, object]:
     """Regenerate the requested paper artifacts in one sweep pass.
 
     Every simulation the selected artifacts need is collected into a single
     deduplicated job list, fanned out through the sweep engine (consulting
     the persistent result store unless ``use_cache`` is false), and the
-    artifact tables are then assembled from the results.
+    artifact tables are then assembled from the results.  ``machine`` runs
+    the whole pipeline on a non-default machine preset (the paper-reference
+    columns then compare against the eight-core paper numbers).
     """
-    if subset not in SUBSET_CHOICES:
+    choices = subset_choices()
+    if subset not in choices:
         raise ValueError(f"unknown subset {subset!r}; expected one of "
-                         f"{SUBSET_CHOICES}")
+                         f"{choices}")
+    machine_spec = resolve_machine(machine) if machine is not None else None
+    selected = list(artifact_names()) if subset == "all" else [subset]
+    specs = [ARTIFACT_REGISTRY.get(name) for name in selected]
     store = ResultStore(cache_dir) if use_cache else None
-    needs_paper = subset != "listing1"
-    needs_ablation = subset in ("all", "ablations")
+    needs_paper = any(spec.needs_paper for spec in specs)
+    needs_ablation = any(spec.needs_ablation for spec in specs)
 
-    jobs: List[SweepJob] = list(paper_jobs()) if needs_paper else []
+    jobs: List[SweepJob] = list(paper_jobs(machine_spec)) if needs_paper else []
     ablation_keys: List[str] = []
     if needs_ablation:
-        for key, job in ablation_jobs().items():
+        for key, job in ablation_jobs(machine_spec).items():
             ablation_keys.append(key)
             jobs.append(job)
 
     report: Optional[SweepReport] = None
-    runs: Optional[Dict[str, VariantComparison]] = None
-    ablations: Optional[Dict[str, KernelRunResult]] = None
+    context = ArtifactContext(machine=machine_spec)
     if jobs:
         report = run_sweep(jobs, workers=workers, store=store,
                            progress=progress)
         if needs_paper:
-            paper_count = 2 * len(TABLE1_KERNELS)
-            runs = pair_up(report.results[:paper_count])
+            paper_count = len(TABLE1_KERNELS) * len(paper_variants())
+            context.runs = pair_up(report.results[:paper_count])
         if needs_ablation:
             tail = report.results[len(jobs) - len(ablation_keys):]
-            ablations = dict(zip(ablation_keys, tail))
+            context.ablations = dict(zip(ablation_keys, tail))
 
-    builders: Dict[str, Callable[[], object]] = {
-        "table1": lambda: [build_table1(runs)],
-        "fig3a": lambda: [build_fig3a(runs)],
-        "fig3b": lambda: [build_fig3b(runs)],
-        "fig4": lambda: [build_fig4(runs)],
-        "fig5": lambda: [build_fig5(runs)],
-        "table2": lambda: [build_table2(runs)],
-        "listing1": lambda: [build_listing1()],
-        "ablations": lambda: build_ablations(ablations, runs),
-    }
-    selected = list(builders) if subset == "all" else [subset]
     artifacts: List[Dict[str, object]] = []
-    for key in selected:
-        artifacts.extend(builders[key]())
+    for spec in specs:
+        artifacts.extend(spec.build(context))
 
     return {
         "subset": subset,
+        "machine": machine_spec.name if machine_spec is not None else None,
         "engine_version": ENGINE_VERSION,
         "cpu_count": os.cpu_count(),
         "sweep": report.stats() if report is not None else None,
@@ -494,6 +629,9 @@ def _plain(cell):
 def render_report(report: Dict[str, object]) -> str:
     """Human-readable consolidated report (all tables plus sweep stats)."""
     lines = []
+    machine = report.get("machine")
+    if machine:
+        lines.append(f"machine: {machine}")
     sweep = report.get("sweep")
     if sweep:
         lines.append(

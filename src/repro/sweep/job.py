@@ -15,7 +15,14 @@ import json
 from dataclasses import astuple, dataclass
 from typing import Dict, Optional, Tuple, Union
 
+from repro.machine import (
+    PAPER_SPEC_DICT,
+    MachineSpec,
+    default_machine,
+    resolve_machine,
+)
 from repro.snitch.params import TimingParams
+
 
 #: Default simulation cycle budget, mirroring ``run_kernel``'s default.
 DEFAULT_MAX_CYCLES = 5_000_000
@@ -38,14 +45,21 @@ class SweepJob:
     check: bool = True
     max_cycles: int = DEFAULT_MAX_CYCLES
     codegen_kwargs: Tuple[Tuple[str, object], ...] = ()
+    #: Machine configuration the job simulates on; ``None`` means the
+    #: runner's default (the ``snitch-8`` paper preset).  The *parameters*
+    #: (never the name) enter the content hash via :meth:`canonical_machine`,
+    #: so results cached for one machine are never served for another, while
+    #: a renamed clone of the default still shares the default's entries.
+    machine: Optional[MachineSpec] = None
 
     @classmethod
     def make(cls, kernel: Union[str, object], variant: str = "saris", *,
              tile_shape: Optional[Tuple[int, ...]] = None,
              params: Optional[TimingParams] = None, seed: int = 0,
              check: bool = True, max_cycles: int = DEFAULT_MAX_CYCLES,
+             machine: Union[str, MachineSpec, None] = None,
              **codegen_kwargs) -> "SweepJob":
-        """Build a normalized job (accepts a kernel name or kernel object)."""
+        """Build a normalized job (accepts kernel and machine names or objects)."""
         name = kernel if isinstance(kernel, str) else kernel.name
         return cls(
             kernel=name,
@@ -56,18 +70,51 @@ class SweepJob:
             check=bool(check),
             max_cycles=int(max_cycles),
             codegen_kwargs=tuple(sorted(codegen_kwargs.items())),
+            machine=resolve_machine(machine) if machine is not None else None,
         )
+
+    def canonical_machine(self) -> Optional[MachineSpec]:
+        """The machine this job actually runs on, iff it differs from the
+        paper machine.
+
+        ``None``, the stock ``snitch-8`` preset and any renamed clone of it
+        describe the same simulation, so they canonicalize to ``None`` here
+        and share one content hash and store entry; the user-facing name on
+        :attr:`machine` is untouched (experiment records keep reporting it).
+        The comparison is against the *frozen* paper parameters, not the
+        live registry — if someone replaces the default preset, machine-unset
+        jobs resolve (and hash) the replacement's parameters rather than
+        colliding with entries cached before the replacement.
+        """
+        machine = self.machine if self.machine is not None else default_machine()
+        if machine.spec_dict() == PAPER_SPEC_DICT:
+            return None
+        return machine
 
     @property
     def label(self) -> str:
         """Short human-readable identity for progress lines and reports."""
         extras = ",".join(f"{name}={value!r}" for name, value in self.codegen_kwargs)
-        return f"{self.kernel}/{self.variant}" + (f"[{extras}]" if extras else "")
+        label = f"{self.kernel}/{self.variant}"
+        if self.machine is not None:
+            label += f"@{self.machine.name}"
+        return label + (f"[{extras}]" if extras else "")
 
     def spec(self) -> Dict[str, object]:
-        """Canonical JSON-stable description — the content that is hashed."""
+        """Canonical JSON-stable description — the content that is hashed.
+
+        Besides the kernel *name*, the spec carries a content fingerprint of
+        the registered kernel definition, so re-registering a plug-in
+        stencil under the same name (or editing its builder out of tree —
+        where the store's repro-source fingerprint cannot see it) can never
+        be served stale cached results.
+        """
+        from repro.core.kernels import registered_fingerprint
+
+        machine = self.canonical_machine()
         return {
             "kernel": self.kernel,
+            "kernel_fingerprint": repr(registered_fingerprint(self.kernel)),
             "variant": self.variant,
             "tile_shape": list(self.tile_shape) if self.tile_shape else None,
             "params": list(astuple(self.params)) if self.params is not None else None,
@@ -76,6 +123,7 @@ class SweepJob:
             "max_cycles": self.max_cycles,
             "codegen_kwargs": {name: repr(value)
                                for name, value in self.codegen_kwargs},
+            "machine": (machine.spec_dict() if machine is not None else None),
         }
 
     def content_hash(self) -> str:
@@ -90,5 +138,5 @@ class SweepJob:
         return run_kernel(self.kernel, variant=self.variant,
                           tile_shape=self.tile_shape, params=self.params,
                           seed=self.seed, check=self.check,
-                          max_cycles=self.max_cycles,
+                          max_cycles=self.max_cycles, machine=self.machine,
                           **dict(self.codegen_kwargs))

@@ -15,6 +15,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import shutil
 from pathlib import Path
 from typing import Optional, Union
@@ -26,14 +27,15 @@ from repro.sweep.job import SweepJob
 #: a metric gains a new meaning without any simulator source changing).
 #: Source-level changes are caught automatically by
 #: :func:`engine_fingerprint`.  History: 1 = PR 1 fast engine; 2 =
-#: sweep-engine PR (activity counters).
-ENGINE_VERSION = 2
+#: sweep-engine PR (activity counters); 3 = machine-aware job specs
+#: (experiment API PR).
+ENGINE_VERSION = 3
 
 #: Default cache directory, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
 
 #: Packages/modules whose source content determines every stored metric.
-_METRIC_SOURCES = ("runner.py", "core", "isa", "snitch")
+_METRIC_SOURCES = ("runner.py", "machine.py", "core", "isa", "snitch")
 
 _FINGERPRINT_CACHE: Optional[str] = None
 
@@ -81,9 +83,23 @@ class ResultStore:
         return self.root / f"v{self.engine_version}-{engine_fingerprint()}"
 
     def path_for(self, job: SweepJob) -> Path:
-        """File path of the cache entry for ``job``."""
-        name = f"{job.kernel}-{job.variant}-{job.content_hash()}.json"
-        return self.version_dir / name
+        """File path of the cache entry for ``job``.
+
+        The canonical machine's name is part of the file name (sanitized —
+        custom specs may use arbitrary names) so entries for different
+        machines are human-browsable; the content hash covers the machine
+        *parameters*.  Jobs whose machine parameters equal the default carry
+        no infix at all, so explicit-default and machine-unset jobs share
+        one entry.  (Two differently-named clones of the same *non-default*
+        configuration hash identically but file separately — they dedupe
+        within a sweep, at worst re-executing once across sweeps.)
+        """
+        name = f"{job.kernel}-{job.variant}"
+        machine = job.canonical_machine()
+        if machine is not None:
+            safe = re.sub(r"[^A-Za-z0-9._-]+", "_", machine.name)
+            name += f"-{safe}"
+        return self.version_dir / f"{name}-{job.content_hash()}.json"
 
     def load(self, job: SweepJob) -> Optional[KernelRunResult]:
         """Return the stored result for ``job``, or ``None`` on a miss.

@@ -12,6 +12,53 @@ class TestCli:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "jacobi_2d" in out and "j3d27pt" in out
+        # The listing now covers all three registries.
+        assert "radius" in out and "points" in out
+        assert "saris" in out and "base" in out
+        assert "snitch-8" in out and "snitch-16" in out
+
+    def test_list_json(self, capsys):
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {entry["name"] for entry in payload["variants"]} >= {"base",
+                                                                    "saris"}
+        assert any(m["name"] == "snitch-4" for m in payload["machines"])
+        jacobi = next(k for k in payload["kernels"]
+                      if k["name"] == "jacobi_2d")
+        # Machine-readable means typed values, not display strings.
+        assert jacobi["dims"] == 2 and jacobi["default_tile"] == [64, 64]
+
+    def test_machines_command(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "snitch-8" in out and "snitch-4" in out and "4x2" in out
+        assert main(["machines", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [m["name"] for m in payload][0] == "snitch-8"
+        wide = next(m for m in payload if m["name"] == "snitch-8-wide")
+        # Typed values for scripting, not display strings.
+        assert wide["num_cores"] == 8 and wide["tcdm_banks"] == 64
+        assert wide["tcdm_size"] == 256 * 1024 and wide["clock_ghz"] == 1.0
+
+    def test_run_json_and_machine_flag(self, capsys):
+        code = main(["run", "jacobi_2d", "--tile", "12", "12",
+                     "--machine", "snitch-4", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["machine"] == "snitch-4"
+        assert payload["correct"] is True and payload["cycles"] > 0
+
+    def test_compare_json(self, capsys):
+        code = main(["compare", "jacobi_2d", "--tile", "12", "12", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["machine"] == "snitch-8"
+        assert payload["speedup"] > 0
+        assert payload["base"]["cycles"] > payload["saris"]["cycles"]
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "jacobi_2d", "--machine", "cray-1"])
 
     def test_run_command_small_tile(self, capsys):
         code = main(["run", "jacobi_2d", "--variant", "saris",
@@ -67,3 +114,23 @@ class TestReproduceCommand:
     def test_reproduce_rejects_unknown_subset(self):
         with pytest.raises(SystemExit):
             main(["reproduce", "--subset", "fig9"])
+
+    def test_reproduce_on_non_default_machine(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        code = main(["reproduce", "--subset", "table1",
+                     "--machine", "snitch-4",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "-o", str(report_path), "-q"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "machine: snitch-4" in out
+        report = json.loads(report_path.read_text())
+        assert report["machine"] == "snitch-4"
+        assert report["sweep"]["jobs"] == 20
+        # The snitch-4 results were cached under machine-aware keys: a
+        # default-machine run of the same subset must not hit them.
+        code = main(["reproduce", "--subset", "table1",
+                     "--cache-dir", str(tmp_path / "cache"), "-o", "", "-q"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "20 executed, 0 cache hits" in out

@@ -1,0 +1,304 @@
+"""Tests for the fluent Experiment/ResultSet API and the plug-in registries."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import (
+    Experiment,
+    StencilKernel,
+    register_kernel,
+    register_variant,
+    run_kernel,
+)
+from repro.core.ir import Coeff, GridRef, add, mul
+from repro.core.kernels import TABLE1_KERNELS, unregister_kernel
+from repro.core.variants import unregister_variant
+from repro.experiment import ExperimentError
+from repro.sweep.job import SweepJob
+from tests.conftest import small_tile
+
+GOLDEN_PATH = Path(__file__).parent / "golden_cycles.json"
+
+
+class TestExperimentBuilder:
+    def test_lowers_full_cross_product(self):
+        jobs = (Experiment().kernels("jacobi_2d", "j2d5pt")
+                .variants("base", "saris")
+                .machines("snitch-8", "snitch-4")
+                .seeds(0, 1).jobs())
+        assert len(jobs) == 2 * 2 * 2 * 2
+        assert all(isinstance(job, SweepJob) for job in jobs)
+        assert len({job.content_hash() for job in jobs}) == len(jobs)
+
+    def test_defaults_fill_unset_axes(self):
+        jobs = Experiment().kernels("jacobi_2d").jobs()
+        assert [job.variant for job in jobs] == ["base", "saris"]
+        assert all(job.machine.name == "snitch-8" for job in jobs)
+        # ...but default-parameter machines canonicalize out of the hash, so
+        # experiment jobs share cache entries with machine-unaware legacy
+        # job lists.
+        assert all(job.canonical_machine() is None for job in jobs)
+        assert all(job.seed == 0 and job.tile_shape is None for job in jobs)
+
+    def test_default_machine_jobs_share_legacy_cache_identity(self):
+        unset = SweepJob.make("jacobi_2d", "saris")
+        explicit = (Experiment().kernels("jacobi_2d").variants("saris")
+                    .machines("snitch-8").jobs()[0])
+        assert unset.content_hash() == explicit.content_hash()
+
+    def test_kernels_axis_is_mandatory(self):
+        with pytest.raises(ExperimentError, match="at least one kernel"):
+            Experiment().variants("base").jobs()
+
+    def test_unknown_names_fail_fast(self):
+        with pytest.raises(KeyError):
+            Experiment().kernels("not_a_kernel")
+        with pytest.raises(KeyError):
+            Experiment().kernels("jacobi_2d").variants("not_a_variant")
+        with pytest.raises(KeyError):
+            Experiment().kernels("jacobi_2d").machines("not-a-machine")
+
+    def test_codegen_kwargs_reach_jobs(self):
+        jobs = (Experiment().kernels("jacobi_2d").variants("saris")
+                .codegen(use_frep=False).jobs())
+        assert jobs[0].codegen_kwargs == (("use_frep", False),)
+
+
+class TestResultSet:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return (Experiment().kernels("jacobi_2d", "star3d7pt")
+                .variants("base", "saris")
+                .tiles()  # noop: keeps defaults
+                .machines("snitch-8", "snitch-4")
+                .run(workers=1, cache=False))
+
+    def test_run_executes_everything(self, results):
+        assert len(results) == 2 * 2 * 2
+        assert results.report.executed == len(results)
+        assert all(record.result.correct for record in results)
+
+    def test_filter_by_fields_and_predicate(self, results):
+        saris = results.filter(variant="saris")
+        assert len(saris) == 4
+        small = results.filter(lambda r: r.machine == "snitch-4",
+                               kernel="jacobi_2d")
+        assert len(small) == 2
+        assert {r.variant for r in small} == {"base", "saris"}
+
+    def test_group_by_field_and_callable(self, results):
+        by_machine = results.group_by("machine")
+        assert set(by_machine) == {"snitch-8", "snitch-4"}
+        assert all(len(group) == 4 for group in by_machine.values())
+        by_dims = results.group_by(lambda r: len(r.tile_shape))
+        assert set(by_dims) == {2, 3}
+
+    def test_speedup_and_only(self, results):
+        sub = results.filter(kernel="jacobi_2d", machine="snitch-8")
+        assert sub.speedup() > 1.0
+        with pytest.raises(ExperimentError):
+            results.only()
+
+    def test_table_renders_all_records(self, results):
+        table = results.table()
+        assert "jacobi_2d" in table and "snitch-4" in table
+        assert len(table.strip().splitlines()) == len(results) + 2
+
+    def test_to_json_round_trips(self, results):
+        payload = json.loads(results.to_json())
+        assert len(payload) == len(results)
+        assert {entry["machine"] for entry in payload} == {"snitch-8",
+                                                           "snitch-4"}
+        assert all(isinstance(entry["cycles"], int) for entry in payload)
+
+    def test_serial_and_parallel_paths_agree(self, tmp_path):
+        """Non-default presets produce identical metrics on both sweep paths,
+        and every (job, machine) combination lands in its own store entry."""
+        experiment = (Experiment().kernels("jacobi_2d")
+                      .variants("base", "saris")
+                      .machines("snitch-8", "snitch-4", "snitch-16")
+                      .tiles(small_tile("jacobi_2d")))
+        serial = experiment.run(workers=1, cache_dir=tmp_path / "serial")
+        parallel = experiment.run(workers=2, cache=False)
+        assert parallel.report.parallel and not serial.report.parallel
+        for ser, par in zip(serial, parallel):
+            assert ser.result == par.result
+        from repro.sweep.store import ResultStore
+
+        assert len(ResultStore(tmp_path / "serial")) == len(serial)
+
+
+class TestRecordPower:
+    def test_power_uses_machine_clock_and_cores(self):
+        from repro import MachineSpec
+
+        fast = MachineSpec.create("test-fast-8", clock_ghz=2.0)
+        results = (Experiment().kernels("jacobi_2d").variants("saris")
+                   .machines("snitch-8", fast)
+                   .tiles(small_tile("jacobi_2d")).run(workers=1, cache=False))
+        stock = results.filter(machine="snitch-8").only()
+        clocked = results.filter(machine="test-fast-8").only()
+        # Same dynamic activity, twice the clock -> twice the power.
+        assert clocked.power().power_w == pytest.approx(
+            2.0 * stock.power().power_w)
+
+
+class TestPluginRegistries:
+    def test_registered_kernel_reaches_experiment(self):
+        @register_kernel("test_plug_2d")
+        def build_plug():
+            expr = mul(Coeff("c"), add(GridRef("inp", (0, 0)),
+                                       GridRef("inp", (0, 1)),
+                                       GridRef("inp", (0, -1))))
+            return StencilKernel(name="test_plug_2d", dims=2, radius=1,
+                                 inputs=["inp"], output="out", expr=expr,
+                                 coefficients={"c": 0.3},
+                                 description="plug-in test kernel")
+
+        try:
+            import repro
+            import repro.core
+            from repro import kernel_names
+            assert "test_plug_2d" in kernel_names()
+            # Every KERNEL_NAMES view is live, not an import-time snapshot.
+            assert "test_plug_2d" in repro.KERNEL_NAMES
+            assert "test_plug_2d" in repro.core.KERNEL_NAMES
+            assert "test_plug_2d" in repro.core.kernels.KERNEL_NAMES
+            results = (Experiment().kernels("test_plug_2d")
+                       .tiles((10, 10)).run(workers=1, cache=False))
+            assert len(results) == 2
+            assert all(record.result.correct for record in results)
+        finally:
+            unregister_kernel("test_plug_2d")
+
+    def test_registered_variant_reaches_runner(self):
+        from repro.core.variants import get_variant
+
+        base = get_variant("base")
+
+        @register_variant("test_nofrep",
+                          description="baseline without unrolling")
+        def generate_nofrep(kernel, layout, geometry, cluster, **kwargs):
+            return base.generate(kernel, layout, geometry, cluster,
+                                 max_unroll=1, **kwargs)
+
+        try:
+            from repro.runner import VARIANTS as live_variants
+            assert "test_nofrep" in live_variants
+            result = run_kernel("jacobi_2d", "test_nofrep",
+                                tile_shape=small_tile("jacobi_2d"))
+            assert result.correct
+            # A fresh paper-variant default sweep is unaffected by plug-ins.
+            jobs = Experiment().kernels("jacobi_2d").jobs()
+            assert [job.variant for job in jobs] == ["base", "saris"]
+        finally:
+            unregister_variant("test_nofrep")
+
+    def test_editing_plugin_kernel_invalidates_cache(self, tmp_path):
+        """Re-registering a kernel with new content under the same name must
+        miss the store (the job hash carries a kernel content fingerprint)."""
+        def register_taps(taps):
+            @register_kernel("test_evolving", replace=True)
+            def build():
+                expr = mul(Coeff("c"), add(*[GridRef("inp", (0, dx))
+                                             for dx in taps]))
+                return StencilKernel(name="test_evolving", dims=2, radius=1,
+                                     inputs=["inp"], output="out", expr=expr,
+                                     coefficients={"c": 0.25})
+
+        register_taps((-1, 0, 1))
+        try:
+            experiment = (Experiment().kernels("test_evolving")
+                          .variants("saris").tiles((10, 10)))
+            first = experiment.run(workers=1, cache_dir=tmp_path)
+            assert first.report.executed == 1
+            register_taps((-1, 1))  # edit the kernel, same name
+            second = (Experiment().kernels("test_evolving").variants("saris")
+                      .tiles((10, 10)).run(workers=1, cache_dir=tmp_path))
+            assert second.report.cache_hits == 0 and second.report.executed == 1
+            assert (second.only().result.cycles
+                    != first.only().result.cycles)
+        finally:
+            unregister_kernel("test_evolving")
+
+    def test_bare_register_kernel_decorator(self):
+        @register_kernel
+        def build_test_bare():
+            expr = mul(Coeff("c"), GridRef("inp", (0, 0)))
+            return StencilKernel(name="test_bare", dims=2, radius=1,
+                                 inputs=["inp"], output="out", expr=expr,
+                                 coefficients={"c": 2.0})
+
+        try:
+            from repro import get_kernel, kernel_names
+            assert "test_bare" in kernel_names()
+            assert get_kernel("test_bare").coefficients == {"c": 2.0}
+            assert build_test_bare().name == "test_bare"  # fn returned intact
+        finally:
+            unregister_kernel("test_bare")
+
+    def test_mismatched_kernel_object_rejected(self):
+        """Passing an object whose name shadows a different registered kernel
+        must fail instead of silently sweeping the registered one."""
+        expr = mul(Coeff("c"), GridRef("inp", (0, 0)))
+        impostor = StencilKernel(name="jacobi_2d", dims=2, radius=1,
+                                 inputs=["inp"], output="out", expr=expr,
+                                 coefficients={"c": 1.0})
+        with pytest.raises(ExperimentError, match="differs from the registered"):
+            Experiment().kernels(impostor)
+        from repro import get_kernel
+        Experiment().kernels(get_kernel("jacobi_2d"))  # matching object is fine
+
+    def test_renamed_machine_clone_shares_cache_but_keeps_its_name(self):
+        from repro import MachineSpec
+
+        clone = MachineSpec.create("my-cluster")  # snitch-8 parameters
+        job = SweepJob.make("jacobi_2d", machine=clone)
+        assert job.content_hash() == SweepJob.make("jacobi_2d").content_hash()
+        # The requested name survives onto experiment records.
+        results = (Experiment().kernels("jacobi_2d").variants("saris")
+                   .machines(clone).tiles(small_tile("jacobi_2d"))
+                   .run(workers=1, cache=False))
+        assert results.filter(machine="my-cluster").only().machine == "my-cluster"
+        assert len(results.group_by("machine")) == 1
+
+    def test_unknown_variant_error_names_registry(self):
+        from repro.runner import RunnerError
+
+        with pytest.raises(RunnerError, match="base"):
+            run_kernel("jacobi_2d", "imaginary",
+                       tile_shape=small_tile("jacobi_2d"))
+
+
+class TestGoldenCompat:
+    """Experiment on the default preset is bit-identical to the seed runner."""
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        with GOLDEN_PATH.open() as fh:
+            return json.load(fh)
+
+    @pytest.fixture(scope="class")
+    def experiment_results(self):
+        return (Experiment().kernels(*TABLE1_KERNELS)
+                .variants("base", "saris").run(workers=1, cache=False))
+
+    @pytest.mark.parametrize("variant", ["base", "saris"])
+    @pytest.mark.parametrize("name", sorted(TABLE1_KERNELS))
+    def test_default_preset_reproduces_golden_cycles(self, experiment_results,
+                                                     golden, name, variant):
+        record = experiment_results.filter(kernel=name, variant=variant).only()
+        expected = golden[f"{name}/{variant}"]
+        result = record.result
+        assert result.cycles == expected["cycles"]
+        activity = result.activity
+        assert activity.tcdm_requests == expected["tcdm_requests"]
+        assert activity.tcdm_conflicts == expected["tcdm_conflicts"]
+        assert activity.dma_bytes == expected["dma_bytes"]
+        assert list(activity.core_cycles) == [core["cycles"]
+                                              for core in expected["cores"]]
+        for counter in ("int_retired", "fp_issued", "fp_compute", "flops"):
+            assert getattr(activity, counter) == sum(core[counter]
+                                                     for core in expected["cores"])

@@ -1,0 +1,165 @@
+"""Tests for machine specs, presets, and machine-aware simulation."""
+
+import pytest
+
+from repro.core.parallel import cluster_geometry, coverage, default_interleave
+from repro.machine import (
+    DEFAULT_MACHINE_NAME,
+    MachineSpec,
+    default_machine,
+    get_machine,
+    machine_names,
+    register_machine,
+    resolve_machine,
+    unregister_machine,
+)
+from repro.registry import RegistryError
+from repro.runner import run_kernel
+from repro.snitch.params import TimingParams
+from tests.conftest import small_tile
+
+#: Non-default presets exercised end-to-end (acceptance criterion).
+NON_DEFAULT_PRESETS = ("snitch-4", "snitch-16", "snitch-8-wide")
+
+
+class TestMachineSpec:
+    def test_default_preset_matches_seed_timing(self):
+        """snitch-8 must simulate with exactly the seed TimingParams."""
+        assert default_machine().timing_params() == TimingParams()
+        assert default_machine().name == DEFAULT_MACHINE_NAME
+        assert (default_machine().x_interleave,
+                default_machine().y_interleave) == (4, 2)
+
+    def test_builtin_presets_registered(self):
+        names = machine_names()
+        assert names[0] == DEFAULT_MACHINE_NAME
+        for preset in NON_DEFAULT_PRESETS:
+            assert preset in names
+
+    def test_create_derives_lanes_and_normalizes_overrides(self):
+        spec = MachineSpec.create("m16", num_cores=16, fpu_latency=4,
+                                  dma_bus_bytes=32)
+        assert (spec.x_interleave, spec.y_interleave) == (4, 4)
+        assert spec.timing_params().fpu_latency == 4
+        assert spec.timing_params().dma_bus_bytes == 32
+        assert spec.timing_overrides == (("dma_bus_bytes", 32),
+                                         ("fpu_latency", 4))
+
+    def test_lane_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cannot be arranged"):
+            MachineSpec(name="bad", num_cores=8, x_interleave=4, y_interleave=3)
+
+    def test_zero_interleave_rejected(self):
+        from repro.core.parallel import GeometryError
+
+        with pytest.raises(GeometryError, match="must be positive"):
+            MachineSpec.create("bad", num_cores=8, x_interleave=0)
+        with pytest.raises(GeometryError, match="must be positive"):
+            MachineSpec.create("bad", num_cores=8, y_interleave=0)
+
+    def test_unknown_timing_override_rejected(self):
+        with pytest.raises(ValueError, match="unknown timing parameter"):
+            MachineSpec.create("bad", warp_speed=11)
+
+    def test_spec_owned_field_rejected_as_override(self):
+        with pytest.raises(ValueError, match="MachineSpec field"):
+            MachineSpec(name="bad", timing_overrides=(("num_cores", 4),))
+
+    def test_resolve_accepts_name_spec_and_none(self):
+        assert resolve_machine(None) is get_machine(DEFAULT_MACHINE_NAME)
+        assert resolve_machine("snitch-4").num_cores == 4
+        spec = MachineSpec.create("inline", num_cores=4)
+        assert resolve_machine(spec) is spec
+        with pytest.raises(RegistryError):
+            resolve_machine("not-a-machine")
+        with pytest.raises(TypeError):
+            resolve_machine(8)
+
+    def test_spec_dict_distinguishes_parameter_changes(self):
+        base = get_machine("snitch-8")
+        wide = get_machine("snitch-8-wide")
+        tweaked = MachineSpec.create("snitch-8", fpu_latency=4)
+        assert base.spec_dict() != wide.spec_dict()
+        assert base.spec_dict() != tweaked.spec_dict()
+
+    def test_register_and_unregister_custom_preset(self):
+        spec = MachineSpec.create("test-custom", num_cores=2)
+        register_machine(spec)
+        try:
+            assert get_machine("test-custom") is spec
+            assert "test-custom" in machine_names()
+            with pytest.raises(RegistryError, match="already registered"):
+                register_machine(spec)
+        finally:
+            unregister_machine("test-custom")
+        assert "test-custom" not in machine_names()
+
+
+class TestDefaultInterleave:
+    def test_prefers_four_fold_x(self):
+        assert default_interleave(8) == (4, 2)
+        assert default_interleave(4) == (4, 1)
+        assert default_interleave(16) == (4, 4)
+        assert default_interleave(6) == (3, 2)
+        assert default_interleave(1) == (1, 1)
+
+    def test_geometry_partitions_exactly_for_presets(self):
+        from repro.core.kernels import get_kernel
+
+        kernel = get_kernel("jacobi_2d")
+        for name in ("snitch-4", "snitch-16"):
+            machine = get_machine(name)
+            geometries = cluster_geometry(
+                kernel, (16, 16), num_cores=machine.num_cores,
+                x_interleave=machine.x_interleave,
+                y_interleave=machine.y_interleave)
+            assert len(geometries) == machine.num_cores
+            assert set(coverage(geometries).values()) == {1}
+
+
+class TestMachineAwareRuns:
+    @pytest.mark.parametrize("preset", NON_DEFAULT_PRESETS)
+    @pytest.mark.parametrize("variant", ["base", "saris"])
+    def test_presets_run_correct_end_to_end(self, preset, variant):
+        result = run_kernel("jacobi_2d", variant,
+                            tile_shape=small_tile("jacobi_2d"),
+                            machine=preset)
+        assert result.correct
+        assert result.activity.num_cores == get_machine(preset).num_cores
+
+    def test_default_machine_is_bit_identical_to_bare_call(self):
+        bare = run_kernel("jacobi_2d", "saris",
+                          tile_shape=small_tile("jacobi_2d"))
+        explicit = run_kernel("jacobi_2d", "saris",
+                              tile_shape=small_tile("jacobi_2d"),
+                              machine="snitch-8")
+        assert bare.without_cluster() == explicit.without_cluster()
+
+    def test_more_cores_run_faster(self):
+        cycles = {}
+        for preset in ("snitch-4", "snitch-8", "snitch-16"):
+            cycles[preset] = run_kernel("j3d27pt", "saris",
+                                        tile_shape=(8, 8, 8),
+                                        machine=preset).cycles
+        assert cycles["snitch-16"] < cycles["snitch-8"] < cycles["snitch-4"]
+
+    def test_listing1_artifact_builds_on_non_default_machine(self):
+        from repro.sweep.artifacts import build_listing1
+
+        default = build_listing1()
+        on4 = build_listing1(get_machine("snitch-4"))
+        # Static per-point instruction mix is interleave-invariant, but the
+        # artifact must build against the requested machine without error.
+        assert on4["data"]["base"]["total"] > 0
+        assert on4["data"]["saris"]["fraction"] == pytest.approx(
+            default["data"]["saris"]["fraction"])
+
+    def test_explicit_params_override_machine_timing(self):
+        slow = run_kernel("jacobi_2d", "base",
+                          tile_shape=small_tile("jacobi_2d"),
+                          machine="snitch-8",
+                          params=TimingParams(icache_miss_penalty=60))
+        fast = run_kernel("jacobi_2d", "base",
+                          tile_shape=small_tile("jacobi_2d"),
+                          machine="snitch-8")
+        assert slow.cycles > fast.cycles

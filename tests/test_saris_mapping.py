@@ -127,10 +127,19 @@ class TestIndexResolution:
 
 
 class TestParallelization:
-    def test_eight_cores_required(self):
+    def test_lane_arrangement_must_match_core_count(self):
         kernel = get_kernel("jacobi_2d")
         with pytest.raises(GeometryError):
-            cluster_geometry(kernel, (16, 16), num_cores=6)
+            cluster_geometry(kernel, (16, 16), num_cores=6, x_interleave=4,
+                             y_interleave=2)
+
+    def test_non_default_core_counts_derive_lanes(self):
+        """Machine-spec core counts partition the tile exactly (one owner per point)."""
+        kernel = get_kernel("jacobi_2d")
+        for num_cores in (4, 6, 16):
+            geometries = cluster_geometry(kernel, (16, 16), num_cores=num_cores)
+            assert len(geometries) == num_cores
+            assert set(coverage(geometries).values()) == {1}
 
     def test_coverage_is_exact_partition(self, any_kernel):
         shape = small_tile(any_kernel.name)

@@ -147,6 +147,110 @@ class TestResultStore:
         assert len(store) == 0 and store.load(job) is None
 
 
+class TestMachineAwareStore:
+    """Cached results are keyed by machine: no cross-machine stale serving."""
+
+    def test_distinct_machines_distinct_hashes_and_paths(self, tmp_path):
+        store = ResultStore(tmp_path)
+        wide = small_job(machine="snitch-8-wide")
+        on4 = small_job(machine="snitch-4")
+        assert wide.content_hash() != on4.content_hash()
+        assert store.path_for(wide) != store.path_for(on4)
+        assert "snitch-8-wide" in store.path_for(wide).name
+        assert "snitch-4" in store.path_for(on4).name
+
+    def test_default_machine_canonicalized_for_hash_and_path(self, tmp_path):
+        """Explicitly requesting the stock preset (under any name) shares the
+        machine-unset job's content hash and store entry, while the job still
+        remembers which machine object was requested."""
+        store = ResultStore(tmp_path)
+        unset = small_job()
+        explicit = small_job(machine="snitch-8")
+        assert explicit.machine is not None  # name preserved for records
+        assert explicit.machine.name == "snitch-8"
+        assert explicit.content_hash() == unset.content_hash()
+        assert store.path_for(explicit) == store.path_for(unset)
+
+    def test_result_cached_for_one_machine_misses_for_another(self, tmp_path):
+        store = ResultStore(tmp_path)
+        on8 = small_job(machine="snitch-8")
+        on4 = small_job(machine="snitch-4")
+        store.save(on8, execute_job(on8))
+        assert store.load(on8) is not None
+        assert store.load(on4) is None
+
+    def test_preset_parameter_change_misses_cache(self, tmp_path):
+        from repro.machine import MachineSpec
+
+        store = ResultStore(tmp_path)
+        stock = small_job(machine="snitch-8")
+        store.save(stock, execute_job(stock))
+        tweaked_banks = small_job(machine=MachineSpec.create(
+            "snitch-8", tcdm_banks=64))
+        tweaked_timing = small_job(machine=MachineSpec.create(
+            "snitch-8", fpu_latency=4))
+        assert stock.content_hash() != tweaked_banks.content_hash()
+        assert stock.content_hash() != tweaked_timing.content_hash()
+        assert store.load(tweaked_banks) is None
+        assert store.load(tweaked_timing) is None
+        assert store.load(stock) is not None
+
+    def test_machine_jobs_roundtrip_through_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = small_job(machine="snitch-4")
+        result = execute_job(job)
+        store.save(job, result)
+        loaded = store.load(job)
+        assert loaded is not None and metrics_key(loaded) == metrics_key(result)
+        assert loaded.activity.num_cores == 4
+
+    def test_replaced_default_preset_cannot_serve_stale_entries(self):
+        """Replacing the snitch-8 preset changes what machine-unset jobs run
+        on, so their content hash must change with it (the canonical form is
+        pinned to the frozen paper parameters, not the live registry)."""
+        from repro.machine import MachineSpec, get_machine, register_machine
+
+        baseline = small_job().content_hash()
+        original = get_machine("snitch-8")
+        register_machine(MachineSpec.create("snitch-8", tcdm_banks=64),
+                         replace=True)
+        try:
+            assert small_job().content_hash() != baseline
+        finally:
+            register_machine(original, replace=True)
+        assert small_job().content_hash() == baseline
+
+    def test_machine_label_and_spec(self):
+        job = small_job(machine="snitch-16")
+        assert "@snitch-16" in job.label
+        assert job.spec()["machine"]["num_cores"] == 16
+        assert small_job().spec()["machine"] is None
+
+
+class TestResultJsonRoundTrip:
+    def test_roundtrip_is_equal_including_tuples(self):
+        """to_json_dict -> JSON -> from_json_dict is the identity on the
+        serializable core (tuple-ness preserved where it matters)."""
+        result = execute_job(small_job())
+        payload = json.loads(json.dumps(result.to_json_dict()))
+        restored = type(result).from_json_dict(payload)
+        assert restored == result
+        assert isinstance(restored.tile_shape, tuple)
+        assert restored.tile_shape == result.tile_shape
+        assert isinstance(restored.activity.core_cycles, tuple)
+        assert restored.program_info == result.program_info
+
+    def test_program_info_normalized_at_construction(self):
+        """In-memory results already hold JSON-safe program_info, so fresh
+        and store-loaded results compare equal field by field."""
+        result = execute_job(small_job())
+        info = result.program_info[0]
+        for value in info.values():
+            assert not isinstance(value, tuple)
+        # Dict keys are strings exactly as JSON would store them.
+        assert all(isinstance(key, str) for key in info["stream_lengths"])
+
+
 class TestEngine:
     def test_parallel_matches_serial_full_table1(self):
         """The acceptance gate: every Table-1 kernel/variant, paper tiles."""
