@@ -2,10 +2,11 @@
 
 Kept so the historical invocation keeps working from a repo checkout::
 
-    PYTHONPATH=src python benchmarks/bench_simspeed.py [-o OUTPUT] [-r REPS]
+    PYTHONPATH=src python benchmarks/bench_simspeed.py [-o OUT] [-r REPS] [--quick]
 
-See :mod:`repro.bench.simspeed` for the implementation (Table-1 sweep timing
-plus the serial / parallel / warm-cache sweep-engine suite benchmark).
+See :mod:`repro.bench.simspeed` for the implementation (Table-1 sweep timing,
+the folded-vs-unfolded engine comparison, per-machine scaling, and the
+serial / parallel / warm-cache sweep-engine suite benchmark).
 """
 
 from __future__ import annotations
@@ -16,6 +17,8 @@ from repro.bench.simspeed import (  # noqa: F401  (re-exported API)
     main,
     print_report,
     run_benchmark,
+    run_engine_comparison,
+    run_machine_scaling,
     run_suite_benchmark,
     run_sweep_timing,
 )

@@ -1,0 +1,107 @@
+"""CI perf smoke: run the quick simspeed benchmark and flag regressions.
+
+Two checks, from robust to advisory:
+
+1. **Engine check (hardware-independent).** The native symmetry-folded
+   engine must be active (``engine == "folded-native"``) — the realistic
+   catastrophic regression is the C engine silently failing to build and
+   every job falling back to the Python reference engine.  Additionally the
+   folded engine must beat the in-process Python engine by at least
+   ``--min-fold-speedup`` (default 3x; the recorded figure is >20x), which
+   needs no cross-machine baseline at all.
+2. **Throughput floor vs the committed baseline.** The fresh best
+   simulated-cycles-per-second figure must not regress more than
+   ``--tolerance`` (default 25%, the value documented in
+   ``.github/workflows/ci.yml``) below the committed
+   ``BENCH_simspeed.json``.  This is deliberately generous because hosted
+   runners and the container class that recorded the baseline are different
+   hardware; check 1 is the authoritative guard, this one catches
+   order-of-magnitude rot on comparable machines.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py [--baseline BENCH_simspeed.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="BENCH_simspeed.json",
+                        help="committed benchmark report to compare against")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression (default: 0.25)")
+    parser.add_argument("--min-fold-speedup", type=float, default=3.0,
+                        help="minimum folded-vs-Python in-run speedup "
+                             "(default: 3.0; 0 disables)")
+    parser.add_argument("--allow-python-engine", action="store_true",
+                        help="do not fail when the native engine is "
+                             "unavailable (environments without cffi/cc)")
+    args = parser.parse_args(argv)
+
+    baseline_path = Path(args.baseline)
+    baseline = json.loads(baseline_path.read_text())
+    committed = float(baseline["best_cycles_per_second"])
+
+    from repro.bench import run_benchmark, run_sweep_timing
+    from repro.snitch import native
+
+    failures = []
+
+    # Three repetitions (one process-cold, two warm): the comparison uses the
+    # best, which tames the run-to-run noise of a shared/1-CPU container.
+    with tempfile.TemporaryDirectory(prefix="perf-smoke-") as scratch_dir:
+        report = run_benchmark(repetitions=3, quick=True,
+                               output=str(Path(scratch_dir) / "quick.json"))
+    fresh = float(report["best_cycles_per_second"])
+
+    skip_floor = False
+    if report.get("engine") != "folded-native":
+        message = (f"native engine inactive "
+                   f"({native.disabled_reason() or 'fell back'})")
+        if args.allow_python_engine:
+            # The committed baseline was recorded with the folded engine; a
+            # Python-engine run cannot meaningfully meet its floor.
+            print(f"perf-smoke: WARNING: {message}; skipping baseline floor")
+            skip_floor = True
+        else:
+            failures.append(message)
+    elif args.min_fold_speedup > 0:
+        with native.forced_python():
+            unfolded = run_sweep_timing()
+        fold_speedup = (unfolded["wall_seconds"]
+                        / report["best_wall_seconds"])
+        print(f"perf-smoke: fold speedup {fold_speedup:.1f}x "
+              f"(floor {args.min_fold_speedup:.1f}x)")
+        if fold_speedup < args.min_fold_speedup:
+            failures.append(
+                f"fold speedup {fold_speedup:.1f}x below "
+                f"{args.min_fold_speedup:.1f}x")
+
+    floor = committed * (1.0 - args.tolerance)
+    if fresh < floor and not skip_floor:
+        failures.append(
+            f"fresh {fresh:,.0f} cycles/s below floor {floor:,.0f}")
+    print(f"perf-smoke: fresh {fresh:,.0f} cycles/s vs committed "
+          f"{committed:,.0f} cycles/s (floor {floor:,.0f}, "
+          f"tolerance {args.tolerance:.0%})")
+    print(f"  engine: {report.get('engine')}  cold "
+          f"{report['cold_wall_seconds']:.2f} s, best "
+          f"{report['best_wall_seconds']:.2f} s")
+    if failures:
+        for failure in failures:
+            print(f"perf-smoke: REGRESSION: {failure}")
+        return 1
+    print("perf-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,8 +14,13 @@ setup(
     python_requires=">=3.9",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    package_data={"repro.snitch.native": ["engine.c"]},
     install_requires=["numpy>=1.21"],
     extras_require={
         "dev": ["pytest>=7.0", "pytest-benchmark>=4.0", "hypothesis>=6.0"],
+        # The native symmetry-folded engine loads through cffi (ABI mode)
+        # and builds with the host C compiler; without either, everything
+        # runs on the bit-identical Python engine.
+        "native": ["cffi>=1.15"],
     },
 )

@@ -9,6 +9,8 @@ remains as a thin shim for direct invocation from a repo checkout.
 from repro.bench.simspeed import (
     print_report,
     run_benchmark,
+    run_engine_comparison,
+    run_machine_scaling,
     run_suite_benchmark,
     run_sweep_timing,
 )
@@ -16,6 +18,8 @@ from repro.bench.simspeed import (
 __all__ = [
     "print_report",
     "run_benchmark",
+    "run_engine_comparison",
+    "run_machine_scaling",
     "run_suite_benchmark",
     "run_sweep_timing",
 ]

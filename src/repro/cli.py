@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -185,7 +186,8 @@ def _cmd_bench_speed(args) -> int:
     if args.repetitions < 1:
         print("bench-speed: --repetitions must be >= 1", file=sys.stderr)
         return 2
-    report = run_benchmark(repetitions=args.repetitions, output=args.output)
+    report = run_benchmark(repetitions=args.repetitions, output=args.output,
+                           quick=args.quick)
     print_report(report)
     print(f"report written to {args.output}")
     return 0
@@ -198,6 +200,13 @@ def _cmd_reproduce(args) -> int:
         if not args.quiet:
             print(f"[{done:>2}/{total}] {job.label} ({source})")
 
+    # The result store takes these as parameters; the codegen compile cache
+    # and the native-engine build cache read the environment, so thread the
+    # CLI's cache choices through to them (workers inherit the env).
+    if args.no_cache:
+        os.environ["REPRO_CODEGEN_CACHE"] = "0"
+    if args.cache_dir:
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
     report = reproduce(subset=args.subset, workers=args.workers,
                        use_cache=not args.no_cache, cache_dir=args.cache_dir,
                        progress=progress, machine=args.machine)
@@ -258,6 +267,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="time the Table-1 sweep and write BENCH_simspeed.json")
     bench_p.add_argument("-o", "--output", default="BENCH_simspeed.json")
     bench_p.add_argument("-r", "--repetitions", type=int, default=2)
+    bench_p.add_argument("--quick", action="store_true",
+                         help="Table-1 sweep repetitions only (CI perf smoke)")
     bench_p.set_defaults(func=_cmd_bench_speed)
 
     from repro.sweep.artifacts import subset_choices

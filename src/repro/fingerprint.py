@@ -1,0 +1,96 @@
+"""Content fingerprints for cache invalidation.
+
+Both persistent caches — the sweep result store and the cross-job codegen
+cache — key their entries on *content hashes of the sources that produced
+them*, so an edit to the timing model, the ISA, a code generator or the
+native engine automatically lands every entry in a fresh namespace without
+anyone having to remember a version bump.
+
+:func:`source_fingerprint` hashes files under the ``repro`` package;
+:func:`callable_fingerprint` hashes the source of one callable (used for
+out-of-tree plug-in kernels and codegen variants, which live outside the
+package tree where the source sweep cannot see them).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Tuple
+
+#: File suffixes that participate in source fingerprints.  ``.c`` is included
+#: for the native engine source (repro/snitch/native/engine.c), which shapes
+#: simulated metrics just as much as the Python model does.
+_SOURCE_SUFFIXES = (".py", ".c")
+
+_PACKAGE_ROOT = Path(__file__).resolve().parent
+
+_SOURCE_CACHE: Dict[Tuple[str, ...], str] = {}
+
+
+def source_fingerprint(targets: Iterable[str]) -> str:
+    """Content hash of the given files/directories under the repro package.
+
+    Directories are walked recursively for :data:`_SOURCE_SUFFIXES` files in
+    sorted order; missing entries are skipped.  Results are memoized per
+    target tuple for the lifetime of the process (sources do not change
+    underneath a running simulation).
+    """
+    key = tuple(targets)
+    cached = _SOURCE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for target in key:
+        path = _PACKAGE_ROOT / target
+        if path.is_dir():
+            files = sorted(p for p in path.rglob("*")
+                           if p.suffix in _SOURCE_SUFFIXES)
+        else:
+            files = [path]
+        for source in files:
+            try:
+                content = source.read_bytes()
+            except OSError:
+                continue
+            digest.update(str(source.relative_to(_PACKAGE_ROOT)).encode())
+            digest.update(content)
+    result = digest.hexdigest()[:12]
+    _SOURCE_CACHE[key] = result
+    return result
+
+
+_CALLABLE_CACHE: Dict[int, Tuple[Callable, str]] = {}
+
+
+def callable_fingerprint(fn: Callable) -> str:
+    """Content hash of one callable's source plus its defining module's.
+
+    Used to invalidate cached codegen output when a *plug-in* variant or
+    kernel builder changes out of tree.  The whole module source is included
+    so edits to helper functions or constants the callable delegates to also
+    invalidate (the callable's own source alone would miss them); the
+    callable's source is *additionally* included so two functions in the
+    same module still fingerprint differently.  Falls back to the qualified
+    name when no source is retrievable (REPL/exec contexts).  Memoized on
+    the function object so ``inspect`` runs once per callable per process.
+    """
+    cached = _CALLABLE_CACHE.get(id(fn))
+    if cached is not None and cached[0] is fn:
+        return cached[1]
+    try:
+        payload = inspect.getsource(fn)
+    except (OSError, TypeError):
+        payload = f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', repr(fn))}"
+    try:
+        import sys
+
+        module = sys.modules.get(getattr(fn, "__module__", None))
+        if module is not None:
+            payload += inspect.getsource(module)
+    except (OSError, TypeError):
+        pass
+    result = hashlib.sha256(payload.encode()).hexdigest()[:12]
+    _CALLABLE_CACHE[id(fn)] = (fn, result)
+    return result

@@ -23,8 +23,10 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core import progcache
 from repro.core.codegen_common import GeneratedProgram
 from repro.core.kernels import get_kernel, kernel_fingerprint
+from repro.fingerprint import callable_fingerprint
 from repro.core.layout import TileLayout, build_layout
 from repro.core.parallel import cluster_geometry, default_interleave
 from repro.core.reference import reference_time_step
@@ -285,10 +287,13 @@ def measure_dma_utilization(kernel: StencilKernel, tile_shape: Tuple[int, ...],
 #: Memoized (layout, generated programs) per compilation request, so repeated
 #: runs — `compare_variants` sweeps, benchmark sessions, parameter studies —
 #: stop re-running codegen.  Keyed on kernel *content* (not object identity:
-#: `get_kernel` builds a fresh instance per call), variant, tile shape, the
-#: full timing-parameter tuple and the codegen kwargs.  Safe to share because
-#: a fresh cluster's allocator is deterministic, and neither layouts, programs
-#: nor their static data are mutated by simulation.
+#: `get_kernel` builds a fresh instance per call), variant name *and backend
+#: source*, tile shape, the full timing-parameter tuple and the codegen
+#: kwargs.  Safe to share because a fresh cluster's allocator is
+#: deterministic, and neither layouts, programs nor their static data are
+#: mutated by simulation.  A second, persistent layer in
+#: :mod:`repro.core.progcache` shares the same entries across processes and
+#: interpreter restarts (the cross-job compile cache).
 _CODEGEN_CACHE: Dict[tuple, Tuple[TileLayout, List[GeneratedProgram]]] = {}
 _CODEGEN_CACHE_LIMIT = 256
 
@@ -318,19 +323,35 @@ def _generate_programs_cached(kernel: StencilKernel, cluster: SnitchCluster,
     compilation would have produced.  The machine only enters the key through
     its lane arrangement — all its other knobs are already in ``params`` —
     so e.g. the default preset and a bare ``run_kernel`` call share entries.
+
+    Misses consult the persistent cross-job compile cache
+    (:mod:`repro.core.progcache`) before re-running codegen, so the cost of
+    layout + lowering + scheduling + register allocation + assembly is paid
+    once per unique program content across jobs, worker processes and
+    interpreter restarts.  The key includes the variant backend's *source*
+    fingerprint, so replacing a registered variant (or editing a plug-in
+    generator out of tree) can never be served stale programs.
     """
-    key = (kernel_fingerprint(kernel), variant, shape, astuple(params),
-           _interleave_for(cluster, machine),
+    try:
+        backend_print = callable_fingerprint(get_variant(variant).generate)
+    except RegistryError as exc:
+        raise RunnerError(str(exc)) from None
+    key = (kernel_fingerprint(kernel), variant, backend_print, shape,
+           astuple(params), _interleave_for(cluster, machine),
            tuple(sorted((name, repr(value))
                         for name, value in codegen_kwargs.items())))
     cached = _CODEGEN_CACHE.get(key)
     if cached is None:
-        layout = build_layout(kernel, cluster.allocator, shape)
-        generated = generate_programs(kernel, layout, cluster, variant,
-                                      machine=machine, **codegen_kwargs)
+        cached = progcache.load(f"{kernel.name}-{variant}", key)
+        if cached is None:
+            layout = build_layout(kernel, cluster.allocator, shape)
+            generated = generate_programs(kernel, layout, cluster, variant,
+                                          machine=machine, **codegen_kwargs)
+            cached = (layout, generated)
+            progcache.save(f"{kernel.name}-{variant}", key, cached)
         if len(_CODEGEN_CACHE) >= _CODEGEN_CACHE_LIMIT:
             _CODEGEN_CACHE.pop(next(iter(_CODEGEN_CACHE)))
-        cached = _CODEGEN_CACHE[key] = (layout, generated)
+        _CODEGEN_CACHE[key] = cached
     return cached
 
 

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.isa.program import Program
+from repro.snitch import native as _native
 from repro.snitch.core import SnitchCore
 from repro.snitch.dma import DmaEngine
 from repro.snitch.fpu import FrepBlock
@@ -111,6 +112,15 @@ class SnitchCluster:
         """Run until every core (and optionally the DMA engine) has finished."""
         if not self.cores:
             raise ClusterError("no programs loaded")
+        # Symmetry-folded native engine: bit-identical to the loop below
+        # (tests/test_native_engine.py), used whenever this configuration is
+        # eligible; returns None to fall back to the Python engine.
+        final_cycle = _native.execute(self, max_cycles, wait_for_dma)
+        if final_cycle is not None:
+            start_cycle = self.cycle
+            self.tcdm.cycles += final_cycle - start_cycle
+            self.cycle = final_cycle
+            return self._collect_result(start_cycle)
         cores = self.cores
         num_cores = len(cores)
         dma = self.dma

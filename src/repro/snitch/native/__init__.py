@@ -1,0 +1,829 @@
+"""Native symmetry-folded execution engine: build, decode and state bridging.
+
+This package accelerates :meth:`repro.snitch.cluster.SnitchCluster.run` by
+running the cycle loop in a small C library (``engine.c``) that is a
+decision-for-decision port of the Python engine — same rotation order, same
+bank arbitration, same stall attribution, same IEEE-754 double arithmetic —
+so results are bit-identical (``tests/test_golden_cycles.py`` and
+``tests/test_native_engine.py`` enforce this).
+
+Architecture
+------------
+
+* **Compile cache**: the C source is compiled once per content hash with the
+  host ``cc`` and cached as a shared library under
+  ``$REPRO_CACHE_DIR/native/`` (or ``.repro_cache/native/``), so every later
+  process — sweep workers included — just ``dlopen``\\ s it.  If no compiler
+  is available the engine silently stays on the Python fallback.
+* **Symmetry fold**: SPMD programs are *decoded once per unique program
+  object* into a flat ``(plen, 12)`` int64 opcode table shared by reference
+  with the C core; per-core state lives in flat structure-of-arrays records;
+  the whole cluster's TCDM bank conflicts resolve against one 64-bit busy
+  mask per cycle.
+* **Eligibility prescan**: a program/cluster combination that the C core
+  cannot reproduce exactly (unsupported instruction, icache capacity
+  pressure requiring LRU evictions, pending DMA work, in-flight stream or
+  offload-queue state) falls back to the Python engine, which remains the
+  reference implementation.
+
+Set ``REPRO_ENGINE=python`` to force the Python engine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import sys
+import tempfile
+import warnings
+from collections import deque
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+NATIVE_DIR_ENV_VAR = "REPRO_NATIVE_DIR"
+
+_SOURCE_PATH = Path(__file__).resolve().parent / "engine.c"
+
+#: Extra compiler flags.  -ffp-contract=off and -fno-fast-math are REQUIRED
+#: for bit-identical floating point (CPython never fuses a*b+c).
+_CFLAGS = ("-O2", "-fPIC", "-shared", "-fno-fast-math", "-ffp-contract=off",
+           "-fwrapv")
+
+_ABI_VERSION = 1
+
+# error codes (keep in sync with engine.c)
+_ERR_MAX_CYCLES = 1
+_ERR_MEM_RANGE = 2
+_ERR_SSR_MISUSE = 3
+_ERR_INTERNAL = 4
+
+# decoded-program columns (keep in sync with engine.c)
+_NCOL = 12
+(_C_OP, _C_RD, _C_RS1, _C_RS2, _C_RS3, _C_IMM, _C_IMM2, _C_TGT,
+ _C_A0, _C_A1, _C_A2, _C_A3) = range(_NCOL)
+
+# opcodes (keep in sync with engine.c)
+_OP_RETIRE = 1
+_OP_ALU_RR = 2
+_OP_ALU_RI = 3
+_OP_LI = 4
+_OP_AUIPC = 5
+_OP_MV = 6
+_OP_LOAD = 7
+_OP_STORE = 8
+_OP_BRANCH = 9
+_OP_JUMP = 10
+_OP_CSRR = 11
+_OP_DIV = 12
+_OP_FREP = 13
+_OP_FP = 14
+_OP_SSR_ENABLE = 15
+_OP_SSR_DISABLE = 16
+_OP_SSR_BARRIER = 17
+_OP_CFG_IDX = 18
+_OP_CFG_IDXSIZE = 19
+_OP_CFG_DIMS = 20
+_OP_CFG_BOUND = 21
+_OP_CFG_STRIDE = 22
+_OP_CFG_BASE = 23
+_OP_CFG_WRITE = 24
+_OP_LAUNCH = 25
+_OP_START = 26
+
+_ALU_RR_SUBOPS = {"add": 0, "sub": 1, "and": 2, "or": 3, "xor": 4, "sll": 5,
+                  "srl": 6, "sra": 7, "slt": 8, "sltu": 9, "mul": 10,
+                  "mulh": 11}
+_ALU_RI_SUBOPS = {"addi": 0, "andi": 1, "ori": 2, "xori": 3, "slli": 4,
+                  "srli": 5, "srai": 6, "slti": 7, "sltiu": 8}
+_LOAD_SUBOPS = {"lw": 0, "lh": 1, "lhu": 2, "lb": 3, "lbu": 4}
+_STORE_SUBOPS = {"sw": 0, "sh": 1, "sb": 2}
+_BRANCH_SUBOPS = {"beq": 0, "bne": 1, "blt": 2, "bge": 3, "bltu": 4,
+                  "bgeu": 5}
+_FMA_KINDS = {"fmadd.d": 0, "fmsub.d": 1, "fnmadd.d": 2, "fnmsub.d": 3}
+_ARITH2_KINDS = {"fadd.d": 10, "fsub.d": 11, "fmul.d": 12, "fdiv.d": 13,
+                 "fmin.d": 14, "fmax.d": 15, "fsgnj.d": 16, "fsgnjn.d": 17,
+                 "fsgnjx.d": 18}
+_FP_FMV = 30
+_FP_FABS = 31
+_FP_FCVT = 40
+_FP_FLD = 50
+_FP_FSD = 51
+
+_U32 = (1 << 32) - 1
+_HART_SHIFT = 1 << 48
+
+
+def _signed32(value: int) -> int:
+    value &= _U32
+    return value - 0x1_0000_0000 if value >= 0x8000_0000 else value
+
+
+# ---------------------------------------------------------------------------
+# Build + load (the engine side of the cross-job compile cache)
+# ---------------------------------------------------------------------------
+
+_ENGINE: Optional[tuple] = None  # (ffi, lib) or (None, None) when disabled
+_DISABLED_REASON: Optional[str] = None
+
+
+def _extract_cdef(source: str) -> str:
+    begin = source.index("/*CDEF-BEGIN*/") + len("/*CDEF-BEGIN*/")
+    end = source.index("/*CDEF-END*/")
+    return source[begin:end]
+
+
+def _cache_dir() -> Path:
+    explicit = os.environ.get(NATIVE_DIR_ENV_VAR, "").strip()
+    if explicit:
+        return Path(explicit)
+    cache_root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+    return Path(cache_root) / "native"
+
+
+def _find_compiler() -> Optional[str]:
+    from shutil import which
+
+    for cc in (os.environ.get("CC", ""), "cc", "gcc", "clang"):
+        if cc and which(cc):
+            return cc
+    return None
+
+
+def _build_library(source: str, digest: str) -> Optional[Path]:
+    """Compile the engine into the shared cache, once per content hash."""
+    filename = f"engine-{digest}-py{sys.version_info[0]}{sys.version_info[1]}.so"
+    candidates = [_cache_dir()]
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    fallback = Path(tempfile.gettempdir()) / f"repro-native-{uid}"
+    if fallback not in candidates:
+        candidates.append(fallback)
+    for directory in candidates:
+        so_path = directory / filename
+        if so_path.exists():
+            return so_path
+    cc = _find_compiler()
+    if cc is None:
+        return None
+    for directory in candidates:
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            continue
+        so_path = directory / filename
+        src_path = directory / f"engine-{digest}.c"
+        tmp_path = directory / f"{filename}.tmp{os.getpid()}"
+        try:
+            src_path.write_text(source)
+            subprocess.run([cc, *_CFLAGS, "-o", str(tmp_path), str(src_path)],
+                           check=True, capture_output=True, timeout=120)
+            os.replace(tmp_path, so_path)
+            return so_path
+        except (OSError, subprocess.SubprocessError):
+            try:
+                tmp_path.unlink()
+            except OSError:
+                pass
+            continue
+    return None
+
+
+def _load_engine():
+    """Build/load the native engine; returns (ffi, lib) or (None, None)."""
+    global _ENGINE, _DISABLED_REASON
+    if _ENGINE is not None:
+        return _ENGINE
+    if os.environ.get(ENGINE_ENV_VAR, "").strip().lower() == "python":
+        _DISABLED_REASON = f"{ENGINE_ENV_VAR}=python"
+        _ENGINE = (None, None)
+        return _ENGINE
+    try:
+        import cffi
+    except ImportError:
+        _DISABLED_REASON = "cffi unavailable"
+        _ENGINE = (None, None)
+        return _ENGINE
+    try:
+        source = _SOURCE_PATH.read_text()
+        digest = hashlib.sha256(
+            (source + repr(_CFLAGS)).encode()).hexdigest()[:16]
+        so_path = _build_library(source, digest)
+        if so_path is None:
+            _DISABLED_REASON = "no C compiler available"
+            _ENGINE = (None, None)
+            return _ENGINE
+        ffi = cffi.FFI()
+        ffi.cdef(_extract_cdef(source))
+        lib = ffi.dlopen(str(so_path))
+        if (lib.nat_abi() != _ABI_VERSION
+                or lib.nat_sizeof_mover() != ffi.sizeof("NatMover")
+                or lib.nat_sizeof_qitem() != ffi.sizeof("NatQItem")
+                or lib.nat_sizeof_core() != ffi.sizeof("NatCore")
+                or lib.nat_sizeof_cluster() != ffi.sizeof("NatCluster")):
+            _DISABLED_REASON = "ABI mismatch between engine.c and cdef"
+            _ENGINE = (None, None)
+            return _ENGINE
+        _ENGINE = (ffi, lib)
+    except Exception as exc:  # noqa: BLE001 - any failure => Python fallback
+        warnings.warn(f"native engine disabled: {exc}", RuntimeWarning,
+                      stacklevel=2)
+        _DISABLED_REASON = str(exc)
+        _ENGINE = (None, None)
+    return _ENGINE
+
+
+def available() -> bool:
+    """Whether the native engine is built and loadable on this machine."""
+    ffi, lib = _load_engine()
+    return lib is not None
+
+
+_FORCED_PYTHON = 0
+
+#: Process-wide execution counters: how many cluster runs the native engine
+#: actually carried vs handed back to the Python engine (ineligible
+#: configuration or forced fallback).  Lets reports state which engine *ran*
+#: rather than merely which one was loadable.
+run_stats = {"native": 0, "fallback": 0}
+
+
+class forced_python:
+    """Context manager forcing the Python reference engine (benchmarks/tests).
+
+    Re-entrant; affects only the current process.  Usable where setting
+    ``REPRO_ENGINE=python`` before interpreter start is impractical.
+    """
+
+    def __enter__(self):
+        global _FORCED_PYTHON
+        _FORCED_PYTHON += 1
+        return self
+
+    def __exit__(self, *exc):
+        global _FORCED_PYTHON
+        _FORCED_PYTHON -= 1
+        return False
+
+
+def disabled_reason() -> Optional[str]:
+    """Why the native engine is unavailable (``None`` when it is available)."""
+    _load_engine()
+    return _DISABLED_REASON
+
+
+# ---------------------------------------------------------------------------
+# Program decode (once per unique program object, shared across cores/runs)
+# ---------------------------------------------------------------------------
+
+def decode_program(program, params) -> Optional[np.ndarray]:
+    """Decode ``program`` into the C opcode table, or ``None`` if ineligible.
+
+    The result is cached on the program object; programs are themselves
+    memoized across jobs by the runner's codegen cache, so decode cost is
+    paid once per unique program content per process.  The cache key covers
+    every timing parameter baked into the table (FPU latencies) as well as
+    the eligibility-relevant limits, so one Program reused across different
+    TimingParams decodes freshly per configuration.
+    """
+    key = (params.frep_max_insts, params.ssr_data_movers,
+           params.ssr_indirect_movers, params.fpu_latency,
+           params.fpu_load_latency)
+    cache = program.__dict__.get("_native_decode_cache")
+    if cache is not None and cache[0] == key:
+        return cache[1]
+    table = _decode_uncached(program, params)
+    program.__dict__["_native_decode_cache"] = (key, table)
+    return table
+
+
+def _decode_uncached(program, params) -> Optional[np.ndarray]:
+    from repro.isa.instruction import FP_MNEMONICS
+
+    insts = program.instructions
+    plen = len(insts)
+    table = np.zeros((max(plen, 1), _NCOL), dtype=np.int64)
+    fpu_latency = params.fpu_latency
+    num_streams = params.ssr_data_movers
+    for pc, inst in enumerate(insts):
+        row = table[pc]
+        m = inst.mnemonic
+        rd = inst.rd if inst.rd is not None else -1
+        rs1 = inst.rs1 if inst.rs1 is not None else 0
+        rs2 = inst.rs2 if inst.rs2 is not None else 0
+        rs3 = inst.rs3 if inst.rs3 is not None else 0
+        imm = inst.imm if inst.imm is not None else 0
+        imm2 = inst.imm2 if inst.imm2 is not None else 0
+        target = inst.target_idx if inst.target_idx is not None else -1
+        row[_C_RD] = rd
+        row[_C_RS1] = rs1
+        row[_C_RS2] = rs2
+        row[_C_RS3] = rs3
+        row[_C_IMM] = imm
+        row[_C_IMM2] = imm2
+        row[_C_TGT] = target
+
+        if m in FP_MNEMONICS:
+            row[_C_OP] = _OP_FP
+            if m in _FMA_KINDS:
+                row[_C_A0] = _FMA_KINDS[m]
+                row[_C_A1] = fpu_latency
+                row[_C_A2] = 2
+                row[_C_A3] = 1
+            elif m in _ARITH2_KINDS:
+                row[_C_A0] = _ARITH2_KINDS[m]
+                row[_C_A1] = fpu_latency + (8 if m == "fdiv.d" else 0)
+                row[_C_A2] = inst.flops
+                row[_C_A3] = int(inst.is_fp_compute)
+            elif m == "fmv.d":
+                row[_C_A0], row[_C_A1] = _FP_FMV, 1
+            elif m == "fabs.d":
+                row[_C_A0], row[_C_A1] = _FP_FABS, 1
+            elif m == "fcvt.d.w":
+                row[_C_A0], row[_C_A1] = _FP_FCVT, fpu_latency
+            elif m == "fld":
+                row[_C_A0], row[_C_A1] = _FP_FLD, params.fpu_load_latency
+            elif m == "fsd":
+                row[_C_A0] = _FP_FSD
+            else:
+                return None
+        elif m == "frep.o":
+            count = imm
+            body = insts[pc + 1:pc + 1 + count]
+            if (len(body) != count or count > params.frep_max_insts
+                    or any(not b.is_fp or b.mnemonic in ("fld", "fsd")
+                           for b in body)):
+                return None  # Python engine raises the proper error
+            row[_C_OP] = _OP_FREP
+            row[_C_TGT] = pc + 1 + count
+        elif m.startswith("ssr."):
+            if not _decode_ssr(row, m, imm, imm2, num_streams, params):
+                return None
+        elif inst.is_branch:
+            row[_C_OP] = _OP_BRANCH
+            row[_C_A0] = _BRANCH_SUBOPS[m]
+        elif m in ("j", "jal", "jalr"):
+            row[_C_OP] = _OP_JUMP
+            row[_C_A0] = {"j": 0, "jal": 1, "jalr": 2}[m]
+        elif m in _LOAD_SUBOPS:
+            row[_C_OP] = _OP_LOAD
+            row[_C_A0] = _LOAD_SUBOPS[m]
+        elif m in _STORE_SUBOPS:
+            row[_C_OP] = _OP_STORE
+            row[_C_A0] = _STORE_SUBOPS[m]
+        elif m == "csrr":
+            row[_C_OP] = _OP_CSRR
+            row[_C_A0] = {"mhartid": 0, "mcycle": 1}.get(inst.csr, 2)
+        elif m in ("div", "divu", "rem", "remu"):
+            row[_C_OP] = _OP_DIV
+            row[_C_A0] = int(m.startswith("div")) | (int(m.endswith("u")) << 1)
+        elif m == "nop" or rd == 0:
+            if m not in _ALU_RR_SUBOPS and m not in _ALU_RI_SUBOPS and \
+                    m not in ("lui", "auipc", "li", "mv", "nop"):
+                return None
+            row[_C_OP] = _OP_RETIRE
+        elif m in _ALU_RR_SUBOPS:
+            row[_C_OP] = _OP_ALU_RR
+            row[_C_A0] = _ALU_RR_SUBOPS[m]
+        elif m in _ALU_RI_SUBOPS:
+            row[_C_OP] = _OP_ALU_RI
+            row[_C_A0] = _ALU_RI_SUBOPS[m]
+        elif m in ("lui", "li"):
+            row[_C_OP] = _OP_LI
+            row[_C_IMM] = _signed32(imm << 12 if m == "lui" else imm)
+        elif m == "auipc":
+            row[_C_OP] = _OP_AUIPC
+            row[_C_IMM] = imm << 12
+        elif m == "mv":
+            row[_C_OP] = _OP_MV
+        else:
+            return None
+    return table
+
+
+def _decode_ssr(row, m, imm, imm2, num_streams, params) -> bool:
+    if m == "ssr.enable":
+        row[_C_OP] = _OP_SSR_ENABLE
+        return True
+    if m == "ssr.disable":
+        row[_C_OP] = _OP_SSR_DISABLE
+        return True
+    if m in ("ssr.cfg.repeat", "ssr.commit"):
+        row[_C_OP] = _OP_RETIRE
+        return True
+    if m == "ssr.barrier":
+        row[_C_OP] = _OP_SSR_BARRIER
+        return True
+    # Every remaining form addresses data mover `imm`; statically invalid
+    # operands fall back to the Python engine for the authentic exception.
+    if not 0 <= imm < num_streams:
+        return False
+    if m == "ssr.cfg.idx":
+        if imm >= params.ssr_indirect_movers:
+            return False
+        row[_C_OP] = _OP_CFG_IDX
+    elif m == "ssr.cfg.idxsize":
+        if imm2 not in (2, 4):
+            return False
+        row[_C_OP] = _OP_CFG_IDXSIZE
+    elif m == "ssr.cfg.dims":
+        if not 1 <= imm2 <= 4:
+            return False
+        row[_C_OP] = _OP_CFG_DIMS
+    elif m == "ssr.cfg.bound":
+        if not 0 <= imm2 < 4:
+            return False
+        row[_C_OP] = _OP_CFG_BOUND
+    elif m == "ssr.cfg.stride":
+        if not 0 <= imm2 < 4:
+            return False
+        row[_C_OP] = _OP_CFG_STRIDE
+    elif m == "ssr.cfg.base":
+        row[_C_OP] = _OP_CFG_BASE
+    elif m == "ssr.cfg.write":
+        row[_C_OP] = _OP_CFG_WRITE
+    elif m == "ssr.launch":
+        row[_C_OP] = _OP_LAUNCH
+    elif m == "ssr.start":
+        row[_C_OP] = _OP_START
+    else:
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Cluster eligibility + state bridging
+# ---------------------------------------------------------------------------
+
+def _cluster_eligible(cluster) -> bool:
+    params = cluster.params
+    cores = cluster.cores
+    if not cores or len(cores) > 64:
+        return False
+    if not 1 <= params.tcdm_banks <= 64 or params.tcdm_bank_width < 1:
+        return False
+    if not 1 <= params.ssr_fifo_depth <= 63:
+        return False
+    if not 1 <= params.offload_queue_depth <= 63:
+        return False
+    if not 1 <= params.ssr_data_movers <= 4:
+        return False
+    if params.icache_line_insts < 1:
+        return False
+    dma = cluster.dma
+    if dma._queue or dma._remaining_cycles:
+        return False
+    if not isinstance(cluster.tcdm._data, bytearray):
+        return False
+    # No LRU evictions possible => the no-eviction residency memo is exact
+    # (same precondition the Python fast path computes).
+    line_insts = params.icache_line_insts
+    lines = cluster.icache._lines
+    needed = sum((core._plen + line_insts - 1) // line_insts
+                 for core in cores)
+    if len(lines) + needed > params.icache_lines:
+        return False
+    for core in cores:
+        fpu = core.fpu
+        if fpu._current is not None or fpu._queue:
+            return False
+        if len(core.ssr.movers) != params.ssr_data_movers:
+            return False
+        for mover in core.ssr.movers:
+            if (mover._fifo or mover._idx_queue or mover._remaining
+                    or mover._affine_remaining):
+                return False
+        if decode_program(core.program, params) is None:
+            return False
+    return True
+
+
+def execute(cluster, max_cycles: int, wait_for_dma: bool = True) -> Optional[int]:
+    """Run ``cluster`` natively; returns the final cycle or ``None``.
+
+    ``None`` means the configuration is not native-eligible and the caller
+    must use the Python engine.  On success the cluster's cores, movers,
+    memories and statistics are updated exactly as the Python engine would
+    have left them; the caller still settles ``tcdm.cycles`` and
+    ``cluster.cycle`` from the returned value (mirroring the Python path).
+    """
+    del wait_for_dma  # DMA is guaranteed idle by the eligibility check
+    if _FORCED_PYTHON:
+        run_stats["fallback"] += 1
+        return None
+    ffi, lib = _load_engine()
+    if lib is None or not _cluster_eligible(cluster):
+        run_stats["fallback"] += 1
+        return None
+    run_stats["native"] += 1
+
+    params = cluster.params
+    cores = cluster.cores
+    num_cores = len(cores)
+    line_insts = params.icache_line_insts
+
+    cl = ffi.new("NatCluster *")
+    ccores = ffi.new("NatCore[]", num_cores)
+    keep_alive: List[object] = [ccores]
+
+    cl.num_cores = num_cores
+    cl.num_banks = params.tcdm_banks
+    cl.bank_width = params.tcdm_bank_width
+    cl.tcdm_base = cluster.tcdm.base
+    cl.tcdm_size = cluster.tcdm.size
+    cl.line_insts = line_insts
+    cl.miss_penalty = params.icache_miss_penalty
+    cl.branch_penalty = params.branch_taken_penalty
+    cl.fpu_latency = params.fpu_latency
+    cl.fpu_load_latency = params.fpu_load_latency
+    cl.offload_depth = params.offload_queue_depth
+    cl.frep_max = params.frep_max_insts
+    cl.num_streams = params.ssr_data_movers
+    cl.fifo_depth = params.ssr_fifo_depth
+    cl.div_latency = params.div_latency
+    cl.start_cycle = cluster.cycle
+    cl.max_cycles = max_cycles
+
+    tcdm_buf = ffi.from_buffer(cluster.tcdm._data)
+    keep_alive.append(tcdm_buf)
+    cl.tcdm = ffi.cast("uint8_t *", tcdm_buf)
+    cl.cores = ccores
+
+    cl.icache_hits = cluster.icache.hits
+    cl.icache_misses = cluster.icache.misses
+    cl.tcdm_total = cluster.tcdm.total_requests
+    cl.tcdm_granted = cluster.tcdm.granted_requests
+    cl.tcdm_conflicts = cluster.tcdm.conflicts
+
+    miss_cap = sum((core._plen + line_insts - 1) // line_insts
+                   for core in cores) + 8
+    miss_log = ffi.new("int64_t[]", miss_cap)
+    keep_alive.append(miss_log)
+    cl.miss_log = miss_log
+    cl.miss_log_cap = miss_cap
+    cl.miss_log_len = 0
+
+    lines = cluster.icache._lines
+    sync_state = []
+    for index, core in enumerate(cores):
+        co = ccores[index]
+        state = _pack_core(ffi, cl, co, core, lines, keep_alive)
+        sync_state.append(state)
+
+    rc = lib.nat_run(cl)
+    final_cycle = cl.cycle
+
+    # Write every piece of architectural and statistical state back, so the
+    # Python objects are indistinguishable from a Python-engine run.
+    for index, core in enumerate(cores):
+        _unpack_core(ccores[index], core, sync_state[index])
+    cluster.icache.hits = cl.icache_hits
+    cluster.icache.misses = cl.icache_misses
+    for i in range(cl.miss_log_len):
+        lines[int(cl.miss_log[i])] = True
+    cluster.tcdm.total_requests = cl.tcdm_total
+    cluster.tcdm.granted_requests = cl.tcdm_granted
+    cluster.tcdm.conflicts = cl.tcdm_conflicts
+
+    if rc == 0:
+        return int(final_cycle)
+    # Error paths: settle the cycle counters (as the Python engine does
+    # before raising) and raise the matching exception type.
+    cluster.tcdm.cycles += int(final_cycle) - cluster.cycle
+    cluster.cycle = int(final_cycle)
+    if rc == _ERR_MAX_CYCLES:
+        from repro.snitch.cluster import ClusterError
+
+        raise ClusterError(
+            f"simulation exceeded {max_cycles} cycles; "
+            "the program is probably deadlocked"
+        )
+    if rc == _ERR_MEM_RANGE:
+        from repro.snitch.main_memory import MemoryError_
+
+        raise MemoryError_(
+            f"tcdm: native-engine access at 0x{int(cl.err_addr):08x} out of "
+            f"range [0x{cluster.tcdm.base:08x}, "
+            f"0x{cluster.tcdm.base + cluster.tcdm.size:08x})"
+        )
+    if rc == _ERR_SSR_MISUSE:
+        from repro.snitch.ssr import SsrConfigError
+
+        raise SsrConfigError("data mover configured or used inconsistently "
+                             "(native engine)")
+    from repro.snitch.core import SimulationError
+
+    raise SimulationError(f"native engine internal error (code {rc})")
+
+
+def _pack_core(ffi, cl, co, core, lines, keep_alive):
+    """Fill one NatCore record from a SnitchCore; returns sync-back handles."""
+    plen = core._plen
+    co.pc = core.pc
+    co.plen = plen
+    co.stall_until = core._stall_until
+    co.finished = int(core.finished)
+    co.finish_cycle = (core.finish_cycle
+                       if core.finish_cycle is not None else -1)
+    co.int_retired = core.int_retired
+    stalls = core.stalls
+    co.st_offload_full = stalls.offload_full
+    co.st_ssr_launch = stalls.ssr_launch
+    co.st_barrier = stalls.barrier
+    co.st_icache = stalls.icache
+    co.st_branch = stalls.branch
+    co.st_lsu_conflict = stalls.lsu_conflict
+    co.st_div = stalls.div
+    for i, value in enumerate(core.int_regs._regs):
+        co.iregs[i] = value
+    for i, value in enumerate(core.fp_regs._regs):
+        co.fregs[i] = value
+    for i, value in enumerate(core.fpu._scoreboard):
+        co.scoreboard[i] = value
+    co.q_head = 0
+    co.q_len = 0
+    co.cur.kind = -1
+    co.blk_inst = 0
+    co.blk_rep = 0
+    fstats = core.fpu.stats
+    co.issued_compute = fstats.issued_compute
+    co.issued_mem = fstats.issued_mem
+    co.issued_move = fstats.issued_move
+    co.flops = fstats.flops
+    co.stall_ssr_read = fstats.stall_ssr_read
+    co.stall_ssr_write = fstats.stall_ssr_write
+    co.stall_raw = fstats.stall_raw
+    co.stall_mem = fstats.stall_mem
+    co.idle_empty = fstats.idle_empty
+    co.ssr_enabled = int(core.ssr.enabled)
+    co.any_active = int(core.ssr._any_active)
+    for dm, mover in enumerate(core.ssr.movers):
+        cm = co.movers[dm]
+        cfg = mover.cfg
+        cm.cfg_write = int(cfg.write)
+        cm.cfg_indirect = int(cfg.indirect)
+        cm.idx_base = cfg.idx_base
+        cm.idx_count = cfg.idx_count
+        cm.idx_size = cfg.idx_size
+        cm.dims = cfg.dims
+        for d in range(4):
+            cm.bounds[d] = cfg.bounds[d]
+            cm.strides[d] = cfg.strides[d]
+        cm.base = cfg.base
+        cm.indirect_capable = int(mover.indirect_capable)
+        cm.fifo_head = 0
+        cm.fifo_len = 0
+        cm.launch_base = mover._launch_base
+        cm.remaining = 0
+        cm.idx_pos = mover._idx_pos
+        cm.idxq_head = 0
+        cm.idxq_len = 0
+        cm.affine_active = int(mover._affine_active)
+        cm.affine_remaining = 0
+        cm.seq_pos = mover._seq_pos
+        cm.active = int(mover._active)
+        cm.cum_data = mover._cum_data
+        cm.cum_idx = mover._cum_idx
+        cm.word_i = mover._word_i
+        cm.denied_data = mover._denied_data
+        cm.denied_idx = mover._denied_idx
+
+    table = decode_program(core.program, core.params)
+    prog_buf = ffi.from_buffer(table)
+    resident = np.array(core._resident, dtype=np.uint8)
+    if resident.size == 0:
+        resident = np.zeros(1, dtype=np.uint8)
+    nlines = max((plen + cl.line_insts - 1) // cl.line_insts, 1)
+    line_present = np.zeros(nlines, dtype=np.uint8)
+    base_key = core.hart_id * _HART_SHIFT
+    for line in range(nlines):
+        if base_key + line in lines:
+            line_present[line] = 1
+    res_buf = ffi.from_buffer(resident)
+    lp_buf = ffi.from_buffer(line_present)
+    keep_alive.extend((table, prog_buf, resident, res_buf,
+                       line_present, lp_buf))
+    co.prog = ffi.cast("int64_t *", prog_buf)
+    co.resident = ffi.cast("uint8_t *", res_buf)
+    co.line_present = ffi.cast("uint8_t *", lp_buf)
+    co.hart_id = core.hart_id
+    return resident
+
+
+def _unpack_core(co, core, resident) -> None:
+    core.pc = int(co.pc)
+    core._stall_until = int(co.stall_until)
+    core.finished = bool(co.finished)
+    core.finish_cycle = int(co.finish_cycle) if co.finish_cycle >= 0 else None
+    core.int_retired = int(co.int_retired)
+    stalls = core.stalls
+    stalls.offload_full = int(co.st_offload_full)
+    stalls.ssr_launch = int(co.st_ssr_launch)
+    stalls.barrier = int(co.st_barrier)
+    stalls.icache = int(co.st_icache)
+    stalls.branch = int(co.st_branch)
+    stalls.lsu_conflict = int(co.st_lsu_conflict)
+    stalls.div = int(co.st_div)
+    core.int_regs._regs = [int(co.iregs[i]) for i in range(32)]
+    core.fp_regs._regs = [float(co.fregs[i]) for i in range(32)]
+    fpu = core.fpu
+    fpu._scoreboard = [int(co.scoreboard[i]) for i in range(32)]
+    fstats = fpu.stats
+    fstats.issued_compute = int(co.issued_compute)
+    fstats.issued_mem = int(co.issued_mem)
+    fstats.issued_move = int(co.issued_move)
+    fstats.flops = int(co.flops)
+    fstats.stall_ssr_read = int(co.stall_ssr_read)
+    fstats.stall_ssr_write = int(co.stall_ssr_write)
+    fstats.stall_raw = int(co.stall_raw)
+    fstats.stall_mem = int(co.stall_mem)
+    fstats.idle_empty = int(co.idle_empty)
+    fpu._flushed_mem = fstats.issued_mem
+    _unpack_fpu_queue(co, core)
+    ssr = core.ssr
+    ssr.enabled = bool(co.ssr_enabled)
+    ssr._any_active = bool(co.any_active)
+    for dm, mover in enumerate(ssr.movers):
+        cm = co.movers[dm]
+        cfg = mover.cfg
+        cfg.write = bool(cm.cfg_write)
+        cfg.indirect = bool(cm.cfg_indirect)
+        cfg.idx_base = int(cm.idx_base)
+        cfg.idx_count = int(cm.idx_count)
+        cfg.idx_size = int(cm.idx_size)
+        cfg.dims = int(cm.dims)
+        cfg.bounds = [int(cm.bounds[d]) for d in range(4)]
+        cfg.strides = [int(cm.strides[d]) for d in range(4)]
+        cfg.base = int(cm.base)
+        mover._launch_base = int(cm.launch_base)
+        mover._remaining = int(cm.remaining)
+        mover._idx_pos = int(cm.idx_pos)
+        mover._affine_active = bool(cm.affine_active)
+        mover._affine_remaining = int(cm.affine_remaining)
+        mover._seq_pos = int(cm.seq_pos)
+        mover._active = bool(cm.active)
+        mover._cum_data = int(cm.cum_data)
+        mover._cum_idx = int(cm.cum_idx)
+        mover._word_i = int(cm.word_i)
+        mover._denied_data = int(cm.denied_data)
+        mover._denied_idx = int(cm.denied_idx)
+        mover._fifo = deque(
+            float(cm.fifo[(cm.fifo_head + i) & 63])
+            for i in range(cm.fifo_len))
+        mover._idx_queue = deque(
+            (int(cm.idxq_addr[(cm.idxq_head + i) & 7]),
+             int(cm.idxq_bank[(cm.idxq_head + i) & 7]))
+            for i in range(cm.idxq_len))
+        mover._flushed_granted = (mover._granted_data + mover._granted_idx)
+        # Rebuild the Python engine's precomputed sequences for any stream
+        # still in flight, so a later Python-engine continuation (or direct
+        # mover use in tests) picks up exactly where the native run stopped.
+        if mover._affine_remaining > 0:
+            mover._build_affine_seq()
+        if mover._remaining > 0:
+            mover._build_index_schedule()
+    # The FPU re-resolves stream FIFOs by reference; replacing the deques
+    # above would break that, so re-point the cached tuple.
+    fpu._fifos = tuple(m._fifo for m in ssr.movers)
+    core._resident = resident.astype(bool).tolist()
+    if len(core._resident) > core._plen:
+        core._resident = core._resident[:core._plen]
+
+
+def _unpack_fpu_queue(co, core) -> None:
+    """Rebuild in-flight offload-queue state (only present on error paths)."""
+    from repro.snitch.fpu import FrepBlock
+
+    fpu = core.fpu
+    fpu._queue.clear()
+    fpu._current = None
+    fpu._block_inst_idx = 0
+    fpu._block_rep_idx = 0
+    items = [co.q[(co.q_head + i) & 63] for i in range(co.q_len)]
+    current = co.cur if co.cur.kind >= 0 else None
+    rebuilt = []
+    for item in ([current] if current is not None else []) + items:
+        if item.kind == 1:
+            body = core.program.instructions[item.a:item.a + item.b]
+            block = FrepBlock.__new__(FrepBlock)
+            block.instructions = list(body)
+            block.reps = int(item.c)
+            block._plan = [fpu._dcache.get(id(inst)) or fpu._decode(inst)
+                           for inst in body]
+            block._plan_len = len(block._plan)
+            rebuilt.append(block)
+        else:
+            inst = core.program.instructions[item.a]
+            decoded = fpu._dcache.get(id(inst)) or fpu._decode(inst)
+            address = int(item.b)
+            if inst.mnemonic not in ("fld", "fsd", "fcvt.d.w"):
+                address = None
+            rebuilt.append((inst, address, decoded))
+    if current is not None and rebuilt:
+        fpu._current = rebuilt[0]
+        fpu._block_inst_idx = int(co.blk_inst)
+        fpu._block_rep_idx = int(co.blk_rep)
+        rebuilt = rebuilt[1:]
+    fpu._queue.extend(rebuilt)

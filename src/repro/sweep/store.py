@@ -12,7 +12,6 @@ nobody remembers to bump the version.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import re
@@ -20,6 +19,7 @@ import shutil
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.fingerprint import source_fingerprint
 from repro.runner import KernelRunResult
 from repro.sweep.job import SweepJob
 
@@ -28,42 +28,26 @@ from repro.sweep.job import SweepJob
 #: Source-level changes are caught automatically by
 #: :func:`engine_fingerprint`.  History: 1 = PR 1 fast engine; 2 =
 #: sweep-engine PR (activity counters); 3 = machine-aware job specs
-#: (experiment API PR).
-ENGINE_VERSION = 3
+#: (experiment API PR); 4 = native symmetry-folded engine + compile cache.
+ENGINE_VERSION = 4
 
 #: Default cache directory, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
 
 #: Packages/modules whose source content determines every stored metric.
+#: ``snitch`` includes the native engine's C source (see
+#: :mod:`repro.fingerprint`, which sweeps ``.py`` and ``.c`` files).
 _METRIC_SOURCES = ("runner.py", "machine.py", "core", "isa", "snitch")
-
-_FINGERPRINT_CACHE: Optional[str] = None
 
 
 def engine_fingerprint() -> str:
     """Content hash of the simulator sources backing the stored metrics.
 
-    Hashes every ``.py`` file under :data:`_METRIC_SOURCES` (relative to the
-    ``repro`` package), so any edit to the timing model, ISA, code
-    generators or the runner silently lands every cache entry in a fresh
-    directory — no manual version bump required.
+    Hashes the timing model, ISA, code generators, the runner and the native
+    engine (Python and C sources alike), so any edit silently lands every
+    cache entry in a fresh directory — no manual version bump required.
     """
-    global _FINGERPRINT_CACHE
-    if _FINGERPRINT_CACHE is None:
-        package_root = Path(__file__).resolve().parent.parent
-        digest = hashlib.sha256()
-        for target in _METRIC_SOURCES:
-            path = package_root / target
-            files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
-            for source in files:
-                try:
-                    content = source.read_bytes()
-                except OSError:
-                    continue
-                digest.update(str(source.relative_to(package_root)).encode())
-                digest.update(content)
-        _FINGERPRINT_CACHE = digest.hexdigest()[:12]
-    return _FINGERPRINT_CACHE
+    return source_fingerprint(_METRIC_SOURCES)
 
 
 class ResultStore:

@@ -1,0 +1,268 @@
+"""Native symmetry-folded engine: bit-identity with the Python reference.
+
+The golden-cycle suite already pins the default engine (native, when a C
+compiler is available) against recorded numbers; these tests additionally
+diff the *full observable state* — registers, memory, stall attribution,
+stream statistics, icache bookkeeping — between the two engines on the same
+workloads, and exercise the fallback / error paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.runner import run_kernel
+from repro.snitch import native
+from repro.snitch.cluster import ClusterError, SnitchCluster
+from repro.snitch.params import TimingParams
+
+pytestmark = pytest.mark.skipif(
+    not native.available(),
+    reason=f"native engine unavailable: {native.disabled_reason()}")
+
+
+def _cluster_state(cluster):
+    """Every piece of state the Python engine leaves behind after a run."""
+    state = {
+        "cycle": cluster.cycle,
+        "tcdm": (cluster.tcdm.total_requests, cluster.tcdm.granted_requests,
+                 cluster.tcdm.conflicts),
+        "icache": (cluster.icache.hits, cluster.icache.misses,
+                   tuple(cluster.icache._lines.keys())),
+        "mem": bytes(cluster.tcdm._data),
+    }
+    for core in cluster.cores:
+        stats = core.fpu.stats
+        state[core.hart_id] = {
+            "pc": core.pc,
+            "finished": core.finished,
+            "finish_cycle": core.finish_cycle,
+            "int_retired": core.int_retired,
+            "stalls": core.stalls.as_dict(),
+            "iregs": tuple(core.int_regs._regs),
+            "fregs": tuple(core.fp_regs._regs),
+            "scoreboard": tuple(core.fpu._scoreboard),
+            "fpu": (stats.issued_compute, stats.issued_mem, stats.issued_move,
+                    stats.flops, stats.stall_ssr_read, stats.stall_ssr_write,
+                    stats.stall_raw, stats.stall_mem, stats.idle_empty),
+            "ssr": core.ssr.enabled,
+            "movers": tuple(
+                (m.cfg.write, m.cfg.indirect, m.elements_streamed,
+                 m.data_requests, m.index_requests, m.denied_requests,
+                 tuple(m._fifo))
+                for m in core.ssr.movers),
+        }
+    return state
+
+
+def _run_both(source_per_core, setup=None, params=None, max_cycles=100_000):
+    """Run the same program(s) under both engines; return both states."""
+    states = []
+    for force_python in (False, True):
+        cluster = SnitchCluster(params or TimingParams())
+        programs = [assemble(src, name=f"p{i}")
+                    for i, src in enumerate(source_per_core)]
+        cluster.load_programs(programs)
+        if setup:
+            setup(cluster)
+        if force_python:
+            with native.forced_python():
+                cluster.run(max_cycles=max_cycles)
+        else:
+            cluster.run(max_cycles=max_cycles)
+        states.append(_cluster_state(cluster))
+    return states
+
+
+class TestCrossEngineIdentity:
+    @pytest.mark.parametrize("kernel,variant", [
+        ("jacobi_2d", "saris"), ("jacobi_2d", "base"),
+        ("ac_iso_cd", "saris"), ("box3d1r", "base"),
+    ])
+    def test_kernel_metrics_identical(self, kernel, variant):
+        tile = {"jacobi_2d": (12, 12), "ac_iso_cd": (12, 12, 12),
+                "box3d1r": (8, 8, 8)}[kernel]
+        native_result = run_kernel(kernel, variant=variant, tile_shape=tile)
+        with native.forced_python():
+            python_result = run_kernel(kernel, variant=variant,
+                                       tile_shape=tile)
+        assert native_result.cycles == python_result.cycles
+        assert native_result.total_flops == python_result.total_flops
+        assert native_result.fpu_util == python_result.fpu_util
+        assert native_result.ipc == python_result.ipc
+        assert native_result.tcdm_conflict_rate == \
+            python_result.tcdm_conflict_rate
+        assert native_result.activity == python_result.activity
+        native_cores = [c.__dict__ for c in native_result.cluster.cores]
+        python_cores = [c.__dict__ for c in python_result.cluster.cores]
+        assert native_cores == python_cores
+
+    def test_integer_torture_program_identical(self):
+        source = """
+            csrr a0, mhartid
+            li   t0, -7
+            li   t1, 3
+            div  t2, t0, t1
+            rem  t3, t0, t1
+            mulh t4, t0, t0
+            slli t5, t1, 4
+            sw   t2, 0(a1)
+            lw   t6, 0(a1)
+            addi a0, a0, 1
+        loop:
+            addi a0, a0, -1
+            bne  a0, zero, loop
+            jal  ra, done
+            nop
+        done:
+            sltu s2, t0, t1
+        """
+        def setup(cluster):
+            for core in cluster.cores:
+                core.set_reg("a1", cluster.tcdm.base + 8 * core.hart_id)
+        got, expected = _run_both([source] * 4, setup=setup)
+        assert got == expected
+
+    def test_fp_and_frep_program_identical(self):
+        source = """
+            li t0, 5
+            fld ft3, 0(a1)
+            fld ft4, 8(a1)
+            frep.o t0, 3
+            fmadd.d ft5, ft3, ft4, ft5
+            fmax.d ft6, ft5, ft4
+            fsgnjn.d ft7, ft6, ft3
+            fsd ft5, 16(a1)
+            fsd ft7, 24(a1)
+            fcvt.d.w ft8, t0
+            fsd ft8, 32(a1)
+        """
+        def setup(cluster):
+            cluster.tcdm.write_f64(cluster.tcdm.base, -1.5)
+            cluster.tcdm.write_f64(cluster.tcdm.base + 8, 0.25)
+            for core in cluster.cores:
+                core.set_reg("a1", cluster.tcdm.base)
+        got, expected = _run_both([source] * 2, setup=setup)
+        assert got == expected
+
+    def test_ssr_stream_program_identical(self):
+        # Affine read stream through DM2 feeding an FREP accumulation.
+        source = """
+            li t0, 16
+            li t1, 8
+            ssr.cfg.dims 2, 1
+            ssr.cfg.bound 2, 0, t0
+            ssr.cfg.stride 2, 0, t1
+            ssr.cfg.base 2, a1
+            ssr.cfg.write 2, 0
+            ssr.enable
+            ssr.start 2
+            frep.o t0, 1
+            fadd.d ft4, ft4, ft2
+            ssr.barrier
+            ssr.disable
+            fsd ft4, 256(a1)
+        """
+        def setup(cluster):
+            data = np.arange(16, dtype=np.float64)
+            cluster.tcdm.write_f64_array(cluster.tcdm.base, data)
+            for core in cluster.cores:
+                core.set_reg("a1", cluster.tcdm.base)
+        got, expected = _run_both([source] * 3, setup=setup)
+        assert got == expected
+
+    def test_machine_presets_identical(self):
+        for machine in ("snitch-4", "snitch-16"):
+            native_result = run_kernel("jacobi_2d", variant="saris",
+                                       tile_shape=(12, 12), machine=machine)
+            with native.forced_python():
+                python_result = run_kernel("jacobi_2d", variant="saris",
+                                           tile_shape=(12, 12),
+                                           machine=machine)
+            assert native_result.cycles == python_result.cycles
+            assert native_result.activity == python_result.activity
+
+
+class TestNativeBehaviour:
+    def test_deadlock_raises_cluster_error(self):
+        cluster = SnitchCluster()
+        cluster.load_programs([assemble("loop:\n  j loop\n")])
+        with pytest.raises(ClusterError):
+            cluster.run(max_cycles=200)
+
+    def test_icache_pressure_falls_back_to_python(self, monkeypatch):
+        # A cluster whose programs cannot all stay resident needs the LRU
+        # model, which only the Python engine implements.
+        params = TimingParams(icache_lines=2, icache_line_insts=4)
+        cluster = SnitchCluster(params)
+        body = "\n".join("addi t0, t0, 1" for _ in range(40))
+        cluster.load_programs([assemble(body)])
+        calls = {"native": 0}
+        real_execute = native.execute
+
+        def counting_execute(*args, **kwargs):
+            result = real_execute(*args, **kwargs)
+            calls["native"] += 1 if result is not None else 0
+            return result
+
+        monkeypatch.setattr(native, "execute", counting_execute)
+        monkeypatch.setattr("repro.snitch.cluster._native.execute",
+                            counting_execute)
+        result = cluster.run()
+        assert calls["native"] == 0  # fell back
+        assert cluster.cores[0].int_regs.read(5) == 40
+        assert result.icache_misses > 2
+
+    def test_forced_python_context(self):
+        with native.forced_python():
+            cluster = SnitchCluster()
+            cluster.load_programs([assemble("li t0, 1")])
+            assert native.execute(cluster, 100) is None
+        # outside the context the same cluster is eligible again
+        cluster2 = SnitchCluster()
+        cluster2.load_programs([assemble("li t0, 1")])
+        assert native.execute(cluster2, 100) is not None
+
+    def test_decode_rejects_oversized_frep(self):
+        params = TimingParams(frep_max_insts=2)
+        body = "fadd.d ft3, ft3, ft4\n" * 3
+        program = assemble(f"li t0, 3\nfrep.o t0, 3\n{body}")
+        assert native.decode_program(program, params) is None
+
+    def test_decode_cache_keys_on_fpu_latencies(self):
+        # The decoded table bakes FPU latencies in; one Program object
+        # simulated under different TimingParams must decode per config.
+        program = assemble("fadd.d ft3, ft4, ft5\nfld ft6, 0(a1)")
+        fast = native.decode_program(program, TimingParams(fpu_latency=2))
+        slow = native.decode_program(program, TimingParams(fpu_latency=9))
+        assert fast[0][9] == 2 and slow[0][9] == 9
+        results = []
+        for latency in (2, 9):
+            params = TimingParams(fpu_latency=latency)
+            source = "\n".join(["fmadd.d fa0, fa1, fa2, fa0"] * 6)
+            cluster = SnitchCluster(params)
+            prog = assemble(source)
+            cluster.load_programs([prog])
+            native_cycles = cluster.run().cycles
+            cluster = SnitchCluster(params)
+            cluster.load_programs([prog])  # SAME Program object, new params
+            with native.forced_python():
+                python_cycles = cluster.run().cycles
+            assert native_cycles == python_cycles
+            results.append(native_cycles)
+        assert results[1] > results[0]  # the RAW chain feels the latency
+
+    def test_registers_and_memory_after_native_run(self):
+        # The canonical seed test path, now through the native engine.
+        cluster = SnitchCluster()
+        program = assemble("""
+            li   t0, 21
+            li   t1, 2
+            mul  t2, t0, t1
+            sw   t2, 0(a1)
+        """)
+        cluster.load_programs([program])
+        cluster.cores[0].set_reg("a1", cluster.tcdm.base)
+        cluster.run()
+        assert cluster.tcdm.read_i32(cluster.tcdm.base) == 42
+        assert cluster.cores[0].int_regs.read(7) == 42
