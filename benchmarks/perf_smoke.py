@@ -18,6 +18,11 @@ Two checks, from robust to advisory:
    hardware; check 1 is the authoritative guard, this one catches
    order-of-magnitude rot on comparable machines.
 
+The same floor is applied to the ``scaleout`` leg's simulated
+cluster-cycles-per-second (the direct 2-cluster simulation of
+``repro.scaleout.sim``), so multi-cluster throughput is guarded alongside
+the single-cluster sweep.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py [--baseline BENCH_simspeed.json]
@@ -92,6 +97,22 @@ def main(argv=None) -> int:
     print(f"perf-smoke: fresh {fresh:,.0f} cycles/s vs committed "
           f"{committed:,.0f} cycles/s (floor {floor:,.0f}, "
           f"tolerance {args.tolerance:.0%})")
+
+    # Multi-cluster throughput: the quick report carries a warm direct
+    # 2-cluster scaleout leg; hold it to the same relative floor.
+    committed_scaleout = baseline.get("scaleout", {}).get(
+        "cluster_cycles_per_second")
+    fresh_scaleout = report.get("scaleout", {}).get(
+        "cluster_cycles_per_second")
+    if committed_scaleout and fresh_scaleout:
+        scaleout_floor = float(committed_scaleout) * (1.0 - args.tolerance)
+        if fresh_scaleout < scaleout_floor and not skip_floor:
+            failures.append(
+                f"scaleout {fresh_scaleout:,.0f} cluster-cycles/s below "
+                f"floor {scaleout_floor:,.0f}")
+        print(f"perf-smoke: scaleout {fresh_scaleout:,.0f} cluster-cycles/s "
+              f"vs committed {committed_scaleout:,.0f} "
+              f"(floor {scaleout_floor:,.0f})")
     print(f"  engine: {report.get('engine')}  cold "
           f"{report['cold_wall_seconds']:.2f} s, best "
           f"{report['best_wall_seconds']:.2f} s")

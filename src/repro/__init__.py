@@ -11,13 +11,16 @@ The package provides:
   baseline/SARIS code generators;
 * :mod:`repro.machine` — frozen, hashable machine configurations with named
   presets (``snitch-8`` default, ``snitch-4``, ``snitch-16``,
-  ``snitch-8-wide``);
+  ``snitch-8-wide``, and the multi-cluster ``manticore-2``/``-8``/``-32``
+  topologies);
 * :mod:`repro.runner` — a one-call API to compile, simulate and verify a
   kernel variant on any machine;
 * :mod:`repro.experiment` — the fluent experiment API: declarative
   kernels x variants x machines sweeps returning a :class:`ResultSet`;
 * :mod:`repro.energy` — the activity-based cluster power/energy model;
-* :mod:`repro.scaleout` — the Manticore-256s manycore performance model;
+* :mod:`repro.scaleout` — the Manticore manycore models: the paper's
+  analytical projection and the direct multi-cluster simulation
+  (shared-HBM contention, per-cluster engine runs);
 * :mod:`repro.analysis` — metric aggregation and table rendering used by the
   benchmark harness;
 * :mod:`repro.sweep` — the parallel sweep engine: declarative machine-aware

@@ -11,6 +11,7 @@ from repro.bench.simspeed import (
     run_benchmark,
     run_engine_comparison,
     run_machine_scaling,
+    run_scaleout_benchmark,
     run_suite_benchmark,
     run_sweep_timing,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "run_benchmark",
     "run_engine_comparison",
     "run_machine_scaling",
+    "run_scaleout_benchmark",
     "run_suite_benchmark",
     "run_sweep_timing",
 ]

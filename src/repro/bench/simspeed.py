@@ -19,9 +19,14 @@ trajectory to regress against.  Measurements taken:
   warm re-run served entirely from a fresh on-disk result store.  The serial
   and parallel metrics are verified bit-identical as part of the run, and
   the parallel leg records the honest ``parallel_effective`` flag.
+* ``scaleout`` — a warm 2-cluster direct scaleout simulation
+  (:mod:`repro.scaleout.sim`) of a representative kernel pair on
+  ``manticore-2``, recording simulated **cluster**-cycles per second so the
+  multi-cluster path has its own throughput trajectory.
 
-``--quick`` runs only the ``table1_sweep`` repetitions (cold + warm), which
-is what the CI perf-smoke job compares against the committed baseline.
+``--quick`` runs the ``table1_sweep`` repetitions (cold + warm) plus the
+small ``scaleout`` leg, which is what the CI perf-smoke job compares
+against the committed baseline.
 
 Usage::
 
@@ -64,6 +69,10 @@ MACHINE_SCALING_KERNELS = ("ac_iso_cd", "jacobi_2d")
 
 #: Machine presets measured by the scaling leg.
 MACHINE_SCALING_PRESETS = ("snitch-4", "snitch-8", "snitch-16")
+
+#: Kernel pair and topology of the direct-scaleout throughput leg.
+SCALEOUT_KERNELS = ("jacobi_2d", "j3d27pt")
+SCALEOUT_MACHINE = "manticore-2"
 
 
 def run_sweep_timing() -> Dict[str, object]:
@@ -217,17 +226,52 @@ def run_machine_scaling() -> Dict[str, object]:
     return out
 
 
+def run_scaleout_benchmark() -> Dict[str, object]:
+    """Warm direct-scaleout throughput on the CI-sized 2-cluster topology.
+
+    Times :func:`repro.scaleout.sim.direct_scaleout_table` for a
+    representative kernel pair (both paper variants, one cluster simulation
+    per cluster of the topology, shared-HBM timeline assembly included) and
+    records simulated *cluster*-cycles per second — the figure
+    ``benchmarks/perf_smoke.py`` guards so multi-cluster throughput cannot
+    silently rot.  A first untimed pass warms codegen and decode caches.
+    """
+    from repro.machine import get_machine
+    from repro.scaleout.sim import direct_scaleout_table
+
+    machine = get_machine(SCALEOUT_MACHINE)
+    direct_scaleout_table(SCALEOUT_KERNELS, machine=machine)  # warm-up
+    start = time.perf_counter()
+    table = direct_scaleout_table(SCALEOUT_KERNELS, machine=machine)
+    wall = time.perf_counter() - start
+    cluster_cycles = sum(tile.cycles
+                         for entry in table.values()
+                         for side in ("base", "saris")
+                         for tile in entry[side].tile_results)
+    return {
+        "machine": SCALEOUT_MACHINE,
+        "clusters": machine.num_clusters,
+        "kernels": list(SCALEOUT_KERNELS),
+        "wall_seconds": round(wall, 4),
+        "simulated_cluster_cycles": cluster_cycles,
+        "cluster_cycles_per_second": round(cluster_cycles / wall, 1)
+        if wall else 0.0,
+    }
+
+
 def run_benchmark(repetitions: int = 2,
                   output: Optional[str] = "BENCH_simspeed.json",
                   suite_workers: Optional[int] = DEFAULT_SUITE_WORKERS,
                   include_suite: bool = True,
                   include_engines: bool = True,
                   include_machines: bool = True,
+                  include_scaleout: bool = True,
                   quick: bool = False) -> Dict[str, object]:
     """Time ``repetitions`` sweeps (and the engine suite); write the report.
 
-    ``quick`` limits the run to the Table-1 sweep repetitions (the CI
-    perf-smoke payload) and marks the report accordingly.
+    ``quick`` limits the run to the Table-1 sweep repetitions plus the small
+    direct-scaleout leg (the CI perf-smoke payload) and marks the report
+    accordingly.
     """
     if repetitions < 1:
         raise ValueError("repetitions must be >= 1")
@@ -264,6 +308,8 @@ def run_benchmark(repetitions: int = 2,
         report["machines"] = run_machine_scaling()
     if include_suite:
         report["suite"] = run_suite_benchmark(workers=suite_workers)
+    if include_scaleout:
+        report["scaleout"] = run_scaleout_benchmark()
     if output:
         with open(output, "w") as fh:
             json.dump(report, fh, indent=1, sort_keys=True)
@@ -299,6 +345,13 @@ def print_report(report: Dict[str, object]) -> None:
                       if "wall_growth" in entry else "")
             print(f"  {preset}: {entry['wall_seconds']:.2f} s, "
                   f"{entry['cycles_per_second']:,.0f} cycles/s{growth}")
+    scaleout = report.get("scaleout")
+    if scaleout:
+        print(f"Direct scaleout ({scaleout['machine']}, "
+              f"{scaleout['clusters']} clusters, warm): "
+              f"{scaleout['wall_seconds']:.2f} s, "
+              f"{scaleout['cluster_cycles_per_second']:,.0f} "
+              f"cluster-cycles/s")
     suite = report.get("suite")
     if suite:
         print(f"Reproduce suite ({suite['jobs']} jobs, "

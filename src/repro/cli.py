@@ -77,12 +77,12 @@ def _cmd_list(args) -> int:
 
 
 def _print_machines() -> None:
-    rows = [[s["name"], s["cores"], s["lanes"], s["tcdm"], s["clock"],
-             s["peak"], s["overrides"], s["description"]]
+    rows = [[s["name"], s["cores"], s["lanes"], s["clusters"], s["tcdm"],
+             s["clock"], s["peak"], s["overrides"], s["description"]]
             for s in (spec.summary() for spec in MACHINES.values())]
     print(format_table(
-        ["machine", "cores", "lanes", "TCDM", "clock", "peak", "overrides",
-         "description"],
+        ["machine", "cores", "lanes", "clusters", "TCDM", "clock", "peak",
+         "overrides", "description"],
         rows, title="Registered machine presets"))
 
 
@@ -96,8 +96,11 @@ def _machine_json(spec) -> dict:
             "tcdm_size": spec.tcdm_size,
             "tcdm_bank_width": spec.tcdm_bank_width,
             "clock_ghz": spec.clock_ghz,
+            "groups": spec.groups,
+            "clusters_per_group": spec.clusters_per_group,
+            "hbm_device_gbs": spec.hbm_device_gbs,
             "timing_overrides": dict(spec.timing_overrides),
-            "peak_gflops": spec.peak_cluster_gflops,
+            "peak_gflops": spec.peak_system_gflops,
             "description": spec.description}
 
 
@@ -160,11 +163,88 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+#: ``repro scaleout --config`` keys (and their aliases) -> topology fields.
+_CONFIG_KEYS = {
+    "groups": "groups",
+    "clusters": "clusters_per_group",
+    "clusters_per_group": "clusters_per_group",
+    "hbm": "hbm_device_gbs",
+    "hbm_device_gbs": "hbm_device_gbs",
+}
+
+
+def _parse_config(items) -> dict:
+    """Parse repeated ``--config KEY=VALUE`` topology overrides."""
+    overrides = {}
+    for item in items or ():
+        key, sep, value = item.partition("=")
+        field = _CONFIG_KEYS.get(key.strip())
+        if not sep or field is None:
+            choices = "/".join(sorted(set(_CONFIG_KEYS)))
+            raise ValueError(
+                f"--config expects KEY=VALUE with KEY one of {choices}, "
+                f"got {item!r}")
+        try:
+            overrides[field] = (float(value) if field == "hbm_device_gbs"
+                                else int(value))
+        except ValueError:
+            raise ValueError(f"--config {key}: invalid value {value!r}") from None
+    return overrides
+
+
+def _scaleout_machine(args, default_name: str):
+    """Topology the scaleout command targets: preset + ``--config`` overrides."""
+    machine = resolve_machine(args.machine or default_name)
+    overrides = _parse_config(args.config)
+    if overrides:
+        machine = machine.with_topology(**overrides)
+    return machine
+
+
 def _cmd_scaleout(args) -> int:
     kernel = get_kernel(args.kernel)
-    cmp = compare_variants(kernel, seed=args.seed)
-    pair = estimate_scaleout_pair(kernel, cmp.base, cmp.saris)
+    try:
+        if args.direct:
+            return _scaleout_direct(args, kernel)
+        return _scaleout_analytical(args, kernel)
+    except ValueError as exc:
+        print(f"scaleout: {exc}", file=sys.stderr)
+        return 2
+
+
+def _scaleout_analytical(args, kernel) -> int:
+    from repro.scaleout import ManticoreConfig
+
+    machine = _scaleout_machine(args, "manticore-32")
+    if machine.is_multi_cluster:
+        config = ManticoreConfig.from_machine(machine)
+    else:
+        # A single-cluster preset projects onto the stock 8x4 Manticore
+        # topology built from clusters of that shape (an explicit
+        # ``--config hbm=`` override still applies).
+        config = ManticoreConfig(cores_per_cluster=machine.num_cores,
+                                 clock_ghz=machine.clock_ghz,
+                                 hbm_device_gbs=machine.hbm_device_gbs)
+    cmp = compare_variants(kernel, seed=args.seed, machine=machine.cluster_spec())
+    pair = estimate_scaleout_pair(kernel, cmp.base, cmp.saris, config=config)
     saris = pair["saris"]
+    if args.json:
+        _print_json({
+            "kernel": kernel.name,
+            "machine": machine.name,
+            "model": "analytical",
+            "groups": config.num_groups,
+            "clusters_per_group": config.clusters_per_group,
+            "hbm_device_gbs": config.hbm_device_gbs,
+            "memory_bound": pair["memory_bound"],
+            "cmtr": pair["cmtr"],
+            "fpu_util": saris.fpu_util,
+            "base_fpu_util": pair["base"].fpu_util,
+            "speedup": pair["speedup"],
+            "gflops": saris.gflops,
+            "fraction_of_peak": saris.fraction_of_peak,
+        })
+        return 0
     rows = [
         ["regime", "memory-bound" if pair["memory_bound"] else "compute-bound"],
         ["compute-to-memory time ratio", f"{pair['cmtr']:.2f}"],
@@ -173,8 +253,62 @@ def _cmd_scaleout(args) -> int:
         ["saris throughput [GFLOP/s]", f"{saris.gflops:.0f}"],
         ["fraction of peak", f"{saris.fraction_of_peak:.2f}"],
     ]
-    print(format_table(["metric", "value"], rows,
-                       title=f"{kernel.name} on Manticore-256s"))
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"{kernel.name} on {machine.name} "
+              f"({config.num_groups}x{config.clusters_per_group} clusters, "
+              f"analytical)"))
+    return 0
+
+
+def _scaleout_direct(args, kernel) -> int:
+    from repro.scaleout import direct_scaleout_pair
+    from repro.scaleout.sim import DEFAULT_TILES_PER_CLUSTER
+
+    if args.tiles is not None and args.tiles < 1:
+        raise ValueError("--tiles must be >= 1")
+    machine = _scaleout_machine(args, "manticore-2")
+    pair = direct_scaleout_pair(kernel, machine=machine,
+                                tiles_per_cluster=(DEFAULT_TILES_PER_CLUSTER
+                                                   if args.tiles is None
+                                                   else args.tiles),
+                                seed=args.seed, workers=args.workers)
+    saris = pair["saris"]
+    analytical = pair["analytical"]
+    if args.json:
+        payload = saris.to_json_dict()
+        payload.update({
+            "model": "direct",
+            "base": pair["base"].to_json_dict(),
+            "speedup": pair["speedup"],
+            "analytical": {
+                "fpu_util": analytical["saris"].fpu_util,
+                "speedup": analytical["speedup"],
+                "cmtr": analytical["cmtr"],
+                "memory_bound": analytical["memory_bound"],
+            },
+            "speedup_delta": pair["speedup_delta"],
+            "fpu_util_delta": pair["fpu_util_delta"],
+        })
+        _print_json(payload)
+        return 0
+    rows = [
+        ["regime", "memory-bound" if pair["memory_bound"] else "compute-bound"],
+        ["tiles per cluster", saris.tiles_per_cluster],
+        ["HBM arbitration", f"{saris.granularity}-granular"],
+        ["compute-to-memory time ratio", f"{pair['cmtr']:.2f}"],
+        ["saris FPU utilization", f"{saris.fpu_util:.2f}"],
+        ["saris speedup over base", f"{pair['speedup']:.2f}"],
+        ["saris throughput [GFLOP/s]", f"{saris.gflops:.1f}"],
+        ["fraction of peak", f"{saris.fraction_of_peak:.2f}"],
+        ["analytical speedup (cross-check)", f"{analytical['speedup']:.2f}"],
+        ["speedup delta vs analytical", f"{pair['speedup_delta']:+.1%}"],
+    ]
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"{kernel.name} on {machine.name} "
+              f"({machine.groups}x{machine.clusters_per_group} clusters, "
+              f"direct simulation)"))
     return 0
 
 
@@ -257,9 +391,30 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(cmp_p)
     cmp_p.set_defaults(func=_cmd_compare)
 
-    scale_p = sub.add_parser("scaleout", help="project a kernel to Manticore-256s")
+    scale_p = sub.add_parser(
+        "scaleout",
+        help="scale a kernel out to a Manticore topology (analytical "
+             "projection, or --direct multi-cluster simulation)")
     scale_p.add_argument("kernel", choices=sorted(kernel_names()))
     scale_p.add_argument("--seed", type=int, default=0)
+    scale_p.add_argument("--machine", choices=machine_names(), default=None,
+                         help="topology preset (default: manticore-32 "
+                              "analytical / manticore-2 direct)")
+    scale_p.add_argument("--config", action="append", metavar="KEY=VALUE",
+                         help="topology overrides: groups=N, clusters=N "
+                              "(clusters per group), hbm=GB/s; repeatable")
+    scale_p.add_argument("--direct", action="store_true",
+                         help="directly simulate the clusters through the "
+                              "shared-HBM model instead of projecting "
+                              "analytically")
+    scale_p.add_argument("--tiles", type=int, default=None,
+                         help="tiles per cluster for --direct (default: 4)")
+    scale_p.add_argument("--workers", type=int, default=None,
+                         help="worker processes for the --direct cluster "
+                              "fan-out (default: $REPRO_SWEEP_WORKERS or "
+                              "the CPU count)")
+    scale_p.add_argument("--json", action="store_true",
+                         help="print the metrics as JSON (for scripting)")
     scale_p.set_defaults(func=_cmd_scaleout)
 
     bench_p = sub.add_parser(

@@ -187,6 +187,56 @@ class ResultSet:
         fast = self.filter(variant=of).only().result.cycles
         return slow / fast if fast else 0.0
 
+    def scaleout(self, machine: Union[str, MachineSpec, None] = None,
+                 direct: bool = False, tiles_per_cluster: Optional[int] = None,
+                 workers: Optional[int] = None, cache: bool = True,
+                 cache_dir: Optional[str] = None) -> Dict[str, Dict[str, object]]:
+        """Scale this set's base/SARIS pairs out to a Manticore topology.
+
+        With ``direct=False`` (default) the *analytical* model projects each
+        kernel from the set's own single-cluster records (both paper
+        variants must be present per kernel).  With ``direct=True`` the
+        multi-cluster topology is *simulated* directly
+        (:func:`repro.scaleout.sim.direct_scaleout_table`: per-cluster
+        engine runs through the sweep engine + the shared-HBM contention
+        model), reusing the persistent result store; each returned entry
+        then carries the analytical estimate and per-kernel deltas as a
+        cross-check.  ``machine`` defaults to ``manticore-32`` (analytical)
+        / ``manticore-2`` (direct).  Returns ``{kernel: row}`` in record
+        order.
+        """
+        from repro.core.variants import paper_variants as _paper_variants
+        from repro.scaleout import (ManticoreConfig, direct_scaleout_table,
+                                    estimate_scaleout_pair)
+        from repro.scaleout.sim import DEFAULT_TILES_PER_CLUSTER
+
+        kernels = list(dict.fromkeys(self.pluck("kernel")))
+        if not kernels:
+            raise ExperimentError("scaleout needs at least one record")
+        if direct:
+            machine_spec = resolve_machine(machine or "manticore-2")
+            store = ResultStore(cache_dir) if cache else None
+            return direct_scaleout_table(
+                kernels, machine=machine_spec,
+                tiles_per_cluster=tiles_per_cluster or DEFAULT_TILES_PER_CLUSTER,
+                workers=workers, store=store)
+        machine_spec = resolve_machine(machine or "manticore-32")
+        config = (ManticoreConfig.from_machine(machine_spec)
+                  if machine_spec.is_multi_cluster
+                  else ManticoreConfig(
+                      cores_per_cluster=machine_spec.num_cores,
+                      clock_ghz=machine_spec.clock_ghz,
+                      hbm_device_gbs=machine_spec.hbm_device_gbs))
+        base_variant, saris_variant = _paper_variants()
+        table: Dict[str, Dict[str, object]] = {}
+        for kernel in kernels:
+            group = self.filter(kernel=kernel)
+            base = group.filter(variant=base_variant).only().result
+            saris = group.filter(variant=saris_variant).only().result
+            table[kernel] = estimate_scaleout_pair(get_kernel(kernel), base,
+                                                   saris, config=config)
+        return table
+
     # -- presentation -------------------------------------------------------------
 
     def table(self, columns: Sequence[str] = TABLE_COLUMNS,

@@ -18,7 +18,8 @@ interleaving).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+import math
+from dataclasses import dataclass, fields, replace
 from typing import Dict, Optional, Tuple, Union
 
 from repro.core.parallel import resolve_interleave
@@ -55,12 +56,32 @@ class MachineSpec:
     clock_ghz: float = 1.0
     timing_overrides: Tuple[Tuple[str, object], ...] = ()
     description: str = ""
+    #: Multi-cluster topology (Manticore-style): ``groups`` HBM groups of
+    #: ``clusters_per_group`` identical clusters, each group sharing one HBM
+    #: device of ``hbm_device_gbs`` GB/s.  The defaults describe a plain
+    #: single-cluster machine, whose simulation outcome the topology cannot
+    #: affect — which is why :meth:`spec_dict` only hashes the topology for
+    #: multi-cluster specs.  ``math.inf`` bandwidth means an unconstrained
+    #: memory system (every cluster DMA runs at its own port speed).
+    groups: int = 1
+    clusters_per_group: int = 1
+    hbm_device_gbs: float = 51.2
 
     def __post_init__(self) -> None:
         if self.num_cores != self.x_interleave * self.y_interleave:
             raise ValueError(
                 f"machine {self.name!r}: {self.num_cores} cores cannot be "
                 f"arranged as {self.x_interleave}x{self.y_interleave} lanes")
+        if self.groups < 1 or self.clusters_per_group < 1:
+            raise ValueError(
+                f"machine {self.name!r}: topology must have at least one "
+                f"group of one cluster, got {self.groups}x"
+                f"{self.clusters_per_group}")
+        if not (self.hbm_device_gbs > 0):  # rejects NaN and <= 0, allows inf
+            raise ValueError(
+                f"machine {self.name!r}: hbm_device_gbs must be positive "
+                f"(math.inf for an unconstrained memory system), got "
+                f"{self.hbm_device_gbs!r}")
         for field_name, _value in self.timing_overrides:
             if field_name not in _TIMING_FIELDS:
                 raise ValueError(
@@ -77,7 +98,9 @@ class MachineSpec:
                y_interleave: Optional[int] = None,
                tcdm_banks: int = 32, tcdm_size: int = 128 * 1024,
                tcdm_bank_width: int = 8, clock_ghz: float = 1.0,
-               description: str = "", **timing_overrides) -> "MachineSpec":
+               description: str = "", groups: int = 1,
+               clusters_per_group: int = 1, hbm_device_gbs: float = 51.2,
+               **timing_overrides) -> "MachineSpec":
         """Build a spec, deriving the lane arrangement when not given."""
         x_interleave, y_interleave = resolve_interleave(num_cores, x_interleave,
                                                         y_interleave)
@@ -85,7 +108,55 @@ class MachineSpec:
                    y_interleave=y_interleave, tcdm_banks=tcdm_banks,
                    tcdm_size=tcdm_size, tcdm_bank_width=tcdm_bank_width,
                    clock_ghz=clock_ghz, description=description,
+                   groups=int(groups),
+                   clusters_per_group=int(clusters_per_group),
+                   hbm_device_gbs=float(hbm_device_gbs),
                    timing_overrides=tuple(sorted(timing_overrides.items())))
+
+    # -- multi-cluster topology ---------------------------------------------------
+
+    @property
+    def num_clusters(self) -> int:
+        """Total number of compute clusters in the topology."""
+        return self.groups * self.clusters_per_group
+
+    @property
+    def is_multi_cluster(self) -> bool:
+        """Whether this spec describes more than one cluster."""
+        return self.num_clusters > 1
+
+    @property
+    def total_cores(self) -> int:
+        """Worker cores across the whole topology."""
+        return self.num_clusters * self.num_cores
+
+    def cluster_spec(self) -> "MachineSpec":
+        """The single-cluster configuration of one of this machine's clusters.
+
+        This is the machine the per-cluster simulations of the direct
+        scaleout engine run on; for the stock cluster shape it canonicalizes
+        to the paper machine, so tile simulations share result-store entries
+        with ordinary single-cluster jobs.
+        """
+        if not self.is_multi_cluster:
+            return self
+        return replace(self, name=f"{self.name}-cluster", groups=1,
+                       clusters_per_group=1,
+                       description=f"one cluster of {self.name}")
+
+    def with_topology(self, groups: Optional[int] = None,
+                      clusters_per_group: Optional[int] = None,
+                      hbm_device_gbs: Optional[float] = None) -> "MachineSpec":
+        """A copy of this spec with selected topology fields replaced."""
+        return replace(
+            self,
+            groups=int(groups) if groups is not None else self.groups,
+            clusters_per_group=(int(clusters_per_group)
+                                if clusters_per_group is not None
+                                else self.clusters_per_group),
+            hbm_device_gbs=(float(hbm_device_gbs)
+                            if hbm_device_gbs is not None
+                            else self.hbm_device_gbs))
 
     def timing_params(self) -> TimingParams:
         """The :class:`TimingParams` this machine simulates with."""
@@ -105,8 +176,14 @@ class MachineSpec:
         while a renamed clone of an existing configuration still shares its
         cache entries (the store puts the name in the entry *filename* for
         browsability, never in the key).
+
+        The multi-cluster topology is hashed only when it actually describes
+        more than one cluster: a single-cluster simulation's outcome cannot
+        depend on ``groups`` / ``clusters_per_group`` / ``hbm_device_gbs``,
+        and hashing them unconditionally would invalidate every result
+        cached before the topology fields existed.
         """
-        return {
+        spec = {
             "num_cores": self.num_cores,
             "x_interleave": self.x_interleave,
             "y_interleave": self.y_interleave,
@@ -117,21 +194,41 @@ class MachineSpec:
             "timing_overrides": {name: repr(value)
                                  for name, value in self.timing_overrides},
         }
+        if self.is_multi_cluster:
+            spec["topology"] = {
+                "groups": self.groups,
+                "clusters_per_group": self.clusters_per_group,
+                "hbm_device_gbs": repr(self.hbm_device_gbs),
+            }
+        return spec
 
     @property
     def peak_cluster_gflops(self) -> float:
-        """Peak GFLOP/s of this configuration at its clock."""
+        """Peak GFLOP/s of one cluster of this configuration at its clock."""
         return self.timing_params().peak_cluster_gflops
+
+    @property
+    def peak_system_gflops(self) -> float:
+        """Peak GFLOP/s of the whole topology (all clusters)."""
+        return self.peak_cluster_gflops * self.num_clusters
 
     def summary(self) -> Dict[str, object]:
         """Human-oriented row for listings (``repro machines``)."""
+        if self.is_multi_cluster:
+            hbm = ("inf" if math.isinf(self.hbm_device_gbs)
+                   else f"{self.hbm_device_gbs:g}")
+            clusters = (f"{self.groups}x{self.clusters_per_group} "
+                        f"@ {hbm} GB/s")
+        else:
+            clusters = "1"
         return {
             "name": self.name,
             "cores": self.num_cores,
             "lanes": f"{self.x_interleave}x{self.y_interleave}",
+            "clusters": clusters,
             "tcdm": f"{self.tcdm_size // 1024} KiB / {self.tcdm_banks} banks",
             "clock": f"{self.clock_ghz:g} GHz",
-            "peak": f"{self.peak_cluster_gflops:g} GFLOP/s",
+            "peak": f"{self.peak_system_gflops:g} GFLOP/s",
             "overrides": ", ".join(f"{k}={v!r}"
                                    for k, v in self.timing_overrides) or "-",
             "description": self.description,
@@ -205,3 +302,20 @@ register_machine(MachineSpec.create(
 register_machine(MachineSpec.create(
     "snitch-8-wide", tcdm_banks=64, tcdm_size=256 * 1024,
     description="8 cores on a wide TCDM: 256 KiB in 64 banks"))
+
+# Manticore-style multi-cluster topologies: groups of paper clusters, each
+# group sharing one HBM2E device (3.2 Gb/s/pin x 128 pins = 51.2 GB/s).
+# These drive the direct scaleout simulation (repro.scaleout.sim); per-tile
+# compute still simulates on the single-cluster `cluster_spec()`.
+
+register_machine(MachineSpec.create(
+    "manticore-2", groups=1, clusters_per_group=2,
+    description="two paper clusters sharing one HBM device (CI-sized)"))
+
+register_machine(MachineSpec.create(
+    "manticore-8", groups=2, clusters_per_group=4,
+    description="quarter Manticore: 2 groups of 4 clusters (64 cores)"))
+
+register_machine(MachineSpec.create(
+    "manticore-32", groups=8, clusters_per_group=4,
+    description="the paper's Manticore-256s: 8 groups of 4 clusters"))

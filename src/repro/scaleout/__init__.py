@@ -1,4 +1,13 @@
-"""Manticore-256s manycore scaleout model (Section 3.3 and Table 2)."""
+"""Manticore manycore scaleout (Section 3.3 and Table 2).
+
+Two complementary models live here:
+
+* :mod:`repro.scaleout.manticore` — the paper's *analytical* projection from
+  one cluster's measurements;
+* :mod:`repro.scaleout.sim` — the *direct* multi-cluster simulation (real
+  cluster engines per cluster, shared-HBM contention model), with the
+  analytical estimate demoted to a cross-check.
+"""
 
 from repro.scaleout.manticore import (
     ManticoreConfig,
@@ -13,6 +22,13 @@ from repro.scaleout.related_work import (
     best_gpu_fraction,
     peak_fraction_table,
 )
+from repro.scaleout.sim import (
+    ANALYTICAL_TOLERANCE,
+    DirectScaleoutResult,
+    direct_scaleout_pair,
+    direct_scaleout_table,
+    simulate_scaleout,
+)
 
 __all__ = [
     "ManticoreConfig",
@@ -24,4 +40,9 @@ __all__ = [
     "RELATED_WORK",
     "best_gpu_fraction",
     "peak_fraction_table",
+    "ANALYTICAL_TOLERANCE",
+    "DirectScaleoutResult",
+    "direct_scaleout_pair",
+    "direct_scaleout_table",
+    "simulate_scaleout",
 ]

@@ -39,6 +39,20 @@ class ManticoreConfig:
     #: peak FLOP/cycle per core (one FP64 FMA per cycle).
     flops_per_core_per_cycle: float = 2.0
 
+    @classmethod
+    def from_machine(cls, machine) -> "ManticoreConfig":
+        """Analytical config matching a multi-cluster :class:`MachineSpec`.
+
+        Lets the analytical estimate and the direct simulation
+        (:mod:`repro.scaleout.sim`) describe the *same* machine, so their
+        per-kernel deltas are apples-to-apples.
+        """
+        return cls(num_groups=machine.groups,
+                   clusters_per_group=machine.clusters_per_group,
+                   cores_per_cluster=machine.num_cores,
+                   clock_ghz=machine.clock_ghz,
+                   hbm_device_gbs=machine.hbm_device_gbs)
+
     @property
     def num_clusters(self) -> int:
         """Total number of compute clusters."""

@@ -1,0 +1,196 @@
+"""Shared-HBM memory system for multi-cluster (Manticore-style) simulation.
+
+One Manticore compute group attaches its clusters to a single HBM device;
+cluster DMA transfers therefore contend for the device's bandwidth.  This
+module models that contention with **epoch-granular processor sharing**:
+
+* Time advances in variable-length *epochs* delimited by request arrivals
+  and completions (an event-driven schedule, not a per-cycle tick — the
+  per-cycle behaviour inside an epoch is uniform by construction, so
+  nothing finer-grained is observable).
+* Within an epoch, each group's device bandwidth is split **equally among
+  the group's active requests** (round-robin arbitration at the request
+  level averages out to exactly this fair share over the thousands of beats
+  a tile transfer takes).
+* A request can never exceed its own cluster's DMA port speed
+  (``dma_bus_bytes`` per cycle), and its achieved rate is further scaled by
+  the transfer's *efficiency* — the fraction of peak the cluster DMA engine
+  reaches on that transfer shape (row/transfer setup overheads, short rows;
+  see :meth:`repro.snitch.dma.DmaEngine.transfer_utilization`).
+
+With an **unconstrained** device (``bytes_per_cycle=math.inf``) every
+request runs at ``port_rate * efficiency``, which by construction equals the
+single-cluster :class:`~repro.snitch.dma.DmaEngine` timing — that is what
+makes the one-cluster direct scaleout simulation reduce exactly to the
+single-cluster model.
+
+The model is deterministic: identical request streams produce bit-identical
+schedules regardless of how the inputs were computed (serially or by a
+worker pool), which the scaleout tests assert.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class HbmError(ValueError):
+    """Raised for malformed requests or out-of-order submissions."""
+
+
+@dataclass
+class HbmRequest:
+    """One cluster DMA transfer as seen by the shared memory system.
+
+    ``efficiency`` is the fraction of the cluster's DMA port peak this
+    transfer achieves in isolation; ``start_cycle`` / ``finish_cycle`` are
+    filled in by the model.
+    """
+
+    cluster: int
+    group: int
+    payload_bytes: int
+    efficiency: float
+    label: str = ""
+    start_cycle: float = 0.0
+    finish_cycle: float = 0.0
+    #: Remaining payload still to be serviced (model-internal).
+    remaining_bytes: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes <= 0:
+            raise HbmError(f"request {self.label!r}: payload must be positive")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise HbmError(
+                f"request {self.label!r}: efficiency must be in (0, 1], got "
+                f"{self.efficiency!r}")
+
+    @property
+    def service_cycles(self) -> float:
+        """Cycles the request spent in service (valid once finished)."""
+        return self.finish_cycle - self.start_cycle
+
+
+class SharedHbm:
+    """Epoch-granular processor-sharing arbiter for group-shared HBM devices.
+
+    Usage: :meth:`submit` requests at monotonically non-decreasing times,
+    :meth:`advance` the clock (drains in-flight work), and ask
+    :meth:`next_completion` when the earliest in-flight request will finish
+    under the *current* active set.  The driving event loop lives in
+    :mod:`repro.scaleout.sim`.
+    """
+
+    def __init__(self, num_groups: int, device_bytes_per_cycle: float,
+                 port_bytes_per_cycle: float) -> None:
+        if num_groups < 1:
+            raise HbmError("need at least one group")
+        if not (device_bytes_per_cycle > 0):
+            raise HbmError("device bandwidth must be positive (inf allowed)")
+        if not (port_bytes_per_cycle > 0) or math.isinf(port_bytes_per_cycle):
+            raise HbmError("cluster port bandwidth must be positive and finite")
+        self.num_groups = num_groups
+        self.device_bytes_per_cycle = float(device_bytes_per_cycle)
+        self.port_bytes_per_cycle = float(port_bytes_per_cycle)
+        self.now = 0.0
+        #: Active requests per group, in submission order (deterministic).
+        self._active: List[List[HbmRequest]] = [[] for _ in range(num_groups)]
+        # statistics
+        self.bytes_moved = 0
+        self.requests_completed = 0
+        #: Per-group busy time (at least one request in service).
+        self.busy_cycles: List[float] = [0.0] * num_groups
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(self, request: HbmRequest, time: float) -> None:
+        """Enter ``request`` into service at ``time`` (>= the model clock)."""
+        if time < self.now - 1e-9:
+            raise HbmError(
+                f"request {request.label!r} submitted at {time} but the "
+                f"model clock is already at {self.now}")
+        if not 0 <= request.group < self.num_groups:
+            raise HbmError(f"request {request.label!r}: group {request.group} "
+                           f"out of range")
+        self.advance(time)
+        request.start_cycle = self.now
+        request.remaining_bytes = float(request.payload_bytes)
+        self._active[request.group].append(request)
+
+    # -- rates and events ---------------------------------------------------------
+
+    def _rate(self, group: int, request: HbmRequest) -> float:
+        """Bytes per cycle ``request`` is serviced at, under the current set."""
+        share = self.device_bytes_per_cycle / len(self._active[group])
+        return min(share, self.port_bytes_per_cycle) * request.efficiency
+
+    def next_completion(self) -> Optional[float]:
+        """Earliest finish time over all in-flight requests, or ``None``.
+
+        Valid under the *current* active set; any submission or completion
+        changes the shares, so the event loop re-queries after every event.
+        """
+        best: Optional[float] = None
+        for group, active in enumerate(self._active):
+            for request in active:
+                finish = self.now + request.remaining_bytes / self._rate(
+                    group, request)
+                if best is None or finish < best:
+                    best = finish
+        return best
+
+    def advance(self, until: float) -> List[HbmRequest]:
+        """Advance the clock to ``until``, draining in-flight work.
+
+        Returns the requests that completed, in deterministic
+        ``(finish, group, submission order)`` order.  ``until`` must not lie
+        beyond the next completion *event* unless the caller knows no
+        completion happens earlier (the event loop guarantees this by
+        stepping to ``min(next_completion, next_arrival)``).
+        """
+        completed: List[HbmRequest] = []
+        while until > self.now + 1e-12:
+            event = self.next_completion()
+            step_to = until if event is None or event > until else event
+            dt = step_to - self.now
+            for group, active in enumerate(self._active):
+                if not active:
+                    continue
+                self.busy_cycles[group] += dt
+                finished = []
+                for request in active:
+                    request.remaining_bytes -= dt * self._rate(group, request)
+                    if request.remaining_bytes <= 1e-9:
+                        finished.append(request)
+                for request in finished:
+                    request.remaining_bytes = 0.0
+                    request.finish_cycle = step_to
+                    active.remove(request)
+                    self.bytes_moved += request.payload_bytes
+                    self.requests_completed += 1
+                    completed.append(request)
+            self.now = step_to
+        if until > self.now:
+            self.now = until
+        return completed
+
+    @property
+    def in_flight(self) -> int:
+        """Number of requests currently in service."""
+        return sum(len(active) for active in self._active)
+
+    def stats(self) -> Dict[str, object]:
+        """Summary statistics for reports."""
+        busy = max(self.busy_cycles) if self.busy_cycles else 0.0
+        peak = self.device_bytes_per_cycle
+        utilization = 0.0
+        if busy > 0 and not math.isinf(peak):
+            utilization = self.bytes_moved / (sum(self.busy_cycles) * peak)
+        return {
+            "bytes_moved": self.bytes_moved,
+            "requests_completed": self.requests_completed,
+            "busy_cycles": round(busy, 3),
+            "utilization": round(utilization, 4),
+        }

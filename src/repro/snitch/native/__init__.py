@@ -22,9 +22,13 @@ Architecture
   mask per cycle.
 * **Eligibility prescan**: a program/cluster combination that the C core
   cannot reproduce exactly (unsupported instruction, icache capacity
-  pressure requiring LRU evictions, pending DMA work, in-flight stream or
-  offload-queue state) falls back to the Python engine, which remains the
-  reference implementation.
+  pressure requiring LRU evictions, in-flight stream or offload-queue
+  state, a DMA transfer whose rows do not resolve into TCDM/main memory)
+  falls back to the Python engine, which remains the reference
+  implementation.  Queued/in-flight DMA work itself is natively supported
+  since ABI 2: ``engine.c`` ports the ``DmaEngine`` countdown + bulk-copy
+  model, so double-buffered workloads — the steady state of multi-cluster
+  runs — keep the fold.
 
 Set ``REPRO_ENGINE=python`` to force the Python engine.
 """
@@ -53,7 +57,7 @@ _SOURCE_PATH = Path(__file__).resolve().parent / "engine.c"
 _CFLAGS = ("-O2", "-fPIC", "-shared", "-fno-fast-math", "-ffp-contract=off",
            "-fwrapv")
 
-_ABI_VERSION = 1
+_ABI_VERSION = 2
 
 # error codes (keep in sync with engine.c)
 _ERR_MAX_CYCLES = 1
@@ -222,7 +226,8 @@ def _load_engine():
                 or lib.nat_sizeof_mover() != ffi.sizeof("NatMover")
                 or lib.nat_sizeof_qitem() != ffi.sizeof("NatQItem")
                 or lib.nat_sizeof_core() != ffi.sizeof("NatCore")
-                or lib.nat_sizeof_cluster() != ffi.sizeof("NatCluster")):
+                or lib.nat_sizeof_cluster() != ffi.sizeof("NatCluster")
+                or lib.nat_sizeof_dma() != ffi.sizeof("NatDmaTransfer")):
             _DISABLED_REASON = "ABI mismatch between engine.c and cdef"
             _ENGINE = (None, None)
             return _ENGINE
@@ -457,6 +462,42 @@ def _decode_ssr(row, m, imm, imm2, num_streams, params) -> bool:
 # Cluster eligibility + state bridging
 # ---------------------------------------------------------------------------
 
+def _dma_eligible(cluster) -> bool:
+    """Whether the cluster's DMA state is reproducible by the C engine.
+
+    Queued or in-flight DMA work is natively supported since ABI 2 (the
+    countdown + bulk-copy model is ported); what the C side cannot reproduce
+    is a non-standard region list or a transfer whose rows do not each
+    resolve into exactly one of TCDM / main memory (the Python engine raises
+    a ``DmaError`` mid-copy for those, so they fall back for the authentic
+    exception).
+    """
+    dma = cluster.dma
+    if not dma._queue and not dma._remaining_cycles:
+        return True
+    if dma.params is not cluster.params:
+        return False
+    regions = dma.regions
+    if (len(regions) != 2 or regions[0] is not cluster.tcdm
+            or regions[1] is not cluster.main_memory):
+        return False
+    if dma.params.dma_bus_bytes < 1:
+        return False
+    for transfer in dma._queue:
+        for plane in range(transfer.plane_reps):
+            for row in range(transfer.outer_reps):
+                src = (transfer.src + plane * transfer.src_plane_stride
+                       + row * transfer.src_stride)
+                dst = (transfer.dst + plane * transfer.dst_plane_stride
+                       + row * transfer.dst_stride)
+                for addr in (src, dst):
+                    if not (cluster.tcdm.contains(addr, transfer.inner_bytes)
+                            or cluster.main_memory.contains(
+                                addr, transfer.inner_bytes)):
+                        return False
+    return True
+
+
 def _cluster_eligible(cluster) -> bool:
     params = cluster.params
     cores = cluster.cores
@@ -472,8 +513,7 @@ def _cluster_eligible(cluster) -> bool:
         return False
     if params.icache_line_insts < 1:
         return False
-    dma = cluster.dma
-    if dma._queue or dma._remaining_cycles:
+    if not _dma_eligible(cluster):
         return False
     if not isinstance(cluster.tcdm._data, bytearray):
         return False
@@ -509,7 +549,6 @@ def execute(cluster, max_cycles: int, wait_for_dma: bool = True) -> Optional[int
     have left them; the caller still settles ``tcdm.cycles`` and
     ``cluster.cycle`` from the returned value (mirroring the Python path).
     """
-    del wait_for_dma  # DMA is guaranteed idle by the eligibility check
     if _FORCED_PYTHON:
         run_stats["fallback"] += 1
         return None
@@ -551,6 +590,48 @@ def execute(cluster, max_cycles: int, wait_for_dma: bool = True) -> Optional[int
     cl.tcdm = ffi.cast("uint8_t *", tcdm_buf)
     cl.cores = ccores
 
+    # Cluster DMA engine: ship the queued transfer descriptors and the busy
+    # countdown; the C loop runs the same countdown + bulk-copy model.
+    dma = cluster.dma
+    queued = list(dma._queue)
+    cl.wait_for_dma = int(bool(wait_for_dma))
+    cl.dma_bus_bytes = params.dma_bus_bytes
+    cl.dma_row_setup = params.dma_row_setup_cycles
+    cl.dma_transfer_setup = params.dma_transfer_setup_cycles
+    cl.dma_remaining = dma._remaining_cycles
+    cl.dma_bytes_moved = dma.bytes_moved
+    cl.dma_busy_cycles = dma.busy_cycles
+    cl.dma_completed = dma.transfers_completed
+    cl.dma_queue_len = len(queued)
+    cl.dma_queue_pos = 0
+    if queued:
+        dma_descs = ffi.new("NatDmaTransfer[]", len(queued))
+        for index, transfer in enumerate(queued):
+            desc = dma_descs[index]
+            desc.src = transfer.src
+            desc.dst = transfer.dst
+            desc.inner_bytes = transfer.inner_bytes
+            desc.outer_reps = transfer.outer_reps
+            desc.src_stride = transfer.src_stride
+            desc.dst_stride = transfer.dst_stride
+            desc.plane_reps = transfer.plane_reps
+            desc.src_plane_stride = transfer.src_plane_stride
+            desc.dst_plane_stride = transfer.dst_plane_stride
+        keep_alive.append(dma_descs)
+        cl.dma_queue = dma_descs
+        # Copies may target main memory: materialize the lazy backing store
+        # and share it with the C engine by reference.
+        main_buf = ffi.from_buffer(cluster.main_memory._data)
+        keep_alive.append(main_buf)
+        cl.main_mem = ffi.cast("uint8_t *", main_buf)
+        cl.main_base = cluster.main_memory.base
+        cl.main_size = cluster.main_memory.size
+    else:
+        cl.dma_queue = ffi.NULL
+        cl.main_mem = ffi.NULL
+        cl.main_base = 0
+        cl.main_size = 0
+
     cl.icache_hits = cluster.icache.hits
     cl.icache_misses = cluster.icache.misses
     cl.tcdm_total = cluster.tcdm.total_requests
@@ -586,6 +667,12 @@ def execute(cluster, max_cycles: int, wait_for_dma: bool = True) -> Optional[int
     cluster.tcdm.total_requests = cl.tcdm_total
     cluster.tcdm.granted_requests = cl.tcdm_granted
     cluster.tcdm.conflicts = cl.tcdm_conflicts
+    for _ in range(int(cl.dma_queue_pos)):
+        dma._queue.popleft()
+    dma._remaining_cycles = int(cl.dma_remaining)
+    dma.bytes_moved = int(cl.dma_bytes_moved)
+    dma.busy_cycles = int(cl.dma_busy_cycles)
+    dma.transfers_completed = int(cl.dma_completed)
 
     if rc == 0:
         return int(final_cycle)

@@ -84,6 +84,12 @@ typedef struct {
 } NatCore;
 
 typedef struct {
+    /* One strided DMA transfer descriptor (mirrors DmaTransfer). */
+    int64_t src, dst, inner_bytes, outer_reps, src_stride, dst_stride;
+    int64_t plane_reps, src_plane_stride, dst_plane_stride;
+} NatDmaTransfer;
+
+typedef struct {
     int64_t num_cores, num_banks, bank_width, tcdm_base, tcdm_size;
     int64_t line_insts, miss_penalty, branch_penalty;
     int64_t fpu_latency, fpu_load_latency, offload_depth, frep_max;
@@ -91,6 +97,14 @@ typedef struct {
     int64_t start_cycle, max_cycles;
     uint8_t *tcdm;
     NatCore *cores;
+    /* cluster DMA engine (mirrors DmaEngine's countdown + bulk copy) */
+    uint8_t *main_mem;
+    int64_t main_base, main_size;
+    int64_t dma_bus_bytes, dma_row_setup, dma_transfer_setup;
+    NatDmaTransfer *dma_queue;
+    int64_t dma_queue_len, dma_queue_pos;
+    int64_t dma_remaining, dma_bytes_moved, dma_busy_cycles, dma_completed;
+    int64_t wait_for_dma;
     /* outputs */
     int64_t cycle;
     int64_t icache_hits, icache_misses;
@@ -106,6 +120,7 @@ int64_t nat_sizeof_mover(void);
 int64_t nat_sizeof_qitem(void);
 int64_t nat_sizeof_core(void);
 int64_t nat_sizeof_cluster(void);
+int64_t nat_sizeof_dma(void);
 
 /*CDEF-END*/
 
@@ -116,7 +131,7 @@ int64_t nat_sizeof_cluster(void);
 #define NAT_SSR_MISUSE  3
 #define NAT_INTERNAL    4
 
-#define NAT_ABI_VERSION 1
+#define NAT_ABI_VERSION 2
 
 /* decoded-program columns (mirrored in repro.snitch.native._decode) */
 #define NCOL 12
@@ -188,6 +203,7 @@ int64_t nat_sizeof_mover(void) { return (int64_t)sizeof(NatMover); }
 int64_t nat_sizeof_qitem(void) { return (int64_t)sizeof(NatQItem); }
 int64_t nat_sizeof_core(void) { return (int64_t)sizeof(NatCore); }
 int64_t nat_sizeof_cluster(void) { return (int64_t)sizeof(NatCluster); }
+int64_t nat_sizeof_dma(void) { return (int64_t)sizeof(NatDmaTransfer); }
 
 /* ---- helpers ----------------------------------------------------------- */
 
@@ -1126,6 +1142,72 @@ static void int_step(NatCluster *cl, NatCore *co, int64_t cycle,
     int_execute(cl, co, pc, cycle, busy);
 }
 
+/* ---- cluster DMA engine (mirrors DmaEngine.tick) ------------------------ */
+
+/* Resolve a [addr, addr+nbytes) row into one of the two memory regions;
+ * returns NULL when the row is not fully contained in either (the
+ * eligibility prescan guarantees this never happens at run time). */
+static inline uint8_t *dma_resolve(NatCluster *cl, int64_t addr,
+                                   int64_t nbytes)
+{
+    if (addr >= cl->tcdm_base && addr + nbytes <= cl->tcdm_base + cl->tcdm_size)
+        return cl->tcdm + (addr - cl->tcdm_base);
+    if (cl->main_mem && addr >= cl->main_base
+            && addr + nbytes <= cl->main_base + cl->main_size)
+        return cl->main_mem + (addr - cl->main_base);
+    return 0;
+}
+
+static int dma_copy(NatCluster *cl, const NatDmaTransfer *t)
+{
+    int64_t plane, row;
+    for (plane = 0; plane < t->plane_reps; plane++) {
+        for (row = 0; row < t->outer_reps; row++) {
+            int64_t src = t->src + plane * t->src_plane_stride
+                          + row * t->src_stride;
+            int64_t dst = t->dst + plane * t->dst_plane_stride
+                          + row * t->dst_stride;
+            uint8_t *sp = dma_resolve(cl, src, t->inner_bytes);
+            uint8_t *dp = dma_resolve(cl, dst, t->inner_bytes);
+            if (!sp || !dp) {
+                cl->err = NAT_MEM_RANGE;
+                cl->err_addr = sp ? dst : src;
+                return 0;
+            }
+            /* The Python engine copies the source out before writing, so
+             * overlapping rows behave like memmove. */
+            memmove(dp, sp, (size_t)t->inner_bytes);
+        }
+    }
+    return 1;
+}
+
+static inline int64_t dma_transfer_cycles(const NatCluster *cl,
+                                          const NatDmaTransfer *t)
+{
+    int64_t row_beats = (t->inner_bytes + cl->dma_bus_bytes - 1)
+                        / cl->dma_bus_bytes;
+    int64_t per_row = row_beats + cl->dma_row_setup;
+    return t->outer_reps * t->plane_reps * per_row + cl->dma_transfer_setup;
+}
+
+static void dma_tick(NatCluster *cl)
+{
+    if (cl->dma_remaining == 0) {
+        const NatDmaTransfer *t;
+        if (cl->dma_queue_pos >= cl->dma_queue_len)
+            return;
+        t = &cl->dma_queue[cl->dma_queue_pos++];
+        if (!dma_copy(cl, t))
+            return;
+        cl->dma_remaining = dma_transfer_cycles(cl, t);
+        cl->dma_bytes_moved += t->inner_bytes * t->outer_reps * t->plane_reps;
+        cl->dma_completed += 1;
+    }
+    cl->dma_remaining -= 1;
+    cl->dma_busy_cycles += 1;
+}
+
 /* ---- main run loop (mirrors SnitchCluster.run) -------------------------- */
 
 int64_t nat_run(NatCluster *cl)
@@ -1148,7 +1230,10 @@ int64_t nat_run(NatCluster *cl)
             cl->err = NAT_MAX_CYCLES;
             return cl->err;
         }
-        if (num_live == 0)
+        if (num_live == 0
+                && (!cl->wait_for_dma
+                    || (cl->dma_remaining == 0
+                        && cl->dma_queue_pos >= cl->dma_queue_len)))
             break;
         rot = cycle % num_cores;
         for (k = 0; k < num_cores; k++) {
@@ -1169,6 +1254,13 @@ int64_t nat_run(NatCluster *cl)
                 if (!ticked)
                     co->any_active = 0;
             }
+            if (cl->err) {
+                cl->cycle = cycle;
+                return cl->err;
+            }
+        }
+        if (cl->dma_remaining || cl->dma_queue_pos < cl->dma_queue_len) {
+            dma_tick(cl);
             if (cl->err) {
                 cl->cycle = cycle;
                 return cl->err;

@@ -17,7 +17,7 @@ holding the raw values the benchmark assertions check.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis import format_table, geomean
@@ -26,11 +26,12 @@ from repro.core.layout import build_layout
 from repro.core.parallel import cluster_geometry
 from repro.core.variants import get_variant, paper_variants
 from repro.energy import energy_comparison
-from repro.machine import MachineSpec, resolve_machine
+from repro.machine import MachineSpec, get_machine, resolve_machine
 from repro.registry import Registry
 from repro.runner import KernelRunResult, VariantComparison
 from repro.scaleout import (
     best_gpu_fraction,
+    direct_scaleout_table,
     estimate_scaleout_pair,
     peak_fraction_table,
 )
@@ -284,13 +285,17 @@ def build_fig4(runs: Dict[str, VariantComparison],
 
 def _scaleout_config(machine: Optional[MachineSpec]):
     """Manticore model built from clusters of the given machine's shape
-    (``None`` keeps the paper's stock Manticore-256s)."""
+    (``None`` keeps the paper's stock Manticore-256s; a multi-cluster spec
+    is taken as the full topology)."""
     if machine is None:
         return None
     from repro.scaleout import ManticoreConfig
 
+    if machine.is_multi_cluster:
+        return ManticoreConfig.from_machine(machine)
     return ManticoreConfig(cores_per_cluster=machine.num_cores,
-                           clock_ghz=machine.clock_ghz)
+                           clock_ghz=machine.clock_ghz,
+                           hbm_device_gbs=machine.hbm_device_gbs)
 
 
 def build_fig5(runs: Dict[str, VariantComparison],
@@ -337,6 +342,79 @@ def build_fig5(runs: Dict[str, VariantComparison],
                     "CMTR (measured)", "CMTR (paper)", "saris GFLOP/s"],
         "rows": rows,
         "data": {"per_kernel": per_kernel, "aggregates": aggregates},
+    }
+
+
+def _direct_machine(machine: Optional[MachineSpec]) -> MachineSpec:
+    """Topology the direct scaleout simulation runs on.
+
+    ``None`` and single-cluster machines default to a CI-sized two-cluster
+    group (of the given machine's cluster shape); a multi-cluster spec is
+    used as-is.
+    """
+    if machine is None:
+        return get_machine("manticore-2")
+    if machine.is_multi_cluster:
+        return machine
+    return replace(machine.with_topology(groups=1, clusters_per_group=2),
+                   name=f"{machine.name}-x2",
+                   description=f"two {machine.name} clusters on one HBM "
+                               f"device")
+
+
+def build_scaleout_direct(ctx: "ArtifactContext") -> Dict[str, object]:
+    """Figure-5-style table from **direct** multi-cluster simulation.
+
+    Every Table-1 kernel is simulated on the topology (per-cluster engine
+    runs through the sweep engine, shared-HBM contention model), side by
+    side with the analytical projection for the *same* machine, reporting
+    the per-kernel delta.  See :mod:`repro.scaleout.sim` for the model and
+    :data:`repro.scaleout.sim.ANALYTICAL_TOLERANCE` for the documented
+    agreement bounds.
+    """
+    machine = _direct_machine(ctx.machine)
+    table = direct_scaleout_table(TABLE1_KERNELS, machine=machine,
+                                  workers=ctx.workers, store=ctx.store,
+                                  progress=ctx.progress)
+    aggregates = {
+        "saris_util": geomean(e["saris"].fpu_util for e in table.values()),
+        "speedup": geomean(e["speedup"] for e in table.values()),
+        "peak_gflops": max(e["saris"].gflops for e in table.values()),
+        "max_abs_speedup_delta": max(abs(e["speedup_delta"])
+                                     for e in table.values()),
+    }
+    rows = []
+    for name, entry in table.items():
+        saris = entry["saris"]
+        analytical = entry["analytical"]
+        rows.append([
+            name,
+            f"{saris.fpu_util:.2f}",
+            f"{analytical['saris'].fpu_util:.2f}",
+            f"{entry['speedup']:.2f}",
+            f"{analytical['speedup']:.2f}",
+            f"{entry['speedup_delta']:+.1%}",
+            f"{entry['cmtr']:.2f}" if entry["memory_bound"] else "-",
+            f"{analytical['cmtr']:.2f}" if analytical["memory_bound"] else "-",
+            f"{saris.gflops:.1f}",
+        ])
+    rows.append(["geomean/max", f"{aggregates['saris_util']:.2f}", "",
+                 f"{aggregates['speedup']:.2f}", "",
+                 f"(max |delta| {aggregates['max_abs_speedup_delta']:.1%})",
+                 "", "", f"{aggregates['peak_gflops']:.1f}"])
+    first = next(iter(table.values()))["saris"]
+    return {
+        "title": (f"Direct scaleout simulation on {machine.name} "
+                  f"({machine.groups}x{machine.clusters_per_group} clusters, "
+                  f"{first.tiles_per_cluster} tiles/cluster, "
+                  f"{first.granularity}-granular HBM arbitration) "
+                  f"vs analytical estimate"),
+        "columns": ["code", "util (direct)", "util (analyt)",
+                    "speedup (direct)", "speedup (analyt)", "speedup delta",
+                    "CMTR (direct)", "CMTR (analyt)", "saris GFLOP/s"],
+        "rows": rows,
+        "data": {"per_kernel": table, "aggregates": aggregates,
+                 "machine": machine.name, "granularity": first.granularity},
     }
 
 
@@ -479,11 +557,19 @@ def build_ablations(ablations: Dict[str, KernelRunResult],
 
 @dataclass
 class ArtifactContext:
-    """Sweep results an artifact builder may draw on."""
+    """Sweep results an artifact builder may draw on.
+
+    ``workers`` / ``store`` / ``progress`` carry the pipeline's execution
+    settings so builders that run their *own* sweeps (the direct scaleout
+    simulation) fan out and cache exactly like the shared paper sweep.
+    """
 
     machine: Optional[MachineSpec] = None
     runs: Optional[Dict[str, VariantComparison]] = None
     ablations: Optional[Dict[str, KernelRunResult]] = None
+    workers: Optional[int] = None
+    store: Optional[ResultStore] = None
+    progress: Optional[ProgressFn] = None
 
 
 @dataclass(frozen=True)
@@ -547,6 +633,10 @@ register_artifact("fig4", needs_paper=True,
 register_artifact("fig5", needs_paper=True,
                   description="Manticore-256s scaleout estimates"
                   )(lambda ctx: [build_fig5(ctx.runs, ctx.machine)])
+register_artifact("scaleout_direct",
+                  description="direct multi-cluster simulation vs "
+                              "analytical estimate"
+                  )(lambda ctx: [build_scaleout_direct(ctx)])
 register_artifact("table2", needs_paper=True,
                   description="best fraction of peak vs prior work"
                   )(lambda ctx: [build_table2(ctx.runs, ctx.machine)])
@@ -590,7 +680,8 @@ def reproduce(subset: str = "all", workers: Optional[int] = None,
             jobs.append(job)
 
     report: Optional[SweepReport] = None
-    context = ArtifactContext(machine=machine_spec)
+    context = ArtifactContext(machine=machine_spec, workers=workers,
+                              store=store, progress=progress)
     if jobs:
         report = run_sweep(jobs, workers=workers, store=store,
                            progress=progress)

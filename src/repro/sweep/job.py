@@ -85,8 +85,16 @@ class SweepJob:
         live registry — if someone replaces the default preset, machine-unset
         jobs resolve (and hash) the replacement's parameters rather than
         colliding with entries cached before the replacement.
+
+        A *multi-cluster* topology first reduces to its per-cluster shape
+        (:meth:`~repro.machine.MachineSpec.cluster_spec`): a single job is
+        one cluster simulation whose outcome the topology cannot affect, so
+        e.g. a job on ``manticore-32`` shares its hash and store entry with
+        the same job on ``snitch-8``.
         """
         machine = self.machine if self.machine is not None else default_machine()
+        if machine.is_multi_cluster:
+            machine = machine.cluster_spec()
         if machine.spec_dict() == PAPER_SPEC_DICT:
             return None
         return machine

@@ -81,6 +81,73 @@ class TestCli:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_machines_json_reports_topology(self, capsys):
+        assert main(["machines", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        m2 = next(m for m in payload if m["name"] == "manticore-2")
+        assert m2["groups"] == 1 and m2["clusters_per_group"] == 2
+        assert m2["hbm_device_gbs"] == 51.2
+        assert m2["peak_gflops"] == 32.0  # system peak: two clusters
+
+
+class TestScaleoutCommand:
+    def test_analytical_default_is_manticore_32(self, capsys):
+        assert main(["scaleout", "star3d2r"]) == 0
+        out = capsys.readouterr().out
+        assert "manticore-32" in out and "8x4 clusters" in out
+        assert "analytical" in out
+
+    def test_analytical_json_with_machine_and_config(self, capsys):
+        code = main(["scaleout", "jacobi_2d", "--machine", "manticore-8",
+                     "--config", "groups=4", "--config", "hbm=25.6", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"] == "analytical"
+        assert payload["groups"] == 4 and payload["hbm_device_gbs"] == 25.6
+        assert payload["speedup"] > 0 and 0 < payload["fpu_util"] <= 1
+
+    def test_direct_json(self, capsys):
+        code = main(["scaleout", "jacobi_2d", "--direct", "--tiles", "2",
+                     "--workers", "1", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"] == "direct"
+        assert payload["machine"] == "manticore-2"
+        assert payload["granularity"] == "epoch"
+        assert payload["tiles_per_cluster"] == 2
+        assert len(payload["per_cluster"]) == 2
+        assert payload["speedup"] > 1.0
+        assert "speedup" in payload["analytical"]
+
+    def test_direct_text_report(self, capsys):
+        code = main(["scaleout", "jacobi_2d", "--direct", "--tiles", "2",
+                     "--workers", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "direct simulation" in out
+        assert "epoch-granular" in out
+        assert "analytical speedup (cross-check)" in out
+
+    def test_bad_config_key_rejected(self, capsys):
+        assert main(["scaleout", "jacobi_2d", "--config", "warp=9"]) == 2
+        assert "--config expects KEY=VALUE" in capsys.readouterr().err
+
+    def test_bad_config_value_rejected(self, capsys):
+        assert main(["scaleout", "jacobi_2d", "--config", "groups=many"]) == 2
+        assert "invalid value" in capsys.readouterr().err
+
+    def test_hbm_override_reaches_single_cluster_analytical_config(self, capsys):
+        code = main(["scaleout", "jacobi_2d", "--machine", "snitch-8",
+                     "--config", "hbm=1.0", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["hbm_device_gbs"] == 1.0
+        assert payload["memory_bound"] is True  # 1 GB/s starves the groups
+
+    def test_direct_rejects_non_positive_tiles(self, capsys):
+        assert main(["scaleout", "jacobi_2d", "--direct", "--tiles", "0"]) == 2
+        assert "--tiles must be >= 1" in capsys.readouterr().err
+
 
 class TestReproduceCommand:
     def test_reproduce_listing1(self, capsys, tmp_path):

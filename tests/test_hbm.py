@@ -1,0 +1,129 @@
+"""Unit tests of the shared-HBM processor-sharing model."""
+
+import math
+
+import pytest
+
+from repro.snitch.dma import DmaEngine, DmaTransfer
+from repro.snitch.hbm import HbmError, HbmRequest, SharedHbm
+from repro.snitch.params import TimingParams
+
+
+def _drain(hbm):
+    """Run the model until idle; return completions in order."""
+    completed = []
+    while hbm.in_flight:
+        completed.extend(hbm.advance(hbm.next_completion()))
+    return completed
+
+
+class TestSingleRequest:
+    def test_unconstrained_device_matches_cluster_dma_timing(self):
+        """With an infinite device, service time is the DmaEngine's own."""
+        params = TimingParams()
+        engine = DmaEngine([], params)
+        transfer = DmaTransfer(src=0, dst=0, inner_bytes=512, outer_reps=62)
+        efficiency = engine.transfer_utilization(transfer)
+        hbm = SharedHbm(num_groups=1, device_bytes_per_cycle=math.inf,
+                        port_bytes_per_cycle=params.dma_bus_bytes)
+        request = HbmRequest(cluster=0, group=0,
+                             payload_bytes=transfer.total_bytes,
+                             efficiency=efficiency)
+        hbm.submit(request, 0.0)
+        (done,) = _drain(hbm)
+        assert done is request
+        assert done.service_cycles == pytest.approx(
+            engine.transfer_cycles(transfer))
+
+    def test_device_slower_than_port_limits_rate(self):
+        hbm = SharedHbm(num_groups=1, device_bytes_per_cycle=16.0,
+                        port_bytes_per_cycle=64.0)
+        request = HbmRequest(cluster=0, group=0, payload_bytes=1600,
+                             efficiency=1.0)
+        hbm.submit(request, 0.0)
+        _drain(hbm)
+        assert request.service_cycles == pytest.approx(100.0)
+
+    def test_rejects_bad_requests(self):
+        with pytest.raises(HbmError):
+            HbmRequest(cluster=0, group=0, payload_bytes=0, efficiency=1.0)
+        with pytest.raises(HbmError):
+            HbmRequest(cluster=0, group=0, payload_bytes=8, efficiency=1.5)
+        with pytest.raises(HbmError):
+            SharedHbm(num_groups=0, device_bytes_per_cycle=1.0,
+                      port_bytes_per_cycle=1.0)
+        with pytest.raises(HbmError):
+            SharedHbm(num_groups=1, device_bytes_per_cycle=1.0,
+                      port_bytes_per_cycle=math.inf)
+
+
+class TestSharing:
+    def test_two_equal_requests_halve_the_rate(self):
+        hbm = SharedHbm(num_groups=1, device_bytes_per_cycle=10.0,
+                        port_bytes_per_cycle=100.0)
+        a = HbmRequest(cluster=0, group=0, payload_bytes=1000, efficiency=1.0)
+        b = HbmRequest(cluster=1, group=0, payload_bytes=1000, efficiency=1.0)
+        hbm.submit(a, 0.0)
+        hbm.submit(b, 0.0)
+        _drain(hbm)
+        # Both share 10 B/cycle -> 5 each -> 200 cycles.
+        assert a.finish_cycle == pytest.approx(200.0)
+        assert b.finish_cycle == pytest.approx(200.0)
+
+    def test_staggered_arrival_processor_sharing(self):
+        hbm = SharedHbm(num_groups=1, device_bytes_per_cycle=10.0,
+                        port_bytes_per_cycle=100.0)
+        a = HbmRequest(cluster=0, group=0, payload_bytes=1000, efficiency=1.0)
+        b = HbmRequest(cluster=1, group=0, payload_bytes=1000, efficiency=1.0)
+        hbm.submit(a, 0.0)
+        # a alone for 50 cycles (500 bytes), then fair-shares with b.
+        hbm.submit(b, 50.0)
+        _drain(hbm)
+        # a: 500 remaining at 5 B/cycle -> finishes at 150.
+        assert a.finish_cycle == pytest.approx(150.0)
+        # b: 500 done by 150, then alone at 10 B/cycle -> 200.
+        assert b.finish_cycle == pytest.approx(200.0)
+
+    def test_groups_do_not_contend(self):
+        hbm = SharedHbm(num_groups=2, device_bytes_per_cycle=10.0,
+                        port_bytes_per_cycle=100.0)
+        a = HbmRequest(cluster=0, group=0, payload_bytes=1000, efficiency=1.0)
+        b = HbmRequest(cluster=1, group=1, payload_bytes=1000, efficiency=1.0)
+        hbm.submit(a, 0.0)
+        hbm.submit(b, 0.0)
+        _drain(hbm)
+        assert a.finish_cycle == pytest.approx(100.0)
+        assert b.finish_cycle == pytest.approx(100.0)
+
+    def test_efficiency_scales_rate_but_not_fair_share(self):
+        hbm = SharedHbm(num_groups=1, device_bytes_per_cycle=10.0,
+                        port_bytes_per_cycle=100.0)
+        a = HbmRequest(cluster=0, group=0, payload_bytes=1000, efficiency=0.5)
+        hbm.submit(a, 0.0)
+        _drain(hbm)
+        assert a.service_cycles == pytest.approx(200.0)
+
+    def test_stats_and_determinism(self):
+        def run():
+            hbm = SharedHbm(num_groups=1, device_bytes_per_cycle=8.0,
+                            port_bytes_per_cycle=64.0)
+            for index in range(3):
+                hbm.submit(HbmRequest(cluster=index, group=0,
+                                      payload_bytes=512 + 128 * index,
+                                      efficiency=0.9), float(10 * index))
+            _drain(hbm)
+            return hbm.stats()
+
+        first, second = run(), run()
+        assert first == second
+        assert first["requests_completed"] == 3
+        assert first["bytes_moved"] == 512 + 640 + 768
+        assert 0.0 < first["utilization"] <= 1.0
+
+    def test_submission_in_the_past_rejected(self):
+        hbm = SharedHbm(num_groups=1, device_bytes_per_cycle=10.0,
+                        port_bytes_per_cycle=100.0)
+        hbm.advance(100.0)
+        with pytest.raises(HbmError):
+            hbm.submit(HbmRequest(cluster=0, group=0, payload_bytes=8,
+                                  efficiency=1.0), 50.0)

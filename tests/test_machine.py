@@ -95,6 +95,49 @@ class TestMachineSpec:
         assert "test-custom" not in machine_names()
 
 
+class TestMultiClusterTopology:
+    def test_manticore_presets_registered(self):
+        m2 = get_machine("manticore-2")
+        assert (m2.groups, m2.clusters_per_group, m2.num_clusters) == (1, 2, 2)
+        m32 = get_machine("manticore-32")
+        assert (m32.groups, m32.clusters_per_group) == (8, 4)
+        assert m32.num_clusters == 32 and m32.total_cores == 256
+        assert m32.peak_system_gflops == pytest.approx(512.0)
+        assert get_machine("manticore-8").num_clusters == 8
+
+    def test_single_cluster_defaults_and_spec_dict_stability(self):
+        """Topology fields must not disturb single-cluster hashes."""
+        spec = get_machine("snitch-8")
+        assert not spec.is_multi_cluster and spec.num_clusters == 1
+        assert "topology" not in spec.spec_dict()
+        multi = get_machine("manticore-2")
+        assert multi.spec_dict()["topology"]["clusters_per_group"] == 2
+        # The per-cluster shape of a manticore group is the paper cluster.
+        assert multi.cluster_spec().spec_dict() == spec.spec_dict()
+        assert not multi.cluster_spec().is_multi_cluster
+
+    def test_with_topology_and_validation(self):
+        import math
+
+        spec = get_machine("manticore-2").with_topology(
+            groups=2, hbm_device_gbs=math.inf)
+        assert spec.groups == 2 and math.isinf(spec.hbm_device_gbs)
+        with pytest.raises(ValueError, match="at least one group"):
+            MachineSpec.create("bad", groups=0)
+        with pytest.raises(ValueError, match="hbm_device_gbs"):
+            MachineSpec.create("bad", hbm_device_gbs=0.0)
+
+    def test_summary_reports_topology(self):
+        assert get_machine("snitch-8").summary()["clusters"] == "1"
+        assert "8x4" in get_machine("manticore-32").summary()["clusters"]
+
+    def test_manticore_config_from_machine(self):
+        from repro.scaleout import ManticoreConfig
+
+        config = ManticoreConfig.from_machine(get_machine("manticore-32"))
+        assert config == ManticoreConfig()  # the paper's stock 256s
+
+
 class TestDefaultInterleave:
     def test_prefers_four_fold_x(self):
         assert default_interleave(8) == (4, 2)

@@ -183,6 +183,107 @@ class TestCrossEngineIdentity:
             assert native_result.activity == python_result.activity
 
 
+class TestDmaNative:
+    """The ABI-2 DMA port: queued transfers keep the fold, bit-identically."""
+
+    COUNT_SRC = """
+        li x5, 0
+        li x6, 80
+    loop:
+        addi x5, x5, 1
+        blt x5, x6, loop
+    """
+
+    @staticmethod
+    def _dma_state(cluster):
+        dma = cluster.dma
+        return (cluster.cycle, dma.bytes_moved, dma.busy_cycles,
+                dma.transfers_completed, dma._remaining_cycles,
+                len(dma._queue), bytes(cluster.tcdm._data),
+                bytes(cluster.main_memory._data))
+
+    def _run_both(self, setup, max_cycles=100_000, wait_for_dma=True):
+        from repro.snitch.dma import DmaTransfer  # noqa: F401 (setup helper)
+
+        states = []
+        for force_python in (False, True):
+            cluster = SnitchCluster(TimingParams())
+            cluster.load_programs([assemble(self.COUNT_SRC, name="p0")])
+            setup(cluster)
+            if force_python:
+                with native.forced_python():
+                    cluster.run(max_cycles=max_cycles,
+                                wait_for_dma=wait_for_dma)
+            else:
+                before = dict(native.run_stats)
+                cluster.run(max_cycles=max_cycles, wait_for_dma=wait_for_dma)
+                assert native.run_stats["native"] == before["native"] + 1, \
+                    "queued DMA work must keep the native fold"
+            states.append(self._dma_state(cluster))
+        return states
+
+    def test_strided_transfers_bit_identical(self):
+        from repro.snitch.dma import DmaTransfer
+
+        def setup(cluster):
+            base = cluster.alloc_f64(1024)
+            cluster.tcdm.write_f64_array(
+                base, np.arange(1024, dtype=np.float64))
+            main = cluster.alloc_main(16384)
+            cluster.dma.enqueue(DmaTransfer(
+                src=base, dst=main, inner_bytes=256, outer_reps=8,
+                src_stride=512, dst_stride=256))
+            cluster.dma.enqueue(DmaTransfer(
+                src=main, dst=base + 4096, inner_bytes=2048))
+            cluster.dma.enqueue(DmaTransfer(
+                src=base, dst=base + 2048, inner_bytes=64, outer_reps=4,
+                src_stride=128, dst_stride=64, plane_reps=2,
+                src_plane_stride=512, dst_plane_stride=256))
+
+        native_state, python_state = self._run_both(setup)
+        assert native_state == python_state
+
+    def test_dma_outlasting_cores_drains_identically(self):
+        from repro.snitch.dma import DmaTransfer
+
+        def setup(cluster):
+            main = cluster.alloc_main(1 << 20)
+            base = cluster.alloc_f64(4096)
+            # Far more DMA work than the 80-iteration loop: the engine
+            # drains after every core has finished (wait_for_dma).
+            for row in range(16):
+                cluster.dma.enqueue(DmaTransfer(
+                    src=base, dst=main + row * 32768, inner_bytes=32768))
+
+        native_state, python_state = self._run_both(setup)
+        assert native_state == python_state
+        assert native_state[3] == 16  # all transfers completed
+
+    def test_no_wait_leaves_queue_identically(self):
+        from repro.snitch.dma import DmaTransfer
+
+        def setup(cluster):
+            main = cluster.alloc_main(1 << 20)
+            base = cluster.alloc_f64(4096)
+            for row in range(16):
+                cluster.dma.enqueue(DmaTransfer(
+                    src=base, dst=main + row * 32768, inner_bytes=32768))
+
+        native_state, python_state = self._run_both(setup, wait_for_dma=False)
+        assert native_state == python_state
+        assert native_state[5] > 0  # transfers still queued on exit
+
+    def test_out_of_region_transfer_falls_back(self):
+        from repro.snitch.dma import DmaError, DmaTransfer
+
+        cluster = SnitchCluster(TimingParams())
+        cluster.load_programs([assemble(self.COUNT_SRC)])
+        cluster.dma.enqueue(DmaTransfer(src=0x100, dst=0x200, inner_bytes=8))
+        assert not native._dma_eligible(cluster)
+        with pytest.raises(DmaError):
+            cluster.run()
+
+
 class TestNativeBehaviour:
     def test_deadlock_raises_cluster_error(self):
         cluster = SnitchCluster()

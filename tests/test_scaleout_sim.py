@@ -1,0 +1,261 @@
+"""Direct multi-cluster scaleout simulation: timeline, identity, cross-checks.
+
+The three contract-level properties from the issue are pinned here:
+
+(a) a 1-cluster topology with an unconstrained HBM device is *bit-identical*
+    to the single-cluster engine (golden-backed);
+(b) the multi-cluster merge is invariant under the sweep worker count;
+(c) the direct simulation agrees with the analytical projection within the
+    documented tolerance on ``manticore-2`` for the paper kernels.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.core.kernels import TABLE1_KERNELS, get_kernel
+from repro.machine import MachineSpec, get_machine
+from repro.runner import run_kernel
+from repro.scaleout.sim import (
+    ANALYTICAL_TOLERANCE,
+    DEFAULT_TILES_PER_CLUSTER,
+    ClusterTimeline,
+    ScaleoutSimError,
+    TileWorkload,
+    direct_scaleout_pair,
+    direct_scaleout_table,
+    run_timeline,
+    scaleout_jobs,
+    simulate_scaleout,
+    tile_transfer_model,
+)
+from repro.snitch.hbm import SharedHbm
+
+GOLDEN_PATH = Path(__file__).parent / "golden_cycles.json"
+
+
+def _timeline(tiles, num_clusters=1, clusters_per_group=None,
+              device=math.inf, port=1.0):
+    clusters_per_group = clusters_per_group or num_clusters
+    clusters = [ClusterTimeline(index=i, group=i // clusters_per_group,
+                                seed=i, tiles=list(tiles))
+                for i in range(num_clusters)]
+    hbm = SharedHbm(num_groups=-(-num_clusters // clusters_per_group),
+                    device_bytes_per_cycle=device, port_bytes_per_cycle=port)
+    makespan = run_timeline(clusters, hbm)
+    return makespan, clusters, hbm
+
+
+def _work(compute, in_bytes=100, out_bytes=50):
+    return TileWorkload(compute_cycles=compute, flops=1, fpu_util=1.0,
+                        in_bytes=in_bytes, in_efficiency=1.0,
+                        out_bytes=out_bytes, out_efficiency=1.0)
+
+
+class TestTimeline:
+    """Hand-checkable double-buffered schedules (port 1 B/cycle)."""
+
+    def test_compute_bound_pipeline(self):
+        # in: 100 cycles, out: 50, compute: 1000, three tiles.
+        makespan, (cl,), _ = _timeline([_work(1000)] * 3)
+        # Prologue in(0) 0-100; computes chain back to back; the last
+        # write-back trails the last compute.
+        assert cl.compute_end == [1100.0, 2100.0, 3100.0]
+        assert makespan == pytest.approx(3150.0)
+        assert cl.in_done[1] == pytest.approx(200.0)  # prefetch overlapped
+
+    def test_memory_bound_pipeline(self):
+        makespan, (cl,), _ = _timeline([_work(10)] * 3)
+        # in0 0-100, in1 100-200, out0 200-250, in2 250-350, out1 350-400,
+        # out2 400-450: the DMA queue is the critical path.
+        assert cl.compute_end == [110.0, 210.0, 360.0]
+        assert cl.out_done == [250.0, 400.0, 450.0]
+        assert makespan == pytest.approx(450.0)
+
+    def test_single_tile_has_no_prefetch(self):
+        makespan, (cl,), _ = _timeline([_work(1000)])
+        assert makespan == pytest.approx(100.0 + 1000.0 + 50.0)
+
+    def test_two_clusters_share_the_device(self):
+        # Device as fast as one port: two clusters in one group halve rates.
+        makespan_shared, _, _ = _timeline([_work(10)] * 2, num_clusters=2,
+                                          device=1.0)
+        makespan_alone, _, _ = _timeline([_work(10)] * 2, num_clusters=1,
+                                         device=1.0)
+        assert makespan_shared > makespan_alone
+        # Separate groups restore the single-cluster schedule.
+        makespan_grouped, _, _ = _timeline([_work(10)] * 2, num_clusters=2,
+                                           clusters_per_group=1, device=1.0)
+        assert makespan_grouped == pytest.approx(makespan_alone)
+
+    def test_unfinished_cluster_is_an_error(self):
+        cl = ClusterTimeline(index=0, group=0, seed=0, tiles=[_work(10)])
+        cl.queue.clear()  # sabotage: the input transfer never issues
+        hbm = SharedHbm(1, 1.0, 1.0)
+        with pytest.raises(ScaleoutSimError):
+            run_timeline([cl], hbm)
+
+
+class TestTransferModel:
+    def test_matches_mean_dma_utilization_decomposition(self):
+        from repro.runner import measure_dma_utilization, tile_traffic_bytes
+
+        kernel = get_kernel("j3d27pt")
+        tile = kernel.default_tile
+        in_bytes, in_eff, out_bytes, out_eff = tile_transfer_model(kernel, tile)
+        assert in_bytes + out_bytes == tile_traffic_bytes(kernel, tile)
+        assert 0.0 < out_eff <= in_eff <= 1.0
+        # The runner's mean utilization lies between the two directions.
+        mean = measure_dma_utilization(kernel, tile)
+        assert out_eff <= mean <= in_eff
+
+
+class TestSingleClusterIdentity:
+    """(a) one cluster + unconstrained HBM == the single-cluster engine."""
+
+    @pytest.mark.parametrize("name,variant", [("jacobi_2d", "saris"),
+                                              ("j3d27pt", "base"),
+                                              ("ac_iso_cd", "saris")])
+    def test_bit_identical_to_golden_and_run_kernel(self, name, variant):
+        machine = MachineSpec.create("solo", hbm_device_gbs=math.inf)
+        result = simulate_scaleout(name, variant=variant, machine=machine,
+                                   tiles_per_cluster=1, workers=1)
+        (tile,) = result.tile_results
+        golden = json.loads(GOLDEN_PATH.read_text())[f"{name}/{variant}"]
+        assert tile.cycles == golden["cycles"]
+        direct_run = run_kernel(name, variant=variant).without_cluster()
+        assert tile.to_json_dict() == direct_run.to_json_dict()
+        # Unconstrained HBM: every transfer runs at the cluster DMA engine's
+        # isolated service time, so the makespan decomposes exactly.
+        in_bytes, in_eff, out_bytes, out_eff = tile_transfer_model(
+            get_kernel(name), tile.tile_shape)
+        bus = machine.timing_params().dma_bus_bytes
+        expected = in_bytes / (bus * in_eff) + tile.cycles \
+            + out_bytes / (bus * out_eff)
+        assert result.cycles == pytest.approx(expected)
+
+    def test_compute_metrics_mirror_the_cluster_run(self):
+        machine = MachineSpec.create("solo", hbm_device_gbs=math.inf)
+        result = simulate_scaleout("jacobi_2d", machine=machine,
+                                   tiles_per_cluster=2, workers=1)
+        (tile,) = result.tile_results
+        assert result.compute_cycles_per_tile == tile.cycles
+        assert result.total_flops == 2 * tile.total_flops
+
+
+class TestWorkerInvariance:
+    """(b) the merged multi-cluster result is bit-stable for any pool."""
+
+    def test_serial_and_parallel_merges_identical(self):
+        results = {}
+        for workers in (1, 2):
+            r = simulate_scaleout("jacobi_2d", machine="manticore-2",
+                                  tiles_per_cluster=3, workers=workers)
+            results[workers] = (r.to_json_dict(),
+                                [t.to_json_dict() for t in r.tile_results])
+        assert results[1] == results[2]
+
+    def test_jobs_are_per_cluster_with_distinct_seeds(self):
+        machine = get_machine("manticore-2")
+        jobs = scaleout_jobs("jacobi_2d", "saris", machine)
+        assert [job.seed for job in jobs] == [0, 1]
+        # Tile jobs run on the single-cluster spec of the topology, which
+        # canonicalizes to the paper machine (shared store entries).
+        assert all(job.canonical_machine() is None for job in jobs)
+
+    def test_multi_cluster_machine_hashes_as_one_of_its_clusters(self):
+        """A single job cannot observe the topology: same hash as snitch-8."""
+        from repro.sweep.job import SweepJob
+
+        on_topology = SweepJob.make("jacobi_2d", machine="manticore-32")
+        on_default = SweepJob.make("jacobi_2d")
+        assert on_topology.canonical_machine() is None
+        assert on_topology.content_hash() == on_default.content_hash()
+        # The user-facing name is untouched (experiment records report it).
+        assert on_topology.machine.name == "manticore-32"
+
+
+class TestAnalyticalCrossCheck:
+    """(c) direct vs analytical within the documented tolerance."""
+
+    def test_paper_kernels_on_manticore_2(self):
+        table = direct_scaleout_table(TABLE1_KERNELS, machine="manticore-2",
+                                      workers=1)
+        assert set(table) == set(TABLE1_KERNELS)
+        for name, entry in table.items():
+            assert abs(entry["speedup_delta"]) <= \
+                ANALYTICAL_TOLERANCE["speedup_rel"], name
+            assert abs(entry["fpu_util_delta"]) <= \
+                ANALYTICAL_TOLERANCE["fpu_util_abs"], name
+            # Both models must agree on the regime.
+            assert entry["memory_bound"] == \
+                entry["analytical"]["memory_bound"], name
+
+    def test_pair_carries_both_models(self):
+        pair = direct_scaleout_pair("jacobi_2d", machine="manticore-2",
+                                    workers=1)
+        assert pair["base"].variant == "base"
+        assert pair["saris"].variant == "saris"
+        assert pair["saris"].granularity == "epoch"
+        assert pair["speedup"] > 1.0
+        assert pair["analytical"]["speedup"] > 1.0
+        assert pair["saris"].hbm["requests_completed"] == \
+            2 * 2 * DEFAULT_TILES_PER_CLUSTER  # clusters x directions x tiles
+
+
+class TestContention:
+    def test_sharing_a_device_slows_the_memory_side(self):
+        solo = simulate_scaleout(
+            "jacobi_2d", machine=get_machine("manticore-2").with_topology(
+                clusters_per_group=1), tiles_per_cluster=3, workers=1)
+        shared = simulate_scaleout("jacobi_2d", machine="manticore-2",
+                                   tiles_per_cluster=3, workers=1)
+        assert shared.dma_service_cycles_per_tile > \
+            solo.dma_service_cycles_per_tile
+        assert shared.effective_cycles_per_tile >= \
+            solo.effective_cycles_per_tile
+
+    def test_unconstrained_topology_removes_contention(self):
+        machine = get_machine("manticore-2").with_topology(
+            hbm_device_gbs=math.inf)
+        unconstrained = simulate_scaleout("jacobi_2d", machine=machine,
+                                          tiles_per_cluster=3, workers=1)
+        solo = simulate_scaleout(
+            "jacobi_2d", machine=MachineSpec.create(
+                "solo", hbm_device_gbs=math.inf),
+            tiles_per_cluster=3, workers=1)
+        # Two identical unconstrained clusters behave like one.
+        assert unconstrained.cycles == pytest.approx(solo.cycles)
+
+
+class TestArtifactIntegration:
+    def test_scaleout_direct_is_a_registered_subset(self):
+        from repro.sweep.artifacts import artifact_names, subset_choices
+
+        assert "scaleout_direct" in artifact_names()
+        assert "scaleout_direct" in subset_choices()
+
+    def test_reproduce_builds_the_direct_table(self, tmp_path):
+        from repro.sweep.artifacts import reproduce
+
+        report = reproduce(subset="scaleout_direct", workers=1,
+                           cache_dir=str(tmp_path / "cache"))
+        (artifact,) = report["artifacts"]
+        assert "Direct scaleout simulation on manticore-2" in artifact["title"]
+        assert "epoch-granular" in artifact["title"]
+        # One row per paper kernel plus the aggregate row.
+        assert len(artifact["rows"]) == len(TABLE1_KERNELS) + 1
+
+    def test_resultset_scaleout_direct_wiring(self):
+        from repro import Experiment
+
+        records = Experiment().kernels("jacobi_2d").run(workers=1, cache=False)
+        table = records.scaleout(direct=True, workers=1, cache=False,
+                                 tiles_per_cluster=2)
+        assert set(table) == {"jacobi_2d"}
+        entry = table["jacobi_2d"]
+        assert entry["saris"].tiles_per_cluster == 2
+        analytical = records.scaleout(machine="manticore-2")
+        assert analytical["jacobi_2d"]["speedup"] > 0
