@@ -330,6 +330,11 @@ def _cmd_bench_speed(args) -> int:
 def _cmd_reproduce(args) -> int:
     from repro.sweep.artifacts import render_report, reproduce
 
+    if args.resume and args.no_cache:
+        print("reproduce: --resume needs the result store; it cannot be "
+              "combined with --no-cache", file=sys.stderr)
+        return 2
+
     def progress(done, total, job, source):
         if not args.quiet:
             print(f"[{done:>2}/{total}] {job.label} ({source})")
@@ -341,15 +346,30 @@ def _cmd_reproduce(args) -> int:
         os.environ["REPRO_CODEGEN_CACHE"] = "0"
     if args.cache_dir:
         os.environ["REPRO_CACHE_DIR"] = args.cache_dir
-    report = reproduce(subset=args.subset, workers=args.workers,
-                       use_cache=not args.no_cache, cache_dir=args.cache_dir,
-                       progress=progress, machine=args.machine)
+    try:
+        report = reproduce(subset=args.subset, workers=args.workers,
+                           use_cache=not args.no_cache,
+                           cache_dir=args.cache_dir,
+                           progress=progress, machine=args.machine,
+                           on_error=args.on_error, timeout=args.timeout,
+                           retries=args.retries)
+    except KeyboardInterrupt:
+        # Completed jobs are already persisted in the result store; a
+        # follow-up resume only executes what is still missing.
+        print("\ninterrupted — completed jobs are saved; re-run with "
+              "--resume to finish the remainder", file=sys.stderr)
+        return 130
     print(render_report(report))
     if args.output:
         with open(args.output, "w") as fh:
             json.dump(report, fh, indent=1, sort_keys=True)
             fh.write("\n")
         print(f"report written to {args.output}")
+    if report["failures"]:
+        print(f"reproduce: {len(report['failures'])} job(s) failed; see the "
+              f"report above (a --resume re-run re-executes only the "
+              f"missing jobs)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -451,6 +471,27 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: %(default)s; '' to skip)")
     repro_p.add_argument("-q", "--quiet", action="store_true",
                          help="suppress per-job progress lines")
+    repro_p.add_argument("--resume", action="store_true",
+                         help="continue an interrupted or partially failed "
+                              "run: only jobs missing from the result store "
+                              "are executed (the default warm-cache pass "
+                              "already does this; --resume states the "
+                              "intent and refuses --no-cache)")
+    repro_p.add_argument("--on-error", choices=["raise", "collect"],
+                         default="raise",
+                         help="job-failure policy: abort on the first "
+                              "failure (raise, default) or finish every "
+                              "healthy job and report structured failures "
+                              "(collect); collect enables supervised "
+                              "execution with retry and crash recovery")
+    repro_p.add_argument("--timeout", type=float, default=None,
+                         help="per-job wall-clock timeout in seconds "
+                              "(default: $REPRO_SWEEP_TIMEOUT or none); "
+                              "enables supervised execution")
+    repro_p.add_argument("--retries", type=int, default=None,
+                         help="maximum attempts per job (default: "
+                              "$REPRO_SWEEP_RETRIES or 3 when supervised); "
+                              "enables supervised execution")
     repro_p.set_defaults(func=_cmd_reproduce)
     return parser
 

@@ -127,6 +127,12 @@ class ResultSet:
         #: the set came from :meth:`Experiment.run`.
         self.report = report
 
+    @property
+    def failures(self):
+        """Structured :class:`~repro.sweep.supervisor.JobFailure` records of
+        jobs that failed under ``on_error="collect"`` (empty otherwise)."""
+        return list(self.report.failures) if self.report is not None else []
+
     # -- container protocol -------------------------------------------------------
 
     def __iter__(self) -> Iterator[ExperimentRecord]:
@@ -381,12 +387,23 @@ class Experiment:
 
     def run(self, workers: Optional[int] = None, cache: bool = True,
             cache_dir: Optional[str] = None,
-            progress: Optional[ProgressFn] = None) -> ResultSet:
+            progress: Optional[ProgressFn] = None, on_error: str = "raise",
+            timeout: Optional[float] = None,
+            retries: Optional[int] = None) -> ResultSet:
         """Execute through the sweep engine and return a :class:`ResultSet`.
 
         ``workers`` picks the process-pool width (1 forces the bit-identical
         serial path); ``cache`` consults and updates the persistent
         machine-aware result store under ``cache_dir``.
+
+        ``on_error="collect"`` (or a ``timeout`` in seconds per job, or a
+        ``retries`` attempt cap) runs the sweep supervised — see
+        :mod:`repro.sweep.supervisor`: failing jobs are retried with
+        backoff, crashed or hung workers are recovered, and whatever still
+        fails is *omitted* from the records, with the structured failure
+        list available as ``result_set.failures`` (and on
+        ``result_set.report``).  The default ``on_error="raise"`` keeps the
+        historical fail-fast contract.
 
         Plug-in kernels/variants registered by the calling script reach pool
         workers by process inheritance, which requires the ``fork`` start
@@ -394,10 +411,22 @@ class Experiment:
         (Windows/macOS), put registrations in an importable module or run
         plug-in sweeps with ``workers=1``.
         """
+        from repro.sweep.supervisor import RetryPolicy
+
+        retry = None
+        if retries is not None:
+            base = RetryPolicy.resolve(None, timeout)
+            retry = RetryPolicy(max_attempts=int(retries),
+                                backoff_seconds=base.backoff_seconds,
+                                backoff_factor=base.backoff_factor,
+                                timeout_seconds=base.timeout_seconds,
+                                degrade_to_python=base.degrade_to_python)
         jobs = self.jobs()
         store = ResultStore(cache_dir) if cache else None
         report = run_sweep(jobs, workers=workers, store=store,
-                           progress=progress)
+                           progress=progress, on_error=on_error,
+                           retry=retry, timeout=timeout)
         records = [ExperimentRecord(job=job, result=result)
-                   for job, result in zip(jobs, report.results)]
+                   for job, result in zip(jobs, report.results)
+                   if result is not None]
         return ResultSet(records, report=report)

@@ -99,6 +99,12 @@ class KernelRunResult:
     cluster: Optional[ClusterResult] = field(repr=False, default=None)
     activity: Optional[ActivityCounters] = field(repr=False, default=None)
     program_info: List[Dict[str, object]] = field(default_factory=list, repr=False)
+    #: Which simulation engine actually carried the run: ``"native"`` for the
+    #: symmetry-folded C engine, ``"python"`` for the reference engine (forced
+    #: or fallback), ``None`` for results predating this field.  Purely
+    #: informational — the engines are bit-identical — but it lets sweep
+    #: reports state when a job was gracefully degraded to Python.
+    engine: Optional[str] = field(default=None)
 
     def __post_init__(self) -> None:
         # Normalize so an in-memory result compares equal to its JSON
@@ -159,6 +165,7 @@ class KernelRunResult:
             "dma_utilization": float(self.dma_utilization),
             "tile_traffic_bytes": int(self.tile_traffic_bytes),
             "program_info": _json_safe(self.program_info),
+            "engine": self.engine,
         }
         if self.activity is not None:
             payload["activity"] = {
@@ -207,6 +214,7 @@ class KernelRunResult:
             cluster=None,
             activity=activity,
             program_info=list(payload.get("program_info", [])),
+            engine=payload.get("engine"),
         )
 
 
@@ -442,7 +450,12 @@ def run_kernel(kernel: Union[str, StencilKernel], variant: str = "saris",
                 cluster.tcdm.write_bytes(addr, arr.tobytes())
 
     cluster.load_programs([gen.program for gen in generated])
+    from repro.snitch import native as _native
+
+    native_runs_before = _native.run_stats["native"]
     result = cluster.run(max_cycles=max_cycles)
+    engine_used = ("native" if _native.run_stats["native"] > native_runs_before
+                   else "python")
 
     correct = True
     max_err = 0.0
@@ -476,6 +489,7 @@ def run_kernel(kernel: Union[str, StencilKernel], variant: str = "saris",
         cluster=result,
         activity=result.activity(),
         program_info=[gen.info for gen in generated],
+        engine=engine_used,
     )
 
 

@@ -279,6 +279,18 @@ def disabled_reason() -> Optional[str]:
     return _DISABLED_REASON
 
 
+def python_forced() -> bool:
+    """Whether the Python reference engine is currently forced.
+
+    True under an active :class:`forced_python` context or with
+    ``REPRO_ENGINE=python`` in the environment.  The sweep supervisor's
+    graceful degradation and the fault injector's ``engine=native`` filter
+    (:mod:`repro.sweep.faults`) both key off this.
+    """
+    return (_FORCED_PYTHON > 0
+            or os.environ.get(ENGINE_ENV_VAR, "").strip().lower() == "python")
+
+
 # ---------------------------------------------------------------------------
 # Program decode (once per unique program object, shared across cores/runs)
 # ---------------------------------------------------------------------------

@@ -7,15 +7,23 @@ jobs.  This package turns that observation into infrastructure:
 * :class:`~repro.sweep.job.SweepJob` — a declarative, content-hashed job spec;
 * :mod:`repro.sweep.engine` — process-pool fan-out with a bit-identical
   serial fallback and per-job progress streaming;
+* :mod:`repro.sweep.supervisor` — fault-tolerant pool supervision: per-job
+  timeouts, bounded retry with backoff, ``BrokenProcessPool`` recovery,
+  poisoned-batch bisection, and graceful degradation to the Python engine;
+* :mod:`repro.sweep.faults` — deterministic fault injection
+  (``REPRO_FAULT_INJECT``) so every recovery path above is testable;
 * :class:`~repro.sweep.store.ResultStore` — a persistent JSON-per-job cache
   under ``.repro_cache/``, keyed by job hash and engine version, making warm
-  re-runs of the entire paper near-instant;
+  re-runs of the entire paper near-instant (and crash-interrupted sweeps
+  resumable);
 * :mod:`repro.sweep.artifacts` — paper-artifact builders and the one-shot
   :func:`~repro.sweep.artifacts.reproduce` pipeline behind
   ``repro reproduce``.
 """
 
+from repro.sweep import faults
 from repro.sweep.engine import (
+    ON_ERROR_MODES,
     WORKERS_ENV_VAR,
     SweepReport,
     execute_job,
@@ -23,17 +31,38 @@ from repro.sweep.engine import (
     run_jobs,
     run_sweep,
 )
+from repro.sweep.faults import FAULT_ENV_VAR, FaultInjector, FaultSpec, InjectedFault
 from repro.sweep.job import SweepJob
 from repro.sweep.store import DEFAULT_CACHE_DIR, ENGINE_VERSION, ResultStore
+from repro.sweep.supervisor import (
+    BACKOFF_ENV_VAR,
+    RETRIES_ENV_VAR,
+    TIMEOUT_ENV_VAR,
+    JobFailure,
+    RetryPolicy,
+    SweepJobError,
+)
 
 __all__ = [
+    "BACKOFF_ENV_VAR",
     "DEFAULT_CACHE_DIR",
     "ENGINE_VERSION",
+    "FAULT_ENV_VAR",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "JobFailure",
+    "ON_ERROR_MODES",
+    "RETRIES_ENV_VAR",
     "ResultStore",
+    "RetryPolicy",
     "SweepJob",
+    "SweepJobError",
     "SweepReport",
+    "TIMEOUT_ENV_VAR",
     "WORKERS_ENV_VAR",
     "execute_job",
+    "faults",
     "resolve_workers",
     "run_jobs",
     "run_sweep",

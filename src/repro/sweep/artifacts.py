@@ -39,6 +39,7 @@ from repro.snitch.cluster import SnitchCluster
 from repro.sweep.engine import ProgressFn, SweepReport, run_sweep
 from repro.sweep.job import SweepJob
 from repro.sweep.store import ENGINE_VERSION, ResultStore
+from repro.sweep.supervisor import JobFailure, RetryPolicy
 
 #: Machine selector accepted by the job-list builders and ``reproduce``.
 MachineLike = Union[str, MachineSpec, None]
@@ -562,6 +563,11 @@ class ArtifactContext:
     ``workers`` / ``store`` / ``progress`` carry the pipeline's execution
     settings so builders that run their *own* sweeps (the direct scaleout
     simulation) fan out and cache exactly like the shared paper sweep.
+
+    With ``on_error="collect"`` a failed sweep job no longer aborts the
+    pipeline: ``failures`` carries the structured records and builders whose
+    required results are incomplete are skipped with an explanatory
+    placeholder instead of crashing on a missing result.
     """
 
     machine: Optional[MachineSpec] = None
@@ -570,6 +576,8 @@ class ArtifactContext:
     workers: Optional[int] = None
     store: Optional[ResultStore] = None
     progress: Optional[ProgressFn] = None
+    on_error: str = "raise"
+    failures: Optional[List[JobFailure]] = None
 
 
 @dataclass(frozen=True)
@@ -651,7 +659,9 @@ register_artifact("ablations", needs_paper=True, needs_ablation=True,
 def reproduce(subset: str = "all", workers: Optional[int] = None,
               use_cache: bool = True, cache_dir: Optional[str] = None,
               progress: Optional[ProgressFn] = None,
-              machine: MachineLike = None) -> Dict[str, object]:
+              machine: MachineLike = None, on_error: str = "raise",
+              timeout: Optional[float] = None,
+              retries: Optional[int] = None) -> Dict[str, object]:
     """Regenerate the requested paper artifacts in one sweep pass.
 
     Every simulation the selected artifacts need is collected into a single
@@ -660,6 +670,16 @@ def reproduce(subset: str = "all", workers: Optional[int] = None,
     artifact tables are then assembled from the results.  ``machine`` runs
     the whole pipeline on a non-default machine preset (the paper-reference
     columns then compare against the eight-core paper numbers).
+
+    ``on_error="collect"`` keeps the pipeline alive across job failures:
+    the sweep runs supervised (see :mod:`repro.sweep.supervisor`), failures
+    are returned under ``"failures"`` in the report, and artifacts whose
+    required results went missing are replaced by an explanatory
+    placeholder table.  ``timeout`` (per-job seconds) and ``retries``
+    (maximum attempts per job) tune the supervision policy.  Since every
+    finished job lands in the store immediately, re-running after a crash
+    or interrupt only executes the missing jobs (``repro reproduce
+    --resume``).
     """
     choices = subset_choices()
     if subset not in choices:
@@ -672,6 +692,11 @@ def reproduce(subset: str = "all", workers: Optional[int] = None,
     needs_paper = any(spec.needs_paper for spec in specs)
     needs_ablation = any(spec.needs_ablation for spec in specs)
 
+    retry = None
+    if retries is not None:
+        retry = replace(RetryPolicy.resolve(None, timeout),
+                        max_attempts=int(retries))
+
     jobs: List[SweepJob] = list(paper_jobs(machine_spec)) if needs_paper else []
     ablation_keys: List[str] = []
     if needs_ablation:
@@ -681,19 +706,48 @@ def reproduce(subset: str = "all", workers: Optional[int] = None,
 
     report: Optional[SweepReport] = None
     context = ArtifactContext(machine=machine_spec, workers=workers,
-                              store=store, progress=progress)
+                              store=store, progress=progress,
+                              on_error=on_error)
+    missing_paper: List[str] = []
+    missing_ablation: List[str] = []
     if jobs:
         report = run_sweep(jobs, workers=workers, store=store,
-                           progress=progress)
+                           progress=progress, on_error=on_error,
+                           retry=retry, timeout=timeout)
+        context.failures = report.failures
         if needs_paper:
             paper_count = len(TABLE1_KERNELS) * len(paper_variants())
-            context.runs = pair_up(report.results[:paper_count])
+            paper_results = report.results[:paper_count]
+            missing_paper = [jobs[i].label
+                             for i, result in enumerate(paper_results)
+                             if result is None]
+            if not missing_paper:
+                context.runs = pair_up(paper_results)
         if needs_ablation:
             tail = report.results[len(jobs) - len(ablation_keys):]
-            context.ablations = dict(zip(ablation_keys, tail))
+            missing_ablation = [key for key, result in zip(ablation_keys, tail)
+                                if result is None]
+            if not missing_ablation:
+                context.ablations = dict(zip(ablation_keys, tail))
 
     artifacts: List[Dict[str, object]] = []
     for spec in specs:
+        skip_reason = None
+        if spec.needs_paper and missing_paper:
+            skip_reason = ("missing paper sweep results: "
+                           + ", ".join(missing_paper))
+        elif spec.needs_ablation and missing_ablation:
+            skip_reason = ("missing ablation results: "
+                           + ", ".join(missing_ablation))
+        if skip_reason:
+            artifacts.append({
+                "title": f"{spec.name} [skipped]",
+                "columns": ["status"],
+                "rows": [[f"skipped: {skip_reason} — re-run with --resume "
+                          f"once the failures are fixed"]],
+                "data": {"skipped": skip_reason},
+            })
+            continue
         artifacts.extend(spec.build(context))
 
     return {
@@ -702,6 +756,8 @@ def reproduce(subset: str = "all", workers: Optional[int] = None,
         "engine_version": ENGINE_VERSION,
         "cpu_count": os.cpu_count(),
         "sweep": report.stats() if report is not None else None,
+        "failures": [failure.to_dict() for failure in report.failures]
+                    if report is not None else [],
         "artifacts": [
             {"title": art["title"], "columns": art["columns"],
              "rows": [[_plain(cell) for cell in row] for row in art["rows"]]}
@@ -730,6 +786,26 @@ def render_report(report: Dict[str, object]) -> str:
             f"{sweep['cache_hits']} cache hits, {sweep['workers']} worker(s), "
             f"{sweep['wall_seconds']:.2f} s wall"
             + (f" (store: {sweep['store']})" if sweep.get("store") else ""))
+        extras = []
+        for key in ("retries", "pool_restarts", "bisections", "timeouts",
+                    "quarantined"):
+            if sweep.get(key):
+                extras.append(f"{key}: {sweep[key]}")
+        if sweep.get("degraded"):
+            extras.append("degraded to python engine: "
+                          + ", ".join(sweep["degraded"]))
+        if extras:
+            lines.append("supervision: " + "; ".join(extras))
+        lines.append("")
+    failures = report.get("failures") or []
+    if failures:
+        lines.append(f"FAILED jobs ({len(failures)}):")
+        for failure in failures:
+            lines.append(
+                f"  {failure['label']}: [{failure['kind']}] "
+                f"{failure['error_type']}: {failure['message']} "
+                f"(attempts: {failure['attempts']}, engine: "
+                f"{failure['engine']})")
         lines.append("")
     for artifact in report["artifacts"]:
         lines.append(format_table(artifact["columns"], artifact["rows"],

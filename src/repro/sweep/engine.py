@@ -13,6 +13,26 @@ Workers execute the exact same function as the serial path
 metrics; each worker process warms its own codegen / DMA-utilization caches
 as it goes (on fork start methods it additionally inherits the parent's warm
 caches for free).
+
+Fault tolerance
+---------------
+
+``run_sweep(on_error="collect")`` (or any explicit ``retry``/``timeout``
+knob, or the ``REPRO_SWEEP_TIMEOUT`` / ``REPRO_SWEEP_RETRIES`` /
+``REPRO_SWEEP_BACKOFF`` environment variables) routes pool execution
+through the :mod:`~repro.sweep.supervisor`: per-job wall-clock timeouts,
+bounded retry with exponential backoff, ``BrokenProcessPool`` respawn with
+requeue, poisoned-batch bisection and graceful degradation to the Python
+engine.  Failures that survive supervision become structured
+:class:`~repro.sweep.supervisor.JobFailure` records on the report (the
+failed slots in ``results`` are ``None``); ``on_error="raise"`` keeps the
+historical fail-fast contract.  Because every finished job is persisted to
+the store as it completes, a crashed or interrupted sweep resumes by simply
+re-running — only the missing job hashes execute (``repro reproduce
+--resume``).
+
+Deterministic fault injection for all of the above lives in
+:mod:`repro.sweep.faults`; :func:`execute_job` consults it on every run.
 """
 
 from __future__ import annotations
@@ -20,13 +40,22 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.runner import KernelRunResult
+from repro.sweep import faults
+from repro.sweep import supervisor as _supervisor
 from repro.sweep.job import SweepJob
 from repro.sweep.store import ResultStore
+from repro.sweep.supervisor import (
+    JobFailure,
+    RetryPolicy,
+    SupervisedPool,
+    SweepJobError,
+)
 
 #: Environment variable overriding the default worker count.
 WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
@@ -37,8 +66,12 @@ WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
 MAX_JOBS_PER_BATCH = 8
 
 #: Progress callback signature: (done, total, job, source) where source is
-#: one of "cache", "serial", "parallel".
+#: one of "cache", "serial", "parallel", "failed".
 ProgressFn = Callable[[int, int, SweepJob, str], None]
+
+#: Valid ``on_error`` modes: fail fast (historical behavior) vs collect
+#: structured failures alongside partial results.
+ON_ERROR_MODES = ("raise", "collect")
 
 
 def resolve_workers(workers: Optional[int] = None,
@@ -68,7 +101,7 @@ def resolve_workers(workers: Optional[int] = None,
     return workers
 
 
-def execute_job(job: SweepJob) -> KernelRunResult:
+def execute_job(job: SweepJob, attempt: int = 1) -> KernelRunResult:
     """Run one job and return its serializable metrics core.
 
     Module-level so it is picklable for pool workers; the serial fallback
@@ -76,7 +109,12 @@ def execute_job(job: SweepJob) -> KernelRunResult:
     The in-memory cluster detail is dropped before the result crosses the
     process boundary (it is re-derivable and only the metrics are consumed
     downstream).
+
+    ``attempt`` (1-based) is supplied by the supervised retry loop and only
+    consumed by the deterministic fault-injection hook, which this function
+    consults on every run (a no-op unless faults are configured).
     """
+    faults.maybe_inject(job, attempt=attempt)
     return job.run().without_cluster()
 
 
@@ -112,9 +150,17 @@ class SweepReport:
     ``parallel_effective`` additionally requires more than one CPU to have
     been available — a pool on a single-CPU container interleaves rather
     than overlaps, and reports should not imply otherwise.
+
+    With ``on_error="collect"``, ``results`` slots of failed jobs are
+    ``None`` and the corresponding :class:`JobFailure` records (exception
+    type, message, traceback, attempts, engine, elapsed) are in
+    ``failures``; ``retried`` / ``degraded`` / ``pool_restarts`` /
+    ``bisections`` / ``timeouts`` document what supervision had to do, and
+    ``quarantined`` counts corrupt store entries set aside during the
+    warm-cache pass.
     """
 
-    results: List[KernelRunResult]
+    results: List[Optional[KernelRunResult]]
     jobs: int
     executed: int
     cache_hits: int
@@ -125,11 +171,25 @@ class SweepReport:
     batch_size: int = 1
     store_root: Optional[str] = None
     job_labels: List[str] = field(default_factory=list, repr=False)
+    on_error: str = "raise"
+    failures: List[JobFailure] = field(default_factory=list)
+    retried: Dict[str, int] = field(default_factory=dict)
+    degraded: List[str] = field(default_factory=list)
+    retries: int = 0
+    pool_restarts: int = 0
+    bisections: int = 0
+    timeouts: int = 0
+    quarantined: int = 0
 
     @property
     def parallel_effective(self) -> bool:
         """Whether pool execution could actually overlap on this machine."""
         return self.parallel and self.cpu_count > 1
+
+    @property
+    def ok(self) -> bool:
+        """Whether every job produced a result."""
+        return not self.failures
 
     def stats(self) -> Dict[str, object]:
         """Summary dictionary for reports and benchmark records."""
@@ -144,30 +204,67 @@ class SweepReport:
             "batch_size": self.batch_size,
             "wall_seconds": round(self.wall_seconds, 4),
             "store": self.store_root,
+            "on_error": self.on_error,
+            "failures": [failure.to_dict() for failure in self.failures],
+            "retried": dict(self.retried),
+            "degraded": list(self.degraded),
+            "retries": self.retries,
+            "pool_restarts": self.pool_restarts,
+            "bisections": self.bisections,
+            "timeouts": self.timeouts,
+            "quarantined": self.quarantined,
         }
 
 
 def run_sweep(jobs: Sequence[SweepJob], workers: Optional[int] = None,
               store: Optional[ResultStore] = None,
-              progress: Optional[ProgressFn] = None) -> SweepReport:
+              progress: Optional[ProgressFn] = None, *,
+              on_error: str = "raise",
+              retry: Optional[RetryPolicy] = None,
+              timeout: Optional[float] = None) -> SweepReport:
     """Execute ``jobs``, returning results in input order plus statistics.
 
     ``store`` is consulted before executing anything and updated with every
     freshly computed result; pass ``None`` to force cold execution.  With
     ``workers`` resolved to 1 (or a single pending job) the sweep runs
     serially in-process — the parallel path produces bit-identical metrics.
+
+    ``on_error="raise"`` (default) propagates the first job failure, as the
+    engine always has.  ``on_error="collect"`` — or an explicit ``retry``
+    policy, a per-job ``timeout`` in seconds, or any ``REPRO_SWEEP_TIMEOUT``
+    / ``REPRO_SWEEP_RETRIES`` / ``REPRO_SWEEP_BACKOFF`` environment setting
+    — enables supervised execution (see :mod:`repro.sweep.supervisor`);
+    collect mode then returns partial results plus structured failures.
+    Serial supervised execution retries in-band exceptions but cannot
+    enforce timeouts or survive injected worker death; the opaque failure
+    modes need the pool.
     """
+    if on_error not in ON_ERROR_MODES:
+        raise ValueError(f"on_error must be one of {ON_ERROR_MODES}, got "
+                         f"{on_error!r}")
     jobs = list(jobs)
     total = len(jobs)
     results: List[Optional[KernelRunResult]] = [None] * total
     start = time.perf_counter()
     done = 0
+    progress_warned = False
+    quarantined_before = store.quarantined if store is not None else 0
 
     def report_progress(index: int, source: str) -> None:
-        nonlocal done
+        nonlocal done, progress_warned
         done += 1
-        if progress is not None:
+        if progress is None:
+            return
+        try:
             progress(done, total, jobs[index], source)
+        except Exception as exc:  # noqa: BLE001 - user callback must not
+            # kill the sweep; warn once and keep executing jobs.
+            if not progress_warned:
+                progress_warned = True
+                warnings.warn(
+                    f"sweep progress callback raised {exc!r}; continuing "
+                    f"without aborting (further callback errors are "
+                    f"reported silently)", RuntimeWarning, stacklevel=3)
 
     # Warm-cache pass: satisfy whatever the store already holds.
     cache_hits = 0
@@ -196,16 +293,47 @@ def run_sweep(jobs: Sequence[SweepJob], workers: Optional[int] = None,
     workers = resolve_workers(workers, len(unique))
     parallel = workers > 1 and len(unique) > 1
 
+    supervised = (on_error == "collect" or retry is not None
+                  or timeout is not None or _supervisor.env_configured())
+    policy = RetryPolicy.resolve(retry, timeout) if supervised else None
+
     def finish(index: int, result: KernelRunResult, source: str) -> None:
         results[index] = result
         if store is not None:
             store.save(jobs[index], result)
         report_progress(index, source)
 
+    failures: List[JobFailure] = []
+    retried: Dict[str, int] = {}
+    degraded: List[str] = []
+    retries = pool_restarts = bisections = timeouts = 0
+
     batch_size = 1
     if not parallel:
-        for index in unique:
-            finish(index, execute_job(jobs[index]), "serial")
+        if supervised:
+            failures, retried, retries = _run_serial_supervised(
+                jobs, unique, policy, on_error, finish)
+        else:
+            for index in unique:
+                finish(index, execute_job(jobs[index]), "serial")
+    elif supervised:
+        batches = _batch_indices(unique, workers)
+        batch_size = max(len(batch) for batch in batches)
+        pool = SupervisedPool(jobs, workers=workers, policy=policy,
+                              mp_context=_pool_context())
+        outcome = pool.run(batches,
+                           on_result=lambda i, r: finish(i, r, "parallel"))
+        failures = outcome.failures
+        retried = outcome.retried
+        degraded = outcome.degraded
+        retries = outcome.retries
+        pool_restarts = outcome.pool_restarts
+        bisections = outcome.bisections
+        timeouts = outcome.timeouts
+        if failures and on_error == "raise":
+            raise SweepJobError(failures[0])
+        for failure in failures:
+            report_progress(failure.index, "failed")
     else:
         # Batch several jobs per pool task: same execute_job per job (still
         # bit-identical to serial), far fewer pickling round-trips.
@@ -217,16 +345,36 @@ def run_sweep(jobs: Sequence[SweepJob], workers: Optional[int] = None,
                 pool.submit(execute_batch, [jobs[i] for i in batch]): batch
                 for batch in batches
             }
-            for future in as_completed(futures):
-                for index, result in zip(futures[future], future.result()):
-                    finish(index, result, "parallel")
+            try:
+                for future in as_completed(futures):
+                    for index, result in zip(futures[future], future.result()):
+                        finish(index, result, "parallel")
+            except KeyboardInterrupt:
+                # Flush whatever already finished so a resumed sweep only
+                # re-executes the rest, then drain the pool without waiting
+                # on in-flight batches (teardown runs even if the flush is
+                # interrupted again).
+                try:
+                    for future, batch in futures.items():
+                        if future.done() and not future.cancelled():
+                            exc = future.exception()
+                            if exc is None:
+                                for index, result in zip(batch,
+                                                         future.result()):
+                                    if results[index] is None:
+                                        finish(index, result, "parallel")
+                finally:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                raise
 
+    failed_indices = {failure.index for failure in failures}
     for index, source_index in duplicates.items():
         results[index] = results[source_index]
-        report_progress(index, "cache")
+        report_progress(index, "failed" if source_index in failed_indices
+                        else "cache")
 
     return SweepReport(
-        results=results,  # type: ignore[arg-type]  # all slots filled above
+        results=results,
         jobs=total,
         executed=len(unique),
         cache_hits=cache_hits,
@@ -237,7 +385,71 @@ def run_sweep(jobs: Sequence[SweepJob], workers: Optional[int] = None,
         batch_size=batch_size,
         store_root=str(store.root) if store is not None else None,
         job_labels=[job.label for job in jobs],
+        on_error=on_error,
+        failures=failures,
+        retried=retried,
+        degraded=degraded,
+        retries=retries,
+        pool_restarts=pool_restarts,
+        bisections=bisections,
+        timeouts=timeouts,
+        quarantined=(store.quarantined - quarantined_before
+                     if store is not None else 0),
     )
+
+
+def _run_serial_supervised(jobs: Sequence[SweepJob], unique: Sequence[int],
+                           policy: RetryPolicy, on_error: str,
+                           finish: Callable[[int, KernelRunResult, str], None]
+                           ):
+    """In-process execution with retry/backoff and failure collection.
+
+    Timeouts and crash recovery need worker processes and do not apply
+    here; an injected segfault degrades to an in-band exception in-process
+    (see :mod:`repro.sweep.faults`), so serial supervised sweeps never die
+    silently either.
+    """
+    import traceback as traceback_module
+
+    failures: List[JobFailure] = []
+    retried: Dict[str, int] = {}
+    retries = 0
+    for index in unique:
+        job = jobs[index]
+        attempt = 1
+        while True:
+            start = time.perf_counter()
+            try:
+                result = execute_job(job, attempt=attempt)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:  # noqa: BLE001 - recorded or re-raised
+                if attempt < policy.max_attempts:
+                    time.sleep(policy.backoff_for(attempt))
+                    attempt += 1
+                    retries += 1
+                    continue
+                if on_error == "raise":
+                    raise
+                failures.append(JobFailure(
+                    label=job.label,
+                    job_hash=job.content_hash(),
+                    kind="exception",
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    traceback=traceback_module.format_exc(),
+                    attempts=attempt,
+                    engine="auto",
+                    elapsed=time.perf_counter() - start,
+                    index=index,
+                ))
+                break
+            else:
+                if attempt > 1:
+                    retried[job.label] = attempt
+                finish(index, result, "serial")
+                break
+    return failures, retried, retries
 
 
 def run_jobs(jobs: Sequence[SweepJob], workers: Optional[int] = None,

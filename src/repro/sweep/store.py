@@ -16,6 +16,7 @@ import json
 import os
 import re
 import shutil
+import time
 from pathlib import Path
 from typing import Optional, Union
 
@@ -39,6 +40,12 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 #: :mod:`repro.fingerprint`, which sweeps ``.py`` and ``.c`` files).
 _METRIC_SOURCES = ("runner.py", "machine.py", "core", "isa", "snitch")
 
+#: Stale in-flight temp files (``*.json.tmp<pid>``) older than this many
+#: seconds are swept at store construction — they can only be left behind by
+#: a writer that died mid-save, and a live writer finishes its rename in
+#: milliseconds.
+_TMP_STALE_SECONDS = 60.0
+
 
 def engine_fingerprint() -> str:
     """Content hash of the simulator sources backing the stored metrics.
@@ -60,6 +67,30 @@ class ResultStore:
         self.root = Path(root)
         self.engine_version = (ENGINE_VERSION if engine_version is None
                                else int(engine_version))
+        #: Corrupt entries set aside by :meth:`load` over this store's
+        #: lifetime (each renamed once to ``<name>.json.corrupt``).
+        self.quarantined = 0
+        self._sweep_stale_tmp_files()
+
+    def _sweep_stale_tmp_files(self) -> None:
+        """Remove orphaned ``*.tmp<pid>`` files from writers that died.
+
+        Saves write through a temp file and atomically rename; a process
+        killed between the two leaves the temp file behind forever.  Only
+        files comfortably older than any in-flight write are touched, so a
+        concurrent live writer is never raced.
+        """
+        cutoff = time.time() - _TMP_STALE_SECONDS
+        try:
+            stale = [path for path in self.root.glob("v*/*.json.tmp*")
+                     if path.stat().st_mtime < cutoff]
+        except OSError:
+            return
+        for path in stale:
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     @property
     def version_dir(self) -> Path:
@@ -91,11 +122,24 @@ class ResultStore:
         A hit requires the engine version *and* the full job spec recorded in
         the file to match, so hash collisions or hand-edited files degrade to
         a miss instead of serving wrong metrics.
+
+        A file that exists but does not parse as a JSON object (truncated by
+        a crash mid-write on a non-atomic filesystem, disk corruption, hand
+        editing gone wrong) is *quarantined*: renamed once to
+        ``<name>.json.corrupt`` for post-mortem inspection and counted in
+        :attr:`quarantined`, so the sweep re-executes the job instead of
+        failing on the same bad bytes forever.
         """
         path = self.path_for(job)
         try:
             payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
         except (OSError, ValueError):
+            self._quarantine(path)
+            return None
+        if not isinstance(payload, dict):
+            self._quarantine(path)
             return None
         if payload.get("engine_version") != self.engine_version:
             return None
@@ -106,8 +150,22 @@ class ResultStore:
         except (KeyError, TypeError, ValueError):
             return None
 
+    def _quarantine(self, path: Path) -> None:
+        """Set a corrupt entry aside as ``<name>.corrupt`` (best effort)."""
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            return
+        self.quarantined += 1
+
     def save(self, job: SweepJob, result: KernelRunResult) -> Path:
-        """Persist ``result`` for ``job`` (atomic rename, no partial files)."""
+        """Persist ``result`` for ``job`` (atomic rename, no partial files).
+
+        The temp file is removed even when serialization or the rename
+        fails, so an aborted save cannot leak ``*.tmp<pid>`` litter into the
+        cache (a writer killed outright is covered by the stale-file sweep
+        at construction instead).
+        """
         path = self.path_for(job)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -116,8 +174,16 @@ class ResultStore:
             "result": result.without_cluster().to_json_dict(),
         }
         tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n")
-        os.replace(tmp, path)
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True, indent=1)
+                           + "\n")
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
         return path
 
     def __len__(self) -> int:

@@ -1,0 +1,141 @@
+"""Tests for the deterministic fault-injection harness (repro.sweep.faults)."""
+
+import os
+
+import pytest
+
+from repro.sweep import SweepJob
+from repro.sweep.faults import (
+    DEFAULT_HANG_SECONDS,
+    FAULT_ENV_VAR,
+    FaultConfigError,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    active_injector,
+    injected,
+    maybe_inject,
+)
+from tests.conftest import small_tile
+
+
+def small_job(kernel="jacobi_2d", variant="saris", **kwargs):
+    return SweepJob.make(kernel, variant, tile_shape=small_tile(kernel),
+                         **kwargs)
+
+
+class TestSpecParsing:
+    def test_full_spec_round_trip(self):
+        spec = FaultSpec.parse("kernel=jacobi_2d:variant=saris:mode=flaky:n=2")
+        assert spec == FaultSpec(mode="flaky", kernel="jacobi_2d",
+                                 variant="saris", n=2)
+
+    def test_mode_only_is_a_wildcard(self):
+        spec = FaultSpec.parse("mode=raise")
+        assert spec.kernel is None and spec.variant is None and spec.seed is None
+
+    def test_numeric_fields(self):
+        spec = FaultSpec.parse("mode=hang:seed=3:hang_seconds=1.5")
+        assert spec.seed == 3 and spec.hang_seconds == 1.5
+        assert FaultSpec.parse("mode=hang").hang_seconds == DEFAULT_HANG_SECONDS
+
+    def test_missing_mode_rejected(self):
+        with pytest.raises(FaultConfigError, match="missing mode"):
+            FaultSpec.parse("kernel=gemm")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(FaultConfigError, match="mode must be one of"):
+            FaultSpec.parse("mode=explode")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(FaultConfigError, match="unknown key"):
+            FaultSpec.parse("mode=raise:color=red")
+
+    def test_malformed_pair_rejected(self):
+        with pytest.raises(FaultConfigError, match="key=value"):
+            FaultSpec.parse("mode=raise:oops")
+
+    def test_bad_engine_filter_rejected(self):
+        with pytest.raises(FaultConfigError, match="engine filter"):
+            FaultSpec(mode="raise", engine="cuda")
+
+    def test_multi_spec_injector(self):
+        injector = FaultInjector.parse(
+            "mode=raise:kernel=jacobi_2d; mode=flaky:kernel=j2d5pt:n=3")
+        assert len(injector.specs) == 2
+        assert injector.specs[1].n == 3
+
+    def test_empty_injector_rejected(self):
+        with pytest.raises(FaultConfigError, match="no fault specs"):
+            FaultInjector.parse(" ; ")
+
+
+class TestMatching:
+    def test_filters_apply(self):
+        spec = FaultSpec(mode="raise", kernel="jacobi_2d", variant="saris")
+        assert spec.matches(small_job())
+        assert not spec.matches(small_job(variant="base"))
+        assert not spec.matches(small_job(kernel="j2d5pt"))
+
+    def test_seed_filter(self):
+        spec = FaultSpec(mode="raise", seed=7)
+        assert spec.matches(small_job(seed=7))
+        assert not spec.matches(small_job(seed=0))
+
+    def test_engine_native_filter_skips_forced_python(self):
+        from repro.snitch import native
+
+        spec = FaultSpec(mode="raise", engine="native")
+        assert spec.matches(small_job())
+        with native.forced_python():
+            assert not spec.matches(small_job())
+
+
+class TestFiring:
+    def test_no_injector_is_a_noop(self):
+        assert active_injector() is None
+        maybe_inject(small_job())  # must not raise
+
+    def test_raise_mode(self):
+        with injected(FaultSpec(mode="raise", kernel="jacobi_2d")):
+            with pytest.raises(InjectedFault, match="injected failure"):
+                maybe_inject(small_job())
+            maybe_inject(small_job(kernel="j2d5pt"))  # non-matching: clean
+
+    def test_flaky_counts_attempts(self):
+        with injected(FaultSpec(mode="flaky", kernel="jacobi_2d", n=2)):
+            for attempt in (1, 2):
+                with pytest.raises(InjectedFault, match="flaky"):
+                    maybe_inject(small_job(), attempt=attempt)
+            maybe_inject(small_job(), attempt=3)  # succeeds past n
+
+    def test_hang_is_bounded_and_raises(self):
+        with injected(FaultSpec(mode="hang", kernel="jacobi_2d",
+                                hang_seconds=0.05)):
+            with pytest.raises(InjectedFault, match="hang"):
+                maybe_inject(small_job())
+
+    def test_segfault_degrades_to_raise_in_process(self):
+        # Outside a pool worker the injected segfault must NOT kill the
+        # interpreter (the test session!) — it degrades to InjectedFault.
+        with injected(FaultSpec(mode="segfault", kernel="jacobi_2d")):
+            with pytest.raises(InjectedFault, match="segfault"):
+                maybe_inject(small_job())
+
+    def test_installed_injector_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(FAULT_ENV_VAR, "mode=raise")
+        with injected(FaultSpec(mode="raise", kernel="no_such_kernel")):
+            maybe_inject(small_job())  # installed spec does not match: clean
+
+    def test_env_injector_parsed_and_memoized(self, monkeypatch):
+        monkeypatch.setenv(FAULT_ENV_VAR, "mode=raise:kernel=jacobi_2d")
+        assert active_injector() is active_injector()
+        with pytest.raises(InjectedFault):
+            maybe_inject(small_job())
+        monkeypatch.delenv(FAULT_ENV_VAR)
+        assert active_injector() is None
+
+    def test_first_matching_spec_wins(self):
+        with injected(FaultSpec(mode="flaky", kernel="jacobi_2d", n=1),
+                      FaultSpec(mode="raise", kernel="jacobi_2d")):
+            maybe_inject(small_job(), attempt=2)  # flaky satisfied, stops
