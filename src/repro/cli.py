@@ -373,6 +373,95 @@ def _cmd_reproduce(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from pathlib import Path
+
+    from repro.fuzz import run_fuzz
+    from repro.snitch import native
+
+    if args.budget < 1:
+        print("fuzz: --budget must be >= 1", file=sys.stderr)
+        return 2
+    if not native.available():
+        print(f"fuzz: native engine unavailable "
+              f"({native.disabled_reason()}); differential fuzzing needs "
+              f"both engines — run `repro doctor` for build diagnostics",
+              file=sys.stderr)
+        return 2
+
+    def progress(done, total):
+        if not args.quiet and (done % 50 == 0 or done == total):
+            print(f"[{done}/{total}] cases checked")
+
+    report = run_fuzz(budget=args.budget, seed=args.seed,
+                      shrink=not args.no_shrink,
+                      corpus_dir=Path(args.corpus_dir),
+                      progress=progress)
+    if args.json:
+        _print_json(report.to_dict())
+    else:
+        print(f"fuzz: {report.cases_run} cases (seed {report.seed}), "
+              f"{report.native_cases} native / {report.fallback_cases} "
+              f"fallback, {report.error_cases} model-error, "
+              f"{len(report.divergences)} divergence(s) in "
+              f"{report.wall_seconds:.1f}s")
+        for divergence in report.divergences:
+            print(f"  case seed {divergence.case.seed}:")
+            for diff in divergence.diffs[:8]:
+                print(f"    {diff}")
+            if divergence.shrunk is not None:
+                lines = sum(len(s.splitlines())
+                            for s in divergence.shrunk.sources)
+                print(f"    shrunk to {len(divergence.shrunk.sources)} "
+                      f"core(s), {lines} line(s) — saved under "
+                      f"{args.corpus_dir}/")
+    if not report.ok:
+        print(f"fuzz: {len(report.divergences)} divergence(s) found; "
+              f"reproduce with --seed {report.seed}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_doctor(args) -> int:
+    from repro.snitch import native
+    from repro.sweep.store import ResultStore
+
+    info = native.build_info()
+    store = ResultStore(args.cache_dir)
+    store_stats = store.stats()
+    payload = {"native": info, "store": store_stats}
+    if args.json:
+        _print_json(payload)
+        return 0 if info["available"] else 1
+    rows = [
+        ["C compiler", info["compiler"] or "NOT FOUND"],
+        ["compiler version", info["compiler_version"] or "-"],
+        ["build flags", " ".join(info["cflags"])],
+        ["native engine", "available" if info["available"]
+         else f"DISABLED: {info['disabled_reason']}"],
+        ["engine ABI version", info["abi_version"]],
+        ["source+flags digest", info["source_digest"]],
+        ["native build cache", info["cache_dir"]],
+        ["watchdog ceiling", info["watchdog_cycles"] or "off"],
+        ["runs this process", f"native={info['run_stats']['native']} "
+                              f"fallback={info['run_stats']['fallback']}"],
+        ["result store", store_stats["root"]],
+        ["store entries (current)", store_stats["entries"]],
+        ["store entries (all versions)", store_stats["total_entries"]],
+        ["store version dirs", store_stats["version_dirs"]],
+        ["store size", f"{store_stats['total_bytes'] / 1024:.0f} KiB"],
+        ["corrupt entries quarantined", store_stats["corrupt_files"]],
+    ]
+    print(format_table(["check", "status"], rows,
+                       title="repro environment diagnostics"))
+    if not info["available"]:
+        print("doctor: the native engine is disabled — simulations fall "
+              "back to the (bit-identical, ~10x slower) Python engine",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser (choices track the live registries)."""
     parser = argparse.ArgumentParser(prog="repro",
@@ -493,6 +582,38 @@ def build_parser() -> argparse.ArgumentParser:
                               "$REPRO_SWEEP_RETRIES or 3 when supervised); "
                               "enables supervised execution")
     repro_p.set_defaults(func=_cmd_reproduce)
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz the native engine against the Python "
+             "reference: random valid SPMD programs must be bit-identical "
+             "on both")
+    fuzz_p.add_argument("--budget", type=int, default=100,
+                        help="number of generated cases (default: "
+                             "%(default)s)")
+    fuzz_p.add_argument("--seed", type=int, default=0,
+                        help="base seed; the case stream is a pure function "
+                             "of it (default: %(default)s)")
+    fuzz_p.add_argument("--no-shrink", action="store_true",
+                        help="report divergences without minimizing them")
+    fuzz_p.add_argument("--corpus-dir", default="tests/fuzz_corpus",
+                        help="where shrunk divergences are written "
+                             "(default: %(default)s)")
+    fuzz_p.add_argument("--json", action="store_true",
+                        help="machine-readable report")
+    fuzz_p.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress progress lines")
+    fuzz_p.set_defaults(func=_cmd_fuzz)
+
+    doctor_p = sub.add_parser(
+        "doctor",
+        help="diagnose the native-engine build and the result store")
+    doctor_p.add_argument("--cache-dir", default=None,
+                          help="result store directory (default: "
+                               "$REPRO_CACHE_DIR or .repro_cache)")
+    doctor_p.add_argument("--json", action="store_true",
+                          help="machine-readable output")
+    doctor_p.set_defaults(func=_cmd_doctor)
     return parser
 
 

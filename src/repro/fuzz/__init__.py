@@ -1,0 +1,56 @@
+"""Differential fuzzing of the native engine against the Python reference.
+
+The native C engine (:mod:`repro.snitch.native`) must be bit-identical to
+the Python engine on every eligible workload.  The unit suites pin that
+property on hand-written programs; this package searches for divergences
+the hand-written cases missed:
+
+* :mod:`repro.fuzz.generator` — a *seeded, deterministic* generator of
+  valid random SPMD programs (ALU/memory/FP/branch/loop/FREP/SSR/DMA
+  mixes), tile-memory images and :class:`~repro.snitch.params.TimingParams`
+  variations, biased to stay native-eligible so each case genuinely
+  exercises the C engine.
+* :mod:`repro.fuzz.harness` — runs one case under both engines and diffs
+  the *full observable state* (registers, memories, stall attribution,
+  stream statistics, icache bookkeeping — the same snapshot
+  ``tests/test_native_engine.py`` uses).
+* :mod:`repro.fuzz.shrink` — greedy delta-debugging that minimizes a
+  divergent case (drop cores, drop source lines, zero/truncate memory,
+  drop DMA descriptors) before it is reported or checked into the
+  regression corpus (``tests/fuzz_corpus/``).
+
+Entry points: ``repro fuzz --budget N --seed S`` on the command line, or
+:func:`run_fuzz` programmatically.  The same seed and budget always visit
+the same cases — CI failures reproduce locally by copying the seed.
+"""
+
+from repro.fuzz.generator import FuzzCase, generate_case
+from repro.fuzz.harness import (
+    CaseResult,
+    Divergence,
+    FuzzReport,
+    check_case,
+    diff_states,
+    load_corpus,
+    run_case,
+    run_fuzz,
+    save_case,
+    snapshot,
+)
+from repro.fuzz.shrink import shrink_case
+
+__all__ = [
+    "CaseResult",
+    "Divergence",
+    "FuzzCase",
+    "FuzzReport",
+    "check_case",
+    "diff_states",
+    "generate_case",
+    "load_corpus",
+    "run_case",
+    "run_fuzz",
+    "save_case",
+    "shrink_case",
+    "snapshot",
+]

@@ -1,0 +1,342 @@
+"""Seeded generation of valid random SPMD fuzz cases.
+
+Every case is fully determined by its integer seed: the generator draws
+from a private :class:`random.Random`, so ``generate_case(s)`` yields the
+same programs, memory image, timing parameters and DMA descriptors on
+every machine and Python version that shares the same :mod:`random`
+algorithm (CPython's Mersenne Twister is stable across versions).
+
+Generated programs are *valid by construction* — every loop is bounded,
+every memory access lands inside the core's private TCDM window, FREP
+bodies contain only FP compute, and SSR streams consume exactly as many
+elements as they are configured to produce — so a divergence between the
+two engines is always an engine bug, never an artifact of an ill-formed
+program.  The generator is biased to keep cases native-eligible (short
+programs, supported mnemonics, no icache-capacity pressure); the harness
+records when a case falls back so wasted budget is visible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Per-core private TCDM window (bytes).  Cores index their window through
+#: a prologue-computed base register, so no two cores ever alias.
+CORE_WINDOW = 4096
+
+#: Words of seeded f64 data written at the base of every core window.
+MEM_WORDS = 64
+
+#: Ceiling on generated program length (instructions) — keeps every
+#: configuration clear of icache-capacity fallback (<= 64 insts/core at
+#: >= 4 insts/line and >= 128 lines never needs an eviction).
+MAX_PROGRAM_LEN = 64
+
+# Scratch registers the generator may clobber freely.  x10/x11 (a0/a1) are
+# reserved for the base-address prologue, x1 (ra) for jal, x9 (s1) for
+# loop counters (a clobberable counter would make the loop unbounded), and
+# x0 is x0.
+_INT_REGS = ("x5", "x6", "x7", "x12", "x13", "x14", "x28", "x29", "x30",
+             "x31")
+
+#: Dedicated loop-counter register, never handed to block emitters.
+_LOOP_REG = "x9"
+# f0-f2 are SSR stream heads; f3+ is general-purpose.
+_FP_REGS = ("f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f28")
+
+_ALU_RR = ("add", "sub", "and", "or", "xor", "slt", "sltu", "mul", "mulh")
+_ALU_SHIFT = ("sll", "srl", "sra")
+_ALU_RI = ("addi", "andi", "ori", "xori", "slti", "sltiu")
+_ALU_SHIFT_I = ("slli", "srli", "srai")
+_DIV = ("div", "divu", "rem", "remu")
+_LOADS = ("lw", "lh", "lhu", "lb", "lbu")
+_STORES = ("sw", "sh", "sb")
+_BRANCHES = ("beq", "bne", "blt", "bge", "bltu", "bgeu")
+_FP2 = ("fadd.d", "fsub.d", "fmul.d", "fmin.d", "fmax.d", "fsgnj.d",
+        "fsgnjn.d", "fsgnjx.d")
+_FP3 = ("fmadd.d", "fmsub.d", "fnmadd.d", "fnmsub.d")
+_ALIGN = {"lw": 4, "lh": 2, "lhu": 2, "lb": 1, "lbu": 1,
+          "sw": 4, "sh": 2, "sb": 1}
+
+
+@dataclass
+class FuzzCase:
+    """One self-contained differential test case (JSON round-trippable)."""
+
+    seed: int
+    #: TimingParams overrides (subset of field name -> value).
+    params: Dict[str, int] = field(default_factory=dict)
+    #: One assembly source per core.
+    sources: Tuple[str, ...] = ()
+    #: f64 words written at the base of each core's TCDM window.
+    mem_words: Tuple[float, ...] = ()
+    #: DMA transfer descriptors enqueued before the run (field dicts).
+    dma: Tuple[Dict[str, int], ...] = ()
+    max_cycles: int = 200_000
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "params": dict(self.params),
+            "sources": list(self.sources),
+            "mem_words": list(self.mem_words),
+            "dma": [dict(d) for d in self.dma],
+            "max_cycles": self.max_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FuzzCase":
+        return cls(
+            seed=int(payload["seed"]),
+            params={str(k): int(v)
+                    for k, v in dict(payload.get("params", {})).items()},
+            sources=tuple(str(s) for s in payload.get("sources", ())),
+            mem_words=tuple(float(w)
+                            for w in payload.get("mem_words", ())),
+            dma=tuple({str(k): int(v) for k, v in dict(d).items()}
+                      for d in payload.get("dma", ())),
+            max_cycles=int(payload.get("max_cycles", 200_000)),
+        )
+
+
+class _ProgramBuilder:
+    """Accumulates one core's instructions with unique local labels."""
+
+    def __init__(self, rng: random.Random, num_streams: int) -> None:
+        self.rng = rng
+        self.lines: List[str] = []
+        self.num_streams = num_streams
+        self._label = 0
+
+    def label(self, stem: str) -> str:
+        self._label += 1
+        return f"{stem}_{self._label}"
+
+    def emit(self, line: str) -> None:
+        self.lines.append(line)
+
+    def __len__(self) -> int:
+        return sum(1 for line in self.lines if not line.endswith(":"))
+
+
+def _emit_prologue(b: _ProgramBuilder) -> None:
+    """x11 <- this core's private TCDM window base (tcdm_base + hart*4K)."""
+    b.emit("csrr x10, mhartid")
+    b.emit("slli x11, x10, 12")
+    b.emit("lui x10, 65536")  # 65536 << 12 == 0x1000_0000 == tcdm_base
+    b.emit("add x11, x11, x10")
+
+
+def _emit_alu(b: _ProgramBuilder) -> None:
+    rng = b.rng
+    kind = rng.randrange(6)
+    rd = rng.choice(_INT_REGS)
+    r1 = rng.choice(_INT_REGS)
+    r2 = rng.choice(_INT_REGS)
+    if kind == 0:
+        b.emit(f"li {rd}, {rng.randint(-2048, 2047)}")
+    elif kind == 1:
+        b.emit(f"{rng.choice(_ALU_RR)} {rd}, {r1}, {r2}")
+    elif kind == 2:
+        b.emit(f"{rng.choice(_ALU_SHIFT)} {rd}, {r1}, {r2}")
+    elif kind == 3:
+        b.emit(f"{rng.choice(_ALU_RI)} {rd}, {r1}, "
+               f"{rng.randint(-2048, 2047)}")
+    elif kind == 4:
+        b.emit(f"{rng.choice(_ALU_SHIFT_I)} {rd}, {r1}, {rng.randrange(32)}")
+    else:
+        b.emit(f"mv {rd}, {r1}")
+
+
+def _emit_div(b: _ProgramBuilder) -> None:
+    rng = b.rng
+    rd, r1, r2 = (rng.choice(_INT_REGS) for _ in range(3))
+    b.emit(f"li {r2}, {rng.choice([-7, -3, 1, 2, 3, 5, 7, 11])}")
+    b.emit(f"{rng.choice(_DIV)} {rd}, {r1}, {r2}")
+
+
+def _emit_mem(b: _ProgramBuilder) -> None:
+    rng = b.rng
+    op = rng.choice(_LOADS + _STORES)
+    align = _ALIGN[op]
+    offset = rng.randrange(0, CORE_WINDOW // 2, align)
+    reg = rng.choice(_INT_REGS)
+    b.emit(f"{op} {reg}, {offset}(x11)")
+
+
+def _emit_fp(b: _ProgramBuilder) -> None:
+    rng = b.rng
+    kind = rng.randrange(6)
+    rd = rng.choice(_FP_REGS)
+    r1 = rng.choice(_FP_REGS)
+    r2 = rng.choice(_FP_REGS)
+    r3 = rng.choice(_FP_REGS)
+    if kind == 0:
+        b.emit(f"fld {rd}, {rng.randrange(0, MEM_WORDS * 8, 8)}(x11)")
+    elif kind == 1:
+        # Stores land above the seeded-data words, inside imm12 range.
+        offset = rng.randrange(MEM_WORDS * 8, CORE_WINDOW // 2, 8)
+        b.emit(f"fsd {r1}, {offset}(x11)")
+    elif kind == 2:
+        b.emit(f"{rng.choice(_FP2)} {rd}, {r1}, {r2}")
+    elif kind == 3:
+        b.emit(f"{rng.choice(_FP3)} {rd}, {r1}, {r2}, {r3}")
+    elif kind == 4:
+        b.emit(f"{rng.choice(('fmv.d', 'fabs.d'))} {rd}, {r1}")
+    else:
+        b.emit(f"fcvt.d.w {rd}, {rng.choice(_INT_REGS)}")
+
+
+def _emit_loop(b: _ProgramBuilder) -> None:
+    rng = b.rng
+    top = b.label("loop")
+    b.emit(f"li {_LOOP_REG}, {rng.randint(1, 6)}")
+    b.emit(f"{top}:")
+    for _ in range(rng.randint(1, 3)):
+        _emit_alu(b)
+    b.emit(f"addi {_LOOP_REG}, {_LOOP_REG}, -1")
+    b.emit(f"bne {_LOOP_REG}, x0, {top}")
+
+
+def _emit_branch(b: _ProgramBuilder) -> None:
+    rng = b.rng
+    skip = b.label("skip")
+    r1 = rng.choice(_INT_REGS)
+    r2 = rng.choice(_INT_REGS)
+    b.emit(f"{rng.choice(_BRANCHES)} {r1}, {r2}, {skip}")
+    for _ in range(rng.randint(1, 2)):
+        _emit_alu(b)
+    b.emit(f"{skip}:")
+
+
+def _emit_jump(b: _ProgramBuilder) -> None:
+    rng = b.rng
+    over = b.label("over")
+    mnem = rng.choice(("j", "jal"))
+    if mnem == "jal":
+        b.emit(f"jal x1, {over}")
+    else:
+        b.emit(f"j {over}")
+    _emit_alu(b)
+    b.emit(f"{over}:")
+
+
+def _emit_frep(b: _ProgramBuilder) -> None:
+    rng = b.rng
+    reps = rng.choice(_INT_REGS)
+    body = rng.randint(1, 3)
+    b.emit(f"li {reps}, {rng.randint(1, 4)}")
+    b.emit(f"frep.o {reps}, {body}")
+    for _ in range(body):
+        rd = rng.choice(_FP_REGS)
+        r1 = rng.choice(_FP_REGS)
+        r2 = rng.choice(_FP_REGS)
+        if rng.random() < 0.5:
+            b.emit(f"{rng.choice(_FP2)} {rd}, {r1}, {r2}")
+        else:
+            r3 = rng.choice(_FP_REGS)
+            b.emit(f"{rng.choice(_FP3)} {rd}, {r1}, {r2}, {r3}")
+
+
+def _emit_ssr_affine(b: _ProgramBuilder) -> None:
+    """Affine read stream feeding an FREP accumulation (exact consumption)."""
+    rng = b.rng
+    dm = rng.randrange(b.num_streams)
+    elems = rng.randint(4, min(16, MEM_WORDS))
+    count = rng.choice(_INT_REGS)
+    stride = rng.choice(_INT_REGS)
+    acc = rng.choice(_FP_REGS)
+    b.emit(f"li {count}, {elems}")
+    b.emit(f"li {stride}, 8")
+    b.emit(f"ssr.cfg.dims {dm}, 1")
+    b.emit(f"ssr.cfg.bound {dm}, 0, {count}")
+    b.emit(f"ssr.cfg.stride {dm}, 0, {stride}")
+    b.emit(f"ssr.cfg.base {dm}, x11")
+    b.emit(f"ssr.cfg.write {dm}, 0")
+    b.emit("ssr.enable")
+    b.emit(f"ssr.start {dm}")
+    b.emit(f"frep.o {count}, 1")
+    b.emit(f"fadd.d {acc}, {acc}, f{dm}")
+    b.emit("ssr.barrier")
+    b.emit("ssr.disable")
+
+
+def _generate_source(rng: random.Random, num_streams: int) -> str:
+    b = _ProgramBuilder(rng, num_streams)
+    _emit_prologue(b)
+    emitters = [
+        (_emit_alu, 8), (_emit_div, 2), (_emit_mem, 5), (_emit_fp, 6),
+        (_emit_loop, 2), (_emit_branch, 3), (_emit_jump, 1),
+        (_emit_frep, 2), (_emit_ssr_affine, 2),
+    ]
+    choices = [fn for fn, weight in emitters for _ in range(weight)]
+    blocks = rng.randint(4, 10)
+    for _ in range(blocks):
+        if len(b) >= MAX_PROGRAM_LEN - 14:  # largest block is ~14 insts
+            break
+        rng.choice(choices)(b)
+    return "\n".join(b.lines) + "\n"
+
+
+def _generate_params(rng: random.Random) -> Dict[str, int]:
+    params: Dict[str, int] = {"num_cores": rng.choice((1, 2, 3, 4))}
+    for name, values in (
+        ("tcdm_banks", (8, 16, 32)),
+        ("tcdm_bank_width", (8,)),
+        ("branch_taken_penalty", (0, 1, 2)),
+        ("fpu_latency", (2, 3, 4)),
+        ("fpu_load_latency", (1, 2)),
+        ("div_latency", (4, 8)),
+        ("offload_queue_depth", (4, 8)),
+        ("frep_max_insts", (8, 16, 32)),
+        ("ssr_fifo_depth", (2, 4)),
+        ("ssr_data_movers", (2, 3)),
+        ("icache_line_insts", (4, 8, 16)),
+        ("icache_miss_penalty", (5, 12)),
+    ):
+        if rng.random() < 0.5:
+            params[name] = rng.choice(values)
+    return params
+
+
+def _generate_dma(rng: random.Random, num_cores: int
+                  ) -> Tuple[Dict[str, int], ...]:
+    """A couple of valid TCDM<->main-memory transfer descriptors."""
+    if rng.random() < 0.75:
+        return ()
+    tcdm_base = 0x1000_0000
+    main_base = 0x8000_0000
+    transfers = []
+    for _ in range(rng.randint(1, 2)):
+        inner = rng.choice((64, 128, 256))
+        reps = rng.randint(1, 4)
+        # Scratch area above every core window, so DMA never races the
+        # cores' own loads/stores.
+        scratch = tcdm_base + 16 * CORE_WINDOW
+        if rng.random() < 0.5:
+            src, dst = scratch, main_base + 4096
+        else:
+            src, dst = main_base + 4096, scratch
+        transfers.append({
+            "src": src, "dst": dst, "inner_bytes": inner,
+            "outer_reps": reps, "src_stride": inner, "dst_stride": inner,
+            "plane_reps": 1, "src_plane_stride": 0, "dst_plane_stride": 0,
+        })
+    return tuple(transfers)
+
+
+def generate_case(seed: int) -> FuzzCase:
+    """Deterministically generate one valid fuzz case from ``seed``."""
+    rng = random.Random(seed)
+    params = _generate_params(rng)
+    num_cores = params["num_cores"]
+    num_streams = params.get("ssr_data_movers", 3)
+    sources = tuple(_generate_source(rng, num_streams)
+                    for _ in range(num_cores))
+    mem_words = tuple(
+        round(rng.uniform(-8.0, 8.0), 6) for _ in range(MEM_WORDS))
+    dma = _generate_dma(rng, num_cores)
+    return FuzzCase(seed=seed, params=params, sources=sources,
+                    mem_words=mem_words, dma=dma)

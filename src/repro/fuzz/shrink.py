@@ -1,0 +1,139 @@
+"""Greedy delta-debugging shrinker for divergent fuzz cases.
+
+A raw divergent case carries up to four programs of ~60 instructions plus a
+memory image and DMA descriptors — far more than the triggering condition.
+The shrinker minimizes while preserving the divergence, in cheap-first
+order:
+
+1. drop whole cores,
+2. drop DMA descriptors,
+3. ddmin over each program's source lines (chunks halving down to single
+   lines),
+4. truncate then zero the seeded memory words.
+
+A candidate that fails to assemble or run (e.g. a removed label target) is
+simply *not a valid reduction* and is discarded; shrinking never needs the
+generator's invariants, only the divergence predicate.  The result is the
+smallest case this greedy pass can reach — typically a handful of lines —
+which is what gets checked into ``tests/fuzz_corpus/`` and pasted into bug
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Optional
+
+from repro.fuzz.generator import FuzzCase
+
+
+def _still_diverges(case: FuzzCase) -> bool:
+    """Divergence predicate; invalid candidates count as non-divergent."""
+    from repro.fuzz.harness import check_case
+
+    if not case.sources:
+        return False
+    try:
+        return bool(check_case(case))
+    except Exception:  # noqa: BLE001 - broken candidate, not a reduction
+        return False
+
+
+def _shrink_cores(case: FuzzCase,
+                  diverges: Callable[[FuzzCase], bool]) -> FuzzCase:
+    changed = True
+    while changed and len(case.sources) > 1:
+        changed = False
+        for index in range(len(case.sources)):
+            sources = case.sources[:index] + case.sources[index + 1:]
+            params = dict(case.params)
+            params["num_cores"] = len(sources)
+            candidate = replace(case, sources=sources, params=params)
+            if diverges(candidate):
+                case = candidate
+                changed = True
+                break
+    return case
+
+
+def _shrink_dma(case: FuzzCase,
+                diverges: Callable[[FuzzCase], bool]) -> FuzzCase:
+    changed = True
+    while changed and case.dma:
+        changed = False
+        for index in range(len(case.dma)):
+            candidate = replace(
+                case, dma=case.dma[:index] + case.dma[index + 1:])
+            if diverges(candidate):
+                case = candidate
+                changed = True
+                break
+    return case
+
+
+def _shrink_lines(case: FuzzCase, core: int,
+                  diverges: Callable[[FuzzCase], bool]) -> FuzzCase:
+    """ddmin over one core's source lines."""
+    lines = case.sources[core].splitlines()
+    chunk = max(1, len(lines) // 2)
+    while chunk >= 1:
+        start = 0
+        while start < len(lines):
+            candidate_lines = lines[:start] + lines[start + chunk:]
+            sources = (case.sources[:core]
+                       + ("\n".join(candidate_lines) + "\n",)
+                       + case.sources[core + 1:])
+            candidate = replace(case, sources=sources)
+            if diverges(candidate):
+                lines = candidate_lines
+                case = candidate
+                # Stay at the same start: the next chunk shifted into place.
+            else:
+                start += chunk
+        chunk //= 2
+    return case
+
+
+def _shrink_memory(case: FuzzCase,
+                   diverges: Callable[[FuzzCase], bool]) -> FuzzCase:
+    # Truncate from the tail, halving.
+    words = list(case.mem_words)
+    while words:
+        keep = len(words) // 2
+        candidate = replace(case, mem_words=tuple(words[:keep]))
+        if diverges(candidate):
+            words = words[:keep]
+        else:
+            break
+    case = replace(case, mem_words=tuple(words))
+    # Zero whatever survives, one word at a time.
+    for index, word in enumerate(words):
+        if word == 0.0:
+            continue
+        zeroed = words[:index] + [0.0] + words[index + 1:]
+        candidate = replace(case, mem_words=tuple(zeroed))
+        if diverges(candidate):
+            words = zeroed
+            case = candidate
+    return case
+
+
+def shrink_case(case: FuzzCase,
+                diverges: Optional[Callable[[FuzzCase], bool]] = None
+                ) -> FuzzCase:
+    """Minimize ``case`` while the divergence predicate stays true.
+
+    ``diverges`` defaults to re-running the case on both engines and
+    diffing full state; tests may inject a cheaper predicate.  If the
+    input does not satisfy the predicate it is returned unchanged.
+    """
+    if diverges is None:
+        diverges = _still_diverges
+    if not diverges(case):
+        return case
+    case = _shrink_cores(case, diverges)
+    case = _shrink_dma(case, diverges)
+    for core in range(len(case.sources)):
+        case = _shrink_lines(case, core, diverges)
+    case = _shrink_memory(case, diverges)
+    return case

@@ -180,6 +180,23 @@ class KernelRunResult:
             }
         return payload
 
+    def metrics_hash(self) -> str:
+        """Content hash of the result's *metrics* identity.
+
+        Excludes the informational ``engine`` field: the native and Python
+        engines are bit-identical, so a job that degraded to the forced
+        Python engine must hash the same as its healthy native run — this
+        is the property that makes degraded results safely cacheable and
+        comparable.
+        """
+        import hashlib as _hashlib
+        import json as _json
+
+        payload = self.to_json_dict()
+        payload.pop("engine", None)
+        canonical = _json.dumps(payload, sort_keys=True)
+        return _hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
     @classmethod
     def from_json_dict(cls, payload: Dict[str, object]) -> "KernelRunResult":
         """Rebuild a result (without cluster detail) from its JSON payload."""

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import shlex
 import subprocess
 import sys
 import tempfile
@@ -50,20 +51,94 @@ import numpy as np
 ENGINE_ENV_VAR = "REPRO_ENGINE"
 NATIVE_DIR_ENV_VAR = "REPRO_NATIVE_DIR"
 
+#: Extra compiler flags appended to the mandatory base set, e.g.
+#: ``REPRO_NATIVE_CFLAGS="-fsanitize=address,undefined -g"`` for an
+#: instrumented build.  Folded into the compile-cache key, so sanitized and
+#: plain builds coexist side by side.
+CFLAGS_ENV_VAR = "REPRO_NATIVE_CFLAGS"
+
+#: Hard cycle ceiling for native runs, independent of each run's
+#: ``max_cycles`` budget (0 / unset = disabled).  A run that exceeds it
+#: raises :class:`NativeEngineError` (code ``watchdog``) instead of spinning
+#: until the much larger deadlock budget — the supervisor's defense against
+#: runaway native programs.
+WATCHDOG_ENV_VAR = "REPRO_NATIVE_WATCHDOG"
+
+#: Mutation self-test hook: any non-empty value makes :func:`execute`
+#: deliberately perturb one piece of post-run state (core 0's retired
+#: instruction counter) after every *successful* native run.  Exists solely
+#: to prove the differential fuzz harness catches real divergences; never
+#: set it outside tests.
+CORRUPT_ENV_VAR = "REPRO_NATIVE_CORRUPT"
+
 _SOURCE_PATH = Path(__file__).resolve().parent / "engine.c"
 
-#: Extra compiler flags.  -ffp-contract=off and -fno-fast-math are REQUIRED
-#: for bit-identical floating point (CPython never fuses a*b+c).
+#: Mandatory compiler flags.  -ffp-contract=off and -fno-fast-math are
+#: REQUIRED for bit-identical floating point (CPython never fuses a*b+c).
 _CFLAGS = ("-O2", "-fPIC", "-shared", "-fno-fast-math", "-ffp-contract=off",
            "-fwrapv")
 
-_ABI_VERSION = 2
+_ABI_VERSION = 3
+
+#: Handshake magic stamped on every NatCluster before nat_run ("NAT3").
+_MAGIC = 0x4E415433
 
 # error codes (keep in sync with engine.c)
 _ERR_MAX_CYCLES = 1
 _ERR_MEM_RANGE = 2
 _ERR_SSR_MISUSE = 3
 _ERR_INTERNAL = 4
+_ERR_HANDSHAKE = 5
+_ERR_DECODE = 6
+_ERR_BOUNDS = 7
+_ERR_WATCHDOG = 8
+
+#: Error-code taxonomy (documented in the README's robustness section).
+#: ``max_cycles`` / ``mem_range`` / ``ssr_misuse`` have authentic Python-
+#: engine counterparts and keep raising the matching model exception types;
+#: the rest are guard-level faults raised as :class:`NativeEngineError`.
+ERROR_NAMES = {
+    _ERR_MAX_CYCLES: "max_cycles",
+    _ERR_MEM_RANGE: "mem_range",
+    _ERR_SSR_MISUSE: "ssr_misuse",
+    _ERR_INTERNAL: "internal",
+    _ERR_HANDSHAKE: "handshake",
+    _ERR_DECODE: "decode",
+    _ERR_BOUNDS: "bounds",
+    _ERR_WATCHDOG: "watchdog",
+}
+
+
+class NativeEngineError(RuntimeError):
+    """Structured fault from the native engine's defense-in-depth guards.
+
+    Raised for error codes with no Python-engine counterpart: a failed ABI
+    handshake, a corrupt decoded program table, an out-of-bounds internal
+    access caught by a runtime guard, the cycle-budget watchdog, or an
+    internal invariant violation.  The supervised sweep executor maps this
+    to ``JobFailure(kind="native_fault")`` and retries the job once under
+    the forced Python engine — in-band, without a pool respawn.
+
+    Attributes: ``code`` (numeric), ``name`` (taxonomy key from
+    :data:`ERROR_NAMES`), ``hart`` (faulting core, -1 if unattributable),
+    ``pc`` (faulting decoded-program index, -1 likewise) and ``addr``.
+    """
+
+    def __init__(self, code: int, name: str, hart: int = -1, pc: int = -1,
+                 addr: int = 0) -> None:
+        parts = [f"native engine fault [{name}] (code {code})"]
+        if hart >= 0:
+            parts.append(f"core {hart}")
+        if pc >= 0:
+            parts.append(f"pc {pc}")
+        if addr:
+            parts.append(f"addr 0x{addr:08x}")
+        super().__init__(", ".join(parts))
+        self.code = int(code)
+        self.name = name
+        self.hart = int(hart)
+        self.pc = int(pc)
+        self.addr = int(addr)
 
 # decoded-program columns (keep in sync with engine.c)
 _NCOL = 12
@@ -157,21 +232,74 @@ def _find_compiler() -> Optional[str]:
     return None
 
 
+def effective_cflags() -> Tuple[str, ...]:
+    """Mandatory flags plus any ``REPRO_NATIVE_CFLAGS`` extras (in order)."""
+    extra = os.environ.get(CFLAGS_ENV_VAR, "").strip()
+    if not extra:
+        return _CFLAGS
+    return _CFLAGS + tuple(shlex.split(extra))
+
+
+_CC_IDENTITY_CACHE: Dict[str, str] = {}
+
+
+def _compiler_version(cc: str) -> str:
+    """Raw ``cc --version`` output (best effort; never raises)."""
+    try:
+        proc = subprocess.run([cc, "--version"], capture_output=True,
+                              timeout=10)
+        return proc.stdout.decode(errors="replace")
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def _compiler_identity(cc: str) -> str:
+    """Short digest of the toolchain: compiler name + full version output.
+
+    Part of the compile-cache key, so upgrading the toolchain (or switching
+    ``$CC``) can never silently reuse a shared object produced by a
+    different compiler — the classic stale-``.so`` footgun.
+    """
+    ident = _CC_IDENTITY_CACHE.get(cc)
+    if ident is None:
+        ident = hashlib.sha256(
+            (cc + "\x00" + _compiler_version(cc)).encode()).hexdigest()[:8]
+        _CC_IDENTITY_CACHE[cc] = ident
+    return ident
+
+
 def _build_library(source: str, digest: str) -> Optional[Path]:
-    """Compile the engine into the shared cache, once per content hash."""
-    filename = f"engine-{digest}-py{sys.version_info[0]}{sys.version_info[1]}.so"
+    """Compile the engine into the shared cache, once per content hash.
+
+    ``digest`` covers the C source and the effective compiler flags; the
+    file name additionally carries the compiler identity, so any change to
+    source, flags, or toolchain lands in a fresh ``.so``.  Without a
+    compiler, any previously built library for this exact source + flags is
+    accepted regardless of which toolchain produced it (bit-identical by
+    construction, and better than losing the native engine entirely).
+    """
+    pytag = f"py{sys.version_info[0]}{sys.version_info[1]}"
     candidates = [_cache_dir()]
     uid = os.getuid() if hasattr(os, "getuid") else 0
     fallback = Path(tempfile.gettempdir()) / f"repro-native-{uid}"
     if fallback not in candidates:
         candidates.append(fallback)
+    cc = _find_compiler()
+    if cc is None:
+        for directory in candidates:
+            try:
+                hits = sorted(directory.glob(f"engine-{digest}-*-{pytag}.so"))
+            except OSError:
+                continue
+            if hits:
+                return hits[0]
+        return None
+    filename = f"engine-{digest}-{_compiler_identity(cc)}-{pytag}.so"
     for directory in candidates:
         so_path = directory / filename
         if so_path.exists():
             return so_path
-    cc = _find_compiler()
-    if cc is None:
-        return None
+    flags = effective_cflags()
     for directory in candidates:
         try:
             directory.mkdir(parents=True, exist_ok=True)
@@ -182,7 +310,7 @@ def _build_library(source: str, digest: str) -> Optional[Path]:
         tmp_path = directory / f"{filename}.tmp{os.getpid()}"
         try:
             src_path.write_text(source)
-            subprocess.run([cc, *_CFLAGS, "-o", str(tmp_path), str(src_path)],
+            subprocess.run([cc, *flags, "-o", str(tmp_path), str(src_path)],
                            check=True, capture_output=True, timeout=120)
             os.replace(tmp_path, so_path)
             return so_path
@@ -213,7 +341,7 @@ def _load_engine():
     try:
         source = _SOURCE_PATH.read_text()
         digest = hashlib.sha256(
-            (source + repr(_CFLAGS)).encode()).hexdigest()[:16]
+            (source + repr(effective_cflags())).encode()).hexdigest()[:16]
         so_path = _build_library(source, digest)
         if so_path is None:
             _DISABLED_REASON = "no C compiler available"
@@ -277,6 +405,30 @@ def disabled_reason() -> Optional[str]:
     """Why the native engine is unavailable (``None`` when it is available)."""
     _load_engine()
     return _DISABLED_REASON
+
+
+def build_info() -> Dict[str, object]:
+    """One-stop diagnostics for ``repro doctor``: build + load status."""
+    cc = _find_compiler()
+    info: Dict[str, object] = {
+        "compiler": cc,
+        "compiler_version": (_compiler_version(cc).splitlines() or [""])[0]
+        if cc else None,
+        "cflags": list(effective_cflags()),
+        "abi_version": _ABI_VERSION,
+        "cache_dir": str(_cache_dir()),
+        "available": available(),
+        "disabled_reason": disabled_reason(),
+        "watchdog_cycles": _watchdog_cycles(),
+        "run_stats": dict(run_stats),
+    }
+    try:
+        source = _SOURCE_PATH.read_text()
+        info["source_digest"] = hashlib.sha256(
+            (source + repr(effective_cflags())).encode()).hexdigest()[:16]
+    except OSError:
+        info["source_digest"] = None
+    return info
 
 
 def python_forced() -> bool:
@@ -552,7 +704,48 @@ def _cluster_eligible(cluster) -> bool:
     return True
 
 
-def execute(cluster, max_cycles: int, wait_for_dma: bool = True) -> Optional[int]:
+def _watchdog_cycles(explicit: Optional[int] = None) -> int:
+    """Resolve the hard cycle ceiling (explicit arg beats env; 0 = off)."""
+    if explicit is not None:
+        return max(int(explicit), 0)
+    raw = os.environ.get(WATCHDOG_ENV_VAR, "").strip()
+    if not raw:
+        return 0
+    try:
+        return max(int(raw), 0)
+    except ValueError:
+        return 0
+
+
+def corruption_active() -> bool:
+    """Whether the mutation self-test hook (``REPRO_NATIVE_CORRUPT``) is on."""
+    return bool(os.environ.get(CORRUPT_ENV_VAR, "").strip())
+
+
+class corrupted:
+    """Context manager enabling the mutation self-test hook in-process.
+
+    Equivalent to setting ``REPRO_NATIVE_CORRUPT=1`` for the dynamic extent
+    of the block: every successful native run afterwards perturbs core 0's
+    retired-instruction counter by one, which the differential fuzz harness
+    must detect as a divergence and shrink.
+    """
+
+    def __enter__(self):
+        self._prev = os.environ.get(CORRUPT_ENV_VAR)
+        os.environ[CORRUPT_ENV_VAR] = "1"
+        return self
+
+    def __exit__(self, *exc):
+        if self._prev is None:
+            os.environ.pop(CORRUPT_ENV_VAR, None)
+        else:
+            os.environ[CORRUPT_ENV_VAR] = self._prev
+        return False
+
+
+def execute(cluster, max_cycles: int, wait_for_dma: bool = True,
+            watchdog: Optional[int] = None) -> Optional[int]:
     """Run ``cluster`` natively; returns the final cycle or ``None``.
 
     ``None`` means the configuration is not native-eligible and the caller
@@ -560,6 +753,10 @@ def execute(cluster, max_cycles: int, wait_for_dma: bool = True) -> Optional[int
     memories and statistics are updated exactly as the Python engine would
     have left them; the caller still settles ``tcdm.cycles`` and
     ``cluster.cycle`` from the returned value (mirroring the Python path).
+
+    ``watchdog`` (or ``REPRO_NATIVE_WATCHDOG``) sets a hard cycle ceiling
+    independent of ``max_cycles``; exceeding it raises
+    :class:`NativeEngineError` with the ``watchdog`` code.
     """
     if _FORCED_PYTHON:
         run_stats["fallback"] += 1
@@ -579,6 +776,9 @@ def execute(cluster, max_cycles: int, wait_for_dma: bool = True) -> Optional[int
     ccores = ffi.new("NatCore[]", num_cores)
     keep_alive: List[object] = [ccores]
 
+    cl.magic = _MAGIC
+    cl.abi = _ABI_VERSION
+    cl.watchdog = _watchdog_cycles(watchdog)
     cl.num_cores = num_cores
     cl.num_banks = params.tcdm_banks
     cl.bank_width = params.tcdm_bank_width
@@ -687,11 +887,21 @@ def execute(cluster, max_cycles: int, wait_for_dma: bool = True) -> Optional[int
     dma.transfers_completed = int(cl.dma_completed)
 
     if rc == 0:
+        if corruption_active():
+            # Mutation self-test: a one-bit lie in the architectural state,
+            # exactly what a real native-engine bug would look like.  The
+            # fuzz harness must flag and shrink it.
+            cores[0].int_retired += 1
         return int(final_cycle)
-    # Error paths: settle the cycle counters (as the Python engine does
-    # before raising) and raise the matching exception type.
-    cluster.tcdm.cycles += int(final_cycle) - cluster.cycle
-    cluster.cycle = int(final_cycle)
+    # Error paths.  For faults with a Python-engine counterpart (plus the
+    # watchdog, which fires mid-run with a meaningful cycle count) settle
+    # the cycle counters exactly as the Python engine does before raising.
+    # Handshake/decode faults abort before the run loop starts; their
+    # cl.cycle is not meaningful, so the cluster is left untouched.
+    if rc in (_ERR_MAX_CYCLES, _ERR_MEM_RANGE, _ERR_SSR_MISUSE,
+              _ERR_WATCHDOG):
+        cluster.tcdm.cycles += int(final_cycle) - cluster.cycle
+        cluster.cycle = int(final_cycle)
     if rc == _ERR_MAX_CYCLES:
         from repro.snitch.cluster import ClusterError
 
@@ -712,9 +922,10 @@ def execute(cluster, max_cycles: int, wait_for_dma: bool = True) -> Optional[int
 
         raise SsrConfigError("data mover configured or used inconsistently "
                              "(native engine)")
-    from repro.snitch.core import SimulationError
-
-    raise SimulationError(f"native engine internal error (code {rc})")
+    # Guard-level faults: structured error the supervisor can route.
+    raise NativeEngineError(
+        int(rc), ERROR_NAMES.get(int(rc), "unknown"),
+        hart=int(cl.err_hart), pc=int(cl.err_pc), addr=int(cl.err_addr))
 
 
 def _pack_core(ffi, cl, co, core, lines, keep_alive):

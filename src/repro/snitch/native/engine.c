@@ -90,11 +90,18 @@ typedef struct {
 } NatDmaTransfer;
 
 typedef struct {
+    /* ABI handshake: the caller stamps both fields before every nat_run
+     * call; a mismatch returns NAT_HANDSHAKE instead of reading a struct
+     * whose layout the two sides disagree about. */
+    int64_t magic, abi;
     int64_t num_cores, num_banks, bank_width, tcdm_base, tcdm_size;
     int64_t line_insts, miss_penalty, branch_penalty;
     int64_t fpu_latency, fpu_load_latency, offload_depth, frep_max;
     int64_t num_streams, fifo_depth, div_latency;
     int64_t start_cycle, max_cycles;
+    /* Hard cycle ceiling independent of max_cycles (0 = disabled): a
+     * runaway run returns NAT_WATCHDOG instead of spinning. */
+    int64_t watchdog;
     uint8_t *tcdm;
     NatCore *cores;
     /* cluster DMA engine (mirrors DmaEngine's countdown + bulk copy) */
@@ -130,8 +137,15 @@ int64_t nat_sizeof_dma(void);
 #define NAT_MEM_RANGE   2
 #define NAT_SSR_MISUSE  3
 #define NAT_INTERNAL    4
+#define NAT_HANDSHAKE   5
+#define NAT_DECODE      6
+#define NAT_BOUNDS      7
+#define NAT_WATCHDOG    8
 
-#define NAT_ABI_VERSION 2
+#define NAT_ABI_VERSION 3
+
+/* "NAT" + ABI digit, stamped by the Python caller before every nat_run. */
+#define NAT_MAGIC       0x4E415433ll
 
 /* decoded-program columns (mirrored in repro.snitch.native._decode) */
 #define NCOL 12
@@ -206,6 +220,19 @@ int64_t nat_sizeof_cluster(void) { return (int64_t)sizeof(NatCluster); }
 int64_t nat_sizeof_dma(void) { return (int64_t)sizeof(NatDmaTransfer); }
 
 /* ---- helpers ----------------------------------------------------------- */
+
+/* Record the first error with its faulting location; later errors in the
+ * same run never overwrite the original fault. */
+static void nat_fail(NatCluster *cl, int64_t code, int64_t hart, int64_t pc,
+                     int64_t addr)
+{
+    if (cl->err)
+        return;
+    cl->err = code;
+    cl->err_hart = hart;
+    cl->err_pc = pc;
+    cl->err_addr = addr;
+}
 
 static inline int64_t floordiv64(int64_t a, int64_t b)
 {
@@ -331,7 +358,6 @@ static void tick_write(NatCluster *cl, NatCore *co, NatMover *m,
 {
     int64_t pos, addr, bank;
     double value;
-    (void)co;
     if (!m->fifo_len || m->affine_remaining <= 0) {
         m->active = 0;
         return;
@@ -350,8 +376,7 @@ static void tick_write(NatCluster *cl, NatCore *co, NatMover *m,
     cl->tcdm_granted += 1;
     value = fifo_pop(m);
     if (!mem_write_f64(cl, addr, value)) {
-        cl->err = NAT_MEM_RANGE;
-        cl->err_addr = addr;
+        nat_fail(cl, NAT_MEM_RANGE, co->hart_id, co->pc, addr);
         return;
     }
     m->seq_pos = pos + 1;
@@ -364,13 +389,14 @@ static void tick_write(NatCluster *cl, NatCore *co, NatMover *m,
     }
 }
 
-static void fetch_index_word(NatCluster *cl, NatMover *m, uint64_t *busy)
+static void fetch_index_word(NatCluster *cl, NatCore *co, NatMover *m,
+                             uint64_t *busy)
 {
     int64_t pos0 = m->idx_pos + m->idxq_len;
     int64_t byte0, word_addr, bank, p;
     if (pos0 >= m->idx_count) {
         /* The Python engine would fault indexing an empty word schedule. */
-        cl->err = NAT_INTERNAL;
+        nat_fail(cl, NAT_INTERNAL, co->hart_id, co->pc, 0);
         return;
     }
     byte0 = m->idx_base + pos0 * m->idx_size;
@@ -392,8 +418,13 @@ static void fetch_index_word(NatCluster *cl, NatMover *m, uint64_t *busy)
             break;
         off = byte - cl->tcdm_base;
         if (off < 0 || off + m->idx_size > cl->tcdm_size) {
-            cl->err = NAT_MEM_RANGE;
-            cl->err_addr = byte;
+            nat_fail(cl, NAT_MEM_RANGE, co->hart_id, co->pc, byte);
+            return;
+        }
+        if (m->idxq_len >= 8) {
+            /* The index queue ring holds at most one 8-byte word's worth of
+             * entries; overflowing it would silently wrap the ring. */
+            nat_fail(cl, NAT_BOUNDS, co->hart_id, co->pc, byte);
             return;
         }
         if (m->idx_size == 2) {
@@ -419,7 +450,6 @@ static void tick_read_indirect(NatCluster *cl, NatCore *co, NatMover *m,
     int64_t addr, bank, off;
     double value;
     int bad = 0;
-    (void)co;
     if (m->fifo_len >= cl->fifo_depth)
         return;
     if (m->remaining <= 0) {
@@ -427,7 +457,7 @@ static void tick_read_indirect(NatCluster *cl, NatCore *co, NatMover *m,
         return;
     }
     if (!m->idxq_len) {
-        fetch_index_word(cl, m, busy);
+        fetch_index_word(cl, co, m, busy);
         return;
     }
     addr = m->idxq_addr[m->idxq_head];
@@ -447,8 +477,7 @@ static void tick_read_indirect(NatCluster *cl, NatCore *co, NatMover *m,
     (void)off;
     value = mem_read_f64(cl, addr, &bad);
     if (bad) {
-        cl->err = NAT_MEM_RANGE;
-        cl->err_addr = addr;
+        nat_fail(cl, NAT_MEM_RANGE, co->hart_id, co->pc, addr);
         return;
     }
     fifo_push(m, value);
@@ -464,7 +493,6 @@ static void tick_read_affine(NatCluster *cl, NatCore *co, NatMover *m,
     int64_t remaining, addr, bank;
     double value;
     int bad = 0;
-    (void)co;
     if (m->fifo_len >= cl->fifo_depth)
         return;
     remaining = m->affine_remaining;
@@ -485,8 +513,7 @@ static void tick_read_affine(NatCluster *cl, NatCore *co, NatMover *m,
     cl->tcdm_granted += 1;
     value = mem_read_f64(cl, addr, &bad);
     if (bad) {
-        cl->err = NAT_MEM_RANGE;
-        cl->err_addr = addr;
+        nat_fail(cl, NAT_MEM_RANGE, co->hart_id, co->pc, addr);
         return;
     }
     fifo_push(m, value);
@@ -553,6 +580,7 @@ static int fp_issue(NatCluster *cl, NatCore *co, const int64_t *I,
     int ns = 0;
     int64_t num_streams = cl->num_streams;
     int enabled = (int)co->ssr_enabled;
+    int64_t fault_pc = (I - co->prog) / NCOL;
     int i;
 
     if (kind <= FP_FNMSUB) {
@@ -587,8 +615,7 @@ static int fp_issue(NatCluster *cl, NatCore *co, const int64_t *I,
         co->issued_mem += 1;
         off = addr - cl->tcdm_base;
         if (off < 0 || off > cl->tcdm_size - 8) {
-            cl->err = NAT_MEM_RANGE;
-            cl->err_addr = addr;
+            nat_fail(cl, NAT_MEM_RANGE, co->hart_id, fault_pc, addr);
             return 1;
         }
         memcpy(&value, cl->tcdm + off, 8);
@@ -630,10 +657,8 @@ static int fp_issue(NatCluster *cl, NatCore *co, const int64_t *I,
         co->issued_mem += 1;
         value = (enabled && streamable) ? fifo_pop(&co->movers[r2])
                                         : co->fregs[r2];
-        if (!mem_write_f64(cl, addr, value)) {
-            cl->err = NAT_MEM_RANGE;
-            cl->err_addr = addr;
-        }
+        if (!mem_write_f64(cl, addr, value))
+            nat_fail(cl, NAT_MEM_RANGE, co->hart_id, fault_pc, addr);
         return 1;
     }
 
@@ -843,8 +868,7 @@ static void int_execute(NatCluster *cl, NatCore *co, int64_t pc,
         width = (op == OP_LOAD) ? (sub == 0 ? 4 : (sub <= 2 ? 2 : 1))
                                 : (sub == 0 ? 4 : (sub == 1 ? 2 : 1));
         if (off < 0 || off + width > cl->tcdm_size) {
-            cl->err = NAT_MEM_RANGE;
-            cl->err_addr = addr;
+            nat_fail(cl, NAT_MEM_RANGE, co->hart_id, pc, addr);
             return;
         }
         if (op == OP_LOAD) {
@@ -1029,7 +1053,7 @@ static void int_execute(NatCluster *cl, NatCore *co, int64_t pc,
         switch (op) {
         case OP_CFG_IDX:
             if (!m->indirect_capable) {
-                cl->err = NAT_SSR_MISUSE;
+                nat_fail(cl, NAT_SSR_MISUSE, co->hart_id, pc, 0);
                 return;
             }
             m->cfg_indirect = 1;
@@ -1061,7 +1085,7 @@ static void int_execute(NatCluster *cl, NatCore *co, int64_t pc,
                 return;
             }
             if (!m->cfg_indirect) {
-                cl->err = NAT_SSR_MISUSE;
+                nat_fail(cl, NAT_SSR_MISUSE, co->hart_id, pc, 0);
                 return;
             }
             fold_progress(m);
@@ -1075,7 +1099,7 @@ static void int_execute(NatCluster *cl, NatCore *co, int64_t pc,
             break;
         case OP_START:
             if (m->cfg_indirect && !m->cfg_write) {
-                cl->err = NAT_SSR_MISUSE;
+                nat_fail(cl, NAT_SSR_MISUSE, co->hart_id, pc, 0);
                 return;
             }
             if (m->cfg_write
@@ -1094,7 +1118,7 @@ static void int_execute(NatCluster *cl, NatCore *co, int64_t pc,
                 co->any_active = 1;
             break;
         default:
-            cl->err = NAT_INTERNAL;
+            nat_fail(cl, NAT_INTERNAL, co->hart_id, pc, 0);
             return;
         }
         co->int_retired += 1;
@@ -1131,7 +1155,7 @@ static void int_step(NatCluster *cl, NatCore *co, int64_t cycle,
                 cl->miss_log[cl->miss_log_len++] =
                     co->hart_id * (1ll << 48) + line;
             else
-                cl->err = NAT_INTERNAL;
+                nat_fail(cl, NAT_BOUNDS, co->hart_id, pc, 0);
             co->st_icache += cl->miss_penalty;
             co->stall_until = cycle + cl->miss_penalty;
             return;
@@ -1170,8 +1194,7 @@ static int dma_copy(NatCluster *cl, const NatDmaTransfer *t)
             uint8_t *sp = dma_resolve(cl, src, t->inner_bytes);
             uint8_t *dp = dma_resolve(cl, dst, t->inner_bytes);
             if (!sp || !dp) {
-                cl->err = NAT_MEM_RANGE;
-                cl->err_addr = sp ? dst : src;
+                nat_fail(cl, NAT_MEM_RANGE, -1, -1, sp ? dst : src);
                 return 0;
             }
             /* The Python engine copies the source out before writing, so
@@ -1208,15 +1231,141 @@ static void dma_tick(NatCluster *cl)
     cl->dma_busy_cycles += 1;
 }
 
+/* ---- entry validation --------------------------------------------------- */
+
+/* One decoded program row: register indices, opcode, and every statically
+ * known jump/branch/body target must be in range before the run loop may
+ * trust them as array indices.  Catches corrupt or stale decode tables. */
+static int row_ok(const NatCluster *cl, const NatCore *co, int64_t pc)
+{
+    const int64_t *I = co->prog + pc * NCOL;
+    int64_t op = I[C_OP], tgt = I[C_TGT], plen = co->plen;
+    if (I[C_RD] < -1 || I[C_RD] > 31
+            || I[C_RS1] < 0 || I[C_RS1] > 31
+            || I[C_RS2] < 0 || I[C_RS2] > 31
+            || I[C_RS3] < 0 || I[C_RS3] > 31)
+        return 0;
+    switch (op) {
+    case OP_RETIRE: case OP_ALU_RR: case OP_ALU_RI: case OP_LI:
+    case OP_AUIPC: case OP_MV: case OP_LOAD: case OP_STORE: case OP_CSRR:
+    case OP_DIV: case OP_SSR_ENABLE: case OP_SSR_DISABLE:
+    case OP_SSR_BARRIER:
+        return 1;
+    case OP_BRANCH:
+        return tgt >= 0 && tgt <= plen;
+    case OP_JUMP:
+        if (I[C_A0] == 2)
+            return 1;  /* jalr: target comes from a register, wrapped u32 */
+        return (I[C_A0] == 0 || I[C_A0] == 1) && tgt >= 0 && tgt <= plen;
+    case OP_FREP: {
+        int64_t body = I[C_IMM], b;
+        if (body < 0 || tgt != pc + 1 + body || tgt > plen)
+            return 0;
+        for (b = pc + 1; b < tgt; b++)
+            if (co->prog[b * NCOL + C_OP] != OP_FP)
+                return 0;
+        return 1;
+    }
+    case OP_FP: {
+        int64_t kind = I[C_A0];
+        return (kind >= FP_FMADD && kind <= FP_FNMSUB)
+               || (kind >= FP_FADD && kind <= FP_FSGNJX)
+               || kind == FP_FMV || kind == FP_FABS || kind == FP_FCVT
+               || kind == FP_FLD || kind == FP_FSD;
+    }
+    case OP_CFG_IDX: case OP_CFG_BASE: case OP_CFG_WRITE:
+    case OP_LAUNCH: case OP_START:
+        return I[C_IMM] >= 0 && I[C_IMM] < cl->num_streams;
+    case OP_CFG_IDXSIZE:
+        return I[C_IMM] >= 0 && I[C_IMM] < cl->num_streams
+               && (I[C_IMM2] == 2 || I[C_IMM2] == 4);
+    case OP_CFG_DIMS:
+        return I[C_IMM] >= 0 && I[C_IMM] < cl->num_streams
+               && I[C_IMM2] >= 1 && I[C_IMM2] <= 4;
+    case OP_CFG_BOUND: case OP_CFG_STRIDE:
+        return I[C_IMM] >= 0 && I[C_IMM] < cl->num_streams
+               && I[C_IMM2] >= 0 && I[C_IMM2] < 4;
+    default:
+        return 0;
+    }
+}
+
+/* Whole-cluster validation at run entry: parameters within the folds the
+ * engine was built for, non-NULL shared buffers, every decoded row sane.
+ * Cheap (one linear scan of the program tables) next to any real run. */
+static int64_t nat_validate(NatCluster *cl)
+{
+    int64_t i, pc, dm;
+    if (cl->num_cores < 1 || cl->num_cores > 64
+            || cl->num_banks < 1 || cl->num_banks > 64
+            || cl->bank_width < 1 || cl->tcdm_size < 0
+            || !cl->tcdm || !cl->cores
+            || cl->line_insts < 1
+            || cl->num_streams < 1 || cl->num_streams > 4
+            || cl->fifo_depth < 1 || cl->fifo_depth > 63
+            || cl->offload_depth < 1 || cl->offload_depth > 63
+            || cl->max_cycles < 0
+            || cl->miss_log_cap < 0
+            || (cl->miss_log_cap > 0 && !cl->miss_log)
+            || (cl->dma_queue_len > 0
+                && (!cl->dma_queue || cl->dma_bus_bytes < 1))) {
+        nat_fail(cl, NAT_HANDSHAKE, -1, -1, 0);
+        return cl->err;
+    }
+    for (i = 0; i < cl->num_cores; i++) {
+        const NatCore *co = &cl->cores[i];
+        if (!co->prog || !co->resident || !co->line_present
+                || co->plen < 0 || co->pc < 0
+                || co->q_len < 0 || co->q_len > 63
+                || co->q_head < 0 || co->q_head > 63) {
+            nat_fail(cl, NAT_DECODE, co->hart_id, co->pc, 0);
+            return cl->err;
+        }
+        for (dm = 0; dm < cl->num_streams; dm++) {
+            const NatMover *m = &co->movers[dm];
+            if (m->fifo_len < 0 || m->fifo_len > 64
+                    || m->fifo_head < 0 || m->fifo_head > 63
+                    || m->idxq_len < 0 || m->idxq_len > 8
+                    || m->idxq_head < 0 || m->idxq_head > 7
+                    || m->dims < 0 || m->dims > 4) {
+                nat_fail(cl, NAT_DECODE, co->hart_id, co->pc, 0);
+                return cl->err;
+            }
+        }
+        for (pc = 0; pc < co->plen; pc++) {
+            if (!row_ok(cl, co, pc)) {
+                nat_fail(cl, NAT_DECODE, co->hart_id, pc, 0);
+                return cl->err;
+            }
+        }
+    }
+    return NAT_OK;
+}
+
 /* ---- main run loop (mirrors SnitchCluster.run) -------------------------- */
 
 int64_t nat_run(NatCluster *cl)
 {
-    int64_t cycle = cl->start_cycle;
-    int64_t start_cycle = cycle;
-    int64_t num_cores = cl->num_cores;
+    int64_t cycle, start_cycle, num_cores;
     int64_t num_live = 0;
     int64_t i, k;
+
+    /* ABI handshake before touching anything else: if the two sides
+     * disagree about the struct layout, no field past the leading pair can
+     * be trusted, so report through the return value alone. */
+    if (cl->magic != NAT_MAGIC || cl->abi != NAT_ABI_VERSION)
+        return NAT_HANDSHAKE;
+    cl->err = 0;
+    cl->err_hart = -1;
+    cl->err_pc = -1;
+    cl->err_addr = 0;
+    cl->cycle = cl->start_cycle;
+    if (nat_validate(cl) != NAT_OK)
+        return cl->err;
+
+    cycle = cl->start_cycle;
+    start_cycle = cycle;
+    num_cores = cl->num_cores;
 
     for (i = 0; i < num_cores; i++)
         if (!cl->cores[i].finished)
@@ -1228,6 +1377,23 @@ int64_t nat_run(NatCluster *cl)
         if (cycle - start_cycle > cl->max_cycles) {
             cl->cycle = cycle;
             cl->err = NAT_MAX_CYCLES;
+            return cl->err;
+        }
+        if (cl->watchdog > 0 && cycle - start_cycle > cl->watchdog) {
+            /* Runaway run: the watchdog ceiling is tighter than max_cycles,
+             * so this is a supervision fault, not the modelled deadlock.
+             * Attribute the first core still executing (and its pc) — for a
+             * genuine runaway that is where the spinning program lives. */
+            int64_t live_hart = -1, live_pc = -1;
+            for (i = 0; i < num_cores; i++) {
+                if (!cl->cores[i].finished) {
+                    live_hart = cl->cores[i].hart_id;
+                    live_pc = cl->cores[i].pc;
+                    break;
+                }
+            }
+            cl->cycle = cycle;
+            nat_fail(cl, NAT_WATCHDOG, live_hart, live_pc, 0);
             return cl->err;
         }
         if (num_live == 0

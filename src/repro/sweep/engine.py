@@ -179,6 +179,9 @@ class SweepReport:
     pool_restarts: int = 0
     bisections: int = 0
     timeouts: int = 0
+    #: Structured in-engine guard faults (NativeEngineError) that were
+    #: routed in-band — degraded retry, no pool respawn, no bisection.
+    native_faults: int = 0
     quarantined: int = 0
 
     @property
@@ -212,6 +215,7 @@ class SweepReport:
             "pool_restarts": self.pool_restarts,
             "bisections": self.bisections,
             "timeouts": self.timeouts,
+            "native_faults": self.native_faults,
             "quarantined": self.quarantined,
         }
 
@@ -306,12 +310,13 @@ def run_sweep(jobs: Sequence[SweepJob], workers: Optional[int] = None,
     failures: List[JobFailure] = []
     retried: Dict[str, int] = {}
     degraded: List[str] = []
-    retries = pool_restarts = bisections = timeouts = 0
+    retries = pool_restarts = bisections = timeouts = native_faults = 0
 
     batch_size = 1
     if not parallel:
         if supervised:
-            failures, retried, retries = _run_serial_supervised(
+            (failures, retried, retries,
+             degraded, native_faults) = _run_serial_supervised(
                 jobs, unique, policy, on_error, finish)
         else:
             for index in unique:
@@ -330,6 +335,7 @@ def run_sweep(jobs: Sequence[SweepJob], workers: Optional[int] = None,
         pool_restarts = outcome.pool_restarts
         bisections = outcome.bisections
         timeouts = outcome.timeouts
+        native_faults = outcome.native_faults
         if failures and on_error == "raise":
             raise SweepJobError(failures[0])
         for failure in failures:
@@ -393,6 +399,7 @@ def run_sweep(jobs: Sequence[SweepJob], workers: Optional[int] = None,
         pool_restarts=pool_restarts,
         bisections=bisections,
         timeouts=timeouts,
+        native_faults=native_faults,
         quarantined=(store.quarantined - quarantined_before
                      if store is not None else 0),
     )
@@ -407,24 +414,49 @@ def _run_serial_supervised(jobs: Sequence[SweepJob], unique: Sequence[int],
     Timeouts and crash recovery need worker processes and do not apply
     here; an injected segfault degrades to an in-band exception in-process
     (see :mod:`repro.sweep.faults`), so serial supervised sweeps never die
-    silently either.
+    silently either.  A structured :class:`NativeEngineError` from the
+    engine's guards degrades straight to one forced-Python attempt — same
+    in-band routing as the pool path.
     """
     import traceback as traceback_module
 
+    from repro.snitch import native
+
     failures: List[JobFailure] = []
     retried: Dict[str, int] = {}
+    degraded: List[str] = []
     retries = 0
+    native_faults = 0
     for index in unique:
         job = jobs[index]
         attempt = 1
+        force_python = False
         while True:
             start = time.perf_counter()
             try:
-                result = execute_job(job, attempt=attempt)
+                if force_python:
+                    with native.forced_python():
+                        result = execute_job(job, attempt=attempt)
+                else:
+                    result = execute_job(job, attempt=attempt)
             except KeyboardInterrupt:
                 raise
             except Exception as exc:  # noqa: BLE001 - recorded or re-raised
-                if attempt < policy.max_attempts:
+                kind = "exception"
+                if (isinstance(exc, native.NativeEngineError)
+                        and not force_python):
+                    kind = "native_fault"
+                    if policy.degrade_to_python:
+                        # Deterministic guard fault: retrying natively would
+                        # hit it again — go straight to the Python engine.
+                        native_faults += 1
+                        retries += 1
+                        time.sleep(policy.backoff_for(attempt))
+                        attempt += 1
+                        force_python = True
+                        continue
+                if (kind == "exception" and not force_python
+                        and attempt < policy.max_attempts):
                     time.sleep(policy.backoff_for(attempt))
                     attempt += 1
                     retries += 1
@@ -434,12 +466,12 @@ def _run_serial_supervised(jobs: Sequence[SweepJob], unique: Sequence[int],
                 failures.append(JobFailure(
                     label=job.label,
                     job_hash=job.content_hash(),
-                    kind="exception",
+                    kind=kind,
                     error_type=type(exc).__name__,
                     message=str(exc),
                     traceback=traceback_module.format_exc(),
                     attempts=attempt,
-                    engine="auto",
+                    engine="python" if force_python else "auto",
                     elapsed=time.perf_counter() - start,
                     index=index,
                 ))
@@ -447,9 +479,11 @@ def _run_serial_supervised(jobs: Sequence[SweepJob], unique: Sequence[int],
             else:
                 if attempt > 1:
                     retried[job.label] = attempt
+                if force_python:
+                    degraded.append(job.label)
                 finish(index, result, "serial")
                 break
-    return failures, retried, retries
+    return failures, retried, retries, degraded, native_faults
 
 
 def run_jobs(jobs: Sequence[SweepJob], workers: Optional[int] = None,

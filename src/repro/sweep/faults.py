@@ -24,6 +24,12 @@ modes:
     ``BrokenProcessPool``.  In the parent process itself (serial sweeps)
     the mode degrades to ``raise`` so a misconfigured test cannot kill the
     test session.
+``native``
+    Raise a structured :class:`repro.snitch.native.NativeEngineError`
+    (code ``bounds``), exactly what an in-engine guard returns through the
+    cffi boundary — exercises the supervisor's in-band ``native_fault``
+    degradation path (no pool respawn, no bisection).  Usually combined
+    with ``engine=native`` so the degraded Python retry runs clean.
 
 Configuration is either programmatic (:func:`install` / :func:`injected`,
 inherited by ``fork``-started pool workers) or via the environment variable
@@ -53,7 +59,7 @@ from typing import Optional, Sequence, Tuple
 FAULT_ENV_VAR = "REPRO_FAULT_INJECT"
 
 #: Recognized fault modes.
-MODES = ("raise", "flaky", "hang", "segfault")
+MODES = ("raise", "flaky", "hang", "segfault", "native")
 
 #: Exit status used by injected segfaults (mirrors SIGSEGV's 128+11).
 SEGFAULT_EXIT_CODE = 139
@@ -196,6 +202,13 @@ class FaultInjector:
                 raise InjectedFault(
                     f"injected segfault for {label} (in-process: degraded "
                     f"to raise so the parent survives)")
+            if spec.mode == "native":
+                # A bounds guard firing mid-run, as the hardened engine
+                # reports it: structured, attributed, in-band.
+                from repro.snitch import native
+
+                raise native.NativeEngineError(7, "bounds", hart=0, pc=0,
+                                               addr=0x1000_0000)
             return
 
 

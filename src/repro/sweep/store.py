@@ -193,6 +193,46 @@ class ResultStore:
         except OSError:
             return 0
 
+    def stats(self) -> dict:
+        """Store health summary for diagnostics (``repro doctor``).
+
+        Walks the whole cache root, not just the current version directory,
+        so stale version dirs and quarantined corpses from older engine
+        states are visible too.
+        """
+        entries = len(self)
+        version_dirs = 0
+        total_bytes = 0
+        total_entries = 0
+        corrupt_files = 0
+        try:
+            for directory in self.root.glob("v*"):
+                if not directory.is_dir():
+                    continue
+                version_dirs += 1
+                for path in directory.iterdir():
+                    try:
+                        total_bytes += path.stat().st_size
+                    except OSError:
+                        continue
+                    if path.name.endswith(".json"):
+                        total_entries += 1
+                    elif path.name.endswith(".corrupt"):
+                        corrupt_files += 1
+        except OSError:
+            pass
+        return {
+            "root": str(self.root),
+            "version_dir": str(self.version_dir),
+            "engine_version": self.engine_version,
+            "entries": entries,
+            "total_entries": total_entries,
+            "version_dirs": version_dirs,
+            "total_bytes": total_bytes,
+            "corrupt_files": corrupt_files,
+            "quarantined_this_session": self.quarantined,
+        }
+
     def clear(self) -> None:
         """Drop every entry of this engine version."""
         shutil.rmtree(self.version_dir, ignore_errors=True)

@@ -177,8 +177,11 @@ class JobFailure:
 
     ``kind`` distinguishes the failure class: ``"exception"`` (an in-band
     Python exception from ``execute_job``), ``"timeout"`` (the supervision
-    deadline fired) or ``"crash"`` (the worker process died —
-    ``BrokenProcessPool``).  ``engine`` is the engine mode of the *final*
+    deadline fired), ``"crash"`` (the worker process died —
+    ``BrokenProcessPool``) or ``"native_fault"`` (a structured
+    :class:`repro.snitch.native.NativeEngineError` from an in-engine guard
+    — handled in-band with a degraded retry, never a pool respawn).
+    ``engine`` is the engine mode of the *final*
     attempt: ``"python"`` when it ran degraded/forced, ``"auto"`` when the
     normal native-first selection applied.
     """
@@ -217,6 +220,8 @@ class SupervisionOutcome:
     pool_restarts: int = 0
     bisections: int = 0
     timeouts: int = 0
+    #: Structured in-engine faults (NativeEngineError) routed in-band.
+    native_faults: int = 0
     degraded: List[str] = field(default_factory=list)
     #: label -> attempts, for jobs that eventually succeeded after retries.
     retried: Dict[str, int] = field(default_factory=dict)
@@ -248,7 +253,7 @@ def execute_batch_supervised(jobs: Sequence[SweepJob], attempt: int = 1,
             else:
                 result = execute_job(job, attempt=attempt)
         except Exception as exc:  # noqa: BLE001 - reported, not swallowed
-            outcomes.append({
+            entry: Dict[str, object] = {
                 "ok": False,
                 "error_type": type(exc).__name__,
                 "message": str(exc),
@@ -256,7 +261,17 @@ def execute_batch_supervised(jobs: Sequence[SweepJob], attempt: int = 1,
                 "elapsed": time.perf_counter() - start,
                 "engine": "python" if (force_python or native.python_forced())
                           else "auto",
-            })
+            }
+            if isinstance(exc, native.NativeEngineError):
+                # Structured guard fault: the engine caught its own problem
+                # and returned cleanly — route as native_fault so the
+                # supervisor degrades in-band instead of suspecting the
+                # worker.
+                entry["kind"] = "native_fault"
+                entry["native"] = {"code": exc.code, "name": exc.name,
+                                   "hart": exc.hart, "pc": exc.pc,
+                                   "addr": exc.addr}
+            outcomes.append(entry)
         else:
             outcomes.append({
                 "ok": True,
@@ -516,8 +531,9 @@ class SupervisedPool:
                     outcome.degraded.append(label)
                 on_result(index, job_outcome["result"])
             elif allow_requeue:
-                self._job_failure(index, task, "exception", job_outcome,
-                                  queue, outcome)
+                self._job_failure(index, task,
+                                  job_outcome.get("kind", "exception"),
+                                  job_outcome, queue, outcome)
 
     def _opaque_failure(self, task: _Task, kind: str, queue,
                         outcome: SupervisionOutcome,
@@ -567,6 +583,19 @@ class SupervisedPool:
         if task.force_python:
             # The degraded Python attempt was the last resort.
             pass
+        elif kind == "native_fault" and self.policy.degrade_to_python:
+            # The engine's own guards caught the problem and returned a
+            # structured error through the cffi boundary: the worker is
+            # healthy, the fault is deterministic, and the remedy is known.
+            # Degrade straight to the Python engine — in-band, no suspect
+            # quarantine, no pool respawn, no bisection.
+            outcome.retries += 1
+            outcome.native_faults += 1
+            queue.append(_Task((index,), attempt=task.attempt + 1,
+                               force_python=True,
+                               not_before=now
+                               + self.policy.backoff_for(task.attempt)))
+            return
         elif task.attempt < self.policy.max_attempts:
             # Proven crashers/hangers stay in the solo lane so their next
             # misbehavior cannot take innocent work down with it.

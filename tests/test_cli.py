@@ -201,3 +201,61 @@ class TestReproduceCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "20 executed, 0 cache hits" in out
+
+
+class TestDoctorCommand:
+    def test_text_report(self, capsys):
+        from repro.snitch import native
+        code = main(["doctor"])
+        out = capsys.readouterr().out
+        assert "repro environment diagnostics" in out
+        assert "native engine" in out
+        assert code == (0 if native.available() else 1)
+
+    def test_json_report(self, capsys, tmp_path):
+        code = main(["doctor", "--json", "--cache-dir", str(tmp_path)])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["native"]["abi_version"] >= 1
+        assert payload["store"]["root"] == str(tmp_path)
+        assert payload["store"]["entries"] == 0
+        assert code in (0, 1)
+
+
+class TestFuzzCommand:
+    def test_small_clean_run(self, capsys, tmp_path):
+        from repro.snitch import native
+        if not native.available():
+            pytest.skip("native engine unavailable")
+        code = main(["fuzz", "--budget", "3", "--seed", "0",
+                     "--corpus-dir", str(tmp_path), "-q"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 cases" in out and "0 divergence" in out
+        assert not list(tmp_path.iterdir())  # clean run writes nothing
+
+    def test_json_report(self, capsys, tmp_path):
+        from repro.snitch import native
+        if not native.available():
+            pytest.skip("native engine unavailable")
+        code = main(["fuzz", "--budget", "2", "--seed", "1", "--json", "-q",
+                     "--corpus-dir", str(tmp_path)])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["ok"] is True and payload["cases_run"] == 2
+
+    def test_corrupted_engine_fails_and_writes_corpus(self, capsys,
+                                                      tmp_path):
+        from repro.snitch import native
+        if not native.available():
+            pytest.skip("native engine unavailable")
+        with native.corrupted():
+            code = main(["fuzz", "--budget", "1", "--seed", "0",
+                         "--corpus-dir", str(tmp_path), "-q"])
+        assert code == 1
+        assert list(tmp_path.glob("divergence-*.json"))
+        err = capsys.readouterr().err
+        assert "divergence" in err
+
+    def test_rejects_bad_budget(self, capsys):
+        assert main(["fuzz", "--budget", "0"]) == 2
+        assert "--budget" in capsys.readouterr().err

@@ -1,0 +1,227 @@
+"""Native-engine defense-in-depth: handshake, watchdog, fault degradation.
+
+Covers the guard layer added around the C engine: the ABI handshake on
+every entry, the cycle-budget watchdog, the structured
+:class:`~repro.snitch.native.NativeEngineError` surface, and the
+supervised-sweep policy that routes those faults to one in-band
+forced-Python retry — no pool respawn, no batch bisection.
+"""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.runner import run_kernel
+from repro.snitch import native
+from repro.snitch.cluster import SnitchCluster
+from repro.snitch.params import TimingParams
+from repro.sweep import ResultStore, SweepJob, run_sweep
+from repro.sweep.faults import FaultSpec, injected
+from repro.sweep.supervisor import RetryPolicy
+from tests.conftest import small_tile
+
+pytestmark = pytest.mark.skipif(
+    not native.available(),
+    reason=f"native engine unavailable: {native.disabled_reason()}")
+
+
+_SPIN = """
+    li x5, 1000000
+loop:
+    addi x5, x5, -1
+    bne x5, x0, loop
+"""
+
+
+def _spin_cluster(num_cores=2):
+    cluster = SnitchCluster(TimingParams(num_cores=num_cores))
+    cluster.load_programs([assemble(_SPIN, name=f"spin{i}")
+                           for i in range(num_cores)])
+    return cluster
+
+
+class TestHandshake:
+    def test_abi_mismatch_refused(self, monkeypatch):
+        # An out-of-date caller stamping the wrong ABI version must be
+        # refused before the engine touches any struct field.
+        monkeypatch.setattr(native, "_ABI_VERSION", 999)
+        with pytest.raises(native.NativeEngineError) as exc_info:
+            native.execute(_spin_cluster(), max_cycles=10_000)
+        assert exc_info.value.name == "handshake"
+        assert exc_info.value.code == 5
+
+    def test_magic_mismatch_refused(self, monkeypatch):
+        monkeypatch.setattr(native, "_MAGIC", 0xDEADBEEF)
+        with pytest.raises(native.NativeEngineError) as exc_info:
+            native.execute(_spin_cluster(), max_cycles=10_000)
+        assert exc_info.value.name == "handshake"
+
+    def test_healthy_handshake_runs(self):
+        cluster = _spin_cluster()
+        final = native.execute(cluster, max_cycles=10_000_000)
+        assert final is not None
+        assert all(core.finished for core in cluster.cores)
+
+
+class TestWatchdog:
+    def test_explicit_watchdog_fires_with_attribution(self):
+        with pytest.raises(native.NativeEngineError) as exc_info:
+            native.execute(_spin_cluster(), max_cycles=10_000_000,
+                           watchdog=500)
+        err = exc_info.value
+        assert err.name == "watchdog"
+        assert err.code == 8
+        assert err.hart >= 0  # which core the engine was stepping
+        assert "watchdog" in str(err)
+
+    def test_env_watchdog_fires_through_cluster_run(self, monkeypatch):
+        monkeypatch.setenv(native.WATCHDOG_ENV_VAR, "500")
+        cluster = _spin_cluster()
+        with pytest.raises(native.NativeEngineError) as exc_info:
+            cluster.run(max_cycles=10_000_000)
+        assert exc_info.value.name == "watchdog"
+
+    def test_generous_watchdog_never_fires(self):
+        cluster = _spin_cluster()
+        final = native.execute(cluster, max_cycles=10_000_000,
+                               watchdog=50_000_000)
+        assert final is not None
+        assert all(core.finished for core in cluster.cores)
+
+    def test_malformed_env_value_means_off(self, monkeypatch):
+        monkeypatch.setenv(native.WATCHDOG_ENV_VAR, "soon")
+        cluster = _spin_cluster()
+        assert native.execute(cluster, max_cycles=10_000_000) is not None
+
+
+class TestErrorSurface:
+    def test_attributes_and_message(self):
+        err = native.NativeEngineError(7, "bounds", hart=3, pc=41,
+                                       addr=0x1000_0000)
+        assert (err.code, err.name, err.hart, err.pc) == (7, "bounds", 3, 41)
+        message = str(err)
+        assert "bounds" in message and "core 3" in message
+        assert "0x10000000" in message
+
+    def test_unattributable_fault_omits_location(self):
+        err = native.NativeEngineError(5, "handshake")
+        assert "core" not in str(err)
+        assert err.hart == -1
+
+    def test_taxonomy_is_complete(self):
+        assert set(native.ERROR_NAMES.values()) == {
+            "max_cycles", "mem_range", "ssr_misuse", "internal",
+            "handshake", "decode", "bounds", "watchdog"}
+
+
+def small_job(kernel="jacobi_2d", variant="saris", **kwargs):
+    return SweepJob.make(kernel, variant, tile_shape=small_tile(kernel),
+                         **kwargs)
+
+
+class TestSupervisedDegradation:
+    """NativeEngineError → JobFailure(kind="native_fault") → forced-Python
+    retry, with zero pool respawns and zero bisections."""
+
+    def test_injected_oob_fault_degrades_serially(self):
+        jobs = [small_job("jacobi_2d"), small_job("j2d5pt")]
+        with injected(FaultSpec(mode="native", kernel="j2d5pt",
+                                engine="native")):
+            report = run_sweep(jobs, workers=1, on_error="collect",
+                               retry=RetryPolicy(backoff_seconds=0.0))
+        assert not report.failures
+        assert report.degraded == ["j2d5pt/saris"]
+        assert report.native_faults >= 1
+        assert report.pool_restarts == 0
+        assert report.bisections == 0
+        assert report.results[1].engine == "python"
+        assert report.results[0].engine == "native"
+
+    def test_injected_oob_fault_degrades_in_parallel_pool(self):
+        jobs = [small_job(k) for k in ("jacobi_2d", "j2d5pt", "box2d1r",
+                                       "j2d9pt")]
+        with injected(FaultSpec(mode="native", kernel="box2d1r",
+                                engine="native")):
+            report = run_sweep(jobs, workers=2, on_error="collect",
+                               retry=RetryPolicy(backoff_seconds=0.0))
+        assert not report.failures
+        assert report.degraded == ["box2d1r/saris"]
+        assert report.native_faults >= 1
+        assert report.pool_restarts == 0  # in-band, not a worker death
+        assert report.bisections == 0
+
+    def test_real_watchdog_fault_degrades(self, monkeypatch):
+        # An actual runaway (modelled by a watchdog ceiling below the job's
+        # runtime) must surface through the same native_fault path: the
+        # Python engine has no watchdog, so the degraded retry completes.
+        monkeypatch.setenv(native.WATCHDOG_ENV_VAR, "200")
+        report = run_sweep([small_job("jacobi_2d")], workers=1,
+                           on_error="collect",
+                           retry=RetryPolicy(backoff_seconds=0.0))
+        assert not report.failures
+        assert report.degraded == ["jacobi_2d/saris"]
+        assert report.native_faults == 1
+        assert report.pool_restarts == 0
+        assert report.results[0].engine == "python"
+
+    def test_fault_terminal_when_degradation_disabled(self):
+        with injected(FaultSpec(mode="native", kernel="jacobi_2d",
+                                engine="native")):
+            report = run_sweep(
+                [small_job("jacobi_2d")], workers=1, on_error="collect",
+                retry=RetryPolicy(backoff_seconds=0.0,
+                                  degrade_to_python=False))
+        assert len(report.failures) == 1
+        failure = report.failures[0]
+        assert failure.kind == "native_fault"
+        assert "native engine fault" in failure.message
+        assert report.degraded == []
+
+    def test_stats_carry_native_fault_counter(self):
+        with injected(FaultSpec(mode="native", kernel="jacobi_2d",
+                                engine="native")):
+            report = run_sweep([small_job("jacobi_2d")], workers=1,
+                               on_error="collect",
+                               retry=RetryPolicy(backoff_seconds=0.0))
+        stats = report.stats()
+        assert stats["native_faults"] == 1
+        assert stats["pool_restarts"] == 0
+
+
+class TestDegradedIdentity:
+    """Satellite: a degraded (forced-Python) run is metrically identical to
+    the native run — ``engine`` is provenance, not identity."""
+
+    def test_metrics_hash_ignores_engine_field(self):
+        tile = small_tile("jacobi_2d")
+        native_result = run_kernel("jacobi_2d", "saris", tile_shape=tile)
+        with native.forced_python():
+            python_result = run_kernel("jacobi_2d", "saris", tile_shape=tile)
+        assert native_result.engine == "native"
+        assert python_result.engine == "python"
+        assert native_result.metrics_hash() == python_result.metrics_hash()
+
+    def test_metrics_hash_sensitive_to_metrics(self):
+        tile = small_tile("jacobi_2d")
+        a = run_kernel("jacobi_2d", "saris", tile_shape=tile)
+        b = run_kernel("jacobi_2d", "base", tile_shape=tile)
+        assert a.metrics_hash() != b.metrics_hash()
+
+    def test_hash_survives_store_roundtrip(self, tmp_path):
+        job = small_job("jacobi_2d")
+        store = ResultStore(tmp_path)
+        report = run_sweep([job], workers=1, store=store)
+        fresh = report.results[0]
+        loaded = store.load(job)
+        assert loaded is not None
+        assert loaded.metrics_hash() == fresh.metrics_hash()
+
+    def test_degraded_sweep_result_hashes_like_clean_run(self):
+        job = small_job("jacobi_2d")
+        clean = run_sweep([job], workers=1).results[0]
+        with injected(FaultSpec(mode="native", kernel="jacobi_2d",
+                                engine="native")):
+            degraded = run_sweep([job], workers=1, on_error="collect",
+                                 retry=RetryPolicy(backoff_seconds=0.0))
+        assert degraded.degraded == ["jacobi_2d/saris"]
+        assert (degraded.results[0].metrics_hash()
+                == clean.metrics_hash())
