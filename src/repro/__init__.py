@@ -26,6 +26,9 @@ The package provides:
 * :mod:`repro.sweep` — the parallel sweep engine: declarative machine-aware
   jobs, process-pool fan-out, the persistent result store and the one-shot
   ``repro reproduce`` artifact pipeline (with its artifact registry);
+* :mod:`repro.service` — simulation-as-a-service: the async job-queue core
+  (store-dedupe, in-flight coalescing, progress streams) plus the
+  ``repro serve`` HTTP daemon and its stdlib client;
 * :mod:`repro.bench` — the simulation-speed benchmark harness.
 """
 
@@ -67,6 +70,11 @@ def __getattr__(name):
     # after import show up without a stale snapshot.
     if name == "KERNEL_NAMES":
         return kernel_names()
+    # Service names resolve lazily: repro.service.server needs __version__
+    # from this module, so an eager import here would be circular.
+    if name in ("JobQueue", "ReproService", "ServiceClient"):
+        from repro import service
+        return getattr(service, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -80,7 +88,10 @@ __all__ = [
     "StencilKernel",
     "Experiment",
     "ExperimentRecord",
+    "JobQueue",
+    "ReproService",
     "ResultSet",
+    "ServiceClient",
     "KernelRunResult",
     "MachineSpec",
     "ResultStore",

@@ -9,6 +9,9 @@ Usage examples::
     python -m repro.cli scaleout star3d2r
     python -m repro.cli reproduce --subset table1 --machine snitch-4
     python -m repro.cli bench-speed
+    python -m repro.cli serve --port 8765
+    python -m repro.cli submit jacobi_2d j3d27pt --url http://127.0.0.1:8765 --watch
+    python -m repro.cli watch s0001-abcd1234 --url http://127.0.0.1:8765
 """
 
 from __future__ import annotations
@@ -423,16 +426,14 @@ def _cmd_fuzz(args) -> int:
 
 
 def _cmd_doctor(args) -> int:
-    from repro.snitch import native
-    from repro.sweep.store import ResultStore
+    from repro.doctor import doctor_report
 
-    info = native.build_info()
-    store = ResultStore(args.cache_dir)
-    store_stats = store.stats()
-    payload = {"native": info, "store": store_stats}
+    payload = doctor_report(cache_dir=args.cache_dir)
+    info = payload["native"]
+    store_stats = payload["store"]
     if args.json:
         _print_json(payload)
-        return 0 if info["available"] else 1
+        return 0 if payload["ok"] else 1
     rows = [
         ["C compiler", info["compiler"] or "NOT FOUND"],
         ["compiler version", info["compiler_version"] or "-"],
@@ -460,6 +461,174 @@ def _cmd_doctor(args) -> int:
               file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the long-lived sweep daemon (Ctrl-C stops it cleanly)."""
+    import asyncio
+
+    import dataclasses
+
+    from repro.doctor import doctor_report
+    from repro.service import DEFAULT_HOST, DEFAULT_PORT, JobQueue, ReproService
+    from repro.sweep.engine import resolve_workers
+    from repro.sweep.store import ResultStore
+    from repro.sweep.supervisor import RetryPolicy
+
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    retry = RetryPolicy.resolve(None, None)
+    if args.retries is not None:
+        retry = dataclasses.replace(retry, max_attempts=int(args.retries))
+    queue = JobQueue(store=store, workers=resolve_workers(args.workers),
+                     retry=retry)
+    service = ReproService(
+        queue,
+        host=args.host if args.host is not None else DEFAULT_HOST,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+        token=args.token,
+        stats_extra=lambda: doctor_report(cache_dir=args.cache_dir,
+                                          store=store))
+
+    async def main() -> None:
+        await service.start()
+        print(f"repro service listening on {service.url} "
+              f"(workers={queue.workers}, "
+              f"store={store.root if store is not None else 'disabled'}, "
+              f"auth={'on' if service.token else 'off'})", flush=True)
+        await service.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("\nservice stopped (the result store keeps every finished "
+              "job; restart and resubmit for warm cache hits)",
+              file=sys.stderr)
+    return 0
+
+
+def _print_event(event: dict) -> None:
+    """One human-readable progress line per service event."""
+    kind = event.get("event", "?")
+    label = event.get("label") or event.get("sweep", "")
+    detail = ""
+    if kind == "progress":
+        detail = f" {event.get('phase', '')}"
+        if "elapsed" in event:
+            detail += f" ({event['elapsed']}s)"
+    elif kind == "done":
+        metrics = event.get("metrics", {})
+        detail = (f" cycles={metrics.get('cycles')} "
+                  f"correct={metrics.get('correct')} "
+                  f"source={event.get('source')}")
+    elif kind == "failed":
+        error = event.get("error", {})
+        detail = f" {error.get('error_type')}: {error.get('message')}"
+    elif kind == "sweep_done":
+        detail = (f" state={event.get('state')} "
+                  f"cache_hits={event.get('cache_hits')} "
+                  f"coalesced={event.get('coalesced')}")
+    print(f"[{kind:>11}] {label}{detail}")
+
+
+def _submit_payload(args) -> dict:
+    from repro.service import experiment_to_wire
+
+    return experiment_to_wire(
+        kernels=args.kernels,
+        variants=args.variants or (),
+        machines=args.machines or (),
+        tiles=[args.tile] if args.tile else (),
+        seeds=args.seeds or ())
+
+
+def _cmd_submit(args) -> int:
+    from repro.service import ServiceClient, ServiceError, configured_url
+
+    payload = _submit_payload(args)
+    url = configured_url(args.url)
+    if url is None:
+        return _submit_local(args, payload)
+    client = ServiceClient(url, token=args.token)
+    try:
+        receipt = client.submit(payload)
+        if not args.watch:
+            if args.json:
+                _print_json(receipt)
+            else:
+                print(f"sweep {receipt['sweep']}: "
+                      f"{len(receipt['jobs'])} job(s), "
+                      f"{receipt['cache_hits']} cache hit(s), "
+                      f"{receipt['coalesced']} coalesced")
+                for job in receipt["jobs"]:
+                    print(f"  {job['state']:>9} {job['hash']} {job['label']}")
+                print(f"watch with: repro watch {receipt['sweep']} "
+                      f"--url {url}")
+            return 0
+        final = client.wait(receipt["sweep"],
+                            on_event=None if args.json else _print_event)
+    except ServiceError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        _print_json(final)
+    return 1 if final["counts"]["failed"] else 0
+
+
+def _submit_local(args, payload: dict) -> int:
+    """Graceful fallback: no server configured -> run the same queue core
+    in-process (bit-identical results, same event stream)."""
+    import asyncio
+
+    from repro.service import JobQueue, SpecError, jobs_from_payload
+    from repro.sweep.engine import resolve_workers
+    from repro.sweep.store import ResultStore
+
+    try:
+        jobs = jobs_from_payload(payload)
+    except SpecError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 2
+    if not args.json:
+        print("submit: no server configured (--url / $REPRO_SERVICE_URL); "
+              "executing in-process", file=sys.stderr)
+
+    async def main() -> dict:
+        store = None if args.no_cache else ResultStore(args.cache_dir)
+        queue = JobQueue(store=store, workers=resolve_workers(args.workers))
+        await queue.start()
+        try:
+            sweep = await queue.submit(jobs)
+            async for _index, event in queue.subscribe(sweep.id):
+                if not args.json:
+                    _print_event(event)
+            return queue.sweep_status(sweep.id)
+        finally:
+            await queue.close()
+
+    final = asyncio.run(main())
+    if args.json:
+        _print_json(final)
+    return 1 if final["counts"]["failed"] else 0
+
+
+def _cmd_watch(args) -> int:
+    from repro.service import ServiceClient, ServiceError, configured_url
+
+    url = configured_url(args.url)
+    if url is None:
+        print("watch: no server configured — pass --url or set "
+              "$REPRO_SERVICE_URL", file=sys.stderr)
+        return 2
+    client = ServiceClient(url, token=args.token)
+    try:
+        final = client.wait(args.sweep, from_index=args.from_index,
+                            on_event=None if args.json else _print_event)
+    except ServiceError as exc:
+        print(f"watch: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        _print_json(final)
+    return 1 if final["counts"]["failed"] else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -614,6 +783,83 @@ def build_parser() -> argparse.ArgumentParser:
     doctor_p.add_argument("--json", action="store_true",
                           help="machine-readable output")
     doctor_p.set_defaults(func=_cmd_doctor)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the sweep daemon: an HTTP job queue over the shared "
+             "result store")
+    serve_p.add_argument("--host", default=None,
+                         help="bind address (default: 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=None,
+                         help="bind port; 0 picks an ephemeral one "
+                              "(default: 8751)")
+    serve_p.add_argument("--workers", type=int, default=None,
+                         help="concurrent simulations (default: cpu-bound "
+                              "heuristic)")
+    serve_p.add_argument("--retries", type=int, default=None,
+                         help="max attempts per job before it is reported "
+                              "failed (default: supervisor policy)")
+    serve_p.add_argument("--cache-dir", default=None,
+                         help="result store directory (default: "
+                              "$REPRO_CACHE_DIR or .repro_cache)")
+    serve_p.add_argument("--no-cache", action="store_true",
+                         help="run without a result store (no dedupe, no "
+                              "warm restarts)")
+    serve_p.add_argument("--token", default=None,
+                         help="static api key clients must present "
+                              "(default: $REPRO_SERVICE_TOKEN; empty = "
+                              "auth off)")
+    serve_p.set_defaults(func=_cmd_serve)
+
+    submit_p = sub.add_parser(
+        "submit",
+        help="submit a sweep to a running daemon (or run it in-process "
+             "when no server is configured)")
+    submit_p.add_argument("kernels", nargs="+",
+                          help="kernel names (see `repro list`)")
+    submit_p.add_argument("--variants", nargs="+", default=None,
+                          help="variants to run (default: base saris)")
+    submit_p.add_argument("--machines", nargs="+", default=None,
+                          help="machine presets (default: snitch-8)")
+    submit_p.add_argument("--tile", type=int, nargs="+", default=None,
+                          help="tile shape, e.g. --tile 8 8")
+    submit_p.add_argument("--seeds", type=int, nargs="+", default=None,
+                          help="input seeds (default: 0)")
+    submit_p.add_argument("--url", default=None,
+                          help="daemon URL (default: $REPRO_SERVICE_URL; "
+                               "unset = in-process fallback)")
+    submit_p.add_argument("--token", default=None,
+                          help="api key (default: $REPRO_SERVICE_TOKEN)")
+    submit_p.add_argument("--watch", action="store_true",
+                          help="follow the event stream until the sweep "
+                               "finishes")
+    submit_p.add_argument("--workers", type=int, default=None,
+                          help="in-process fallback only: concurrent "
+                               "simulations")
+    submit_p.add_argument("--cache-dir", default=None,
+                          help="in-process fallback only: result store "
+                               "directory")
+    submit_p.add_argument("--no-cache", action="store_true",
+                          help="in-process fallback only: disable the "
+                               "result store")
+    submit_p.add_argument("--json", action="store_true",
+                          help="machine-readable output")
+    submit_p.set_defaults(func=_cmd_submit)
+
+    watch_p = sub.add_parser(
+        "watch",
+        help="follow a submitted sweep's event stream to completion")
+    watch_p.add_argument("sweep", help="sweep id from `repro submit`")
+    watch_p.add_argument("--url", default=None,
+                         help="daemon URL (default: $REPRO_SERVICE_URL)")
+    watch_p.add_argument("--token", default=None,
+                         help="api key (default: $REPRO_SERVICE_TOKEN)")
+    watch_p.add_argument("--from", dest="from_index", type=int, default=0,
+                         help="replay events starting at this index "
+                              "(default: %(default)s)")
+    watch_p.add_argument("--json", action="store_true",
+                         help="print the final sweep status as JSON")
+    watch_p.set_defaults(func=_cmd_watch)
     return parser
 
 

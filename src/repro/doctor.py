@@ -1,0 +1,34 @@
+"""Machine-readable environment diagnostics shared by CLI and service.
+
+``repro doctor --json`` and the daemon's ``GET /v1/stats`` serve the same
+payload, built here, so ops tooling has exactly one schema to parse:
+native-engine build health (compiler, flags, ABI, availability, watchdog,
+per-process run counters) plus result-store health
+(:meth:`~repro.sweep.store.ResultStore.stats`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.sweep.store import ResultStore
+
+
+def doctor_report(cache_dir: Optional[str] = None,
+                  store: Optional[ResultStore] = None) -> Dict[str, object]:
+    """The full diagnostics payload: native engine + result store.
+
+    ``store`` reuses an already-open store (the daemon passes its own so
+    the report reflects the live instance, quarantine counters included);
+    otherwise one is opened on ``cache_dir``.
+    """
+    from repro.snitch import native
+
+    if store is None:
+        store = ResultStore(cache_dir)
+    info = native.build_info()
+    return {
+        "native": info,
+        "store": store.stats(),
+        "ok": bool(info["available"]),
+    }

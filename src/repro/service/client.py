@@ -1,0 +1,179 @@
+"""Blocking stdlib client for the sweep daemon (``repro submit`` / ``watch``).
+
+Pure ``http.client`` + ``json`` — usable from scripts, tests and the CLI
+without any new dependency.  One connection per request (the server is
+``Connection: close``); the SSE stream holds its connection open and yields
+parsed event dictionaries as they arrive.
+
+The daemon address comes from the constructor or the ``REPRO_SERVICE_URL``
+environment variable; the api key from the constructor or
+``REPRO_SERVICE_TOKEN``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from http.client import HTTPConnection
+from typing import Dict, Iterator, List, Optional
+from urllib.parse import urlsplit
+
+from repro.service.server import TOKEN_ENV_VAR, URL_ENV_VAR
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered with an error (or not at all)."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def configured_url(url: Optional[str] = None) -> Optional[str]:
+    """The daemon URL to use: explicit argument > $REPRO_SERVICE_URL > None.
+
+    ``None`` means "no server configured" — callers fall back to in-process
+    execution (the CLI's graceful degradation path).
+    """
+    url = url or os.environ.get(URL_ENV_VAR, "").strip() or None
+    return url
+
+
+class ServiceClient:
+    """Talk to a running :class:`~repro.service.server.ReproService`."""
+
+    def __init__(self, url: str, token: Optional[str] = None,
+                 timeout: float = 30.0) -> None:
+        split = urlsplit(url if "//" in url else f"http://{url}")
+        if split.scheme not in ("", "http"):
+            raise ServiceError(f"only http:// URLs are supported, got {url!r}")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.timeout = timeout
+        self.token = (token if token is not None
+                      else os.environ.get(TOKEN_ENV_VAR, "").strip() or None)
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _headers(self) -> Dict[str, str]:
+        headers = {"Accept": "application/json"}
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
+        return headers
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None,
+                 timeout: Optional[float] = None) -> dict:
+        connection = HTTPConnection(self.host, self.port,
+                                    timeout=timeout or self.timeout)
+        try:
+            body = None
+            headers = self._headers()
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except (ConnectionError, OSError) as exc:
+                raise ServiceError(
+                    f"cannot reach the sweep daemon at "
+                    f"http://{self.host}:{self.port} ({exc})") from None
+            try:
+                parsed = json.loads(raw.decode("utf-8")) if raw else {}
+            except ValueError:
+                parsed = {"error": raw.decode("utf-8", "replace")[:200]}
+            if response.status >= 400:
+                raise ServiceError(
+                    f"{method} {path} -> {response.status}: "
+                    f"{parsed.get('error', 'unknown error')}",
+                    status=response.status)
+            return parsed
+        finally:
+            connection.close()
+
+    # -- endpoints ----------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def submit(self, payload: dict) -> dict:
+        """POST a raw ``/v1/sweeps`` body (``{"jobs": ...}`` or
+        ``{"experiment": ...}``); returns the submission receipt."""
+        return self._request("POST", "/v1/sweeps", payload=payload)
+
+    def job(self, job_hash: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_hash}")
+
+    def sweep(self, sweep_id: str) -> dict:
+        return self._request("GET", f"/v1/sweeps/{sweep_id}")
+
+    def cancel(self, sweep_id: str) -> dict:
+        return self._request("DELETE", f"/v1/sweeps/{sweep_id}")
+
+    # -- SSE ----------------------------------------------------------------
+
+    def events(self, sweep_id: str, from_index: int = 0,
+               timeout: Optional[float] = None) -> Iterator[dict]:
+        """Yield the sweep's events as dictionaries until ``sweep_done``.
+
+        ``timeout`` bounds the *gap between events* (the socket read), not
+        the whole stream; the server's keepalive comments reset it, so a
+        healthy but idle stream never times out spuriously.
+        """
+        connection = HTTPConnection(self.host, self.port,
+                                    timeout=timeout or self.timeout)
+        try:
+            try:
+                connection.request(
+                    "GET", f"/v1/sweeps/{sweep_id}/events?from={from_index}",
+                    headers=self._headers())
+                response = connection.getresponse()
+            except (ConnectionError, OSError) as exc:
+                raise ServiceError(
+                    f"cannot reach the sweep daemon at "
+                    f"http://{self.host}:{self.port} ({exc})") from None
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    message = json.loads(raw.decode("utf-8")).get("error")
+                except ValueError:
+                    message = raw.decode("utf-8", "replace")[:200]
+                raise ServiceError(f"events stream -> {response.status}: "
+                                   f"{message}", status=response.status)
+            data_lines: List[str] = []
+            while True:
+                line = response.readline()
+                if not line:
+                    return  # server closed the stream
+                line = line.decode("utf-8").rstrip("\r\n")
+                if line.startswith(":"):
+                    continue  # heartbeat comment
+                if line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+                    continue
+                if line == "" and data_lines:
+                    event = json.loads("\n".join(data_lines))
+                    data_lines = []
+                    yield event
+                    if event.get("event") == "sweep_done":
+                        return
+        finally:
+            connection.close()
+
+    def wait(self, sweep_id: str, from_index: int = 0,
+             on_event=None, timeout: Optional[float] = None) -> dict:
+        """Follow the stream to completion; returns the final sweep status.
+
+        ``on_event(event)`` is called for every event (the CLI prints
+        progress lines from it).
+        """
+        for event in self.events(sweep_id, from_index=from_index,
+                                 timeout=timeout):
+            if on_event is not None:
+                on_event(event)
+        return self.sweep(sweep_id)

@@ -1,0 +1,579 @@
+"""Async job-queue core: submit / status / result / stream / cancel.
+
+This is the service heart that both the HTTP daemon (:mod:`repro.service
+.server`) and the in-process CLI fallback (``repro submit`` without a
+server) drive.  It turns the repository's content-hashed
+:class:`~repro.sweep.job.SweepJob` + persistent
+:class:`~repro.sweep.store.ResultStore` combination into a multi-tenant
+memoization layer:
+
+* **Store-dedupe on submit** — a job whose hash is already materialized in
+  the store completes instantly as a cache hit, zero simulations.
+* **In-flight coalescing** — two clients submitting the same job hash while
+  it is queued or running share one execution; the result fans out to every
+  subscriber.  A million users asking for Table-1 variants cost one
+  simulation per unique hash.
+* **Bounded concurrency** — at most ``workers`` jobs execute at once, each
+  in a worker thread through the same single-job supervised core
+  (:func:`~repro.sweep.supervisor.execute_supervised`: bounded retry with
+  backoff, degradation to the forced Python engine on native guard faults)
+  that the sweep engine's serial path uses.  The native engine releases the
+  GIL during its C run loop, so threads genuinely overlap on multi-core
+  machines; CPU-heavy deployments can front several daemon processes with
+  a shared store — the advisory-locked atomic publish makes that safe.
+* **Per-job progress events** — every job emits an ordered event stream
+  (``submitted`` → ``running`` → ``progress`` → ``done`` /
+  ``failed`` / ``cancelled``) that is appended to the event log of every
+  sweep containing the job and fanned out to any number of subscribers
+  (the HTTP daemon turns these into Server-Sent Events).
+
+Jobs are keyed by content hash; sweeps are client-visible submission
+groups.  Event logs live on the sweep, so a subscriber that connects late
+(or reconnects with a ``from_index``) replays history and then follows
+live — exactly the contract SSE resumption wants.
+
+The queue is single-loop asyncio: every public method must be called from
+the event loop that :meth:`JobQueue.start` ran on.  Simulation work happens
+in a thread pool; completion events hop back onto the loop via
+``call_soon_threadsafe``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import secrets
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import (AsyncIterator, Callable, Dict, List, Optional, Sequence,
+                    Set, Tuple)
+
+from repro.runner import KernelRunResult
+from repro.sweep.job import SweepJob
+from repro.sweep.store import ResultStore
+from repro.sweep.supervisor import RetryPolicy, execute_supervised
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job cannot leave.
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+#: How the result of a ``done`` job was obtained: ``"executed"`` (simulated
+#: by this queue), ``"store"`` (persistent-store hit at submit time) or
+#: ``"memo"`` (already terminal in this queue's memory).
+SOURCES = ("executed", "store", "memo")
+
+
+class QueueError(RuntimeError):
+    """Misuse of the job queue (unknown ids, not started, closed)."""
+
+
+@dataclass
+class JobEntry:
+    """One content-hashed job known to the queue."""
+
+    job: SweepJob
+    hash: str
+    state: str = QUEUED
+    source: str = "executed"
+    result: Optional[KernelRunResult] = None
+    error: Optional[Dict[str, object]] = None
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Sweeps whose event logs this job's events fan out to.
+    sweeps: Set[str] = field(default_factory=set)
+    #: Total submissions observed (1 = never coalesced).
+    submissions: int = 1
+    attempts: int = 1
+    degraded: bool = False
+    cancel_requested: bool = False
+
+    def status_dict(self, include_result: bool = False) -> Dict[str, object]:
+        """JSON-safe status payload (``GET /v1/jobs/<hash>``)."""
+        payload: Dict[str, object] = {
+            "hash": self.hash,
+            "label": self.job.label,
+            "kernel": self.job.kernel,
+            "variant": self.job.variant,
+            "state": self.state,
+            "source": self.source,
+            "submissions": self.submissions,
+            "attempts": self.attempts,
+            "degraded": self.degraded,
+            "cancel_requested": self.cancel_requested,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.error is not None:
+            payload["error"] = dict(self.error)
+        if self.result is not None:
+            payload["metrics"] = _metrics_summary(self.result)
+            if include_result:
+                payload["result"] = self.result.to_json_dict()
+        return payload
+
+
+@dataclass
+class SweepEntry:
+    """One client submission: an ordered group of job hashes + event log."""
+
+    id: str
+    job_hashes: List[str]
+    created_at: float
+    events: List[Dict[str, object]] = field(default_factory=list)
+    cache_hits: int = 0
+    coalesced: int = 0
+    cancelled: bool = False
+    finished: bool = False
+
+    def status_dict(self, queue: "JobQueue") -> Dict[str, object]:
+        """JSON-safe sweep summary (``GET /v1/sweeps/<id>``)."""
+        jobs = [queue.job_status(job_hash) for job_hash in self.job_hashes]
+        states = [job["state"] for job in jobs]
+        return {
+            "sweep": self.id,
+            "state": self.state(queue),
+            "created_at": self.created_at,
+            "jobs": jobs,
+            "counts": {state: states.count(state)
+                       for state in (QUEUED, RUNNING, DONE, FAILED,
+                                     CANCELLED)},
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "cancelled": self.cancelled,
+            "events": len(self.events),
+        }
+
+    def state(self, queue: "JobQueue") -> str:
+        """Aggregate sweep state derived from member job states."""
+        if self.cancelled:
+            return CANCELLED
+        states = {queue._jobs[h].state for h in self.job_hashes
+                  if h in queue._jobs}
+        if not states or states <= set(TERMINAL_STATES):
+            if FAILED in states:
+                return FAILED
+            if states == {CANCELLED}:
+                return CANCELLED
+            return DONE
+        return RUNNING if RUNNING in states else QUEUED
+
+
+def _metrics_summary(result: KernelRunResult) -> Dict[str, object]:
+    """The headline metrics carried on ``done`` events and job status."""
+    return {
+        "cycles": result.cycles,
+        "fpu_util": result.fpu_util,
+        "ipc": result.ipc,
+        "flops_per_cycle": result.flops_per_cycle,
+        "correct": result.correct,
+        "engine": result.engine,
+    }
+
+
+class JobQueue:
+    """Multi-tenant async front door over the sweep/store machinery.
+
+    ``runner`` is the blocking per-job execution function (called in a
+    worker thread); it defaults to the supervised single-job core and is
+    pluggable so tests can drive queue semantics without simulating.  A
+    runner receives ``(job, report)`` where ``report(phase, **detail)`` may
+    be called from the thread to emit ``progress`` events.
+    """
+
+    def __init__(self, store: Optional[ResultStore] = None,
+                 workers: int = 2,
+                 runner: Optional[Callable[..., KernelRunResult]] = None,
+                 retry: Optional[RetryPolicy] = None) -> None:
+        self.store = store
+        self.workers = max(1, int(workers))
+        self._runner = runner
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._jobs: Dict[str, JobEntry] = {}
+        self._sweeps: Dict[str, SweepEntry] = {}
+        self._sweep_seq = itertools.count(1)
+        self._event_seq = itertools.count(1)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._pending: Optional[asyncio.Queue] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._tasks: List[asyncio.Task] = []
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+        self.started_at = time.time()
+        # Lifetime counters (also served by /v1/stats).
+        self.submitted = 0
+        self.cache_hits = 0
+        self.coalesced = 0
+        self.executed = 0
+        self.failed = 0
+        self.cancelled = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> "JobQueue":
+        """Bind to the running loop and spawn the worker tasks."""
+        if self._loop is not None:
+            raise QueueError("queue already started")
+        self._loop = asyncio.get_running_loop()
+        self._pending = asyncio.Queue()
+        self._wake = asyncio.Event()
+        self._pool = ThreadPoolExecutor(max_workers=self.workers,
+                                        thread_name_prefix="repro-job")
+        self._tasks = [self._loop.create_task(self._worker())
+                       for _ in range(self.workers)]
+        return self
+
+    async def close(self) -> None:
+        """Stop the workers; running simulations finish in their threads."""
+        self._closed = True
+        for task in self._tasks:
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        # Wake any subscriber still waiting so it can observe closure.
+        if self._wake is not None:
+            self._wake.set()
+
+    def _require_started(self) -> None:
+        if self._loop is None or self._closed:
+            raise QueueError("queue is not running (call start(), and not "
+                             "after close())")
+
+    # -- submission ---------------------------------------------------------
+
+    async def submit(self, jobs: Sequence[SweepJob]) -> SweepEntry:
+        """Register a sweep of jobs; returns its :class:`SweepEntry`.
+
+        Dedupe order per job: persistent store first (instant ``done`` with
+        ``source="store"``), then in-memory terminal results
+        (``source="memo"``), then coalescing onto a queued/running entry,
+        and only then a fresh execution.  Duplicate hashes *within* one
+        submission collapse to a single member job.
+        """
+        self._require_started()
+        jobs = list(jobs)
+        if not jobs:
+            raise QueueError("a sweep needs at least one job")
+        sweep = SweepEntry(
+            id=f"s{next(self._sweep_seq):04d}-{secrets.token_hex(4)}",
+            job_hashes=[], created_at=time.time())
+        self._sweeps[sweep.id] = sweep
+        for job in jobs:
+            job_hash = job.content_hash()
+            if job_hash in sweep.job_hashes:
+                continue
+            sweep.job_hashes.append(job_hash)
+            self.submitted += 1
+            entry = self._jobs.get(job_hash)
+            if entry is not None and entry.state not in (FAILED, CANCELLED):
+                entry.submissions += 1
+                entry.sweeps.add(sweep.id)
+                self._emit(entry, "submitted", sweeps=(sweep.id,),
+                           source="memo" if entry.state == DONE
+                           else "coalesced")
+                if entry.state == DONE:
+                    # Already materialized in this queue's memory.
+                    self.cache_hits += 1
+                    sweep.cache_hits += 1
+                    self._emit_terminal(entry, sweeps=(sweep.id,))
+                else:
+                    # Queued or running: share the in-flight execution.
+                    self.coalesced += 1
+                    sweep.coalesced += 1
+                    if entry.state == RUNNING:
+                        self._emit(entry, "running", sweeps=(sweep.id,))
+                continue
+            entry = JobEntry(job=job, hash=job_hash,
+                             submitted_at=time.time(), sweeps={sweep.id})
+            self._jobs[job_hash] = entry
+            cached = self.store.load(job) if self.store is not None else None
+            if cached is not None:
+                entry.state = DONE
+                entry.source = "store"
+                entry.result = cached
+                entry.finished_at = time.time()
+                self.cache_hits += 1
+                sweep.cache_hits += 1
+                self._emit(entry, "submitted", source="store")
+                self._emit_terminal(entry)
+            else:
+                self._emit(entry, "submitted", source="executed")
+                self._pending.put_nowait(job_hash)
+        self._maybe_finish_sweeps(sweep.job_hashes)
+        return sweep
+
+    # -- queries ------------------------------------------------------------
+
+    def job_status(self, job_hash: str,
+                   include_result: bool = False) -> Dict[str, object]:
+        """Status payload of one job hash (raises on unknown hashes)."""
+        entry = self._jobs.get(job_hash)
+        if entry is None:
+            raise KeyError(job_hash)
+        return entry.status_dict(include_result=include_result)
+
+    def job_result(self, job_hash: str) -> Optional[KernelRunResult]:
+        """The finished result of a job hash, or ``None`` if not done."""
+        entry = self._jobs.get(job_hash)
+        return entry.result if entry is not None else None
+
+    def sweep_status(self, sweep_id: str) -> Dict[str, object]:
+        """Status payload of one sweep (raises on unknown ids)."""
+        return self._get_sweep(sweep_id).status_dict(self)
+
+    def _get_sweep(self, sweep_id: str) -> SweepEntry:
+        sweep = self._sweeps.get(sweep_id)
+        if sweep is None:
+            raise KeyError(sweep_id)
+        return sweep
+
+    def stats(self) -> Dict[str, object]:
+        """Queue health summary (``GET /v1/stats``)."""
+        states = [entry.state for entry in self._jobs.values()]
+        return {
+            "workers": self.workers,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "sweeps": len(self._sweeps),
+            "jobs": len(self._jobs),
+            "states": {state: states.count(state)
+                       for state in (QUEUED, RUNNING, DONE, FAILED,
+                                     CANCELLED)},
+            "pending": self._pending.qsize() if self._pending else 0,
+            "submitted": self.submitted,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "executed": self.executed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+        }
+
+    # -- cancellation -------------------------------------------------------
+
+    def cancel(self, sweep_id: str) -> Dict[str, object]:
+        """Cancel a sweep: queued member jobs are cancelled outright.
+
+        A queued job shared with a live (uncancelled) sweep keeps running
+        for that sweep's benefit — coalescing must never let one tenant
+        kill another's work.  Running jobs cannot be aborted mid-simulation;
+        they get ``cancel_requested`` and their (valid) result is still
+        stored.  Subscribers of this sweep see ``sweep_cancelled`` and the
+        stream ends.
+        """
+        sweep = self._get_sweep(sweep_id)
+        cancelled_jobs: List[str] = []
+        flagged: List[str] = []
+        if not sweep.cancelled:
+            sweep.cancelled = True
+            for job_hash in sweep.job_hashes:
+                entry = self._jobs.get(job_hash)
+                if entry is None:
+                    continue
+                live_elsewhere = any(
+                    not self._sweeps[sid].cancelled
+                    for sid in entry.sweeps if sid in self._sweeps)
+                if entry.state == QUEUED and not live_elsewhere:
+                    entry.state = CANCELLED
+                    entry.finished_at = time.time()
+                    self.cancelled += 1
+                    cancelled_jobs.append(job_hash)
+                    self._emit(entry, "cancelled")
+                elif entry.state in (QUEUED, RUNNING):
+                    entry.cancel_requested = True
+                    flagged.append(job_hash)
+            self._append_event(
+                (sweep.id,),
+                {"event": "sweep_cancelled", "sweep": sweep.id,
+                 "cancelled_jobs": list(cancelled_jobs),
+                 "still_running": list(flagged)})
+            self._finish_sweep(sweep)
+        return {"sweep": sweep.id, "cancelled_jobs": cancelled_jobs,
+                "still_running": flagged}
+
+    # -- event stream -------------------------------------------------------
+
+    async def subscribe(self, sweep_id: str, from_index: int = 0
+                        ) -> AsyncIterator[Tuple[int, Dict[str, object]]]:
+        """Yield ``(index, event)`` for a sweep: history, then live.
+
+        Ends after the ``sweep_done`` event (every sweep eventually gets
+        one, including cancelled sweeps).  ``from_index`` resumes a
+        dropped stream without replaying what the client already saw.
+        """
+        sweep = self._get_sweep(sweep_id)
+        index = max(0, int(from_index))
+        while True:
+            wake = self._wake
+            while index < len(sweep.events):
+                event = sweep.events[index]
+                yield index, event
+                index += 1
+                if event.get("event") == "sweep_done":
+                    return
+            if self._closed:
+                return
+            await wake.wait()
+
+    # -- internals ----------------------------------------------------------
+
+    async def _worker(self) -> None:
+        """One bounded-concurrency lane: pop hashes, execute in a thread."""
+        while True:
+            job_hash = await self._pending.get()
+            entry = self._jobs.get(job_hash)
+            if entry is None or entry.state != QUEUED:
+                continue  # cancelled (or superseded) while waiting
+            entry.state = RUNNING
+            entry.started_at = time.time()
+            self._emit(entry, "running")
+            loop = self._loop
+
+            def report(phase: str, _entry: JobEntry = entry,
+                       **detail: object) -> None:
+                loop.call_soon_threadsafe(
+                    self._emit, _entry, "progress",
+                    dict(detail, phase=phase))
+
+            try:
+                result, attempts, degraded = await loop.run_in_executor(
+                    self._pool, self._run_job, entry.job, report)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - recorded, fanned out
+                entry.state = FAILED
+                entry.finished_at = time.time()
+                entry.error = getattr(exc, "failure_payload", None) or {
+                    "kind": "exception",
+                    "error_type": type(exc).__name__,
+                    "message": str(exc),
+                }
+                entry.attempts = int(entry.error.get("attempts", 1))
+                self.failed += 1
+                self._emit_terminal(entry)
+            else:
+                entry.attempts = attempts
+                entry.degraded = degraded
+                entry.state = DONE
+                entry.source = "executed"
+                entry.result = result
+                entry.finished_at = time.time()
+                self.executed += 1
+                self._emit_terminal(entry)
+            self._maybe_finish_sweeps([entry.hash])
+
+    def _run_job(self, job: SweepJob,
+                 report: Callable[..., None]) -> Tuple[KernelRunResult, int,
+                                                       bool]:
+        """Blocking per-job execution (worker thread).
+
+        The default path is the shared supervised single-job core; a custom
+        ``runner`` replaces just the execution, keeping store persistence
+        and progress phases here.  Persisting from the worker thread keeps
+        file I/O off the event loop; the store's save is thread-safe.
+        """
+        start = time.perf_counter()
+        if self._runner is not None:
+            result = self._runner(job, report)
+            attempts, degraded = 1, False
+        else:
+            outcome = execute_supervised(job, self._retry, report=report)
+            if outcome.failure is not None:
+                error = JobExecutionError(outcome.failure.message)
+                error.failure_payload = dict(outcome.failure.to_dict(),
+                                             kind=outcome.failure.kind)
+                raise error from outcome.exception
+            result = outcome.result
+            attempts, degraded = outcome.attempts, outcome.degraded
+        report("simulated", elapsed=round(time.perf_counter() - start, 4))
+        if self.store is not None:
+            self.store.save(job, result)
+        return result, attempts, degraded
+
+    def _emit(self, entry: JobEntry, event: str,
+              detail: Optional[Dict[str, object]] = None,
+              sweeps: Optional[Sequence[str]] = None,
+              **extra: object) -> None:
+        """Append a job event to the logs of its (or the given) sweeps."""
+        payload: Dict[str, object] = {
+            "event": event,
+            "job": entry.hash,
+            "label": entry.job.label,
+            "state": entry.state,
+        }
+        if detail:
+            payload.update(detail)
+        payload.update(extra)
+        self._append_event(tuple(sweeps) if sweeps is not None
+                           else tuple(entry.sweeps), payload)
+
+    def _emit_terminal(self, entry: JobEntry,
+                       sweeps: Optional[Sequence[str]] = None) -> None:
+        """Emit the ``done`` / ``failed`` / ``cancelled`` event for a job."""
+        if entry.state == DONE:
+            self._emit(entry, "done", sweeps=sweeps, source=entry.source,
+                       metrics=_metrics_summary(entry.result),
+                       attempts=entry.attempts, degraded=entry.degraded)
+        elif entry.state == FAILED:
+            self._emit(entry, "failed", sweeps=sweeps,
+                       error=dict(entry.error or {}))
+        elif entry.state == CANCELLED:
+            self._emit(entry, "cancelled", sweeps=sweeps)
+
+    def _append_event(self, sweep_ids: Sequence[str],
+                      payload: Dict[str, object]) -> None:
+        payload = dict(payload, seq=next(self._event_seq), ts=time.time())
+        for sweep_id in sweep_ids:
+            sweep = self._sweeps.get(sweep_id)
+            if sweep is not None and not sweep.finished:
+                sweep.events.append(payload)
+        self._wakeup()
+
+    def _wakeup(self) -> None:
+        wake = self._wake
+        self._wake = asyncio.Event()
+        wake.set()
+
+    def _maybe_finish_sweeps(self, job_hashes: Sequence[str]) -> None:
+        """Emit ``sweep_done`` on every sweep whose jobs all terminated."""
+        touched: Set[str] = set()
+        for job_hash in job_hashes:
+            entry = self._jobs.get(job_hash)
+            if entry is not None:
+                touched |= entry.sweeps
+        for sweep_id in touched:
+            sweep = self._sweeps.get(sweep_id)
+            if sweep is None or sweep.finished or sweep.cancelled:
+                continue
+            states = {self._jobs[h].state for h in sweep.job_hashes
+                      if h in self._jobs}
+            if states and states <= set(TERMINAL_STATES):
+                self._finish_sweep(sweep)
+
+    def _finish_sweep(self, sweep: SweepEntry) -> None:
+        """Terminal ``sweep_done`` event: ends every subscriber's stream."""
+        if sweep.finished:
+            return
+        self._append_event((sweep.id,), {
+            "event": "sweep_done",
+            "sweep": sweep.id,
+            "state": sweep.state(self),
+            "cache_hits": sweep.cache_hits,
+            "coalesced": sweep.coalesced,
+        })
+        sweep.finished = True
+
+
+class JobExecutionError(RuntimeError):
+    """A queue job failed for good; ``failure_payload`` has the details."""
+
+    failure_payload: Optional[Dict[str, object]] = None

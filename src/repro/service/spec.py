@@ -1,0 +1,220 @@
+"""Wire formats: JSON sweep requests -> normalized :class:`SweepJob` lists.
+
+``POST /v1/sweeps`` accepts either an explicit job list::
+
+    {"jobs": [{"kernel": "jacobi_2d", "variant": "saris",
+               "machine": "snitch-8", "seed": 0}, ...]}
+
+or an Experiment spec — the same cross-product axes as the fluent
+:class:`repro.experiment.Experiment` builder::
+
+    {"experiment": {"kernels": ["jacobi_2d", "j3d27pt"],
+                    "variants": ["base", "saris"],
+                    "machines": ["snitch-8"],
+                    "seeds": [0], "tiles": [[12, 12]]}}
+
+Machines may be registered preset names or inline parameter dictionaries
+(``{"name": ..., "num_cores": ..., ...}`` — the keyword surface of
+:meth:`repro.machine.MachineSpec.create`).  Every validation problem raises
+:class:`SpecError`, which the HTTP layer maps to a 400 response with the
+message in the body; nothing in here ever executes a simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.variants import get_variant
+from repro.experiment import Experiment, ExperimentError
+from repro.machine import MACHINES, MachineSpec, resolve_machine
+from repro.sweep.job import DEFAULT_MAX_CYCLES, SweepJob
+
+#: Keys accepted in one wire job spec.
+JOB_KEYS = frozenset({"kernel", "variant", "tile_shape", "seed", "check",
+                      "max_cycles", "machine", "codegen_kwargs"})
+
+#: Keys accepted in a wire experiment spec.
+EXPERIMENT_KEYS = frozenset({"kernels", "variants", "machines", "tiles",
+                             "seeds", "codegen", "check", "max_cycles"})
+
+
+class SpecError(ValueError):
+    """A request payload does not describe a valid sweep."""
+
+
+def _err(exc: BaseException) -> str:
+    """Human message of an exception (KeyError str() wraps it in quotes)."""
+    if isinstance(exc, KeyError) and exc.args:
+        return str(exc.args[0])
+    return str(exc)
+
+
+def machine_from_wire(value: Union[str, Dict[str, object], None]
+                      ) -> Optional[MachineSpec]:
+    """Resolve a wire machine: preset name, inline parameter dict, or None."""
+    if value is None:
+        return None
+    if isinstance(value, str):
+        try:
+            return resolve_machine(value)
+        except KeyError:
+            raise SpecError(
+                f"unknown machine preset {value!r}; registered: "
+                f"{', '.join(sorted(MACHINES.names()))}") from None
+    if isinstance(value, dict):
+        params = dict(value)
+        overrides = params.pop("timing_overrides", {})
+        if not isinstance(overrides, dict):
+            raise SpecError("machine timing_overrides must be an object")
+        name = params.pop("name", None)
+        if not isinstance(name, str) or not name:
+            raise SpecError("an inline machine spec needs a 'name' string")
+        try:
+            return MachineSpec.create(name, **params, **overrides)
+        except (TypeError, ValueError) as exc:
+            raise SpecError(f"invalid machine spec {name!r}: {exc}") from None
+    raise SpecError(f"machine must be a preset name or a parameter object, "
+                    f"got {type(value).__name__}")
+
+
+def job_from_wire(payload: Dict[str, object]) -> SweepJob:
+    """Build one normalized :class:`SweepJob` from a wire job spec."""
+    if not isinstance(payload, dict):
+        raise SpecError(f"each job must be an object, got "
+                        f"{type(payload).__name__}")
+    unknown = set(payload) - JOB_KEYS
+    if unknown:
+        raise SpecError(f"unknown job keys: {', '.join(sorted(unknown))} "
+                        f"(allowed: {', '.join(sorted(JOB_KEYS))})")
+    kernel = payload.get("kernel")
+    if not isinstance(kernel, str) or not kernel:
+        raise SpecError("each job needs a 'kernel' name")
+    codegen_kwargs = payload.get("codegen_kwargs", {})
+    if not isinstance(codegen_kwargs, dict):
+        raise SpecError("codegen_kwargs must be an object")
+    tile_shape = payload.get("tile_shape")
+    if tile_shape is not None and not (
+            isinstance(tile_shape, (list, tuple))
+            and all(isinstance(t, int) for t in tile_shape)):
+        raise SpecError("tile_shape must be a list of integers")
+    try:
+        job = SweepJob.make(
+            kernel,
+            str(payload.get("variant", "saris")),
+            tile_shape=tuple(tile_shape) if tile_shape else None,
+            seed=int(payload.get("seed", 0)),
+            check=bool(payload.get("check", True)),
+            max_cycles=int(payload.get("max_cycles", DEFAULT_MAX_CYCLES)),
+            machine=machine_from_wire(payload.get("machine")),
+            **codegen_kwargs)
+        # SweepJob.make defers name resolution: hashing forces the kernel
+        # lookup and get_variant the variant one, so bad names become 400s
+        # here instead of 500s at submit/execute time.
+        job.content_hash()
+        get_variant(job.variant)
+        return job
+    except SpecError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SpecError(f"invalid job spec for kernel {kernel!r}: "
+                        f"{_err(exc)}") from None
+
+
+def experiment_from_wire(payload: Dict[str, object]) -> List[SweepJob]:
+    """Lower a wire experiment spec to jobs through the fluent builder."""
+    if not isinstance(payload, dict):
+        raise SpecError("'experiment' must be an object")
+    unknown = set(payload) - EXPERIMENT_KEYS
+    if unknown:
+        raise SpecError(
+            f"unknown experiment keys: {', '.join(sorted(unknown))} "
+            f"(allowed: {', '.join(sorted(EXPERIMENT_KEYS))})")
+    kernels = payload.get("kernels")
+    if not isinstance(kernels, (list, tuple)) or not kernels:
+        raise SpecError("an experiment needs a non-empty 'kernels' list")
+    experiment = Experiment()
+    codegen = payload.get("codegen", {})
+    if not isinstance(codegen, dict):
+        raise SpecError("experiment codegen must be an object")
+    try:
+        experiment.kernels(*[str(kernel) for kernel in kernels])
+        experiment.variants(*[str(v) for v in payload.get("variants", ())])
+        experiment.machines(*[machine_from_wire(m)
+                              for m in payload.get("machines", ())])
+        for tile in payload.get("tiles", ()):
+            experiment.tiles(tile)
+        experiment.seeds(*[int(seed) for seed in payload.get("seeds", ())])
+        if codegen:
+            experiment.codegen(**codegen)
+        experiment.options(check=payload.get("check"),
+                           max_cycles=payload.get("max_cycles"))
+        jobs = experiment.jobs()
+        for job in jobs:
+            job.content_hash()  # force deferred name resolution (see above)
+            get_variant(job.variant)
+        return jobs
+    except SpecError:
+        raise
+    except (ExperimentError, KeyError, TypeError, ValueError) as exc:
+        raise SpecError(f"invalid experiment spec: {_err(exc)}") from None
+
+
+def jobs_from_payload(payload: Dict[str, object]) -> List[SweepJob]:
+    """Parse a ``POST /v1/sweeps`` body into a normalized job list."""
+    if not isinstance(payload, dict):
+        raise SpecError("the request body must be a JSON object")
+    has_jobs = "jobs" in payload
+    has_experiment = "experiment" in payload
+    if has_jobs == has_experiment:
+        raise SpecError("the body must have exactly one of 'jobs' (a list "
+                        "of job specs) or 'experiment' (a cross-product "
+                        "spec)")
+    if has_jobs:
+        jobs = payload["jobs"]
+        if not isinstance(jobs, (list, tuple)) or not jobs:
+            raise SpecError("'jobs' must be a non-empty list of job specs")
+        return [job_from_wire(job) for job in jobs]
+    return experiment_from_wire(payload["experiment"])
+
+
+def experiment_to_wire(kernels: Sequence[str],
+                       variants: Sequence[str] = (),
+                       machines: Sequence[Union[str, MachineSpec]] = (),
+                       tiles: Sequence[Sequence[int]] = (),
+                       seeds: Sequence[int] = ()) -> Dict[str, object]:
+    """Build the wire experiment spec the CLI ``repro submit`` sends.
+
+    Registered machines travel by preset name; unregistered specs inline
+    their parameters so a custom topology survives the HTTP hop.
+    """
+    wire_machines: List[object] = []
+    for machine in machines:
+        if isinstance(machine, str):
+            wire_machines.append(machine)
+        elif machine.name in MACHINES.names():
+            wire_machines.append(machine.name)
+        else:
+            wire_machines.append({
+                "name": machine.name,
+                "num_cores": machine.num_cores,
+                "x_interleave": machine.x_interleave,
+                "y_interleave": machine.y_interleave,
+                "tcdm_banks": machine.tcdm_banks,
+                "tcdm_size": machine.tcdm_size,
+                "tcdm_bank_width": machine.tcdm_bank_width,
+                "clock_ghz": machine.clock_ghz,
+                "groups": machine.groups,
+                "clusters_per_group": machine.clusters_per_group,
+                "hbm_device_gbs": machine.hbm_device_gbs,
+                "timing_overrides": dict(machine.timing_overrides),
+            })
+    spec: Dict[str, object] = {"kernels": list(kernels)}
+    if variants:
+        spec["variants"] = list(variants)
+    if wire_machines:
+        spec["machines"] = wire_machines
+    if tiles:
+        spec["tiles"] = [list(tile) for tile in tiles]
+    if seeds:
+        spec["seeds"] = [int(seed) for seed in seeds]
+    return {"experiment": spec}

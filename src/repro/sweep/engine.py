@@ -411,17 +411,15 @@ def _run_serial_supervised(jobs: Sequence[SweepJob], unique: Sequence[int],
                            ):
     """In-process execution with retry/backoff and failure collection.
 
-    Timeouts and crash recovery need worker processes and do not apply
-    here; an injected segfault degrades to an in-band exception in-process
-    (see :mod:`repro.sweep.faults`), so serial supervised sweeps never die
+    One :func:`~repro.sweep.supervisor.execute_supervised` call per job —
+    the same single-job core that backs the service job queue.  Timeouts
+    and crash recovery need worker processes and do not apply here; an
+    injected segfault degrades to an in-band exception in-process (see
+    :mod:`repro.sweep.faults`), so serial supervised sweeps never die
     silently either.  A structured :class:`NativeEngineError` from the
     engine's guards degrades straight to one forced-Python attempt — same
     in-band routing as the pool path.
     """
-    import traceback as traceback_module
-
-    from repro.snitch import native
-
     failures: List[JobFailure] = []
     retried: Dict[str, int] = {}
     degraded: List[str] = []
@@ -429,60 +427,20 @@ def _run_serial_supervised(jobs: Sequence[SweepJob], unique: Sequence[int],
     native_faults = 0
     for index in unique:
         job = jobs[index]
-        attempt = 1
-        force_python = False
-        while True:
-            start = time.perf_counter()
-            try:
-                if force_python:
-                    with native.forced_python():
-                        result = execute_job(job, attempt=attempt)
-                else:
-                    result = execute_job(job, attempt=attempt)
-            except KeyboardInterrupt:
-                raise
-            except Exception as exc:  # noqa: BLE001 - recorded or re-raised
-                kind = "exception"
-                if (isinstance(exc, native.NativeEngineError)
-                        and not force_python):
-                    kind = "native_fault"
-                    if policy.degrade_to_python:
-                        # Deterministic guard fault: retrying natively would
-                        # hit it again — go straight to the Python engine.
-                        native_faults += 1
-                        retries += 1
-                        time.sleep(policy.backoff_for(attempt))
-                        attempt += 1
-                        force_python = True
-                        continue
-                if (kind == "exception" and not force_python
-                        and attempt < policy.max_attempts):
-                    time.sleep(policy.backoff_for(attempt))
-                    attempt += 1
-                    retries += 1
-                    continue
-                if on_error == "raise":
-                    raise
-                failures.append(JobFailure(
-                    label=job.label,
-                    job_hash=job.content_hash(),
-                    kind=kind,
-                    error_type=type(exc).__name__,
-                    message=str(exc),
-                    traceback=traceback_module.format_exc(),
-                    attempts=attempt,
-                    engine="python" if force_python else "auto",
-                    elapsed=time.perf_counter() - start,
-                    index=index,
-                ))
-                break
-            else:
-                if attempt > 1:
-                    retried[job.label] = attempt
-                if force_python:
-                    degraded.append(job.label)
-                finish(index, result, "serial")
-                break
+        outcome = _supervisor.execute_supervised(job, policy)
+        retries += outcome.retries
+        native_faults += outcome.native_faults
+        if outcome.failure is not None:
+            if on_error == "raise":
+                raise outcome.exception
+            outcome.failure.index = index
+            failures.append(outcome.failure)
+            continue
+        if outcome.attempts > 1:
+            retried[job.label] = outcome.attempts
+        if outcome.degraded:
+            degraded.append(job.label)
+        finish(index, outcome.result, "serial")
     return failures, retried, retries, degraded, native_faults
 
 

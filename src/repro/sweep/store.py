@@ -12,13 +12,20 @@ nobody remembers to bump the version.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import re
 import shutil
+import threading
 import time
 from pathlib import Path
 from typing import Optional, Union
+
+try:  # POSIX advisory locking; absent on some platforms (best-effort there).
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
 
 from repro.fingerprint import source_fingerprint
 from repro.runner import KernelRunResult
@@ -70,6 +77,10 @@ class ResultStore:
         #: Corrupt entries set aside by :meth:`load` over this store's
         #: lifetime (each renamed once to ``<name>.json.corrupt``).
         self.quarantined = 0
+        #: Monotonic discriminator for temp-file names: with thread pools a
+        #: thread id can be reused the moment a thread exits, so pid+tid
+        #: alone is not collision-proof across a store's lifetime.
+        self._save_counter = itertools.count()
         self._sweep_stale_tmp_files()
 
     def _sweep_stale_tmp_files(self) -> None:
@@ -165,6 +176,16 @@ class ResultStore:
         fails, so an aborted save cannot leak ``*.tmp<pid>`` litter into the
         cache (a writer killed outright is covered by the stale-file sweep
         at construction instead).
+
+        Safe under concurrent writers: the temp file name is unique per
+        process *and thread* (plus a monotonic counter, so even one thread
+        re-entering for the same key never reuses a live temp path), and the
+        final publish is a single atomic rename — two daemon workers
+        materializing the same entry race to a well-formed last-writer-wins
+        file, never to interleaved partial JSON.  Where the platform offers
+        ``flock`` the rename is additionally serialized through a per-store
+        advisory lock file, which makes the write-then-rename window
+        observable as strictly ordered for tooling that also takes the lock.
         """
         path = self.path_for(job)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -173,11 +194,14 @@ class ResultStore:
             "job": job.spec(),
             "result": result.without_cluster().to_json_dict(),
         }
-        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp = path.with_name(
+            f"{path.name}.tmp{os.getpid()}-{threading.get_ident()}"
+            f"-{next(self._save_counter)}")
         try:
             tmp.write_text(json.dumps(payload, sort_keys=True, indent=1)
                            + "\n")
-            os.replace(tmp, path)
+            with self._advisory_lock():
+                os.replace(tmp, path)
         finally:
             if tmp.exists():
                 try:
@@ -185,6 +209,39 @@ class ResultStore:
                 except OSError:
                     pass
         return path
+
+    def _advisory_lock(self):
+        """Advisory inter-process lock around entry publication.
+
+        A context manager holding ``flock`` on ``<version_dir>/.lock`` while
+        the atomic rename happens; a no-op where ``fcntl`` is unavailable
+        (the rename alone is still atomic there).
+        """
+        store = self
+
+        class _Lock:
+            def __enter__(self):
+                self.fh = None
+                if fcntl is None:
+                    return self
+                try:
+                    self.fh = open(store.version_dir / ".lock", "a+b")
+                    fcntl.flock(self.fh, fcntl.LOCK_EX)
+                except OSError:
+                    if self.fh is not None:
+                        self.fh.close()
+                        self.fh = None
+                return self
+
+            def __exit__(self, *exc):
+                if self.fh is not None:
+                    try:
+                        fcntl.flock(self.fh, fcntl.LOCK_UN)
+                    finally:
+                        self.fh.close()
+                return False
+
+        return _Lock()
 
     def __len__(self) -> int:
         """Number of entries stored for this engine version."""

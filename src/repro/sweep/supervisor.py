@@ -282,6 +282,116 @@ def execute_batch_supervised(jobs: Sequence[SweepJob], attempt: int = 1,
 
 
 @dataclass
+class SingleJobOutcome:
+    """What one in-process supervised execution produced.
+
+    Exactly one of ``result`` / ``failure`` is set; ``exception`` carries
+    the final raised exception alongside ``failure`` so callers that want
+    fail-fast semantics can re-raise the original object (traceback
+    intact).  ``retries`` / ``native_faults`` are counters for sweep-report
+    aggregation; ``degraded`` records that the successful attempt ran under
+    the forced Python engine.
+    """
+
+    result: Optional[KernelRunResult] = None
+    failure: Optional[JobFailure] = None
+    exception: Optional[BaseException] = None
+    attempts: int = 1
+    degraded: bool = False
+    retries: int = 0
+    native_faults: int = 0
+
+
+#: Optional progress hook for :func:`execute_supervised`:
+#: ``report(phase, **detail)`` with phases ``"retry"`` and ``"degraded"``.
+ReportFn = Callable[..., None]
+
+
+def execute_supervised(job: SweepJob, policy: RetryPolicy,
+                       report: Optional[ReportFn] = None) -> SingleJobOutcome:
+    """Run one job in-process under the full supervision policy.
+
+    This is the single-job core shared by the sweep engine's serial
+    supervised path and the service job queue
+    (:mod:`repro.service.queue`): bounded retry with exponential backoff
+    for in-band exceptions, and immediate degradation to the forced Python
+    engine on a structured :class:`~repro.snitch.native.NativeEngineError`
+    (a deterministic guard fault would just fire again natively).  Timeouts
+    and crash recovery need worker processes and live in
+    :class:`SupervisedPool`; an injected segfault degrades to an in-band
+    exception in-process (see :mod:`repro.sweep.faults`).
+
+    ``report``, when given, is called as ``report("retry", attempt=n,
+    error=...)`` / ``report("degraded", attempt=n, error=...)`` before each
+    backoff pause — the service queue fans these out to event subscribers.
+    """
+    from repro.snitch import native
+    from repro.sweep.engine import execute_job
+
+    attempt = 1
+    force_python = False
+    retries = 0
+    native_faults = 0
+    while True:
+        start = time.perf_counter()
+        try:
+            if force_python:
+                with native.forced_python():
+                    result = execute_job(job, attempt=attempt)
+            else:
+                result = execute_job(job, attempt=attempt)
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:  # noqa: BLE001 - recorded for the caller
+            kind = "exception"
+            if (isinstance(exc, native.NativeEngineError)
+                    and not force_python):
+                kind = "native_fault"
+                if policy.degrade_to_python:
+                    # Deterministic guard fault: retrying natively would
+                    # hit it again — go straight to the Python engine.
+                    native_faults += 1
+                    retries += 1
+                    if report is not None:
+                        report("degraded", attempt=attempt,
+                               error=type(exc).__name__)
+                    time.sleep(policy.backoff_for(attempt))
+                    attempt += 1
+                    force_python = True
+                    continue
+            if (kind == "exception" and not force_python
+                    and attempt < policy.max_attempts):
+                retries += 1
+                if report is not None:
+                    report("retry", attempt=attempt,
+                           error=type(exc).__name__)
+                time.sleep(policy.backoff_for(attempt))
+                attempt += 1
+                continue
+            return SingleJobOutcome(
+                failure=JobFailure(
+                    label=job.label,
+                    job_hash=job.content_hash(),
+                    kind=kind,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    traceback=traceback_module.format_exc(),
+                    attempts=attempt,
+                    engine="python" if force_python else "auto",
+                    elapsed=time.perf_counter() - start,
+                ),
+                exception=exc,
+                attempts=attempt,
+                retries=retries,
+                native_faults=native_faults,
+            )
+        else:
+            return SingleJobOutcome(result=result, attempts=attempt,
+                                    degraded=force_python, retries=retries,
+                                    native_faults=native_faults)
+
+
+@dataclass
 class _Task:
     """One unit of pool work: a batch of job indices plus retry state.
 

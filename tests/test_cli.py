@@ -259,3 +259,81 @@ class TestFuzzCommand:
     def test_rejects_bad_budget(self, capsys):
         assert main(["fuzz", "--budget", "0"]) == 2
         assert "--budget" in capsys.readouterr().err
+
+
+class TestServiceCommands:
+    def test_submit_falls_back_to_in_process(self, capsys, monkeypatch,
+                                             tmp_path):
+        monkeypatch.delenv("REPRO_SERVICE_URL", raising=False)
+        code = main(["submit", "jacobi_2d", "--variants", "base",
+                     "--tile", "12", "12",
+                     "--cache-dir", str(tmp_path), "--json"])
+        captured = capsys.readouterr()
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["state"] == "done"
+        assert payload["counts"]["done"] == 1
+
+    def test_submit_fallback_announces_itself(self, capsys, monkeypatch,
+                                              tmp_path):
+        monkeypatch.delenv("REPRO_SERVICE_URL", raising=False)
+        code = main(["submit", "jacobi_2d", "--variants", "base",
+                     "--tile", "12", "12", "--cache-dir", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "no server configured" in captured.err
+        # The in-process path streams the same event lines a server would.
+        assert "[  submitted]" in captured.out
+        assert "[ sweep_done]" in captured.out
+
+    def test_submit_fallback_hits_warm_cache(self, capsys, monkeypatch,
+                                             tmp_path):
+        monkeypatch.delenv("REPRO_SERVICE_URL", raising=False)
+        args = ["submit", "jacobi_2d", "--variants", "base",
+                "--tile", "12", "12", "--cache-dir", str(tmp_path), "--json"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache_hits"] == 1
+
+    def test_submit_rejects_unknown_kernel(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE_URL", raising=False)
+        code = main(["submit", "no_such_kernel", "--no-cache"])
+        assert code == 2
+        assert "no_such_kernel" in capsys.readouterr().err
+
+    def test_watch_without_server_is_an_error(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE_URL", raising=False)
+        code = main(["watch", "s0001-deadbeef"])
+        assert code == 2
+        assert "no server configured" in capsys.readouterr().err
+
+    def test_submit_and_watch_against_live_server(self, capsys, tmp_path):
+        from tests.test_service_server import running_server
+
+        with running_server(store=None) as (service, client):
+            code = main(["submit", "jacobi_2d", "--variants", "base",
+                         "--tile", "12", "12", "--url", service.url,
+                         "--watch"])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "[       done]" in out and "[ sweep_done]" in out
+            # Submit without --watch prints the receipt + a watch hint.
+            code = main(["submit", "jacobi_2d", "--variants", "base",
+                         "--tile", "12", "12", "--url", service.url])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "1 cache hit(s)" in out and "repro watch" in out
+            sweep_id = next(line.split()[1] for line in out.splitlines()
+                            if line.startswith("sweep "))
+            code = main(["watch", sweep_id.rstrip(":"), "--url",
+                         service.url, "--json"])
+            payload = json.loads(capsys.readouterr().out)
+            assert code == 0 and payload["state"] == "done"
+
+    def test_submit_unreachable_server_is_an_error(self, capsys):
+        code = main(["submit", "jacobi_2d", "--tile", "12", "12",
+                     "--url", "http://127.0.0.1:1", "--watch"])
+        assert code == 2
+        assert "cannot reach" in capsys.readouterr().err

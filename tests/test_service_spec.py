@@ -1,0 +1,146 @@
+"""Wire-format tests: JSON payloads -> normalized SweepJob lists."""
+
+import pytest
+
+from repro.machine import MachineSpec, resolve_machine
+from repro.service import SpecError, job_from_wire, jobs_from_payload
+from repro.service.spec import (
+    experiment_from_wire,
+    experiment_to_wire,
+    machine_from_wire,
+)
+from repro.sweep import SweepJob
+from tests.conftest import small_tile
+
+
+class TestJobFromWire:
+    def test_minimal_job_defaults(self):
+        job = job_from_wire({"kernel": "jacobi_2d"})
+        assert job == SweepJob.make("jacobi_2d")
+        assert job.variant == "saris" and job.seed == 0
+
+    def test_full_job_roundtrips_content_hash(self):
+        wire = {"kernel": "j3d27pt", "variant": "base",
+                "tile_shape": list(small_tile("j3d27pt")), "seed": 3,
+                "check": False, "max_cycles": 123456,
+                "machine": "snitch-4",
+                "codegen_kwargs": {"use_frep": True}}
+        job = job_from_wire(wire)
+        direct = SweepJob.make("j3d27pt", "base",
+                               tile_shape=small_tile("j3d27pt"), seed=3,
+                               check=False, max_cycles=123456,
+                               machine=resolve_machine("snitch-4"),
+                               use_frep=True)
+        assert job.content_hash() == direct.content_hash()
+
+    @pytest.mark.parametrize("payload", [
+        "not a dict",
+        {},  # no kernel
+        {"kernel": "jacobi_2d", "mystery": 1},
+        {"kernel": "no_such_kernel"},
+        {"kernel": "jacobi_2d", "variant": "no_such_variant"},
+        {"kernel": "jacobi_2d", "tile_shape": "12x12"},
+        {"kernel": "jacobi_2d", "tile_shape": [12.5, 12]},
+        {"kernel": "jacobi_2d", "codegen_kwargs": ["use_frep"]},
+        {"kernel": "jacobi_2d", "machine": "no-such-machine"},
+        {"kernel": "jacobi_2d", "machine": 42},
+    ])
+    def test_invalid_jobs_raise_spec_error(self, payload):
+        with pytest.raises(SpecError):
+            job_from_wire(payload)
+
+    def test_unknown_kernel_message_names_the_registry(self):
+        with pytest.raises(SpecError, match="jacobi_2d"):
+            job_from_wire({"kernel": "no_such_kernel"})
+
+
+class TestMachineFromWire:
+    def test_none_and_preset(self):
+        assert machine_from_wire(None) is None
+        assert machine_from_wire("snitch-4").num_cores == 4
+
+    def test_unknown_preset_lists_registered(self):
+        with pytest.raises(SpecError, match="snitch-8"):
+            machine_from_wire("no-such-machine")
+
+    def test_inline_spec_builds_custom_machine(self):
+        machine = machine_from_wire({"name": "tiny", "num_cores": 4,
+                                     "tcdm_banks": 16})
+        assert machine.name == "tiny" and machine.num_cores == 4
+        assert machine.tcdm_banks == 16
+
+    @pytest.mark.parametrize("payload", [
+        {"num_cores": 4},  # missing name
+        {"name": "x", "num_cores": "many"},
+        {"name": "x", "timing_overrides": [1, 2]},
+        {"name": "x", "bogus_param": 1},
+    ])
+    def test_invalid_inline_specs_raise(self, payload):
+        with pytest.raises(SpecError):
+            machine_from_wire(payload)
+
+
+class TestExperimentFromWire:
+    def test_cross_product_expansion(self):
+        jobs = experiment_from_wire({
+            "kernels": ["jacobi_2d", "j2d5pt"],
+            "variants": ["base", "saris"],
+            "seeds": [0, 1],
+            "tiles": [[12, 12]],
+        })
+        assert len(jobs) == 2 * 2 * 2
+        assert len({job.content_hash() for job in jobs}) == len(jobs)
+
+    @pytest.mark.parametrize("payload", [
+        "nope",
+        {},  # no kernels
+        {"kernels": []},
+        {"kernels": ["jacobi_2d"], "surprise": 1},
+        {"kernels": ["no_such_kernel"]},
+        {"kernels": ["jacobi_2d"], "codegen": "fast"},
+    ])
+    def test_invalid_experiments_raise(self, payload):
+        with pytest.raises(SpecError):
+            experiment_from_wire(payload)
+
+
+class TestJobsFromPayload:
+    def test_requires_exactly_one_of_jobs_or_experiment(self):
+        for payload in ({}, {"jobs": [], "experiment": {}}, [], "x"):
+            with pytest.raises(SpecError):
+                jobs_from_payload(payload)
+        with pytest.raises(SpecError):
+            jobs_from_payload({"jobs": []})  # non-empty required
+
+    def test_jobs_list_parses(self):
+        jobs = jobs_from_payload({"jobs": [{"kernel": "jacobi_2d"},
+                                           {"kernel": "j2d5pt"}]})
+        assert [job.kernel for job in jobs] == ["jacobi_2d", "j2d5pt"]
+
+
+class TestExperimentToWire:
+    def test_roundtrip_matches_direct_jobs(self):
+        wire = experiment_to_wire(kernels=["jacobi_2d"],
+                                  variants=["base", "saris"],
+                                  machines=["snitch-4"],
+                                  tiles=[small_tile("jacobi_2d")],
+                                  seeds=[0, 1])
+        jobs = jobs_from_payload(wire)
+        assert len(jobs) == 4
+        assert all(job.machine.name == "snitch-4" for job in jobs)
+
+    def test_custom_machine_inlines_parameters(self):
+        custom = MachineSpec.create("my-rig", num_cores=4, tcdm_banks=16)
+        wire = experiment_to_wire(kernels=["jacobi_2d"],
+                                  variants=["saris"], machines=[custom])
+        (machine,) = wire["experiment"]["machines"]
+        assert isinstance(machine, dict) and machine["name"] == "my-rig"
+        # The custom topology survives the HTTP hop bit-exactly.
+        (job,) = jobs_from_payload(wire)
+        direct = SweepJob.make("jacobi_2d", machine=custom)
+        assert job.content_hash() == direct.content_hash()
+
+    def test_registered_machines_travel_by_name(self):
+        wire = experiment_to_wire(kernels=["jacobi_2d"],
+                                  machines=[resolve_machine("snitch-8-wide")])
+        assert wire["experiment"]["machines"] == ["snitch-8-wide"]

@@ -146,6 +146,41 @@ class TestResultStore:
         store.clear()
         assert len(store) == 0 and store.load(job) is None
 
+    def test_concurrent_writers_one_key_never_corrupt(self, tmp_path):
+        """Two threads hammering the same key must never produce a torn
+        entry: every interleaved load is either a miss or a full,
+        spec-matching result (the daemon's worker threads share one store)."""
+        import threading
+
+        job = small_job()
+        result = execute_job(job)
+        errors = []
+
+        def hammer():
+            store = ResultStore(tmp_path)  # own instance, same directory
+            try:
+                for _ in range(50):
+                    store.save(job, result)
+                    loaded = store.load(job)
+                    if loaded is not None:
+                        assert metrics_key(loaded) == metrics_key(result)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        store = ResultStore(tmp_path)
+        loaded = store.load(job)
+        assert loaded is not None
+        assert metrics_key(loaded) == metrics_key(result)
+        # No quarantined (corrupt) entries and no leaked tmp files.
+        assert store.stats()["corrupt_files"] == 0
+        assert not list(store.version_dir.glob("*.tmp*"))
+
 
 class TestMachineAwareStore:
     """Cached results are keyed by machine: no cross-machine stale serving."""
