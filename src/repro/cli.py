@@ -427,8 +427,10 @@ def _cmd_fuzz(args) -> int:
 
 def _cmd_doctor(args) -> int:
     from repro.doctor import doctor_report
+    from repro.service import configured_url
 
-    payload = doctor_report(cache_dir=args.cache_dir)
+    payload = doctor_report(cache_dir=args.cache_dir,
+                            service_url=configured_url(args.url))
     info = payload["native"]
     store_stats = payload["store"]
     if args.json:
@@ -453,6 +455,29 @@ def _cmd_doctor(args) -> int:
         ["store size", f"{store_stats['total_bytes'] / 1024:.0f} KiB"],
         ["corrupt entries quarantined", store_stats["corrupt_files"]],
     ]
+    service = payload.get("service")
+    if service is not None:
+        if not service.get("reachable"):
+            rows.append(["sweep daemon",
+                         f"UNREACHABLE: {service.get('error')}"])
+        else:
+            queue_stats = service.get("queue") or {}
+            rows.append(["sweep daemon",
+                         f"{service['url']} "
+                         f"({queue_stats.get('dispatch', 'local')} dispatch, "
+                         f"{queue_stats.get('jobs', 0)} job(s))"])
+            fabric = service.get("fabric")
+            if fabric:
+                workers = fabric.get("workers", {})
+                rows.extend([
+                    ["fabric workers (live/total)",
+                     f"{workers.get('live', 0)}/{workers.get('total', 0)}"],
+                    ["fabric leases in flight",
+                     fabric.get("leases_in_flight", 0)],
+                    ["fabric requeues", fabric.get("requeues", 0)],
+                    ["fabric expired leases",
+                     fabric.get("expired_leases", 0)],
+                ])
     print(format_table(["check", "status"], rows,
                        title="repro environment diagnostics"))
     if not info["available"]:
@@ -480,19 +505,32 @@ def _cmd_serve(args) -> int:
     if args.retries is not None:
         retry = dataclasses.replace(retry, max_attempts=int(args.retries))
     queue = JobQueue(store=store, workers=resolve_workers(args.workers),
-                     retry=retry)
+                     retry=retry,
+                     dispatch="fabric" if args.fabric else "local")
+    fabric = None
+    if args.fabric:
+        from repro.service.fabric import TTL_ENV_VAR, FabricCoordinator
+
+        ttl = args.lease_ttl
+        if ttl is None:
+            env_ttl = os.environ.get(TTL_ENV_VAR, "").strip()
+            ttl = float(env_ttl) if env_ttl else None
+        fabric = FabricCoordinator(queue, ttl=ttl)
     service = ReproService(
         queue,
         host=args.host if args.host is not None else DEFAULT_HOST,
         port=args.port if args.port is not None else DEFAULT_PORT,
         token=args.token,
         stats_extra=lambda: doctor_report(cache_dir=args.cache_dir,
-                                          store=store))
+                                          store=store),
+        fabric=fabric)
 
     async def main() -> None:
         await service.start()
+        mode = (f"fabric coordinator, lease ttl {fabric.ttl}s"
+                if fabric is not None else f"workers={queue.workers}")
         print(f"repro service listening on {service.url} "
-              f"(workers={queue.workers}, "
+              f"({mode}, "
               f"store={store.root if store is not None else 'disabled'}, "
               f"auth={'on' if service.token else 'off'})", flush=True)
         await service.serve_forever()
@@ -504,6 +542,66 @@ def _cmd_serve(args) -> int:
               "job; restart and resubmit for warm cache hits)",
               file=sys.stderr)
     return 0
+
+
+def _cmd_worker(args) -> int:
+    """Run one fabric worker against a coordinator daemon."""
+    import dataclasses
+
+    from repro.service import configured_url
+    from repro.service.client import ServiceError
+    from repro.service.worker import FabricWorker
+    from repro.sweep.faults import FABRIC_WORKER_ENV_VAR
+    from repro.sweep.store import ResultStore
+    from repro.sweep.supervisor import RetryPolicy
+
+    url = configured_url(args.url)
+    if url is None:
+        print("worker: no coordinator configured — pass --url or set "
+              "$REPRO_SERVICE_URL", file=sys.stderr)
+        return 2
+    # Mark this process as a fabric worker so injected worker_kill faults
+    # may genuinely take it down (parents degrade to an in-band raise).
+    os.environ.setdefault(FABRIC_WORKER_ENV_VAR, "1")
+    retry = RetryPolicy.resolve(None, None)
+    if args.retries is not None:
+        retry = dataclasses.replace(retry, max_attempts=int(args.retries))
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    worker = FabricWorker(
+        url, token=args.token, worker_id=args.id, capacity=args.jobs,
+        store=store, retry=retry, poll_seconds=args.poll,
+        log=lambda line: print(line, file=sys.stderr, flush=True))
+    print(f"repro worker {worker.worker_id} pulling from {url} "
+          f"(capacity={worker.capacity}, "
+          f"store={store.root if store is not None else 'disabled'})",
+          flush=True)
+    try:
+        worker.run(exit_on_idle=args.exit_on_idle)
+    except KeyboardInterrupt:
+        print(f"\nworker stopped: {json.dumps(worker.stats())}",
+              file=sys.stderr)
+        return 130
+    except ServiceError as exc:
+        print(f"worker: {exc}", file=sys.stderr)
+        return 2
+    print(f"worker idle-exit: {json.dumps(worker.stats())}", flush=True)
+    return 0
+
+
+def _print_failure_summary(command: str, final: dict) -> None:
+    """Stderr failure summary shared by submit --watch and watch
+    (mirrors `repro reproduce`'s behaviour on failed jobs)."""
+    failed = [job for job in final.get("jobs", ())
+              if job.get("state") == "failed"]
+    total = len(final.get("jobs", ()))
+    print(f"{command}: {len(failed)} of {total} job(s) failed:",
+          file=sys.stderr)
+    for job in failed:
+        error = job.get("error", {})
+        print(f"  {job.get('label', job.get('hash', '?'))}: "
+              f"{error.get('kind', 'error')} "
+              f"{error.get('error_type', '')}: {error.get('message', '')}",
+              file=sys.stderr)
 
 
 def _print_event(event: dict) -> None:
@@ -571,7 +669,10 @@ def _cmd_submit(args) -> int:
         return 2
     if args.json:
         _print_json(final)
-    return 1 if final["counts"]["failed"] else 0
+    if final["counts"]["failed"]:
+        _print_failure_summary("submit", final)
+        return 1
+    return 0
 
 
 def _submit_local(args, payload: dict) -> int:
@@ -608,7 +709,10 @@ def _submit_local(args, payload: dict) -> int:
     final = asyncio.run(main())
     if args.json:
         _print_json(final)
-    return 1 if final["counts"]["failed"] else 0
+    if final["counts"]["failed"]:
+        _print_failure_summary("submit", final)
+        return 1
+    return 0
 
 
 def _cmd_watch(args) -> int:
@@ -628,7 +732,10 @@ def _cmd_watch(args) -> int:
         return 2
     if args.json:
         _print_json(final)
-    return 1 if final["counts"]["failed"] else 0
+    if final["counts"]["failed"]:
+        _print_failure_summary("watch", final)
+        return 1
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -780,6 +887,10 @@ def build_parser() -> argparse.ArgumentParser:
     doctor_p.add_argument("--cache-dir", default=None,
                           help="result store directory (default: "
                                "$REPRO_CACHE_DIR or .repro_cache)")
+    doctor_p.add_argument("--url", default=None,
+                          help="also probe a running sweep daemon / fabric "
+                               "coordinator (default: $REPRO_SERVICE_URL "
+                               "when set)")
     doctor_p.add_argument("--json", action="store_true",
                           help="machine-readable output")
     doctor_p.set_defaults(func=_cmd_doctor)
@@ -809,7 +920,45 @@ def build_parser() -> argparse.ArgumentParser:
                          help="static api key clients must present "
                               "(default: $REPRO_SERVICE_TOKEN; empty = "
                               "auth off)")
+    serve_p.add_argument("--fabric", action="store_true",
+                         help="coordinator mode: no local simulations; "
+                              "jobs are leased to `repro worker` processes "
+                              "over /v1/fabric with TTL-based ownership")
+    serve_p.add_argument("--lease-ttl", type=float, default=None,
+                         help="fabric lease TTL in seconds (default: "
+                              "$REPRO_FABRIC_TTL or 10)")
     serve_p.set_defaults(func=_cmd_serve)
+
+    worker_p = sub.add_parser(
+        "worker",
+        help="run a fabric worker: lease jobs from a coordinator daemon, "
+             "simulate them through the supervised path, publish results")
+    worker_p.add_argument("--url", default=None,
+                          help="coordinator URL (default: "
+                               "$REPRO_SERVICE_URL)")
+    worker_p.add_argument("--token", default=None,
+                          help="api key (default: $REPRO_SERVICE_TOKEN)")
+    worker_p.add_argument("--id", default=None,
+                          help="worker id (default: <hostname>-<pid>)")
+    worker_p.add_argument("--jobs", type=int, default=1,
+                          help="concurrent leased jobs (default: "
+                               "%(default)s)")
+    worker_p.add_argument("--retries", type=int, default=None,
+                          help="max attempts per job in the local "
+                               "supervised ladder (default: supervisor "
+                               "policy)")
+    worker_p.add_argument("--cache-dir", default=None,
+                          help="local result-store cache tier (default: "
+                               "$REPRO_CACHE_DIR or .repro_cache)")
+    worker_p.add_argument("--no-cache", action="store_true",
+                          help="run without a local result store")
+    worker_p.add_argument("--poll", type=float, default=0.5,
+                          help="idle poll interval in seconds (default: "
+                               "%(default)s)")
+    worker_p.add_argument("--exit-on-idle", type=int, default=None,
+                          help="exit after this many consecutive empty "
+                               "polls (CI/batch mode; default: run forever)")
+    worker_p.set_defaults(func=_cmd_worker)
 
     submit_p = sub.add_parser(
         "submit",

@@ -15,20 +15,45 @@ from repro.sweep.store import ResultStore
 
 
 def doctor_report(cache_dir: Optional[str] = None,
-                  store: Optional[ResultStore] = None) -> Dict[str, object]:
+                  store: Optional[ResultStore] = None,
+                  service_url: Optional[str] = None) -> Dict[str, object]:
     """The full diagnostics payload: native engine + result store.
 
     ``store`` reuses an already-open store (the daemon passes its own so
     the report reflects the live instance, quarantine counters included);
-    otherwise one is opened on ``cache_dir``.
+    otherwise one is opened on ``cache_dir``.  ``service_url`` additionally
+    probes a running sweep daemon's ``/v1/stats`` and folds its queue /
+    fabric health into a ``"service"`` section — the daemon itself must
+    *not* pass this (it would be an HTTP call back into its own event
+    loop); only out-of-process callers like the CLI do.
     """
     from repro.snitch import native
 
     if store is None:
         store = ResultStore(cache_dir)
     info = native.build_info()
-    return {
+    payload: Dict[str, object] = {
         "native": info,
         "store": store.stats(),
         "ok": bool(info["available"]),
+    }
+    if service_url:
+        payload["service"] = _probe_service(service_url)
+    return payload
+
+
+def _probe_service(url: str) -> Dict[str, object]:
+    """Fabric/queue health of a (possibly unreachable) daemon."""
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        stats = ServiceClient(url, timeout=5.0).stats()
+    except ServiceError as exc:
+        return {"url": url, "reachable": False, "error": str(exc)}
+    return {
+        "url": url,
+        "reachable": True,
+        "version": stats.get("version"),
+        "queue": stats.get("queue"),
+        "fabric": stats.get("fabric"),
     }

@@ -13,7 +13,13 @@ thin transport:
   asyncio, hand-rolled HTTP/1.1, Server-Sent Events, optional static
   api-key auth) behind ``repro serve``;
 * :mod:`repro.service.client` — the blocking stdlib client behind
-  ``repro submit`` / ``repro watch``.
+  ``repro submit`` / ``repro watch``;
+* :mod:`repro.service.fabric` — the lease-based coordinator core of the
+  distributed sweep fabric (``repro serve --fabric``): grants with TTLs,
+  heartbeat renewal, a reaper that requeues expired leases with the
+  supervisor's suspect/solo semantics;
+* :mod:`repro.service.worker` — the pull-side ``repro worker`` loop:
+  lease, execute supervised, publish, heartbeat.
 
 The CLI and the daemon drive the *same* queue core: ``repro submit``
 without a configured server falls back to an in-process queue and the
@@ -21,6 +27,11 @@ exact code path the daemon runs.
 """
 
 from repro.service.client import ServiceClient, ServiceError, configured_url
+from repro.service.fabric import (
+    DEFAULT_LEASE_TTL,
+    FabricCoordinator,
+    FabricError,
+)
 from repro.service.queue import (
     CANCELLED,
     DONE,
@@ -45,15 +56,21 @@ from repro.service.spec import (
     SpecError,
     experiment_to_wire,
     job_from_wire,
+    job_to_wire,
     jobs_from_payload,
 )
+from repro.service.worker import FabricWorker
 
 __all__ = [
     "CANCELLED",
     "DEFAULT_HOST",
+    "DEFAULT_LEASE_TTL",
     "DEFAULT_PORT",
     "DONE",
     "FAILED",
+    "FabricCoordinator",
+    "FabricError",
+    "FabricWorker",
     "JobEntry",
     "JobExecutionError",
     "JobQueue",
@@ -71,5 +88,6 @@ __all__ = [
     "configured_url",
     "experiment_to_wire",
     "job_from_wire",
+    "job_to_wire",
     "jobs_from_payload",
 ]

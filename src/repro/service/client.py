@@ -14,8 +14,10 @@ from __future__ import annotations
 
 import json
 import os
+import socket
+import time
 from http.client import HTTPConnection
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 from urllib.parse import urlsplit
 
 from repro.service.server import TOKEN_ENV_VAR, URL_ENV_VAR
@@ -115,16 +117,36 @@ class ServiceClient:
     def cancel(self, sweep_id: str) -> dict:
         return self._request("DELETE", f"/v1/sweeps/{sweep_id}")
 
+    # -- fabric (worker-side protocol) --------------------------------------
+
+    def lease(self, worker: str, capacity: int = 1) -> dict:
+        """Ask the coordinator for up to ``capacity`` leased jobs."""
+        return self._request("POST", "/v1/fabric/lease",
+                             payload={"worker": worker,
+                                      "capacity": capacity})
+
+    def heartbeat(self, lease_id: str) -> dict:
+        """Renew a lease; raises :class:`ServiceError` (status 410) when
+        the lease is gone and the worker must abandon the job."""
+        return self._request("POST",
+                             f"/v1/fabric/leases/{lease_id}/heartbeat")
+
+    def complete(self, lease_id: str, payload: dict) -> dict:
+        """Upload a result or failure for a leased job."""
+        return self._request("POST",
+                             f"/v1/fabric/leases/{lease_id}/complete",
+                             payload=payload)
+
+    def fabric(self) -> dict:
+        return self._request("GET", "/v1/fabric")
+
     # -- SSE ----------------------------------------------------------------
 
-    def events(self, sweep_id: str, from_index: int = 0,
-               timeout: Optional[float] = None) -> Iterator[dict]:
-        """Yield the sweep's events as dictionaries until ``sweep_done``.
-
-        ``timeout`` bounds the *gap between events* (the socket read), not
-        the whole stream; the server's keepalive comments reset it, so a
-        healthy but idle stream never times out spuriously.
-        """
+    def _sse(self, sweep_id: str, from_index: int,
+             timeout: Optional[float]) -> Iterator[Tuple[int, dict]]:
+        """One SSE connection: yields ``(index, event)`` until the server
+        closes or ``sweep_done`` arrives.  The index comes from the
+        server's ``id:`` lines — it is the resume cursor."""
         connection = HTTPConnection(self.host, self.port,
                                     timeout=timeout or self.timeout)
         try:
@@ -146,6 +168,8 @@ class ServiceClient:
                 raise ServiceError(f"events stream -> {response.status}: "
                                    f"{message}", status=response.status)
             data_lines: List[str] = []
+            event_id: Optional[int] = None
+            index = from_index
             while True:
                 line = response.readline()
                 if not line:
@@ -153,26 +177,95 @@ class ServiceClient:
                 line = line.decode("utf-8").rstrip("\r\n")
                 if line.startswith(":"):
                     continue  # heartbeat comment
+                if line.startswith("id:"):
+                    try:
+                        event_id = int(line[len("id:"):].strip())
+                    except ValueError:
+                        event_id = None
+                    continue
                 if line.startswith("data:"):
                     data_lines.append(line[len("data:"):].strip())
                     continue
                 if line == "" and data_lines:
                     event = json.loads("\n".join(data_lines))
                     data_lines = []
-                    yield event
+                    if event_id is not None:
+                        index = event_id
+                    yield index, event
+                    index += 1
+                    event_id = None
                     if event.get("event") == "sweep_done":
                         return
         finally:
             connection.close()
+
+    def events(self, sweep_id: str, from_index: int = 0,
+               timeout: Optional[float] = None) -> Iterator[dict]:
+        """Yield the sweep's events as dictionaries until ``sweep_done``.
+
+        ``timeout`` bounds the *gap between events* (the socket read), not
+        the whole stream; the server's keepalive comments reset it, so a
+        healthy but idle stream never times out spuriously.  One shot: a
+        dropped socket simply ends the iterator — use :meth:`stream` for
+        the reconnecting variant.
+        """
+        for _index, event in self._sse(sweep_id, from_index, timeout):
+            yield event
+
+    def stream(self, sweep_id: str, from_index: int = 0,
+               timeout: Optional[float] = None, max_retries: int = 8,
+               backoff_seconds: float = 0.2,
+               backoff_cap: float = 5.0) -> Iterator[dict]:
+        """Like :meth:`events`, but survives dropped SSE sockets.
+
+        On a connection error, read timeout, or a stream that ends before
+        ``sweep_done``, the client reconnects with the ``?from=`` resume
+        cursor (last seen ``id:`` + 1) under bounded exponential backoff —
+        no event is ever replayed or lost across reconnects.  The retry
+        budget resets whenever an event actually arrives, so a long sweep
+        may ride out many separate daemon blips.  HTTP-level errors are
+        *not* retried: a 404 after a drop means the daemon restarted and
+        lost the sweep — resubmit (the warm store turns it into a pure
+        cache hit).
+        """
+        cursor = max(0, int(from_index))
+        failures = 0
+        while True:
+            dropped: Optional[BaseException] = None
+            try:
+                for index, event in self._sse(sweep_id, cursor, timeout):
+                    failures = 0
+                    cursor = index + 1
+                    yield event
+                    if event.get("event") == "sweep_done":
+                        return
+                # readline() saw EOF before sweep_done: the daemon went
+                # away mid-stream (restart, proxy reap, socket reset).
+                dropped = ServiceError(
+                    "event stream ended before sweep_done")
+            except ServiceError as exc:
+                if exc.status is not None:
+                    raise  # a real HTTP answer; retrying cannot help
+                dropped = exc
+            except (socket.timeout, OSError) as exc:
+                dropped = exc
+            failures += 1
+            if failures > max_retries:
+                raise ServiceError(
+                    f"event stream for {sweep_id} lost after "
+                    f"{max_retries} reconnect attempts: {dropped}")
+            time.sleep(min(backoff_cap,
+                           backoff_seconds * (2.0 ** (failures - 1))))
 
     def wait(self, sweep_id: str, from_index: int = 0,
              on_event=None, timeout: Optional[float] = None) -> dict:
         """Follow the stream to completion; returns the final sweep status.
 
         ``on_event(event)`` is called for every event (the CLI prints
-        progress lines from it).
+        progress lines from it).  Rides :meth:`stream`, so a daemon blip
+        mid-watch reconnects instead of returning a half-done status.
         """
-        for event in self.events(sweep_id, from_index=from_index,
+        for event in self.stream(sweep_id, from_index=from_index,
                                  timeout=timeout):
             if on_event is not None:
                 on_event(event)

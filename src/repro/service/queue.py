@@ -192,8 +192,13 @@ class JobQueue:
     def __init__(self, store: Optional[ResultStore] = None,
                  workers: int = 2,
                  runner: Optional[Callable[..., KernelRunResult]] = None,
-                 retry: Optional[RetryPolicy] = None) -> None:
+                 retry: Optional[RetryPolicy] = None,
+                 dispatch: str = "local") -> None:
+        if dispatch not in ("local", "fabric"):
+            raise QueueError(f"dispatch must be 'local' or 'fabric', "
+                             f"got {dispatch!r}")
         self.store = store
+        self.dispatch = dispatch
         self.workers = max(1, int(workers))
         self._runner = runner
         self._retry = retry if retry is not None else RetryPolicy()
@@ -219,16 +224,23 @@ class JobQueue:
     # -- lifecycle ----------------------------------------------------------
 
     async def start(self) -> "JobQueue":
-        """Bind to the running loop and spawn the worker tasks."""
+        """Bind to the running loop and spawn the worker tasks.
+
+        With ``dispatch="fabric"`` no local worker lanes are spawned: the
+        pending queue is drained by a :class:`~repro.service.fabric.
+        FabricCoordinator` leasing jobs to remote ``repro worker``
+        processes instead.
+        """
         if self._loop is not None:
             raise QueueError("queue already started")
         self._loop = asyncio.get_running_loop()
         self._pending = asyncio.Queue()
         self._wake = asyncio.Event()
-        self._pool = ThreadPoolExecutor(max_workers=self.workers,
-                                        thread_name_prefix="repro-job")
-        self._tasks = [self._loop.create_task(self._worker())
-                       for _ in range(self.workers)]
+        if self.dispatch == "local":
+            self._pool = ThreadPoolExecutor(max_workers=self.workers,
+                                            thread_name_prefix="repro-job")
+            self._tasks = [self._loop.create_task(self._worker())
+                           for _ in range(self.workers)]
         return self
 
     async def close(self) -> None:
@@ -342,6 +354,7 @@ class JobQueue:
         """Queue health summary (``GET /v1/stats``)."""
         states = [entry.state for entry in self._jobs.values()]
         return {
+            "dispatch": self.dispatch,
             "workers": self.workers,
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "sweeps": len(self._sweeps),
@@ -408,7 +421,9 @@ class JobQueue:
 
         Ends after the ``sweep_done`` event (every sweep eventually gets
         one, including cancelled sweeps).  ``from_index`` resumes a
-        dropped stream without replaying what the client already saw.
+        dropped stream without replaying what the client already saw; an
+        index past the end of a *finished* sweep's log ends immediately
+        instead of awaiting events that can never come.
         """
         sweep = self._get_sweep(sweep_id)
         index = max(0, int(from_index))
@@ -420,7 +435,7 @@ class JobQueue:
                 index += 1
                 if event.get("event") == "sweep_done":
                     return
-            if self._closed:
+            if self._closed or sweep.finished:
                 return
             await wake.wait()
 

@@ -4,17 +4,26 @@ A deliberately small, hand-rolled HTTP/1.1 server (``asyncio.start_server``;
 the environment bakes no aiohttp/FastAPI and the service must not grow hard
 runtime deps) exposing the :class:`~repro.service.queue.JobQueue` core:
 
-====== ============================ =======================================
-Method Path                         Purpose
-====== ============================ =======================================
-POST   ``/v1/sweeps``               submit a job list or Experiment spec
-GET    ``/v1/sweeps/<id>``          sweep status (per-job states, counts)
-GET    ``/v1/sweeps/<id>/events``   Server-Sent Events progress stream
-DELETE ``/v1/sweeps/<id>``          cancel the sweep (queued jobs die)
-GET    ``/v1/jobs/<hash>``          job status + full result when done
-GET    ``/v1/stats``                queue + store + environment health
-GET    ``/v1/healthz``              liveness probe (never authenticated)
-====== ============================ =======================================
+====== ================================= ==================================
+Method Path                              Purpose
+====== ================================= ==================================
+POST   ``/v1/sweeps``                    submit a job list or Experiment
+GET    ``/v1/sweeps/<id>``               sweep status (per-job states)
+GET    ``/v1/sweeps/<id>/events``        Server-Sent Events progress stream
+DELETE ``/v1/sweeps/<id>``               cancel the sweep (queued jobs die)
+GET    ``/v1/jobs/<hash>``               job status + full result when done
+GET    ``/v1/stats``                     queue + store + fabric health
+GET    ``/v1/healthz``                   liveness probe (no auth)
+POST   ``/v1/fabric/lease``              worker asks for leased jobs
+POST   ``/v1/fabric/leases/<id>/heartbeat``  renew a lease's TTL
+POST   ``/v1/fabric/leases/<id>/complete``   upload a result / failure
+GET    ``/v1/fabric``                    fabric health (same as in stats)
+====== ================================= ==================================
+
+The ``/v1/fabric/*`` routes exist only when the daemon was started with a
+:class:`~repro.service.fabric.FabricCoordinator` (``repro serve
+--fabric``); otherwise they answer 404.  An expired or unknown lease gets
+a 410 Gone on heartbeat, telling the worker to abandon that job.
 
 Authentication is optional static api-key auth: when a token is configured
 (constructor argument or ``REPRO_SERVICE_TOKEN``), every endpoint except
@@ -76,8 +85,8 @@ class HttpError(Exception):
 
 _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
             401: "Unauthorized", 404: "Not Found",
-            405: "Method Not Allowed", 413: "Payload Too Large",
-            500: "Internal Server Error"}
+            405: "Method Not Allowed", 410: "Gone",
+            413: "Payload Too Large", 500: "Internal Server Error"}
 
 
 class ReproService:
@@ -92,13 +101,17 @@ class ReproService:
 
     def __init__(self, queue: JobQueue, host: str = DEFAULT_HOST,
                  port: int = DEFAULT_PORT, token: Optional[str] = None,
-                 stats_extra=None) -> None:
+                 stats_extra=None, fabric=None) -> None:
         self.queue = queue
         self.host = host
         self.port = port
         self.token = (token if token is not None
                       else os.environ.get(TOKEN_ENV_VAR, "").strip() or None)
         self.stats_extra = stats_extra
+        #: Optional :class:`~repro.service.fabric.FabricCoordinator`; when
+        #: set, the ``/v1/fabric/*`` routes come alive and its lifecycle is
+        #: tied to the server's.
+        self.fabric = fabric
         self._server: Optional[asyncio.AbstractServer] = None
 
     # -- lifecycle ----------------------------------------------------------
@@ -107,6 +120,8 @@ class ReproService:
         """Start the queue (if needed) and bind the listening socket."""
         if self.queue._loop is None:
             await self.queue.start()
+        if self.fabric is not None and self.fabric._reaper is None:
+            await self.fabric.start()
         self._server = await asyncio.start_server(self._handle, self.host,
                                                   self.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -117,6 +132,8 @@ class ReproService:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self.fabric is not None:
+            await self.fabric.close()
         await self.queue.close()
 
     async def serve_forever(self) -> None:
@@ -225,6 +242,19 @@ class ReproService:
             await self._post_sweeps(writer, body)
         elif path == "/v1/stats" and method == "GET":
             await self._get_stats(writer)
+        elif path == "/v1/fabric" and method == "GET":
+            await self._send_json(writer, 200, self._require_fabric().stats())
+        elif path == "/v1/fabric/lease" and method == "POST":
+            await self._post_lease(writer, body)
+        elif path.startswith("/v1/fabric/leases/") and method == "POST":
+            rest = path[len("/v1/fabric/leases/"):]
+            lease_id, _sep, action = rest.partition("/")
+            if action == "heartbeat":
+                await self._post_heartbeat(writer, lease_id)
+            elif action == "complete":
+                await self._post_complete(writer, lease_id, body)
+            else:
+                raise HttpError(404, f"no route for {method} {path}")
         elif path.startswith("/v1/jobs/") and method == "GET":
             await self._get_job(writer, path[len("/v1/jobs/"):])
         elif path.startswith("/v1/sweeps/"):
@@ -240,6 +270,67 @@ class ReproService:
                 raise HttpError(404, f"no route for {method} {path}")
         else:
             raise HttpError(404, f"no route for {method} {path}")
+
+    # -- fabric endpoints ---------------------------------------------------
+
+    def _require_fabric(self):
+        if self.fabric is None:
+            raise HttpError(404, "fabric mode is not enabled on this daemon "
+                                 "(start it with 'repro serve --fabric')")
+        return self.fabric
+
+    @staticmethod
+    def _json_body(body: bytes) -> dict:
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, ValueError):
+            raise HttpError(400, "request body is not valid JSON") from None
+        if not isinstance(payload, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return payload
+
+    async def _post_lease(self, writer, body: bytes) -> None:
+        from repro.service.fabric import FabricError
+
+        fabric = self._require_fabric()
+        payload = self._json_body(body)
+        worker = payload.get("worker")
+        if not isinstance(worker, str) or not worker:
+            raise HttpError(400, "a lease request needs a 'worker' id "
+                                 "string")
+        try:
+            capacity = int(payload.get("capacity", 1))
+        except (TypeError, ValueError):
+            raise HttpError(400, "'capacity' must be an integer") from None
+        try:
+            grants = fabric.grant(worker, capacity=capacity)
+        except FabricError as exc:
+            raise HttpError(400, str(exc)) from None
+        await self._send_json(writer, 200, {"worker": worker,
+                                            "ttl": fabric.ttl,
+                                            "grants": grants})
+
+    async def _post_heartbeat(self, writer, lease_id: str) -> None:
+        fabric = self._require_fabric()
+        receipt = fabric.heartbeat(lease_id)
+        if receipt.get("ok"):
+            await self._send_json(writer, 200, receipt)
+        else:
+            await self._send_json(
+                writer, 410, dict(receipt,
+                                  error=receipt.get("reason", "lease gone")))
+
+    async def _post_complete(self, writer, lease_id: str,
+                             body: bytes) -> None:
+        from repro.service.fabric import FabricError
+
+        fabric = self._require_fabric()
+        payload = self._json_body(body)
+        try:
+            receipt = fabric.complete(lease_id, payload)
+        except FabricError as exc:
+            raise HttpError(400, str(exc)) from None
+        await self._send_json(writer, 200, receipt)
 
     # -- endpoints ----------------------------------------------------------
 
@@ -293,6 +384,8 @@ class ReproService:
             "store": (self.queue.store.stats()
                       if self.queue.store is not None else None),
         }
+        if self.fabric is not None:
+            payload["fabric"] = self.fabric.stats()
         if self.stats_extra is not None:
             try:
                 payload.update(self.stats_extra())

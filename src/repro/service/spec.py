@@ -22,16 +22,18 @@ message in the body; nothing in here ever executes a simulation.
 
 from __future__ import annotations
 
+from dataclasses import astuple, fields as dataclass_fields
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.variants import get_variant
 from repro.experiment import Experiment, ExperimentError
 from repro.machine import MACHINES, MachineSpec, resolve_machine
+from repro.snitch.params import TimingParams
 from repro.sweep.job import DEFAULT_MAX_CYCLES, SweepJob
 
 #: Keys accepted in one wire job spec.
 JOB_KEYS = frozenset({"kernel", "variant", "tile_shape", "seed", "check",
-                      "max_cycles", "machine", "codegen_kwargs"})
+                      "max_cycles", "machine", "codegen_kwargs", "params"})
 
 #: Keys accepted in a wire experiment spec.
 EXPERIMENT_KEYS = frozenset({"kernels", "variants", "machines", "tiles",
@@ -77,6 +79,48 @@ def machine_from_wire(value: Union[str, Dict[str, object], None]
                     f"got {type(value).__name__}")
 
 
+def machine_to_wire(machine: Union[str, MachineSpec]) -> object:
+    """Wire form of a machine: preset name, or inlined parameters.
+
+    Registered machines travel by preset name; unregistered specs inline
+    their parameters so a custom topology survives the HTTP hop.
+    """
+    if isinstance(machine, str):
+        return machine
+    if machine.name in MACHINES.names():
+        return machine.name
+    return {
+        "name": machine.name,
+        "num_cores": machine.num_cores,
+        "x_interleave": machine.x_interleave,
+        "y_interleave": machine.y_interleave,
+        "tcdm_banks": machine.tcdm_banks,
+        "tcdm_size": machine.tcdm_size,
+        "tcdm_bank_width": machine.tcdm_bank_width,
+        "clock_ghz": machine.clock_ghz,
+        "groups": machine.groups,
+        "clusters_per_group": machine.clusters_per_group,
+        "hbm_device_gbs": machine.hbm_device_gbs,
+        "timing_overrides": dict(machine.timing_overrides),
+    }
+
+
+def params_from_wire(value: object) -> Optional[TimingParams]:
+    """Rebuild :class:`TimingParams` from its positional wire list."""
+    if value is None:
+        return None
+    if not isinstance(value, (list, tuple)):
+        raise SpecError("params must be a list of TimingParams field values")
+    expected = len(dataclass_fields(TimingParams))
+    if len(value) != expected:
+        raise SpecError(f"params must have {expected} values "
+                        f"(TimingParams fields in order), got {len(value)}")
+    try:
+        return TimingParams(*value)
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"invalid params: {exc}") from None
+
+
 def job_from_wire(payload: Dict[str, object]) -> SweepJob:
     """Build one normalized :class:`SweepJob` from a wire job spec."""
     if not isinstance(payload, dict):
@@ -102,6 +146,7 @@ def job_from_wire(payload: Dict[str, object]) -> SweepJob:
             kernel,
             str(payload.get("variant", "saris")),
             tile_shape=tuple(tile_shape) if tile_shape else None,
+            params=params_from_wire(payload.get("params")),
             seed=int(payload.get("seed", 0)),
             check=bool(payload.get("check", True)),
             max_cycles=int(payload.get("max_cycles", DEFAULT_MAX_CYCLES)),
@@ -177,37 +222,39 @@ def jobs_from_payload(payload: Dict[str, object]) -> List[SweepJob]:
     return experiment_from_wire(payload["experiment"])
 
 
+def job_to_wire(job: SweepJob) -> Dict[str, object]:
+    """Wire job spec for one :class:`SweepJob` (the fabric grant payload).
+
+    Round-trips through :func:`job_from_wire` to a job with the same
+    content hash, so a coordinator can ship work to a remote worker and
+    both sides agree on the store key.
+    """
+    wire: Dict[str, object] = {
+        "kernel": job.kernel,
+        "variant": job.variant,
+        "seed": job.seed,
+        "check": job.check,
+        "max_cycles": job.max_cycles,
+    }
+    if job.tile_shape is not None:
+        wire["tile_shape"] = list(job.tile_shape)
+    if job.params is not None:
+        wire["params"] = list(astuple(job.params))
+    if job.codegen_kwargs:
+        wire["codegen_kwargs"] = dict(job.codegen_kwargs)
+    if job.machine is not None:
+        wire["machine"] = machine_to_wire(job.machine)
+    return wire
+
+
 def experiment_to_wire(kernels: Sequence[str],
                        variants: Sequence[str] = (),
                        machines: Sequence[Union[str, MachineSpec]] = (),
                        tiles: Sequence[Sequence[int]] = (),
                        seeds: Sequence[int] = ()) -> Dict[str, object]:
-    """Build the wire experiment spec the CLI ``repro submit`` sends.
-
-    Registered machines travel by preset name; unregistered specs inline
-    their parameters so a custom topology survives the HTTP hop.
-    """
-    wire_machines: List[object] = []
-    for machine in machines:
-        if isinstance(machine, str):
-            wire_machines.append(machine)
-        elif machine.name in MACHINES.names():
-            wire_machines.append(machine.name)
-        else:
-            wire_machines.append({
-                "name": machine.name,
-                "num_cores": machine.num_cores,
-                "x_interleave": machine.x_interleave,
-                "y_interleave": machine.y_interleave,
-                "tcdm_banks": machine.tcdm_banks,
-                "tcdm_size": machine.tcdm_size,
-                "tcdm_bank_width": machine.tcdm_bank_width,
-                "clock_ghz": machine.clock_ghz,
-                "groups": machine.groups,
-                "clusters_per_group": machine.clusters_per_group,
-                "hbm_device_gbs": machine.hbm_device_gbs,
-                "timing_overrides": dict(machine.timing_overrides),
-            })
+    """Build the wire experiment spec the CLI ``repro submit`` sends."""
+    wire_machines: List[object] = [machine_to_wire(machine)
+                                   for machine in machines]
     spec: Dict[str, object] = {"kernels": list(kernels)}
     if variants:
         spec["variants"] = list(variants)

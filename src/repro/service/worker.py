@@ -1,0 +1,300 @@
+"""Fabric worker: lease jobs from a coordinator, simulate, publish results.
+
+The pull side of :mod:`repro.service.fabric`.  A worker is deliberately
+stateless from the coordinator's point of view — it owns nothing but the
+leases it is currently heartbeating:
+
+* **Pull loop** — ``POST /v1/fabric/lease`` asks for up to ``capacity``
+  jobs; grants carry the wire job spec, a lease id and the TTL.  Each
+  grant executes in a thread through the same supervised single-job core
+  (:func:`~repro.sweep.supervisor.execute_supervised`) the local queue
+  uses: bounded retry with backoff, degradation to the Python engine on
+  native guard faults.  In-band failures are resolved *here* and uploaded
+  as final — the coordinator's lease machinery only supervises the
+  failure mode workers cannot report: their own death.
+* **Cache tier** — the worker's local :class:`~repro.sweep.store.
+  ResultStore` is consulted before simulating and written after; a local
+  hit uploads immediately (result upload = publish to the coordinator's
+  store).  Content-hashed jobs make this safe: the same hash is the same
+  simulation everywhere.
+* **Heartbeats** — one background thread renews every active lease each
+  ``ttl / 3`` seconds.  A 410 answer means the lease is gone (the reaper
+  requeued the job); the worker stops renewing and lets its eventual
+  upload land as a stale completion, which the coordinator publishes or
+  adopts but never double-counts.
+* **Node faults** — the worker interprets the fabric-level
+  :mod:`~repro.sweep.faults` modes: ``lease_stall`` suspends heartbeats
+  for the leased job and over-holds past the TTL (the job still completes,
+  but stale); ``net_drop:n=K`` makes the next K outbound coordinator
+  requests fail as if the network dropped them.  ``worker_kill`` needs no
+  interpretation — it fires inside ``execute_job`` and takes the whole
+  process down, exactly like ``kill -9``.
+
+Exit behaviour: ``run(exit_on_idle=N)`` returns after N consecutive empty
+polls (CI and tests); without it the worker polls until stopped.  A
+coordinator that stays unreachable for ``max_errors`` consecutive lease
+requests ends the loop with a :class:`ServiceError`.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor, wait
+from typing import Callable, Dict, Optional, Set
+
+from repro.runner import KernelRunResult
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.spec import SpecError, job_from_wire
+from repro.sweep import faults
+from repro.sweep.job import SweepJob
+from repro.sweep.store import ResultStore
+from repro.sweep.supervisor import RetryPolicy, execute_supervised
+
+
+class FabricWorker:
+    """One worker process's pull/execute/publish loop.
+
+    ``runner`` replaces the supervised execution in tests (a callable
+    ``job -> KernelRunResult``; raising marks the job failed); production
+    leaves it ``None``.
+    """
+
+    def __init__(self, url: str, token: Optional[str] = None,
+                 worker_id: Optional[str] = None, capacity: int = 1,
+                 store: Optional[ResultStore] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 poll_seconds: float = 0.5,
+                 runner: Optional[Callable[[SweepJob],
+                                           KernelRunResult]] = None,
+                 log: Optional[Callable[[str], None]] = None) -> None:
+        self.client = ServiceClient(url, token=token)
+        self.worker_id = (worker_id
+                          or f"{socket.gethostname()}-{os.getpid()}")
+        self.capacity = max(1, int(capacity))
+        self.store = store
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.poll_seconds = max(0.02, float(poll_seconds))
+        self._runner = runner
+        self._log = log or (lambda _line: None)
+        self._ttl = 10.0  # refined by every lease response
+        self._active: Dict[str, str] = {}       # lease id -> job hash
+        self._suspended: Set[str] = set()       # leases with stalled beats
+        self._lost: Set[str] = set()            # leases the reaper took
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        # Counters (printed by `repro worker` on exit; asserted in tests).
+        self.executed = 0
+        self.local_hits = 0
+        self.uploaded = 0
+        self.failures = 0
+        self.stale = 0
+        self.lease_lost = 0
+        self.net_drops = 0
+
+    # -- main loop ----------------------------------------------------------
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def run(self, exit_on_idle: Optional[int] = None,
+            max_errors: int = 10) -> None:
+        """Pull-execute-publish until stopped (or idle/unreachable)."""
+        heartbeat = threading.Thread(target=self._heartbeat_loop,
+                                     name=f"{self.worker_id}-heartbeat",
+                                     daemon=True)
+        heartbeat.start()
+        pool = ThreadPoolExecutor(max_workers=self.capacity,
+                                  thread_name_prefix=self.worker_id)
+        futures: Set[Future] = set()
+        idle = 0
+        errors = 0
+        try:
+            while not self._stop.is_set():
+                futures = {f for f in futures if not f.done()}
+                grants = []
+                want = self.capacity - len(futures)
+                if want > 0:
+                    try:
+                        grants = self._lease(want)
+                        errors = 0
+                    except ServiceError as exc:
+                        errors += 1
+                        if errors >= max_errors:
+                            raise ServiceError(
+                                f"coordinator unreachable after {errors} "
+                                f"consecutive lease attempts: {exc}")
+                        self._stop.wait(min(5.0, 0.1 * (2.0 ** errors)))
+                        continue
+                if grants:
+                    idle = 0
+                    for grant in grants:
+                        futures.add(pool.submit(self._run_grant, grant))
+                    continue
+                if futures:
+                    idle = 0
+                    wait(futures, timeout=self.poll_seconds)
+                    continue
+                idle += 1
+                if exit_on_idle is not None and idle >= exit_on_idle:
+                    return
+                self._stop.wait(self.poll_seconds)
+        finally:
+            self._stop.set()
+            pool.shutdown(wait=True)
+            heartbeat.join(timeout=2.0)
+
+    def _lease(self, want: int):
+        self._net_gate()
+        response = self.client.lease(self.worker_id, capacity=want)
+        ttl = response.get("ttl")
+        if isinstance(ttl, (int, float)) and ttl > 0:
+            self._ttl = float(ttl)
+        return response.get("grants", [])
+
+    # -- per-grant execution ------------------------------------------------
+
+    def _run_grant(self, grant: dict) -> None:
+        lease_id = str(grant.get("lease"))
+        try:
+            job = job_from_wire(grant.get("job", {}))
+        except SpecError as exc:
+            self.failures += 1
+            self._upload(lease_id, {
+                "ok": False, "hash": grant.get("hash"),
+                "failure": {"kind": "exception", "error_type": "SpecError",
+                            "message": f"undecodable grant: {exc}",
+                            "worker": self.worker_id}})
+            return
+        job_hash = job.content_hash()
+        with self._lock:
+            self._active[lease_id] = job_hash
+        try:
+            stall = faults.claim_node_fault("lease_stall", job)
+            if stall is not None:
+                # A stalled node: heartbeats stop, the lease expires while
+                # the job still "runs".  Completion lands stale on purpose.
+                with self._lock:
+                    self._suspended.add(lease_id)
+                self._log(f"[{self.worker_id}] lease_stall on {job.label}: "
+                          f"holding {lease_id} past its TTL")
+                self._stop.wait(min(stall.hang_seconds, self._ttl * 3.0))
+            payload = self._execute(job, job_hash)
+            payload["lease_was_lost"] = lease_id in self._lost
+            self._upload(lease_id, payload)
+        finally:
+            with self._lock:
+                self._active.pop(lease_id, None)
+                self._suspended.discard(lease_id)
+                self._lost.discard(lease_id)
+
+    def _execute(self, job: SweepJob, job_hash: str) -> dict:
+        """Run one job (local store first) and build the upload payload."""
+        cached = self.store.load(job) if self.store is not None else None
+        if cached is not None:
+            self.local_hits += 1
+            return {"ok": True, "hash": job_hash,
+                    "result": cached.to_json_dict(),
+                    "attempts": 0, "degraded": False, "cache_hit": True}
+        if self._runner is not None:
+            try:
+                result = self._runner(job)
+                attempts, degraded = 1, False
+            except Exception as exc:  # noqa: BLE001 - uploaded as failure
+                self.failures += 1
+                return {"ok": False, "hash": job_hash,
+                        "failure": {"kind": "exception",
+                                    "error_type": type(exc).__name__,
+                                    "message": str(exc),
+                                    "worker": self.worker_id}}
+        else:
+            outcome = execute_supervised(job, self.retry)
+            if outcome.failure is not None:
+                self.failures += 1
+                failure = dict(outcome.failure.to_dict(),
+                               kind=outcome.failure.kind,
+                               worker=self.worker_id)
+                return {"ok": False, "hash": job_hash, "failure": failure}
+            result = outcome.result
+            attempts, degraded = outcome.attempts, outcome.degraded
+        self.executed += 1
+        if self.store is not None:
+            self.store.save(job, result)  # local cache tier
+        return {"ok": True, "hash": job_hash,
+                "result": result.to_json_dict(),
+                "attempts": attempts, "degraded": degraded,
+                "cache_hit": False}
+
+    def _upload(self, lease_id: str, payload: dict, tries: int = 4) -> None:
+        for attempt in range(1, tries + 1):
+            try:
+                self._net_gate()
+                receipt = self.client.complete(lease_id, payload)
+            except ServiceError as exc:
+                if exc.status is not None and exc.status < 500:
+                    # The coordinator answered: arguing is pointless.
+                    self._log(f"[{self.worker_id}] upload of {lease_id} "
+                              f"rejected: {exc}")
+                    return
+                if attempt == tries:
+                    self._log(f"[{self.worker_id}] upload of {lease_id} "
+                              f"abandoned after {tries} attempts: {exc}")
+                    return
+                self._stop.wait(min(2.0, 0.1 * (2.0 ** attempt)))
+                continue
+            self.uploaded += 1
+            if receipt.get("stale"):
+                self.stale += 1
+            return
+
+    # -- heartbeats ---------------------------------------------------------
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(max(0.05, self._ttl / 3.0)):
+            with self._lock:
+                leases = [lease for lease in self._active
+                          if lease not in self._suspended
+                          and lease not in self._lost]
+            for lease_id in leases:
+                try:
+                    self._net_gate()
+                    self.client.heartbeat(lease_id)
+                except ServiceError as exc:
+                    if exc.status == 410:
+                        # The reaper requeued our job; keep running (the
+                        # result is still worth publishing) but stop
+                        # renewing a lease that no longer exists.
+                        self.lease_lost += 1
+                        with self._lock:
+                            self._lost.add(lease_id)
+                    # else: transient — the next beat retries
+
+    # -- fault plumbing -----------------------------------------------------
+
+    def _net_gate(self) -> None:
+        """Simulated partition: drop the next K outbound requests."""
+        if faults.claim_node_fault("net_drop") is not None:
+            self.net_drops += 1
+            raise ServiceError(
+                f"injected net_drop: outbound request from "
+                f"{self.worker_id} lost")
+
+    # -- reporting ----------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            active = len(self._active)
+        return {
+            "worker": self.worker_id,
+            "capacity": self.capacity,
+            "active_leases": active,
+            "executed": self.executed,
+            "local_hits": self.local_hits,
+            "uploaded": self.uploaded,
+            "failures": self.failures,
+            "stale_uploads": self.stale,
+            "leases_lost": self.lease_lost,
+            "net_drops": self.net_drops,
+        }

@@ -43,6 +43,29 @@ omitted = wildcard), ``n`` (flaky: failing attempts), ``hang_seconds``, and
 ``engine=native`` (inject only while the Python engine is *not* forced, so
 a degraded ``REPRO_ENGINE=python`` retry of the same job succeeds — this is
 how native-only crashes are modelled).
+
+Node-level modes (the distributed fabric's failure vocabulary):
+
+``worker_kill``
+    Die instantly via ``os._exit`` *in a worker process* (a pool worker or
+    a ``repro worker`` fabric process) — models a node crash / ``kill -9``.
+    In a plain parent process the mode degrades to ``raise``.
+``lease_stall``
+    Never fired by :func:`maybe_inject`; the fabric worker claims it via
+    :func:`claim_node_fault` and responds by suspending heartbeats for the
+    leased job and over-holding past the TTL (models a stalled node whose
+    lease expires while it still "works").
+``net_drop``
+    Never fired by :func:`maybe_inject`; the fabric worker claims one token
+    per outbound coordinator request and simulates the connection dropping.
+    ``n=K`` drops the next K requests (models a transient partition).
+
+For ``worker_kill`` (and node faults generally) "at most ``n`` firings"
+must hold *across processes* — two workers sharing one env string must not
+each die once when ``n=1``.  Point :data:`STATE_ENV_VAR` at a shared
+directory and firings become atomic token claims (``O_EXCL`` file
+creation) in that directory; without it, counting falls back to
+per-process (documented, test-only) semantics.
 """
 
 from __future__ import annotations
@@ -58,11 +81,24 @@ from typing import Optional, Sequence, Tuple
 #: environment, so one setting covers serial, fork and spawn execution).
 FAULT_ENV_VAR = "REPRO_FAULT_INJECT"
 
+#: Shared state directory for cross-process at-most-n fault accounting.
+STATE_ENV_VAR = "REPRO_FAULT_STATE"
+
+#: Set (to anything non-empty) in a ``repro worker`` fabric process so
+#: ``worker_kill`` knows it may die for real there.
+FABRIC_WORKER_ENV_VAR = "REPRO_FABRIC_WORKER"
+
+#: Node-level modes interpreted by the distributed fabric.
+NODE_MODES = ("worker_kill", "lease_stall", "net_drop")
+
 #: Recognized fault modes.
-MODES = ("raise", "flaky", "hang", "segfault", "native")
+MODES = ("raise", "flaky", "hang", "segfault", "native") + NODE_MODES
 
 #: Exit status used by injected segfaults (mirrors SIGSEGV's 128+11).
 SEGFAULT_EXIT_CODE = 139
+
+#: Exit status used by injected worker kills (mirrors SIGKILL's 128+9).
+WORKER_KILL_EXIT_CODE = 137
 
 #: How long an injected hang sleeps before giving up and raising.  Long
 #: enough that any reasonable supervision timeout fires first, short enough
@@ -156,6 +192,80 @@ def _in_pool_worker() -> bool:
     return multiprocessing.parent_process() is not None
 
 
+def _in_worker_process() -> bool:
+    """True where a fatal injected crash is allowed: a pool worker or a
+    ``repro worker`` fabric process (never the coordinating parent)."""
+    return (_in_pool_worker()
+            or bool(os.environ.get(FABRIC_WORKER_ENV_VAR, "").strip()))
+
+
+#: Per-process token counts (fallback when no shared state dir is set).
+_LOCAL_TOKENS: dict = {}
+
+
+def _spec_token_key(spec: "FaultSpec") -> str:
+    """Stable identity of a spec for cross-process token accounting."""
+    parts = [spec.mode]
+    for field in ("kernel", "variant", "seed", "engine"):
+        value = getattr(spec, field)
+        if value is not None:
+            parts.append(f"{field}={value}")
+    return "-".join(parts).replace("/", "_")
+
+
+def claim_fault_token(spec: "FaultSpec") -> bool:
+    """Claim one of the spec's ``n`` firing tokens; False when exhausted.
+
+    With :data:`STATE_ENV_VAR` pointing at a shared directory the claim is
+    an atomic ``O_EXCL`` file creation, so "at most n firings" holds across
+    every process sharing the directory.  Without it, each process counts
+    its own firings (fine for single-process tests, documented as such).
+    """
+    key = _spec_token_key(spec)
+    state_dir = os.environ.get(STATE_ENV_VAR, "").strip()
+    if state_dir:
+        for k in range(1, spec.n + 1):
+            path = os.path.join(state_dir, f"{key}-{k}.fired")
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            except OSError:
+                return False  # unwritable state dir: never fire
+            os.write(fd, str(os.getpid()).encode("ascii"))
+            os.close(fd)
+            return True
+        return False
+    count = _LOCAL_TOKENS.get(key, 0)
+    if count >= spec.n:
+        return False
+    _LOCAL_TOKENS[key] = count + 1
+    return True
+
+
+def claim_node_fault(mode: str, job=None) -> Optional["FaultSpec"]:
+    """Claim a node-level fault of ``mode`` (fabric-worker hook).
+
+    Returns the matching spec when one is active, matches ``job`` (when
+    given) and still has a firing token; ``None`` otherwise.  This is how
+    the fabric worker consults ``lease_stall`` and ``net_drop`` — modes
+    that misbehave at the *protocol* layer rather than inside a job.
+    """
+    if mode not in NODE_MODES:
+        raise FaultConfigError(f"not a node-level fault mode: {mode!r}")
+    injector = active_injector()
+    if injector is None:
+        return None
+    for spec in injector.specs:
+        if spec.mode != mode:
+            continue
+        if job is not None and not spec.matches(job):
+            continue
+        if claim_fault_token(spec):
+            return spec
+    return None
+
+
 class FaultInjector:
     """Holds a set of :class:`FaultSpec` rules and fires matching ones."""
 
@@ -177,7 +287,22 @@ class FaultInjector:
         for spec in self.specs:
             if not spec.matches(job):
                 continue
+            if spec.mode in ("lease_stall", "net_drop"):
+                # Protocol-layer faults: the fabric worker claims these via
+                # claim_node_fault; inside a job they are inert.
+                continue
             label = f"{job.label} (attempt {attempt})"
+            if spec.mode == "worker_kill":
+                if not claim_fault_token(spec):
+                    return  # at-most-n kills already spent: run normally
+                if _in_worker_process():
+                    # Die like kill -9: no cleanup, no exception.  A pool
+                    # parent sees BrokenProcessPool; a fabric coordinator
+                    # sees the lease expire.
+                    os._exit(WORKER_KILL_EXIT_CODE)
+                raise InjectedFault(
+                    f"injected worker kill for {label} (in-process: "
+                    f"degraded to raise so the parent survives)")
             if spec.mode == "flaky":
                 if attempt <= spec.n:
                     raise InjectedFault(

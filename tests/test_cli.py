@@ -337,3 +337,77 @@ class TestServiceCommands:
                      "--url", "http://127.0.0.1:1", "--watch"])
         assert code == 2
         assert "cannot reach" in capsys.readouterr().err
+
+    def test_submit_watch_failure_exits_1_with_summary(self, capsys):
+        """Server path: a failed job makes submit --watch exit 1 with a
+        stderr summary (consistent with `repro reproduce`)."""
+        from tests.test_service_server import running_server
+
+        def exploding(job, report):
+            raise ValueError("injected boom")
+
+        with running_server(runner=exploding) as (service, client):
+            code = main(["submit", "jacobi_2d", "--variants", "base",
+                         "--tile", "12", "12", "--url", service.url,
+                         "--watch"])
+            captured = capsys.readouterr()
+            assert code == 1
+            assert "1 of 1 job(s) failed" in captured.err
+            assert "ValueError" in captured.err
+            assert "injected boom" in captured.err
+            stats = client.stats()  # the daemon itself is still healthy
+            assert stats["queue"]["failed"] == 1
+
+    def test_watch_failure_exits_1_with_summary(self, capsys):
+        from tests.test_service_server import running_server
+
+        def exploding(job, report):
+            raise ValueError("injected boom")
+
+        with running_server(runner=exploding) as (service, client):
+            receipt = client.submit(
+                {"jobs": [{"kernel": "jacobi_2d", "variant": "base",
+                           "tile_shape": [12, 12]}]})
+            client.wait(receipt["sweep"])
+            code = main(["watch", receipt["sweep"], "--url", service.url])
+            captured = capsys.readouterr()
+            assert code == 1
+            assert "watch: 1 of 1 job(s) failed" in captured.err
+            assert "ValueError" in captured.err
+
+    def test_submit_fallback_failure_exits_1_with_summary(
+            self, capsys, monkeypatch, tmp_path):
+        """In-process fallback path: same exit code and summary contract
+        as the server path."""
+        monkeypatch.delenv("REPRO_SERVICE_URL", raising=False)
+        monkeypatch.setenv("REPRO_FAULT_INJECT",
+                           "mode=raise:kernel=jacobi_2d")
+        code = main(["submit", "jacobi_2d", "--variants", "base",
+                     "--tile", "12", "12", "--cache-dir", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "submit: 1 of 1 job(s) failed" in captured.err
+        assert "InjectedFault" in captured.err
+
+    def test_worker_without_coordinator_is_an_error(self, capsys,
+                                                    monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE_URL", raising=False)
+        code = main(["worker"])
+        assert code == 2
+        assert "no coordinator configured" in capsys.readouterr().err
+
+    def test_doctor_probes_fabric_daemon(self, capsys):
+        from tests.test_fabric import running_fabric
+
+        with running_fabric() as (service, client):
+            code = main(["doctor", "--json", "--url", service.url])
+            payload = json.loads(capsys.readouterr().out)
+            assert code == 0
+            assert payload["service"]["reachable"] is True
+            assert payload["service"]["queue"]["dispatch"] == "fabric"
+            assert payload["service"]["fabric"]["lease_ttl"] == 5.0
+        # Unreachable daemon: reported, not fatal.
+        code = main(["doctor", "--json", "--url", "http://127.0.0.1:1"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["service"]["reachable"] is False
+        assert "error" in payload["service"]

@@ -1,0 +1,433 @@
+"""Distributed sweep fabric: lease protocol, expiry, workers, end-to-end.
+
+Protocol tests drive ``POST /v1/fabric/lease`` / ``heartbeat`` /
+``complete`` by hand against a short-TTL coordinator so every lease-table
+transition (grant, renewal, expiry, suspect quarantine, charged failure,
+stale adoption) is pinned down deterministically.  Worker tests run the
+real :class:`FabricWorker` pull loop in-process with an injected runner.
+The end-to-end test launches two genuine ``repro worker`` subprocesses and
+kills one mid-sweep via ``worker_kill`` fault injection, then checks the
+merged result is bit-identical to a serial in-process run.
+"""
+
+import asyncio
+import contextlib
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runner import KernelRunResult
+from repro.service import (
+    FabricCoordinator,
+    FabricError,
+    FabricWorker,
+    JobQueue,
+    ReproService,
+    ServiceClient,
+    ServiceError,
+    job_from_wire,
+)
+from repro.sweep import ResultStore, execute_job
+from repro.sweep import faults
+from tests.test_service_server import JOB_WIRE, execute_job_cached
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+JOB_WIRE_B = dict(JOB_WIRE, seed=7)
+
+
+def ok_payload(job_hash, result=None):
+    """A worker's success upload for ``job_hash`` (canned real result)."""
+    result = result if result is not None else execute_job_cached(None)
+    return {"ok": True, "hash": job_hash, "result": result.to_json_dict(),
+            "attempts": 1, "degraded": False}
+
+
+def wait_until(predicate, timeout=15.0, interval=0.02, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"timed out after {timeout}s waiting for {message}")
+
+
+@contextlib.contextmanager
+def running_fabric(store=None, ttl=5.0, max_attempts=None, token=None):
+    """Boot a fabric-mode daemon (queue + coordinator + HTTP) in a
+    background loop thread; yield ``(service, client)``."""
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+
+    async def boot():
+        queue = JobQueue(store=store, dispatch="fabric")
+        fabric = FabricCoordinator(queue, ttl=ttl, max_attempts=max_attempts)
+        service = ReproService(queue, port=0, token=token, fabric=fabric)
+        return await service.start()
+
+    service = asyncio.run_coroutine_threadsafe(boot(), loop).result(30)
+    try:
+        yield service, ServiceClient(service.url, token=token)
+    finally:
+        asyncio.run_coroutine_threadsafe(service.close(), loop).result(30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        loop.close()
+
+
+class TestFabricProtocol:
+    def test_lease_heartbeat_complete_roundtrip(self):
+        result = execute_job_cached(None)  # warm before leasing
+        with running_fabric() as (service, client):
+            assert client.stats()["queue"]["dispatch"] == "fabric"
+            receipt = client.submit({"jobs": [JOB_WIRE]})
+            # No local worker lanes: the job waits for a lease.
+            time.sleep(0.2)
+            assert client.sweep(receipt["sweep"])["counts"]["queued"] == 1
+            grants = client.lease("w1", capacity=3)["grants"]
+            assert len(grants) == 1  # only one job exists
+            grant = grants[0]
+            assert grant["suspect"] is False and grant["attempt"] == 1
+            # The wire job decodes to the exact content hash that was
+            # submitted: location-independent identity.
+            job = job_from_wire(grant["job"])
+            assert job.content_hash() == grant["hash"]
+            assert grant["hash"] == receipt["jobs"][0]["hash"]
+            beat = client.heartbeat(grant["lease"])
+            assert beat["ok"] is True and beat["ttl"] == pytest.approx(5.0)
+            done = client.complete(grant["lease"],
+                                   ok_payload(grant["hash"], result))
+            assert done["ok"] is True and done["stale"] is False
+            final = client.sweep(receipt["sweep"])
+            assert final["state"] == "done"
+            assert final["counts"]["done"] == 1
+            payload = client.job(grant["hash"])
+            assert payload["state"] == "done"
+            assert payload["metrics"]["correct"] is True
+            stats = client.stats()["fabric"]
+            assert stats["granted"] == 1 and stats["completed"] == 1
+            assert stats["workers"]["total"] == 1
+            assert stats["leases_in_flight"] == 0
+            # The completed lease is gone: renewing it answers 410.
+            with pytest.raises(ServiceError) as err:
+                client.heartbeat(grant["lease"])
+            assert err.value.status == 410
+
+    def test_fabric_routes_404_without_fabric_mode(self):
+        from tests.test_service_server import running_server
+
+        with running_server() as (service, client):
+            for call in (lambda: client.lease("w1"),
+                         lambda: client.fabric(),
+                         lambda: client.heartbeat("l0001-beef")):
+                with pytest.raises(ServiceError) as err:
+                    call()
+                assert err.value.status == 404
+                assert "--fabric" in str(err.value)
+
+    def test_bad_lease_and_completion_payloads_are_400(self):
+        with running_fabric() as (service, client):
+            receipt = client.submit({"jobs": [JOB_WIRE]})
+            with pytest.raises(ServiceError) as err:
+                client._request("POST", "/v1/fabric/lease",
+                                payload={"capacity": 1})
+            assert err.value.status == 400
+            grant = client.lease("w1")["grants"][0]
+            with pytest.raises(ServiceError) as err:
+                client.complete(grant["lease"],
+                                {"ok": True, "hash": grant["hash"],
+                                 "result": {"junk": 1}})
+            assert err.value.status == 400
+            assert receipt["jobs"][0]["hash"] == grant["hash"]
+
+    def test_coordinator_requires_fabric_queue(self):
+        with pytest.raises(FabricError):
+            FabricCoordinator(JobQueue())  # dispatch="local"
+
+
+class TestLeaseExpiry:
+    def test_expiry_requeues_uncharged_suspect(self):
+        result = execute_job_cached(None)
+        with running_fabric(ttl=0.4) as (service, client):
+            receipt = client.submit({"jobs": [JOB_WIRE]})
+            grant = client.lease("doomed")["grants"][0]
+            wait_until(lambda: client.fabric()["requeues"] == 1,
+                       message="lease reaped and job requeued")
+            stats = client.fabric()
+            assert stats["expired_leases"] == 1
+            assert stats["suspects_queued"] == 1
+            # The dead worker's lease is gone.
+            with pytest.raises(ServiceError) as err:
+                client.heartbeat(grant["lease"])
+            assert err.value.status == 410
+            # Re-granted as a suspect but NOT charged: attempt stays 1.
+            regrant = client.lease("rescuer")["grants"][0]
+            assert regrant["suspect"] is True and regrant["attempt"] == 1
+            assert regrant["hash"] == grant["hash"]
+            client.complete(regrant["lease"],
+                            ok_payload(regrant["hash"], result))
+            final = client.sweep(receipt["sweep"])
+            assert final["state"] == "done"
+            events = list(client.events(receipt["sweep"]))
+            kinds = [event["event"] for event in events]
+            assert "requeued" in kinds
+            requeued = events[kinds.index("requeued")]
+            assert requeued["reason"] == "lease_expired"
+            assert requeued["worker"] == "doomed"
+
+    def test_node_death_expires_all_its_leases_together(self):
+        result = execute_job_cached(None)
+        with running_fabric(ttl=0.4) as (service, client):
+            receipt = client.submit({"jobs": [JOB_WIRE, JOB_WIRE_B]})
+            grants = client.lease("doomed", capacity=2)["grants"]
+            assert len(grants) == 2
+            wait_until(lambda: client.fabric()["requeues"] == 2,
+                       message="both leases of the dead node reaped")
+            # Innocent siblings: neither job is charged an attempt.
+            g1 = client.lease("w1")["grants"]
+            assert len(g1) == 1  # suspect goes out solo even at capacity 1
+            assert g1[0]["suspect"] is True and g1[0]["attempt"] == 1
+            # Quarantine: a worker holding a suspect lease gets nothing.
+            assert client.lease("w1", capacity=2)["grants"] == []
+            # The second suspect goes solo to a different idle worker.
+            g2 = client.lease("w2")["grants"]
+            assert len(g2) == 1
+            assert g2[0]["suspect"] is True and g2[0]["attempt"] == 1
+            assert g2[0]["hash"] != g1[0]["hash"]
+            for grant in (g1[0], g2[0]):
+                client.complete(grant["lease"],
+                                ok_payload(grant["hash"], result))
+            assert client.sweep(receipt["sweep"])["state"] == "done"
+
+    def test_repeated_suspect_expiry_fails_terminally(self):
+        with running_fabric(ttl=0.3, max_attempts=2) as (service, client):
+            receipt = client.submit({"jobs": [JOB_WIRE]})
+            job_hash = receipt["jobs"][0]["hash"]
+            # Round 1 is fresh (uncharged on expiry); rounds 2..3 run solo
+            # as suspects and each expiry charges an attempt.
+            for round_no, want_attempt in enumerate([1, 1, 2]):
+                grants = client.lease(f"crashy-{round_no}")["grants"]
+                assert len(grants) == 1
+                assert grants[0]["attempt"] == want_attempt
+                assert grants[0]["suspect"] is (round_no > 0)
+                wait_until(
+                    lambda: client.fabric()["leases_in_flight"] == 0,
+                    message=f"round {round_no} lease reaped")
+            wait_until(
+                lambda: client.sweep(receipt["sweep"])["state"] == "failed",
+                message="sweep marked failed after charged expiries")
+            job = client.job(job_hash)
+            assert job["state"] == "failed"
+            assert job["error"]["kind"] == "lease_expired"
+            assert job["error"]["attempts"] == 2
+            # Terminally failed: nothing left to grant.
+            assert client.lease("fresh-worker")["grants"] == []
+            stats = client.fabric()
+            assert stats["expired_leases"] == 3
+            assert stats["requeues"] == 2  # the terminal expiry fails instead
+
+    def test_stale_completion_is_published_and_adopted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = execute_job_cached(None)
+        with running_fabric(store=store, ttl=0.3) as (service, client):
+            receipt = client.submit({"jobs": [JOB_WIRE]})
+            grant = client.lease("slowpoke")["grants"][0]
+            wait_until(lambda: client.fabric()["requeues"] == 1,
+                       message="lease reaped before upload")
+            # The late upload still lands: published + adopted, not re-run.
+            receipt2 = client.complete(grant["lease"],
+                                       ok_payload(grant["hash"], result))
+            assert receipt2["stale"] is True
+            final = client.sweep(receipt["sweep"])
+            assert final["state"] == "done"
+            stats = client.fabric()
+            assert stats["stale_completions"] == 1
+            assert stats["adopted_results"] == 1
+            # Published to the coordinator's store (restart = cache hit).
+            assert store.load(job_from_wire(JOB_WIRE)) is not None
+            # The adopted job left the suspect queue: nobody else gets it.
+            assert client.lease("w2")["grants"] == []
+            assert client.stats()["queue"]["executed"] == 1
+
+
+class TestFabricWorker:
+    def test_worker_drains_sweep_end_to_end(self):
+        with running_fabric() as (service, client):
+            receipt = client.submit({"jobs": [JOB_WIRE, JOB_WIRE_B]})
+            worker = FabricWorker(service.url, worker_id="w1", capacity=2,
+                                  poll_seconds=0.05,
+                                  runner=execute_job_cached)
+            worker.run(exit_on_idle=10)
+            final = client.sweep(receipt["sweep"])
+            assert final["state"] == "done"
+            assert final["counts"]["done"] == 2
+            assert worker.executed == 2 and worker.uploaded == 2
+            events = list(client.events(receipt["sweep"]))
+            running = [e for e in events if e["event"] == "running"]
+            assert {e["worker"] for e in running} == {"w1"}
+            stats = client.stats()["fabric"]
+            assert stats["granted"] == 2 and stats["completed"] == 2
+            assert stats["workers"]["detail"][0]["completed"] == 2
+            assert client.stats()["queue"]["executed"] == 2
+
+    def test_worker_failure_upload_is_final(self):
+        def exploding(job):
+            raise ValueError("tile does not fit")
+
+        with running_fabric() as (service, client):
+            receipt = client.submit({"jobs": [JOB_WIRE]})
+            worker = FabricWorker(service.url, worker_id="w1",
+                                  poll_seconds=0.05, runner=exploding)
+            worker.run(exit_on_idle=10)
+            final = client.sweep(receipt["sweep"])
+            assert final["state"] == "failed"
+            job = client.job(receipt["jobs"][0]["hash"])
+            assert job["error"]["error_type"] == "ValueError"
+            assert job["error"]["worker"] == "w1"
+            stats = client.stats()["fabric"]
+            assert stats["remote_failures"] == 1
+            # An in-band failure is final: no requeue, no second grant.
+            assert stats["requeues"] == 0 and stats["granted"] == 1
+
+    def test_worker_local_store_is_a_cache_tier(self, tmp_path):
+        local = ResultStore(tmp_path)
+        local.save(job_from_wire(JOB_WIRE), execute_job_cached(None))
+
+        def exploding(job):
+            raise AssertionError("a local store hit must not simulate")
+
+        with running_fabric() as (service, client):
+            receipt = client.submit({"jobs": [JOB_WIRE]})
+            worker = FabricWorker(service.url, worker_id="w1", store=local,
+                                  poll_seconds=0.05, runner=exploding)
+            worker.run(exit_on_idle=10)
+            assert worker.local_hits == 1 and worker.executed == 0
+            assert client.sweep(receipt["sweep"])["state"] == "done"
+
+    def test_net_drop_faults_are_retried_through(self, monkeypatch,
+                                                 tmp_path):
+        state = tmp_path / "fault-state"
+        state.mkdir()
+        monkeypatch.setenv(faults.FAULT_ENV_VAR, "mode=net_drop:n=2")
+        monkeypatch.setenv(faults.STATE_ENV_VAR, str(state))
+        with running_fabric() as (service, client):
+            receipt = client.submit({"jobs": [JOB_WIRE]})
+            worker = FabricWorker(service.url, worker_id="w1",
+                                  poll_seconds=0.05,
+                                  runner=execute_job_cached)
+            worker.run(exit_on_idle=10)
+            assert worker.net_drops == 2
+            assert client.sweep(receipt["sweep"])["state"] == "done"
+            # Cross-process tokens burned on disk, one file per firing.
+            assert len(list(state.iterdir())) == 2
+
+    def test_lease_stall_expires_then_lands_stale_and_adopted(
+            self, monkeypatch, tmp_path):
+        state = tmp_path / "fault-state"
+        state.mkdir()
+        monkeypatch.setenv(faults.FAULT_ENV_VAR,
+                           "mode=lease_stall:n=1:hang_seconds=30")
+        monkeypatch.setenv(faults.STATE_ENV_VAR, str(state))
+        with running_fabric(ttl=0.3) as (service, client):
+            receipt = client.submit({"jobs": [JOB_WIRE]})
+            worker = FabricWorker(service.url, worker_id="stalled",
+                                  poll_seconds=0.05,
+                                  runner=execute_job_cached)
+            worker.run(exit_on_idle=10)
+            final = client.sweep(receipt["sweep"])
+            assert final["state"] == "done"
+            assert worker.stale == 1
+            stats = client.stats()["fabric"]
+            assert stats["expired_leases"] == 1
+            assert stats["adopted_results"] == 1
+            assert stats["completed"] == 0  # never completed fresh
+
+
+class TestFabricEndToEnd:
+    def test_coordinator_restart_resubmit_is_pure_cache_hit(self, tmp_path):
+        with running_fabric(store=ResultStore(tmp_path)) as (
+                service, client):
+            receipt = client.submit({"jobs": [JOB_WIRE, JOB_WIRE_B]})
+            worker = FabricWorker(service.url, worker_id="w1", capacity=2,
+                                  poll_seconds=0.05,
+                                  runner=execute_job_cached)
+            worker.run(exit_on_idle=10)
+            assert client.sweep(receipt["sweep"])["state"] == "done"
+        # "Coordinator restart": a fresh daemon over the same store.
+        with running_fabric(store=ResultStore(tmp_path)) as (
+                service, client):
+            receipt = client.submit({"jobs": [JOB_WIRE, JOB_WIRE_B]})
+            assert receipt["cache_hits"] == 2
+            final = client.wait(receipt["sweep"], timeout=10)
+            assert final["state"] == "done"
+            stats = client.stats()
+            assert stats["queue"]["executed"] == 0  # zero re-simulation
+            assert stats["fabric"]["granted"] == 0  # no worker ever needed
+
+    def test_worker_kill_mid_sweep_completes_bit_identical(self, tmp_path):
+        """The acceptance scenario: 2 workers, one killed mid-sweep by
+        ``worker_kill`` injection, sweep still completes and the merged
+        results match a serial in-process run bit-for-bit."""
+        store = ResultStore(tmp_path / "coordinator-store")
+        state = tmp_path / "fault-state"
+        state.mkdir()
+        wires = [JOB_WIRE, dict(JOB_WIRE, variant="saris")]
+        env = dict(os.environ)
+        env[faults.FAULT_ENV_VAR] = "mode=worker_kill:n=1"
+        env[faults.STATE_ENV_VAR] = str(state)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        env.pop("REPRO_SERVICE_URL", None)
+        remote = {}
+        with running_fabric(store=store, ttl=1.0) as (service, client):
+            receipt = client.submit({"jobs": wires})
+            procs = [subprocess.Popen(
+                [sys.executable, "-m", "repro.cli", "worker",
+                 "--url", service.url, "--id", f"w{i}",
+                 "--cache-dir", str(tmp_path / f"worker-{i}-store"),
+                 "--poll", "0.2", "--exit-on-idle", "25"],
+                cwd=str(REPO_ROOT), env=env,
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+                for i in (1, 2)]
+            try:
+                final = client.wait(receipt["sweep"], timeout=60)
+                assert final["state"] == "done"
+                assert final["counts"]["done"] == 2
+                stats = client.stats()["fabric"]
+                # The kill is visible in the lease machinery, and the
+                # requeued grant was not charged (attempt stayed 1).
+                assert stats["expired_leases"] >= 1
+                assert stats["requeues"] >= 1
+                events = list(client.events(receipt["sweep"]))
+                requeued = [e for e in events if e["event"] == "requeued"]
+                assert requeued and all(e["attempt"] == 1 for e in requeued)
+                for member in receipt["jobs"]:
+                    payload = client.job(member["hash"])
+                    remote[member["hash"]] = KernelRunResult.from_json_dict(
+                        payload["result"])
+            finally:
+                output = []
+                for proc in procs:
+                    try:
+                        proc.wait(timeout=60)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+                    output.append(proc.stdout.read().decode(
+                        "utf-8", "replace"))
+                    proc.stdout.close()
+            codes = [proc.returncode for proc in procs]
+            # Exactly one worker really died (kill -9 style), the survivor
+            # drained the sweep and idled out cleanly.
+            assert faults.WORKER_KILL_EXIT_CODE in codes, (codes, output)
+            assert 0 in codes, (codes, output)
+        # Bit-identity: the distributed merge equals a serial run.
+        for wire in wires:
+            job = job_from_wire(wire)
+            serial = execute_job(job)
+            assert remote[job.content_hash()].metrics_hash() == \
+                serial.metrics_hash()

@@ -16,6 +16,7 @@ from repro.sweep.faults import (
     injected,
     maybe_inject,
 )
+from repro.sweep import faults as faults_mod
 from tests.conftest import small_tile
 
 
@@ -139,3 +140,81 @@ class TestFiring:
         with injected(FaultSpec(mode="flaky", kernel="jacobi_2d", n=1),
                       FaultSpec(mode="raise", kernel="jacobi_2d")):
             maybe_inject(small_job(), attempt=2)  # flaky satisfied, stops
+
+
+class TestNodeFaults:
+    """Fabric-level modes: worker_kill, lease_stall, net_drop + the
+    cross-process at-most-n token accounting behind them."""
+
+    def test_node_mode_specs_parse(self):
+        for mode in ("worker_kill", "lease_stall", "net_drop"):
+            spec = FaultSpec.parse(f"mode={mode}:n=3")
+            assert spec.mode == mode and spec.n == 3
+
+    def test_worker_kill_degrades_to_raise_in_parent(self, monkeypatch):
+        # Never a real os._exit outside a worker process: the test session
+        # must survive a misconfigured env.
+        monkeypatch.delenv(faults_mod.FABRIC_WORKER_ENV_VAR, raising=False)
+        monkeypatch.delenv(faults_mod.STATE_ENV_VAR, raising=False)
+        monkeypatch.setattr(faults_mod, "_LOCAL_TOKENS", {})
+        with injected(FaultSpec(mode="worker_kill", kernel="jacobi_2d")):
+            with pytest.raises(InjectedFault, match="worker kill"):
+                maybe_inject(small_job())
+            # The single token is spent: the next firing runs clean.
+            maybe_inject(small_job())
+
+    def test_protocol_modes_are_inert_inside_jobs(self, monkeypatch):
+        monkeypatch.delenv(faults_mod.STATE_ENV_VAR, raising=False)
+        with injected(FaultSpec(mode="lease_stall"),
+                      FaultSpec(mode="net_drop")):
+            maybe_inject(small_job())  # must not raise, sleep or exit
+
+    def test_claim_node_fault_checks_mode_and_match(self, monkeypatch):
+        monkeypatch.delenv(faults_mod.STATE_ENV_VAR, raising=False)
+        monkeypatch.setattr(faults_mod, "_LOCAL_TOKENS", {})
+        with pytest.raises(FaultConfigError):
+            faults_mod.claim_node_fault("raise")
+        assert faults_mod.claim_node_fault("net_drop") is None  # inactive
+        with injected(FaultSpec(mode="lease_stall", kernel="j2d5pt")):
+            assert faults_mod.claim_node_fault("lease_stall",
+                                               small_job()) is None
+            spec = faults_mod.claim_node_fault("lease_stall",
+                                               small_job(kernel="j2d5pt"))
+            assert spec is not None and spec.mode == "lease_stall"
+
+    def test_state_dir_tokens_are_claimed_at_most_n_times(
+            self, monkeypatch, tmp_path):
+        monkeypatch.setenv(faults_mod.STATE_ENV_VAR, str(tmp_path))
+        spec = FaultSpec(mode="worker_kill", n=2)
+        assert faults_mod.claim_fault_token(spec) is True
+        assert faults_mod.claim_fault_token(spec) is True
+        assert faults_mod.claim_fault_token(spec) is False  # exhausted
+        fired = sorted(p.name for p in tmp_path.iterdir())
+        assert fired == ["worker_kill-1.fired", "worker_kill-2.fired"]
+        # The claim is per-spec-identity: a differently-filtered spec has
+        # its own token pool in the same directory.
+        other = FaultSpec(mode="worker_kill", kernel="jacobi_2d")
+        assert faults_mod.claim_fault_token(other) is True
+        assert faults_mod.claim_fault_token(other) is False
+
+    def test_state_dir_tokens_hold_across_processes(self, monkeypatch,
+                                                    tmp_path):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        monkeypatch.setenv(faults_mod.STATE_ENV_VAR, str(tmp_path))
+        child = (
+            "from repro.sweep.faults import FaultSpec, claim_fault_token\n"
+            "print(claim_fault_token(FaultSpec(mode='worker_kill')))\n"
+        )
+        repo_root = Path(__file__).resolve().parents[1]
+        env = dict(os.environ, PYTHONPATH=str(repo_root / "src"),
+                   **{faults_mod.STATE_ENV_VAR: str(tmp_path)})
+        outputs = []
+        for _ in range(3):
+            outputs.append(subprocess.run(
+                [sys.executable, "-c", child], env=env, cwd=str(repo_root),
+                capture_output=True, text=True, timeout=60).stdout.strip())
+        # n=1: exactly one process across the fleet wins the token.
+        assert sorted(outputs) == ["False", "False", "True"]

@@ -88,6 +88,27 @@ class TestEventOrdering:
         full, resumed = asyncio.run(main())
         assert resumed == full[2:]
 
+    def test_replay_past_end_of_finished_sweep_ends_immediately(self):
+        """A resume cursor beyond a finished sweep's log must return, not
+        await events that can never come (a reconnecting client may ask
+        from one past the final sweep_done index)."""
+        async def main():
+            queue = await JobQueue(workers=1).start()
+            try:
+                sweep = await queue.submit([job_for()])
+                full = await drain(queue, sweep.id)
+                past_end = await asyncio.wait_for(
+                    drain(queue, sweep.id, from_index=len(full) + 50),
+                    timeout=5)
+                at_end = await asyncio.wait_for(
+                    drain(queue, sweep.id, from_index=len(full)), timeout=5)
+                return past_end, at_end
+            finally:
+                await queue.close()
+
+        past_end, at_end = asyncio.run(main())
+        assert past_end == [] and at_end == []
+
 
 class TestDedupe:
     def test_duplicate_hashes_within_one_submission_collapse(self):
@@ -256,6 +277,53 @@ class TestCancel:
         # Cancelling a finished sweep cancels nothing (jobs are terminal).
         assert first["cancelled_jobs"] == [] == second["cancelled_jobs"]
 
+    def test_cancel_racing_coalesced_inflight_job(self):
+        """Cancel of sweep A while its job is RUNNING *and* coalesced into
+        sweep B: the in-flight execution survives, B gets the result, and
+        nothing is double-counted."""
+        release = threading.Event()
+        started = threading.Event()
+
+        def runner(job, report):
+            started.set()
+            release.wait(timeout=30)
+            return fake_result(job)
+
+        async def main():
+            queue = await JobQueue(workers=1, runner=runner).start()
+            try:
+                job = job_for()
+                first = await queue.submit([job])
+                await asyncio.get_running_loop().run_in_executor(
+                    None, started.wait, 30)
+                second = await queue.submit([job])  # coalesces onto RUNNING
+                receipt = queue.cancel(first.id)    # races the execution
+                release.set()
+                events_b = await drain(queue, second.id)
+                events_a = await drain(queue, first.id)
+                return (receipt, events_a, events_b,
+                        queue.sweep_status(second.id),
+                        queue.job_status(job.content_hash()), queue.stats())
+            finally:
+                release.set()
+                await queue.close()
+
+        receipt, events_a, events_b, status_b, job_status, stats = \
+            asyncio.run(main())
+        # The cancel could not abort the in-flight job, only flag it.
+        assert receipt["cancelled_jobs"] == []
+        assert receipt["still_running"] == [job_status["hash"]]
+        # The shared execution completed for sweep B's benefit.
+        assert job_status["state"] == DONE
+        assert status_b["state"] == DONE
+        assert kinds(events_b)[-2:] == ["done", "sweep_done"]
+        # Sweep A ended as cancelled, with a full terminating stream.
+        assert "sweep_cancelled" in kinds(events_a)
+        assert kinds(events_a)[-1] == "sweep_done"
+        assert events_a[-1]["state"] == CANCELLED
+        assert stats["executed"] == 1 and stats["coalesced"] == 1
+        assert stats["cancelled"] == 0  # no job was actually cancelled
+
     def test_shared_queued_job_survives_other_tenants_cancel(self):
         release = threading.Event()
         started = threading.Event()
@@ -395,3 +463,28 @@ class TestLifecycleAndStats:
 
         loaded = asyncio.run(main())
         assert loaded is not None and loaded.correct
+
+
+class TestFabricDispatch:
+    def test_invalid_dispatch_rejected(self):
+        with pytest.raises(QueueError):
+            JobQueue(dispatch="carrier-pigeon")
+
+    def test_fabric_dispatch_spawns_no_local_lanes(self):
+        """In fabric mode the queue is a pure state machine: submitted jobs
+        stay queued until a coordinator leases them out."""
+        async def main():
+            queue = await JobQueue(dispatch="fabric").start()
+            try:
+                sweep = await queue.submit([job_for()])
+                await asyncio.sleep(0.2)
+                return (queue.sweep_status(sweep.id), queue.stats(),
+                        len(queue._tasks))
+            finally:
+                await queue.close()
+
+        status, stats, lanes = asyncio.run(main())
+        assert lanes == 0
+        assert stats["dispatch"] == "fabric"
+        assert status["state"] == QUEUED
+        assert stats["states"][QUEUED] == 1 and stats["executed"] == 0

@@ -250,3 +250,103 @@ class TestStats:
             final = client.wait(receipt["sweep"])
             assert final["state"] == "done"
             assert client.stats()["queue"]["executed"] == 0
+
+
+class TestStreamReconnect:
+    def test_stream_rides_out_a_socket_drop(self):
+        """`stream()` (and thus `repro watch`) survives a daemon blip: the
+        listener goes down, every open socket is reset, the listener comes
+        back — the client reconnects with its ?from= cursor and the event
+        sequence is gapless and duplicate-free."""
+        started = threading.Event()
+        release = threading.Event()
+
+        def gated_runner(job, report):
+            report("warmup")
+            started.set()
+            release.wait(timeout=30)
+            return execute_job_cached(job)
+
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        writers = []
+        state = {}
+
+        async def tracked(reader, writer):
+            writers.append(writer)
+            await state["service"]._handle(reader, writer)
+
+        async def rebind(service):
+            service._server = await asyncio.start_server(
+                tracked, service.host, service.port)
+
+        async def boot():
+            queue = JobQueue(workers=1, runner=gated_runner)
+            service = ReproService(queue, port=0)
+            await service.start()
+            state["service"] = service
+            # Swap the listener for one that records connections so the
+            # test can reset them like a real daemon restart would.
+            service._server.close()
+            await service._server.wait_closed()
+            await rebind(service)
+            return service
+
+        async def blip():
+            service = state["service"]
+            service._server.close()
+            await service._server.wait_closed()
+            for writer in list(writers):
+                writer.transport.abort()  # RST every open connection
+            writers.clear()
+            await rebind(service)
+
+        service = asyncio.run_coroutine_threadsafe(boot(), loop).result(30)
+        client = ServiceClient(service.url)
+        try:
+            receipt = client.submit({"jobs": [JOB_WIRE]})
+            stream = client.stream(receipt["sweep"], timeout=10,
+                                   backoff_seconds=0.05)
+            seen = []
+            for event in stream:
+                seen.append(event)
+                if event["event"] == "progress":
+                    break  # mid-stream, job still running
+            started.wait(timeout=30)
+            asyncio.run_coroutine_threadsafe(blip(), loop).result(10)
+            release.set()
+            for event in stream:  # same iterator: must reconnect
+                seen.append(event)
+            assert seen[-1]["event"] == "sweep_done"
+            seqs = [event["seq"] for event in seen]
+            assert seqs == sorted(set(seqs))  # increasing, no duplicates
+            # Nothing lost or replayed: the stitched stream equals a full
+            # replay of the sweep's event log.
+            full = [event["seq"]
+                    for event in client.events(receipt["sweep"])]
+            assert seqs == full
+        finally:
+            release.set()
+            asyncio.run_coroutine_threadsafe(
+                state["service"].close(), loop).result(30)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=10)
+            loop.close()
+
+    def test_stream_gives_up_when_the_daemon_stays_down(self):
+        client = ServiceClient("http://127.0.0.1:9")  # nothing listens
+        stream = client.stream("s0001-dead", max_retries=2,
+                               backoff_seconds=0.01)
+        with pytest.raises(ServiceError) as err:
+            next(stream)
+        assert err.value.status is None
+        assert "2 reconnect attempts" in str(err.value)
+
+    def test_stream_does_not_retry_http_errors(self):
+        """A real HTTP answer (e.g. 404 after a daemon restart lost the
+        sweep) must surface immediately — reconnecting cannot help."""
+        with running_server() as (service, client):
+            with pytest.raises(ServiceError) as err:
+                next(client.stream("s9999-beef", backoff_seconds=0.01))
+            assert err.value.status == 404

@@ -144,3 +144,51 @@ class TestExperimentToWire:
         wire = experiment_to_wire(kernels=["jacobi_2d"],
                                   machines=[resolve_machine("snitch-8-wide")])
         assert wire["experiment"]["machines"] == ["snitch-8-wide"]
+
+
+class TestJobToWire:
+    """job_to_wire is the fabric grant encoder: a leased job must decode
+    on the worker to the exact content hash the coordinator granted."""
+
+    def test_plain_job_roundtrips_hash(self):
+        from repro.service import job_to_wire
+
+        job = SweepJob.make("jacobi_2d", "base",
+                            tile_shape=small_tile("jacobi_2d"), seed=5)
+        assert job_from_wire(job_to_wire(job)).content_hash() == \
+            job.content_hash()
+
+    def test_machine_and_codegen_kwargs_roundtrip(self):
+        from repro.service import job_to_wire
+
+        preset = SweepJob.make("j2d5pt", machine=resolve_machine("snitch-4"),
+                               codegen_kwargs={"use_frep": True})
+        wire = job_to_wire(preset)
+        assert wire["machine"] == "snitch-4"  # presets travel by name
+        assert job_from_wire(wire).content_hash() == preset.content_hash()
+        custom = SweepJob.make(
+            "j2d5pt", machine=MachineSpec.create("rig", num_cores=4))
+        wire = job_to_wire(custom)
+        assert isinstance(wire["machine"], dict)
+        assert job_from_wire(wire).content_hash() == custom.content_hash()
+
+    def test_timing_params_roundtrip(self):
+        from repro.snitch.params import TimingParams
+        from repro.service import job_to_wire
+
+        job = SweepJob.make("jacobi_2d", params=TimingParams())
+        wire = job_to_wire(job)
+        assert isinstance(wire["params"], list)
+        decoded = job_from_wire(wire)
+        assert decoded.params == job.params
+        assert decoded.content_hash() == job.content_hash()
+
+    def test_params_wire_length_mismatch_rejected(self):
+        from repro.snitch.params import TimingParams
+        from repro.service import job_to_wire
+
+        wire = job_to_wire(SweepJob.make("jacobi_2d",
+                                         params=TimingParams()))
+        wire["params"] = wire["params"][:-1]
+        with pytest.raises(SpecError):
+            job_from_wire(wire)

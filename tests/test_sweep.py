@@ -181,6 +181,49 @@ class TestResultStore:
         assert store.stats()["corrupt_files"] == 0
         assert not list(store.version_dir.glob("*.tmp*"))
 
+    def test_multiprocess_publish_contention_never_corrupts(self, tmp_path):
+        """The cross-*process* version of the hammer: fabric workers on one
+        host share a store directory, so the flock/atomic-rename publish
+        path must hold up across processes, not just threads."""
+        job = small_job()
+        result = execute_job(job)
+        store = ResultStore(tmp_path)
+        store.save(job, result)  # seed the payload the children republish
+        child = (
+            "import sys\n"
+            "from repro.sweep import ResultStore, SweepJob\n"
+            "store = ResultStore(sys.argv[1])\n"
+            "job = SweepJob.make('jacobi_2d', 'saris',\n"
+            "                    tile_shape=(int(sys.argv[2]),\n"
+            "                                int(sys.argv[3])))\n"
+            "result = store.load(job)\n"
+            "assert result is not None, 'seed entry must be readable'\n"
+            "want = result.metrics_hash()\n"
+            "for _ in range(40):\n"
+            "    store.save(job, result)\n"
+            "    loaded = store.load(job)\n"
+            "    assert loaded is not None, 'published entry went missing'\n"
+            "    assert loaded.metrics_hash() == want, 'torn entry'\n"
+        )
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        procs = [subprocess.Popen(
+            [sys.executable, "-c", child, str(tmp_path),
+             str(job.tile_shape[0]), str(job.tile_shape[1])],
+            cwd=str(REPO_ROOT), env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+            for _ in range(3)]
+        outputs = [proc.communicate(timeout=120)[0].decode("utf-8",
+                                                           "replace")
+                   for proc in procs]
+        assert all(proc.returncode == 0 for proc in procs), outputs
+        # The surviving entry is whole and spec-matching, with no leaks.
+        fresh = ResultStore(tmp_path)
+        loaded = fresh.load(job)
+        assert loaded is not None
+        assert metrics_key(loaded) == metrics_key(result)
+        assert fresh.stats()["corrupt_files"] == 0
+        assert not list(fresh.version_dir.glob("*.tmp*"))
+
 
 class TestMachineAwareStore:
     """Cached results are keyed by machine: no cross-machine stale serving."""
