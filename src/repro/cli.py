@@ -425,6 +425,26 @@ def _cmd_fuzz(args) -> int:
     return 0
 
 
+def _metrics_rows(metrics, prefix: str = "") -> List[List[object]]:
+    """Compact doctor rows from an ``obs.snapshot()`` payload: every
+    nonzero counter/gauge plus p50/p95 of every histogram with samples."""
+    if not isinstance(metrics, dict):
+        return []
+    rows: List[List[object]] = []
+    for name in sorted(metrics):
+        value = metrics[name]
+        if isinstance(value, dict):
+            if value.get("count"):
+                rows.append([f"{prefix}{name}",
+                             f"n={value['count']} p50={value.get('p50')}s "
+                             f"p95={value.get('p95')}s"])
+        elif value:
+            rows.append([f"{prefix}{name}",
+                         f"{value:g}" if isinstance(value, float)
+                         else value])
+    return rows
+
+
 def _cmd_doctor(args) -> int:
     from repro.doctor import doctor_report
     from repro.service import configured_url
@@ -455,6 +475,10 @@ def _cmd_doctor(args) -> int:
         ["store size", f"{store_stats['total_bytes'] / 1024:.0f} KiB"],
         ["corrupt entries quarantined", store_stats["corrupt_files"]],
     ]
+    telemetry = payload.get("telemetry") or {}
+    rows.append(["telemetry", "enabled" if telemetry.get("enabled")
+                 else "DISABLED ($REPRO_OBS)"])
+    rows.extend(_metrics_rows(telemetry.get("metrics"), prefix="local "))
     service = payload.get("service")
     if service is not None:
         if not service.get("reachable"):
@@ -478,6 +502,8 @@ def _cmd_doctor(args) -> int:
                     ["fabric expired leases",
                      fabric.get("expired_leases", 0)],
                 ])
+            rows.extend(_metrics_rows(service.get("metrics"),
+                                      prefix="daemon "))
     print(format_table(["check", "status"], rows,
                        title="repro environment diagnostics"))
     if not info["available"]:
@@ -494,12 +520,14 @@ def _cmd_serve(args) -> int:
 
     import dataclasses
 
+    from repro import obs
     from repro.doctor import doctor_report
     from repro.service import DEFAULT_HOST, DEFAULT_PORT, JobQueue, ReproService
     from repro.sweep.engine import resolve_workers
     from repro.sweep.store import ResultStore
     from repro.sweep.supervisor import RetryPolicy
 
+    obs.set_process_label("coordinator")
     store = None if args.no_cache else ResultStore(args.cache_dir)
     retry = RetryPolicy.resolve(None, None)
     if args.retries is not None:
@@ -735,6 +763,91 @@ def _cmd_watch(args) -> int:
     if final["counts"]["failed"]:
         _print_failure_summary("watch", final)
         return 1
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro import obs
+    from repro.service import ServiceClient, ServiceError, configured_url
+
+    url = configured_url(args.url)
+    if url is None:
+        print("trace: no server configured — pass --url or set "
+              "$REPRO_SERVICE_URL", file=sys.stderr)
+        return 2
+    client = ServiceClient(url, token=args.token)
+    try:
+        payload = client.trace(args.sweep)
+    except ServiceError as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 2
+    spans = payload.get("spans") or []
+    document = obs.chrome_trace(spans)
+    text = json.dumps(document, indent=1, sort_keys=True)
+    if args.output == "-":
+        print(text)
+        return 0
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    processes = {span.get("proc") for span in spans if span.get("proc")}
+    print(f"trace: wrote {len(spans)} span(s) from "
+          f"{max(1, len(processes))} process(es) to {args.output} "
+          f"(open at https://ui.perfetto.dev or chrome://tracing)")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro import obs
+    from repro.sweep.engine import run_sweep
+    from repro.sweep.job import SweepJob
+
+    if not obs.enabled():
+        # Profiling *is* the telemetry: a REPRO_OBS=0 environment would
+        # otherwise yield an empty table, so enable it for this process.
+        print("profile: telemetry is disabled in the environment "
+              f"(${obs.ENV_VAR}) — enabling it for this run", file=sys.stderr)
+        obs.set_enabled(True)
+    variants = args.variants or ["saris"]
+    jobs = [SweepJob.make(args.kernel, variant=variant,
+                          tile_shape=tuple(args.tile) if args.tile else None,
+                          seed=args.seed, machine=args.machine)
+            for variant in variants]
+    report = run_sweep(jobs, workers=1, store=None)
+    totals = report.phase_totals()
+    top_level = {name: seconds for name, seconds in totals.items()
+                 if "." not in name}
+    nested = {name: seconds for name, seconds in totals.items()
+              if "." in name}
+    phase_sum = sum(top_level.values())
+    if args.json:
+        _print_json({
+            "kernel": args.kernel,
+            "variants": variants,
+            "wall_seconds": round(report.wall_seconds, 6),
+            "phase_sum_seconds": round(phase_sum, 6),
+            "phases": {name: round(seconds, 6)
+                       for name, seconds in sorted(totals.items())},
+        })
+        return 0
+    ordered = sorted(top_level.items(), key=lambda item: -item[1])
+    if args.top is not None:
+        ordered = ordered[:max(0, args.top)]
+    rows = []
+    for name, seconds in ordered:
+        share = 100.0 * seconds / phase_sum if phase_sum else 0.0
+        rows.append([name, f"{seconds:.4f}", f"{share:5.1f}%"])
+        for sub, sub_seconds in sorted(nested.items(),
+                                       key=lambda item: -item[1]):
+            if sub.startswith(name + "."):
+                sub_share = (100.0 * sub_seconds / phase_sum
+                             if phase_sum else 0.0)
+                rows.append([f"  {sub}", f"{sub_seconds:.4f}",
+                             f"{sub_share:5.1f}%"])
+    print(format_table(
+        ["phase", "seconds", "share"], rows,
+        title=f"phase profile: {args.kernel} ({', '.join(variants)})"))
+    print(f"wall {report.wall_seconds:.4f}s, phases sum {phase_sum:.4f}s "
+          f"across {report.executed} executed job(s)")
     return 0
 
 
@@ -1009,6 +1122,41 @@ def build_parser() -> argparse.ArgumentParser:
     watch_p.add_argument("--json", action="store_true",
                          help="print the final sweep status as JSON")
     watch_p.set_defaults(func=_cmd_watch)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="export a sweep's tracing spans as Chrome trace-event JSON "
+             "(coordinator and worker spans under one trace id)")
+    trace_p.add_argument("sweep", help="sweep id from `repro submit`")
+    trace_p.add_argument("--url", default=None,
+                         help="daemon URL (default: $REPRO_SERVICE_URL)")
+    trace_p.add_argument("--token", default=None,
+                         help="api key (default: $REPRO_SERVICE_TOKEN)")
+    trace_p.add_argument("-o", "--output", default="trace.json",
+                         help="output file, '-' for stdout "
+                              "(default: %(default)s)")
+    trace_p.set_defaults(func=_cmd_trace)
+
+    profile_p = sub.add_parser(
+        "profile",
+        help="run a kernel in-process and print where the time goes "
+             "(codegen / setup / simulate / verify phase breakdown)")
+    profile_p.add_argument("kernel", choices=sorted(kernel_names()))
+    profile_p.add_argument("--variants", nargs="+", default=None,
+                           choices=list(variant_names()),
+                           help="variants to profile (default: saris)")
+    profile_p.add_argument("--machine", choices=machine_names(),
+                           default=None,
+                           help="machine preset (default: snitch-8)")
+    profile_p.add_argument("--tile", type=int, nargs="+", default=None,
+                           help="tile shape including halo")
+    profile_p.add_argument("--seed", type=int, default=0)
+    profile_p.add_argument("--top", type=int, default=None,
+                           help="show only the N most expensive top-level "
+                                "phases")
+    profile_p.add_argument("--json", action="store_true",
+                           help="machine-readable output")
+    profile_p.set_defaults(func=_cmd_profile)
     return parser
 
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro import obs
 from repro.core.ir import BinOp, Coeff, Const, Expr, GridRef
 from repro.core.stencil import StencilKernel
 
@@ -291,13 +292,15 @@ def lower_block(kernel: StencilKernel, unroll: int = 1,
     """
     if unroll < 1:
         raise ValueError("unroll factor must be >= 1")
-    lowerer = _Lowerer(reassoc_width=reassoc_width)
-    for point in range(unroll):
-        value = lowerer.lower_value(kernel.expr, point)
-        lowerer.ops.append(AbstractOp(mnemonic="store", dest=None, srcs=[value],
-                                      point=point))
-    return LoweredBlock(kernel_name=kernel.name, unroll=unroll,
-                        ops=lowerer.ops, const_values=dict(lowerer.const_values))
+    with obs.phase("codegen.lower"):
+        lowerer = _Lowerer(reassoc_width=reassoc_width)
+        for point in range(unroll):
+            value = lowerer.lower_value(kernel.expr, point)
+            lowerer.ops.append(AbstractOp(mnemonic="store", dest=None,
+                                          srcs=[value], point=point))
+        return LoweredBlock(kernel_name=kernel.name, unroll=unroll,
+                            ops=lowerer.ops,
+                            const_values=dict(lowerer.const_values))
 
 
 def lower_point(kernel: StencilKernel, reassoc_width: int = 3) -> LoweredBlock:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.core.lowering import AbstractOp, VReg
 
 
@@ -69,6 +70,11 @@ def linear_scan(ops: Sequence[AbstractOp], pool: Sequence[int]) -> AllocationRes
     Returns an unsuccessful result (rather than raising) when the pool is too
     small, so callers can retry with a different configuration.
     """
+    with obs.phase("codegen.regalloc"):
+        return _linear_scan(ops, pool)
+
+
+def _linear_scan(ops: Sequence[AbstractOp], pool: Sequence[int]) -> AllocationResult:
     intervals = live_intervals(ops)
     result = AllocationResult()
     free: List[int] = list(pool)

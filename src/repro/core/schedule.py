@@ -15,6 +15,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.core.lowering import AbstractOp, VReg
 
 
@@ -101,6 +102,13 @@ def schedule_block(ops: Sequence[AbstractOp],
     factors and residency policies, while the authoritative performance number
     always comes from the cluster simulation.
     """
+    with obs.phase("codegen.schedule"):
+        return _schedule_block(ops, latencies=latencies, extra_deps=extra_deps)
+
+
+def _schedule_block(ops: Sequence[AbstractOp],
+                    latencies: Optional[Dict[str, int]] = None,
+                    extra_deps: Optional[Sequence[tuple]] = None) -> ScheduledBlock:
     lat = dict(DEFAULT_LATENCIES)
     if latencies:
         lat.update(latencies)

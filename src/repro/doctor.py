@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro import obs
 from repro.sweep.store import ResultStore
 
 
@@ -36,6 +37,8 @@ def doctor_report(cache_dir: Optional[str] = None,
         "native": info,
         "store": store.stats(),
         "ok": bool(info["available"]),
+        "telemetry": {"enabled": obs.enabled(),
+                      "metrics": obs.snapshot()},
     }
     if service_url:
         payload["service"] = _probe_service(service_url)
@@ -56,4 +59,5 @@ def _probe_service(url: str) -> Dict[str, object]:
         "version": stats.get("version"),
         "queue": stats.get("queue"),
         "fabric": stats.get("fabric"),
+        "metrics": stats.get("metrics"),
     }

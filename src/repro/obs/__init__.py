@@ -1,0 +1,57 @@
+"""``repro.obs`` — unified telemetry: metrics, tracing, phase profiling.
+
+One import surface for the three pillars:
+
+* :mod:`repro.obs.metrics` — process-wide counters / gauges / histograms
+  with Prometheus text exposition (served at ``GET /v1/metrics``).
+* :mod:`repro.obs.trace` — span API with cross-process trace contexts and
+  Chrome trace-event export (``repro trace``).
+* Phase profiling — :func:`phase` / :func:`phase_accumulator` feeding
+  ``KernelRunResult.phase_seconds`` (``repro profile``).
+
+All of it is stdlib-only and collapses to near-zero-cost no-ops when
+``REPRO_OBS=0`` (see :mod:`repro.obs.config`).
+"""
+
+from repro.obs.config import ENV_VAR, enabled, refresh_from_env, set_enabled
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    REGISTRY,
+    counter,
+    gauge,
+    histogram,
+    render_prometheus,
+    snapshot,
+)
+from repro.obs.trace import (
+    RECORDER,
+    SpanRecorder,
+    TraceContext,
+    chrome_trace,
+    current_context,
+    new_span_id,
+    new_trace_id,
+    peek_spans,
+    phase,
+    phase_accumulator,
+    process_label,
+    record_span,
+    set_process_label,
+    span,
+    take_spans,
+)
+
+__all__ = [
+    "ENV_VAR", "enabled", "set_enabled", "refresh_from_env",
+    "DEFAULT_BUCKETS", "Counter", "Gauge", "Histogram", "Registry",
+    "REGISTRY", "counter", "gauge", "histogram", "render_prometheus",
+    "snapshot",
+    "RECORDER", "SpanRecorder", "TraceContext", "chrome_trace",
+    "current_context", "new_span_id", "new_trace_id", "peek_spans",
+    "phase", "phase_accumulator", "process_label", "record_span",
+    "set_process_label", "span", "take_spans",
+]

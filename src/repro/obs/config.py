@@ -1,0 +1,40 @@
+"""The telemetry kill switch: ``REPRO_OBS=0`` disables everything.
+
+One module-level boolean, read from the environment once at import and
+overridable in-process (tests, the perf-smoke overhead leg).  Every
+instrument and span checks it on the hot path, so disabled telemetry costs
+one attribute load per call site — near-zero against a simulation that
+takes milliseconds at minimum.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable: set to ``0`` / ``false`` / ``off`` / ``no`` to
+#: disable all telemetry (metrics, spans, phase profiling).  Anything else
+#: (including unset) leaves it enabled.
+ENV_VAR = "REPRO_OBS"
+
+_DISABLED_VALUES = ("0", "false", "off", "no")
+
+_enabled = (os.environ.get(ENV_VAR, "").strip().lower()
+            not in _DISABLED_VALUES)
+
+
+def enabled() -> bool:
+    """Whether telemetry is active in this process."""
+    return _enabled
+
+
+def set_enabled(value: bool) -> bool:
+    """Override the toggle in-process (tests / benchmarks); returns it."""
+    global _enabled
+    _enabled = bool(value)
+    return _enabled
+
+
+def refresh_from_env() -> bool:
+    """Re-read :data:`ENV_VAR` (after ``os.environ`` edits); returns it."""
+    return set_enabled(os.environ.get(ENV_VAR, "").strip().lower()
+                       not in _DISABLED_VALUES)

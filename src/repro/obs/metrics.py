@@ -1,0 +1,385 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+Stdlib-only and deliberately small — the subset of the Prometheus data
+model the repro stack needs:
+
+* **Counter** — monotonically increasing float (``_total`` names).
+* **Gauge** — settable value, or a zero-argument callable sampled at
+  render time (queue depth, live workers, leases in flight).
+* **Histogram** — fixed cumulative buckets plus sum/count, mergeable
+  across snapshots (worker processes can ship theirs upstream), with
+  bucket-resolution quantile estimates for the p50/p95 surfaces.
+
+Instruments are **get-or-create** by ``(name, labels)``: a module-level
+``counter("repro_x_total")`` at import time and a later lookup of the same
+name return the same object, so instrumented modules never fight over
+registration.  All mutation is lock-protected; reads for rendering take a
+consistent per-instrument snapshot.
+
+:func:`render_prometheus` emits the text exposition format
+(``# HELP`` / ``# TYPE`` + samples) served at ``GET /v1/metrics``;
+:func:`Registry.snapshot` is the JSON-friendly view that rides
+``/v1/stats`` and ``repro doctor``.
+
+Everything respects the :mod:`repro.obs.config` toggle: with
+``REPRO_OBS=0`` mutations are no-ops and renders show zeros.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import config
+
+#: Default histogram buckets (seconds): spans queue waits of microseconds
+#: through multi-minute cold simulations.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+
+def _label_pairs(labels: Optional[Dict[str, str]]) -> LabelPairs:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_suffix(pairs: LabelPairs, extra: str = "") -> str:
+    parts = [f'{key}="{value}"' for key, value in pairs]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class Counter:
+    """Monotonic counter (use ``_total``-suffixed names)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: Optional[Dict[str, str]] = None) -> None:
+        self.name = name
+        self.help = help
+        self.labels = _label_pairs(labels)
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease "
+                             f"(inc({amount}))")
+        if not config.enabled():
+            return
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def samples(self) -> List[Tuple[str, float]]:
+        return [(f"{self.name}{_label_suffix(self.labels)}", self.value)]
+
+    def snapshot(self) -> object:
+        return self.value
+
+
+class Gauge:
+    """Point-in-time value: set directly or backed by a callable."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: Optional[Dict[str, str]] = None) -> None:
+        self.name = name
+        self.help = help
+        self.labels = _label_pairs(labels)
+        self._value = 0.0
+        self._fn: Optional[Callable[[], float]] = None
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        if not config.enabled():
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not config.enabled():
+            return
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def set_function(self, fn: Optional[Callable[[], float]]) -> None:
+        """Sample ``fn()`` at render time instead of a stored value.
+
+        Re-registering replaces the previous callable, so short-lived
+        owners (test coordinators) simply take the gauge over.
+        """
+        with self._lock:
+            self._fn = fn
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            fn = self._fn
+            if fn is None:
+                return self._value
+        try:
+            return float(fn())
+        except Exception:  # noqa: BLE001 - a dead owner must not kill /metrics
+            return 0.0
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+            self._fn = None
+
+    def samples(self) -> List[Tuple[str, float]]:
+        return [(f"{self.name}{_label_suffix(self.labels)}", self.value)]
+
+    def snapshot(self) -> object:
+        return self.value
+
+
+class Histogram:
+    """Fixed cumulative-bucket histogram with sum and count.
+
+    ``buckets`` are upper bounds (``le``); an implicit ``+Inf`` bucket is
+    always appended.  Mergeable: :meth:`merge` adds another histogram's
+    snapshot in, which is how worker-process metrics could fold upstream.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS,
+                 labels: Optional[Dict[str, str]] = None) -> None:
+        self.name = name
+        self.help = help
+        self.labels = _label_pairs(labels)
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self._counts = [0] * (len(self.buckets) + 1)  # trailing +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        if not config.enabled():
+            return
+        value = float(value)
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def merge(self, snapshot: Dict[str, object]) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        The other histogram must use the same bucket bounds; mismatches
+        raise so silent mis-merges cannot corrupt percentiles.
+        """
+        bounds = tuple(float(b) for b in snapshot.get("buckets", ()))
+        if bounds != self.buckets:
+            raise ValueError(f"bucket mismatch merging into {self.name}: "
+                             f"{bounds} != {self.buckets}")
+        counts = [int(c) for c in snapshot.get("counts", ())]
+        if len(counts) != len(self._counts):
+            raise ValueError(f"count-vector length mismatch merging into "
+                             f"{self.name}")
+        with self._lock:
+            for i, c in enumerate(counts):
+                self._counts[i] += c
+            self._sum += float(snapshot.get("sum", 0.0))
+            self._count += int(snapshot.get("count", 0))
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        the q-th observation falls in); ``None`` with no observations."""
+        with self._lock:
+            count = self._count
+            counts = list(self._counts)
+        if count == 0:
+            return None
+        target = max(1, int(round(q * count)))
+        cumulative = 0
+        for i, c in enumerate(counts):
+            cumulative += c
+            if cumulative >= target:
+                if i < len(self.buckets):
+                    return self.buckets[i]
+                return self.buckets[-1]  # +Inf bucket: clamp to last bound
+        return self.buckets[-1]
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.buckets) + 1)
+            self._sum = 0.0
+            self._count = 0
+
+    def samples(self) -> List[Tuple[str, float]]:
+        with self._lock:
+            counts = list(self._counts)
+            total = self._sum
+            count = self._count
+        out: List[Tuple[str, float]] = []
+        cumulative = 0
+        for bound, c in zip(self.buckets, counts):
+            cumulative += c
+            le = 'le="%s"' % bound
+            out.append((f"{self.name}_bucket"
+                        f"{_label_suffix(self.labels, le)}", cumulative))
+        cumulative += counts[-1]
+        out.append((f"{self.name}_bucket"
+                    + _label_suffix(self.labels, 'le="+Inf"'),
+                    cumulative))
+        out.append((f"{self.name}_sum{_label_suffix(self.labels)}", total))
+        out.append((f"{self.name}_count{_label_suffix(self.labels)}", count))
+        return out
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            counts = list(self._counts)
+            total = self._sum
+            count = self._count
+        return {
+            "buckets": list(self.buckets),
+            "counts": counts,
+            "sum": round(total, 6),
+            "count": count,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+        }
+
+
+class Registry:
+    """Named collection of instruments with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelPairs], object] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       labels: Optional[Dict[str, str]], **kwargs):
+        key = (name, _label_pairs(labels))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = cls(name, help=help, labels=labels, **kwargs)
+                self._instruments[key] = instrument
+            elif not isinstance(instrument, cls):
+                raise TypeError(
+                    f"instrument {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {cls.__name__}")
+            return instrument
+
+    def counter(self, name: str, help: str = "",
+                labels: Optional[Dict[str, str]] = None) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Optional[Dict[str, str]] = None) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  labels: Optional[Dict[str, str]] = None) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels,
+                                   buckets=buckets)
+
+    def instruments(self) -> List[object]:
+        with self._lock:
+            return list(self._instruments.values())
+
+    def get(self, name: str,
+            labels: Optional[Dict[str, str]] = None) -> Optional[object]:
+        with self._lock:
+            return self._instruments.get((name, _label_pairs(labels)))
+
+    def reset(self) -> None:
+        """Zero every instrument (tests); registrations are kept."""
+        for instrument in self.instruments():
+            instrument.reset()
+
+    def render(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        seen_meta = set()
+        for instrument in self.instruments():
+            if instrument.name not in seen_meta:
+                seen_meta.add(instrument.name)
+                if instrument.help:
+                    lines.append(f"# HELP {instrument.name} "
+                                 f"{instrument.help}")
+                lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+            for series, value in instrument.samples():
+                if isinstance(value, float) and value.is_integer():
+                    value = int(value)
+                lines.append(f"{series} {value}")
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe view: name (plus labels) -> value / histogram dict."""
+        out: Dict[str, object] = {}
+        for instrument in self.instruments():
+            key = f"{instrument.name}{_label_suffix(instrument.labels)}"
+            out[key] = instrument.snapshot()
+        return out
+
+
+#: The process-wide default registry every instrumented module uses.
+REGISTRY = Registry()
+
+
+def counter(name: str, help: str = "",
+            labels: Optional[Dict[str, str]] = None) -> Counter:
+    return REGISTRY.counter(name, help=help, labels=labels)
+
+
+def gauge(name: str, help: str = "",
+          labels: Optional[Dict[str, str]] = None) -> Gauge:
+    return REGISTRY.gauge(name, help=help, labels=labels)
+
+
+def histogram(name: str, help: str = "",
+              buckets: Sequence[float] = DEFAULT_BUCKETS,
+              labels: Optional[Dict[str, str]] = None) -> Histogram:
+    return REGISTRY.histogram(name, help=help, buckets=buckets,
+                              labels=labels)
+
+
+def render_prometheus(registry: Optional[Registry] = None) -> str:
+    return (registry or REGISTRY).render()
+
+
+def snapshot(registry: Optional[Registry] = None) -> Dict[str, object]:
+    return (registry or REGISTRY).snapshot()

@@ -1,0 +1,333 @@
+"""Lightweight distributed tracing + hot-path phase profiling.
+
+Three cooperating primitives, all stdlib, all no-ops under ``REPRO_OBS=0``:
+
+* :func:`span` — a context manager timing one named operation.  Spans nest
+  through a :mod:`contextvars` variable (correct across asyncio tasks *and*
+  worker threads), record into the process-wide bounded
+  :class:`SpanRecorder`, and feed the active phase accumulator.  A span's
+  identity is a :class:`TraceContext` (trace id + span id); passing
+  ``parent=`` an explicit context stitches a span under work that started
+  in *another process* — that is the whole cross-process trick: the
+  coordinator mints a context at submit, ships it inside the lease grant,
+  and the worker parents its ``attempt`` span to it.
+* :func:`phase` — timing-only accumulation without a span record, for hot
+  inner loops (lowering, list scheduling, regalloc) where full span
+  records would be noise.  Dotted names (``codegen.schedule``) mark
+  sub-phases nested inside a top-level phase; consumers summing a
+  breakdown to 100% use the undotted names only.
+* :func:`phase_accumulator` — installs a fresh ``{name: seconds}`` dict
+  that every span/phase exiting on this task adds its duration to;
+  ``run_kernel`` wraps itself in one and publishes the result as
+  ``KernelRunResult.phase_seconds``.
+
+Span records are plain dictionaries (JSON-safe by construction) so they
+ride completion uploads unmodified; :func:`chrome_trace` converts a list
+of them into Chrome trace-event JSON that Perfetto renders directly.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import secrets
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.obs import config
+
+#: Keep at most this many span records in the process (oldest trace
+#: evicted first) — a leak guard for long-lived daemons, not a quota.
+MAX_RECORDED_SPANS = 8192
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Identity of one span: the trace it belongs to + its own span id."""
+
+    trace_id: str
+    span_id: str
+
+    def to_wire(self) -> Dict[str, str]:
+        return {"trace": self.trace_id, "span": self.span_id}
+
+    @classmethod
+    def from_wire(cls, payload: object) -> Optional["TraceContext"]:
+        """Parse a wire dict; ``None`` on anything malformed (telemetry
+        must never fail a job over a bad trace header)."""
+        if not isinstance(payload, dict):
+            return None
+        trace_id = payload.get("trace")
+        span_id = payload.get("span")
+        if (isinstance(trace_id, str) and trace_id
+                and isinstance(span_id, str) and span_id):
+            return cls(trace_id=trace_id, span_id=span_id)
+        return None
+
+
+def new_trace_id() -> str:
+    return secrets.token_hex(8)
+
+
+def new_span_id() -> str:
+    return secrets.token_hex(4)
+
+
+#: The active span context for the current task/thread.
+_current: contextvars.ContextVar[Optional[TraceContext]] = \
+    contextvars.ContextVar("repro_obs_current_span", default=None)
+
+#: The active phase accumulator (``run_kernel`` installs one per run).
+_phases: contextvars.ContextVar[Optional[Dict[str, float]]] = \
+    contextvars.ContextVar("repro_obs_phases", default=None)
+
+_process_label = f"pid-{os.getpid()}"
+
+
+def set_process_label(label: str) -> None:
+    """Name this process in exported traces (``coordinator``, worker id)."""
+    global _process_label
+    _process_label = str(label)
+
+
+def process_label() -> str:
+    return _process_label
+
+
+def current_context() -> Optional[TraceContext]:
+    """The innermost active span's context (``None`` outside any span)."""
+    return _current.get()
+
+
+class SpanRecorder:
+    """Bounded in-memory store of finished span records, keyed by trace.
+
+    ``take`` (destructive) is the worker-upload path: spans leave the
+    process with the completion payload.  ``peek`` (copy) is the
+    coordinator-export path: the daemon keeps serving ``repro trace``
+    without consuming its own records.
+    """
+
+    def __init__(self, limit: int = MAX_RECORDED_SPANS) -> None:
+        self.limit = int(limit)
+        self._by_trace: Dict[str, List[dict]] = {}
+        self._total = 0
+        self._lock = threading.Lock()
+
+    def record(self, span: dict) -> None:
+        trace_id = span.get("trace")
+        if not trace_id:
+            return
+        with self._lock:
+            self._by_trace.setdefault(trace_id, []).append(span)
+            self._total += 1
+            while self._total > self.limit and self._by_trace:
+                oldest = next(iter(self._by_trace))
+                self._total -= len(self._by_trace.pop(oldest))
+
+    def take(self, trace_id: str) -> List[dict]:
+        with self._lock:
+            spans = self._by_trace.pop(trace_id, [])
+            self._total -= len(spans)
+            return spans
+
+    def peek(self, trace_id: str) -> List[dict]:
+        with self._lock:
+            return list(self._by_trace.get(trace_id, ()))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._by_trace.clear()
+            self._total = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._total
+
+
+#: The process-wide recorder every span writes to.
+RECORDER = SpanRecorder()
+
+
+def take_spans(trace_id: str) -> List[dict]:
+    return RECORDER.take(trace_id)
+
+
+def peek_spans(trace_id: str) -> List[dict]:
+    return RECORDER.peek(trace_id)
+
+
+def record_span(name: str, trace_id: str, span_id: str,
+                parent: Optional[str], ts: float, dur: float,
+                **attrs: object) -> dict:
+    """Record a span built from externally known timing (e.g. the sweep
+    root span, whose duration is only known when the sweep finishes)."""
+    span = {
+        "name": name,
+        "trace": trace_id,
+        "span": span_id,
+        "parent": parent,
+        "ts": ts,
+        "dur": dur,
+        "proc": _process_label,
+        "tid": 0,
+        "attrs": dict(attrs),
+    }
+    if config.enabled():
+        RECORDER.record(span)
+    return span
+
+
+def _accumulate(name: str, dur: float) -> None:
+    acc = _phases.get()
+    if acc is not None:
+        acc[name] = acc.get(name, 0.0) + dur
+
+
+class _Span:
+    """Hand-rolled context manager for :func:`span` — cheaper than the
+    ``@contextmanager`` generator machinery on the per-run hot path."""
+
+    __slots__ = ("name", "parent", "attrs", "ctx", "parent_id",
+                 "token", "wall", "start")
+
+    def __init__(self, name: str, parent: Optional[TraceContext],
+                 attrs: Dict[str, object]) -> None:
+        self.name = name
+        self.parent = parent
+        self.attrs = attrs
+
+    def __enter__(self) -> Optional[TraceContext]:
+        if not config.enabled():
+            self.ctx = None
+            return None
+        parent_ctx = self.parent if self.parent is not None \
+            else _current.get()
+        if parent_ctx is None:
+            self.ctx = TraceContext(trace_id=new_trace_id(),
+                                    span_id=new_span_id())
+            self.parent_id = None
+        else:
+            self.ctx = TraceContext(trace_id=parent_ctx.trace_id,
+                                    span_id=new_span_id())
+            self.parent_id = parent_ctx.span_id
+        self.token = _current.set(self.ctx)
+        self.wall = time.time()
+        self.start = time.perf_counter()
+        return self.ctx
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.ctx is None:
+            return
+        dur = time.perf_counter() - self.start
+        _current.reset(self.token)
+        _accumulate(self.name, dur)
+        RECORDER.record({
+            "name": self.name,
+            "trace": self.ctx.trace_id,
+            "span": self.ctx.span_id,
+            "parent": self.parent_id,
+            "ts": self.wall,
+            "dur": dur,
+            "proc": _process_label,
+            "tid": threading.get_ident() % 1_000_000,
+            "attrs": self.attrs,
+        })
+
+
+def span(name: str, parent: Optional[TraceContext] = None,
+         **attrs: object) -> _Span:
+    """Time a named operation as one span; yields its :class:`TraceContext`.
+
+    Parent resolution: explicit ``parent=`` beats the ambient current span
+    beats none (a fresh trace id is minted, making standalone operations
+    self-contained traces).  Yields ``None`` when telemetry is disabled.
+    """
+    return _Span(name, parent, attrs)
+
+
+class _Phase:
+    """Hand-rolled context manager for :func:`phase` (hot inner calls)."""
+
+    __slots__ = ("name", "start")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __enter__(self) -> None:
+        self.start = (time.perf_counter()
+                      if config.enabled() and _phases.get() is not None
+                      else None)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.start is not None:
+            _accumulate(self.name, time.perf_counter() - self.start)
+
+
+def phase(name: str) -> _Phase:
+    """Timing-only accumulation (no span record) for hot inner calls.
+
+    Free when telemetry is off or no accumulator is installed — the
+    common case for library users outside a profiled ``run_kernel``.
+    """
+    return _Phase(name)
+
+
+@contextmanager
+def phase_accumulator():
+    """Install a fresh phase dict for this task; yields it.
+
+    Durations of every span/phase that *exits* while it is installed are
+    added under their names.  Yields a throwaway empty dict when
+    telemetry is disabled (callers just see no phases).
+    """
+    if not config.enabled():
+        yield {}
+        return
+    acc: Dict[str, float] = {}
+    token = _phases.set(acc)
+    try:
+        yield acc
+    finally:
+        _phases.reset(token)
+
+
+def chrome_trace(spans: List[dict]) -> Dict[str, object]:
+    """Convert span records to Chrome trace-event JSON (Perfetto-viewable).
+
+    Each process label becomes a numbered pid with a ``process_name``
+    metadata event; spans become complete (``ph: "X"``) events with
+    microsecond timestamps.  Wall-clock timestamps line processes up on
+    one axis, which is exact enough on a single machine and within NTP
+    skew across machines.
+    """
+    events: List[Dict[str, object]] = []
+    pids: Dict[str, int] = {}
+    for record in spans:
+        proc = str(record.get("proc", "?"))
+        if proc not in pids:
+            pids[proc] = len(pids) + 1
+            events.append({
+                "ph": "M", "name": "process_name", "pid": pids[proc],
+                "tid": 0, "args": {"name": proc},
+            })
+    for record in sorted(spans, key=lambda r: r.get("ts", 0.0)):
+        args: Dict[str, object] = dict(record.get("attrs") or {})
+        args["trace"] = record.get("trace")
+        args["span"] = record.get("span")
+        if record.get("parent"):
+            args["parent"] = record["parent"]
+        events.append({
+            "ph": "X",
+            "name": str(record.get("name", "?")),
+            "cat": "repro",
+            "ts": round(float(record.get("ts", 0.0)) * 1e6, 1),
+            "dur": max(1.0, round(float(record.get("dur", 0.0)) * 1e6, 1)),
+            "pid": pids[str(record.get("proc", "?"))],
+            "tid": int(record.get("tid", 0)),
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

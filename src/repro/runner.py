@@ -18,11 +18,13 @@ checks the produced output grid against the NumPy reference.
 
 from __future__ import annotations
 
+import time
 from dataclasses import astuple, dataclass, field, replace
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core import progcache
 from repro.core.codegen_common import GeneratedProgram
 from repro.core.kernels import get_kernel, kernel_fingerprint
@@ -105,6 +107,14 @@ class KernelRunResult:
     #: informational — the engines are bit-identical — but it lets sweep
     #: reports state when a job was gracefully degraded to Python.
     engine: Optional[str] = field(default=None)
+    #: Wall-clock seconds per ``run_kernel`` phase (``codegen``, ``setup``,
+    #: ``simulate``, ``verify``, ``other``, plus dotted sub-phases such as
+    #: ``codegen.schedule``), populated when telemetry is enabled
+    #: (``REPRO_OBS``).  Diagnostic only — excluded from equality and from
+    #: :meth:`metrics_hash`, exactly like ``engine``, so results stay
+    #: bit-identical with telemetry on or off.
+    phase_seconds: Dict[str, float] = field(default_factory=dict, repr=False,
+                                            compare=False)
 
     def __post_init__(self) -> None:
         # Normalize so an in-memory result compares equal to its JSON
@@ -167,6 +177,10 @@ class KernelRunResult:
             "program_info": _json_safe(self.program_info),
             "engine": self.engine,
         }
+        if self.phase_seconds:
+            payload["phase_seconds"] = {
+                str(k): float(v) for k, v in self.phase_seconds.items()
+            }
         if self.activity is not None:
             payload["activity"] = {
                 "int_retired": int(self.activity.int_retired),
@@ -187,13 +201,16 @@ class KernelRunResult:
         engines are bit-identical, so a job that degraded to the forced
         Python engine must hash the same as its healthy native run — this
         is the property that makes degraded results safely cacheable and
-        comparable.
+        comparable.  ``phase_seconds`` is excluded for the same reason:
+        wall-clock phase timings are diagnostic, so a result must hash the
+        same with telemetry on or off.
         """
         import hashlib as _hashlib
         import json as _json
 
         payload = self.to_json_dict()
         payload.pop("engine", None)
+        payload.pop("phase_seconds", None)
         canonical = _json.dumps(payload, sort_keys=True)
         return _hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
@@ -232,6 +249,8 @@ class KernelRunResult:
             activity=activity,
             program_info=list(payload.get("program_info", [])),
             engine=payload.get("engine"),
+            phase_seconds={str(k): float(v) for k, v in
+                           (payload.get("phase_seconds") or {}).items()},
         )
 
 
@@ -444,49 +463,67 @@ def run_kernel(kernel: Union[str, StencilKernel], variant: str = "saris",
     params = params or machine_spec.timing_params()
     shape = tuple(tile_shape or kernel.default_tile)
     cluster = SnitchCluster(params)
-    layout, generated = _generate_programs_cached(kernel, cluster, variant,
-                                                  shape, params, machine_spec,
-                                                  codegen_kwargs)
-    if grids is None:
-        grids = kernel.make_grids(shape, seed=seed)
-    else:
-        grids = {name: np.asarray(g, dtype=np.float64) for name, g in grids.items()}
-        for name in kernel.inputs:
-            if name not in grids:
-                raise RunnerError(f"missing input grid {name!r}")
-        grids.setdefault(kernel.output, np.zeros(shape, dtype=np.float64))
+    with obs.phase_accumulator() as phases:
+        run_start = time.perf_counter()
+        with obs.span("codegen", kernel=kernel.name, variant=variant):
+            layout, generated = _generate_programs_cached(
+                kernel, cluster, variant, shape, params, machine_spec,
+                codegen_kwargs)
+        with obs.span("setup", kernel=kernel.name):
+            if grids is None:
+                grids = kernel.make_grids(shape, seed=seed)
+            else:
+                grids = {name: np.asarray(g, dtype=np.float64)
+                         for name, g in grids.items()}
+                for name in kernel.inputs:
+                    if name not in grids:
+                        raise RunnerError(f"missing input grid {name!r}")
+                grids.setdefault(kernel.output,
+                                 np.zeros(shape, dtype=np.float64))
 
-    for name in kernel.arrays:
-        cluster.write_grid(layout.arrays[name], grids[name])
-    cluster.tcdm.write_f64_array(layout.coeff_table, layout.coeff_table_values())
+            for name in kernel.arrays:
+                cluster.write_grid(layout.arrays[name], grids[name])
+            cluster.tcdm.write_f64_array(layout.coeff_table,
+                                         layout.coeff_table_values())
 
-    for gen in generated:
-        for addr, values in gen.data:
-            arr = np.asarray(values)
-            if arr.size:
-                cluster.tcdm.write_bytes(addr, arr.tobytes())
+            for gen in generated:
+                for addr, values in gen.data:
+                    arr = np.asarray(values)
+                    if arr.size:
+                        cluster.tcdm.write_bytes(addr, arr.tobytes())
 
-    cluster.load_programs([gen.program for gen in generated])
-    from repro.snitch import native as _native
+            cluster.load_programs([gen.program for gen in generated])
+        from repro.snitch import native as _native
 
-    native_runs_before = _native.run_stats["native"]
-    result = cluster.run(max_cycles=max_cycles)
-    engine_used = ("native" if _native.run_stats["native"] > native_runs_before
-                   else "python")
+        with obs.span("simulate", kernel=kernel.name, variant=variant):
+            native_runs_before = _native.run_stats["native"]
+            result = cluster.run(max_cycles=max_cycles)
+        engine_used = ("native"
+                       if _native.run_stats["native"] > native_runs_before
+                       else "python")
 
-    correct = True
-    max_err = 0.0
-    if check:
-        simulated = cluster.read_grid(layout.arrays[kernel.output], shape)
-        expected = reference_time_step(kernel, grids)
-        max_err = float(np.max(np.abs(simulated - expected))) if simulated.size else 0.0
-        scale = float(np.max(np.abs(expected))) or 1.0
-        correct = bool(np.allclose(simulated, expected, rtol=1e-9, atol=1e-9 * scale))
-        if not correct:
-            raise RunnerError(
-                f"{kernel.name} ({variant}): simulated output deviates from the "
-                f"NumPy reference (max abs error {max_err:.3e})"
-            )
+        correct = True
+        max_err = 0.0
+        with obs.span("verify", kernel=kernel.name):
+            if check:
+                simulated = cluster.read_grid(layout.arrays[kernel.output], shape)
+                expected = reference_time_step(kernel, grids)
+                max_err = (float(np.max(np.abs(simulated - expected)))
+                           if simulated.size else 0.0)
+                scale = float(np.max(np.abs(expected))) or 1.0
+                correct = bool(np.allclose(simulated, expected,
+                                           rtol=1e-9, atol=1e-9 * scale))
+                if not correct:
+                    raise RunnerError(
+                        f"{kernel.name} ({variant}): simulated output deviates "
+                        f"from the NumPy reference (max abs error {max_err:.3e})"
+                    )
+        if phases:
+            # "other" closes the books: top-level (undotted) phases sum to
+            # the run's wall time exactly.  Dotted sub-phases are nested
+            # inside a top-level phase and excluded from the sum.
+            top = sum(v for k, v in phases.items() if "." not in k)
+            phases["other"] = max(0.0, time.perf_counter() - run_start - top)
 
     return KernelRunResult(
         kernel=kernel.name,
@@ -507,6 +544,7 @@ def run_kernel(kernel: Union[str, StencilKernel], variant: str = "saris",
         activity=result.activity(),
         program_info=[gen.info for gen in generated],
         engine=engine_used,
+        phase_seconds={k: round(v, 6) for k, v in phases.items()},
     )
 
 

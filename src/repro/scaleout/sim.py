@@ -44,7 +44,7 @@ from __future__ import annotations
 import heapq
 import math
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -436,7 +436,10 @@ def _assemble(kernel: StencilKernel, variant: str, machine: MachineSpec,
         grid_tiles_per_cluster=grid_tiles,
         hbm=hbm.stats(),
         per_cluster=per_cluster,
-        tile_results=list(results),
+        # ``phase_seconds`` is wall-clock diagnostics; the merged artifact
+        # promises bit-stability for any worker count, so it is dropped
+        # here exactly as ``metrics_hash`` excludes it.
+        tile_results=[replace(r, phase_seconds={}) for r in results],
     )
 
 

@@ -117,6 +117,33 @@ class ServiceClient:
     def cancel(self, sweep_id: str) -> dict:
         return self._request("DELETE", f"/v1/sweeps/{sweep_id}")
 
+    def trace(self, sweep_id: str) -> dict:
+        """Collected tracing spans for a sweep (coordinator + workers)."""
+        return self._request("GET", f"/v1/sweeps/{sweep_id}/trace")
+
+    def metrics(self) -> str:
+        """Raw Prometheus text exposition from ``GET /v1/metrics``."""
+        connection = HTTPConnection(self.host, self.port,
+                                    timeout=self.timeout)
+        try:
+            headers = self._headers()
+            headers["Accept"] = "text/plain"
+            try:
+                connection.request("GET", "/v1/metrics", headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except (ConnectionError, OSError) as exc:
+                raise ServiceError(
+                    f"cannot reach the sweep daemon at "
+                    f"http://{self.host}:{self.port} ({exc})") from None
+            if response.status >= 400:
+                raise ServiceError(
+                    f"GET /v1/metrics -> {response.status}",
+                    status=response.status)
+            return raw.decode("utf-8", "replace")
+        finally:
+            connection.close()
+
     # -- fabric (worker-side protocol) --------------------------------------
 
     def lease(self, worker: str, capacity: int = 1) -> dict:

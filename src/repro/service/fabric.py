@@ -54,9 +54,39 @@ from typing import Deque, Dict, List, Optional, Set
 
 from collections import deque
 
+from repro import obs
 from repro.runner import KernelRunResult
 from repro.service.queue import DONE, FAILED, QUEUED, RUNNING, JobQueue
 from repro.service.spec import job_to_wire
+
+#: Fabric metrics.  The ``repro_queue_*`` lookups resolve to the same
+#: instruments the queue module registered (get-or-create by name): a
+#: fabric-executed job moves the same executed/failed/latency series a
+#: locally executed one does.
+_OBS_LEASES_GRANTED = obs.counter("repro_fabric_leases_granted_total",
+                                  "Leases granted to workers")
+_OBS_LEASE_RENEWALS = obs.counter("repro_fabric_lease_renewals_total",
+                                  "Lease heartbeat renewals")
+_OBS_LEASES_EXPIRED = obs.counter("repro_fabric_leases_expired_total",
+                                  "Leases expired by the reaper")
+_OBS_REQUEUES = obs.counter("repro_fabric_requeues_total",
+                            "Jobs requeued after lease expiry")
+_OBS_STALE_UPLOADS = obs.counter("repro_fabric_stale_uploads_total",
+                                 "Uploads that arrived after lease expiry")
+_OBS_ADOPTED = obs.counter("repro_fabric_adopted_results_total",
+                           "Stale uploads adopted as the job's result")
+_OBS_COMPLETED = obs.counter("repro_fabric_completed_total",
+                             "Jobs completed through fresh leases")
+_OBS_REMOTE_FAILURES = obs.counter("repro_fabric_remote_failures_total",
+                                   "Final failures uploaded by workers")
+_OBS_LIVE_WORKERS = obs.gauge("repro_fabric_live_workers",
+                              "Workers holding leases or seen recently")
+_OBS_LEASES_IN_FLIGHT = obs.gauge("repro_fabric_leases_in_flight",
+                                  "Leases currently held by workers")
+_OBS_Q_EXECUTED = obs.counter("repro_queue_executed_total")
+_OBS_Q_FAILED = obs.counter("repro_queue_failed_total")
+_OBS_Q_WAIT_SECONDS = obs.histogram("repro_queue_wait_seconds")
+_OBS_Q_EXEC_SECONDS = obs.histogram("repro_queue_exec_seconds")
 
 #: Default lease TTL in seconds: long enough that a heartbeat every TTL/3
 #: survives scheduling jitter, short enough that a dead node's work is back
@@ -163,6 +193,10 @@ class FabricCoordinator:
             raise FabricError("coordinator already started")
         self._reaper = asyncio.get_running_loop().create_task(
             self._reap_forever())
+        # Live-state gauges sample the coordinator at scrape time; a later
+        # coordinator (tests, daemon restart in-process) simply takes over.
+        _OBS_LIVE_WORKERS.set_function(lambda: len(self.live_workers()))
+        _OBS_LEASES_IN_FLIGHT.set_function(lambda: len(self.leases))
         return self
 
     async def close(self) -> None:
@@ -245,11 +279,15 @@ class FabricCoordinator:
         self.leases[lease.id] = lease
         worker.leases.add(lease.id)
         self.granted += 1
+        _OBS_LEASES_GRANTED.inc()
         entry.state = RUNNING
         entry.started_at = lease.granted_at
+        entry.started_mono = time.monotonic()
+        _OBS_Q_WAIT_SECONDS.observe(entry.started_mono
+                                    - entry.submitted_mono)
         self.queue._emit(entry, "running", worker=worker.id, lease=lease.id,
                          attempt=state.attempt, suspect=state.suspect)
-        return {
+        grant = {
             "lease": lease.id,
             "hash": job_hash,
             "ttl": self.ttl,
@@ -258,6 +296,11 @@ class FabricCoordinator:
             "label": entry.job.label,
             "job": job_to_wire(entry.job),
         }
+        if entry.trace is not None:
+            # Trace context rides the grant beside the job spec — never
+            # inside it, which would perturb content hashes.
+            grant["trace"] = entry.trace.to_wire()
+        return grant
 
     # -- heartbeat ----------------------------------------------------------
 
@@ -270,6 +313,7 @@ class FabricCoordinator:
                               "requeued or completed elsewhere)"}
         lease.deadline = time.monotonic() + lease.ttl
         lease.renewals += 1
+        _OBS_LEASE_RENEWALS.inc()
         worker = self.workers.get(lease.worker)
         if worker is not None:
             worker.last_seen = time.time()
@@ -291,6 +335,7 @@ class FabricCoordinator:
             raise FabricError("completion payload must be a JSON object")
         ok = bool(payload.get("ok"))
         result = self._parse_result(payload) if ok else None
+        self._stitch_spans(payload)
         lease = self.leases.pop(lease_id, None)
         if lease is None:
             return self._complete_stale(lease_id, payload, result)
@@ -304,6 +349,7 @@ class FabricCoordinator:
         if ok:
             self._finish_entry(entry, result, payload)
             self.completed += 1
+            _OBS_COMPLETED.inc()
             if worker is not None:
                 worker.completed += 1
         else:
@@ -316,13 +362,20 @@ class FabricCoordinator:
             failure["worker"] = lease.worker
             entry.state = FAILED
             entry.finished_at = time.time()
+            entry.finished_mono = time.monotonic()
             entry.error = failure
             entry.attempts = int(failure.get("attempts", lease.attempt))
             self.queue.failed += 1
+            _OBS_Q_FAILED.inc()
             self.remote_failures += 1
+            _OBS_REMOTE_FAILURES.inc()
             if worker is not None:
                 worker.failed += 1
+            if entry.started_mono is not None:
+                _OBS_Q_EXEC_SECONDS.observe(entry.finished_mono
+                                            - entry.started_mono)
             self.queue._emit_terminal(entry)
+            self.queue._record_job_span(entry)
         self._states.pop(lease.job_hash, None)
         self.queue._maybe_finish_sweeps([lease.job_hash])
         return {"ok": True, "stale": False}
@@ -339,6 +392,7 @@ class FabricCoordinator:
                         ) -> Dict[str, object]:
         """Handle an upload whose lease already expired or was superseded."""
         self.stale_completions += 1
+        _OBS_STALE_UPLOADS.inc()
         job_hash = payload.get("hash")
         entry = (self.queue._jobs.get(job_hash)
                  if isinstance(job_hash, str) else None)
@@ -353,9 +407,22 @@ class FabricCoordinator:
                 self._drop_from_requeue(entry.hash)
                 self._finish_entry(entry, result, payload)
                 self.adopted_results += 1
+                _OBS_ADOPTED.inc()
                 self._states.pop(entry.hash, None)
                 self.queue._maybe_finish_sweeps([entry.hash])
         return {"ok": True, "stale": True, "lease": lease_id}
+
+    def _stitch_spans(self, payload: Dict[str, object]) -> None:
+        """Fold worker-uploaded span records into their sweeps' traces."""
+        spans = payload.get("spans")
+        if not isinstance(spans, list) or not spans:
+            return
+        by_trace: Dict[str, List[Dict[str, object]]] = {}
+        for span in spans:
+            if isinstance(span, dict) and span.get("trace"):
+                by_trace.setdefault(str(span["trace"]), []).append(span)
+        for trace_id, group in by_trace.items():
+            self.queue.add_remote_spans(trace_id, group)
 
     def _drop_from_requeue(self, job_hash: str) -> None:
         try:
@@ -374,8 +441,14 @@ class FabricCoordinator:
         entry.source = "executed"
         entry.result = result
         entry.finished_at = time.time()
+        entry.finished_mono = time.monotonic()
         self.queue.executed += 1
+        _OBS_Q_EXECUTED.inc()
+        if entry.started_mono is not None:
+            _OBS_Q_EXEC_SECONDS.observe(entry.finished_mono
+                                        - entry.started_mono)
         self.queue._emit_terminal(entry)
+        self.queue._record_job_span(entry)
 
     # -- expiry -------------------------------------------------------------
 
@@ -406,6 +479,7 @@ class FabricCoordinator:
                 worker.leases.discard(lease.id)
                 worker.expired += 1
             self.expired_leases += 1
+            _OBS_LEASES_EXPIRED.inc()
             self._requeue_expired(lease)
         return len(victims)
 
@@ -431,27 +505,36 @@ class FabricCoordinator:
                     "attempts": state.attempt - 1,
                     "worker": lease.worker,
                 }
+                entry.finished_mono = time.monotonic()
                 self.queue.failed += 1
+                _OBS_Q_FAILED.inc()
                 self.queue._emit_terminal(entry)
+                self.queue._record_job_span(entry)
                 self._states.pop(lease.job_hash, None)
                 self.queue._maybe_finish_sweeps([lease.job_hash])
                 return
         state.suspect = True
         entry.state = QUEUED
         entry.started_at = None
+        entry.started_mono = None
         self._requeue.append(lease.job_hash)
         self.requeues += 1
+        _OBS_REQUEUES.inc()
         self.queue._emit(entry, "requeued", worker=lease.worker,
                          lease=lease.id, reason="lease_expired",
                          attempt=state.attempt, suspect=True)
 
     # -- health -------------------------------------------------------------
 
+    def live_workers(self) -> List[WorkerInfo]:
+        """Workers considered alive: holding leases or recently seen."""
+        now = time.time()
+        return [w for w in self.workers.values()
+                if w.leases or now - w.last_seen <= 3.0 * self.ttl]
+
     def stats(self) -> Dict[str, object]:
         """Fabric health summary, merged into ``GET /v1/stats``."""
-        now = time.time()
-        live = [w for w in self.workers.values()
-                if w.leases or now - w.last_seen <= 3.0 * self.ttl]
+        live = self.live_workers()
         return {
             "lease_ttl": self.ttl,
             "max_attempts": self.max_attempts,

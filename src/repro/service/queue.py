@@ -49,10 +49,49 @@ from dataclasses import dataclass, field
 from typing import (AsyncIterator, Callable, Dict, List, Optional, Sequence,
                     Set, Tuple)
 
+from repro import obs
 from repro.runner import KernelRunResult
 from repro.sweep.job import SweepJob
 from repro.sweep.store import ResultStore
 from repro.sweep.supervisor import RetryPolicy, execute_supervised
+
+#: Queue metrics: lifetime counters twinning the instance attributes (so
+#: they scrape from ``GET /v1/metrics``), plus the two end-to-end latency
+#: histograms and the live queue-depth gauge.
+_OBS_SUBMITTED = obs.counter("repro_queue_submitted_total",
+                             "Jobs submitted (after in-sweep dedupe)")
+_OBS_STORE_HITS = obs.counter("repro_queue_store_hits_total",
+                              "Submissions served from the persistent store")
+_OBS_MEMO_HITS = obs.counter("repro_queue_memo_hits_total",
+                             "Submissions served from in-memory results")
+_OBS_COALESCED = obs.counter("repro_queue_coalesced_total",
+                             "Submissions coalesced onto in-flight jobs")
+_OBS_EXECUTED = obs.counter("repro_queue_executed_total",
+                            "Jobs executed to completion by this queue")
+_OBS_FAILED = obs.counter("repro_queue_failed_total",
+                          "Jobs that exhausted supervision and failed")
+_OBS_CANCELLED = obs.counter("repro_queue_cancelled_total",
+                             "Queued jobs cancelled before execution")
+_OBS_WAIT_SECONDS = obs.histogram(
+    "repro_queue_wait_seconds", "Queue latency: submit to running")
+_OBS_EXEC_SECONDS = obs.histogram(
+    "repro_queue_exec_seconds", "Execution latency: running to terminal")
+_OBS_PENDING = obs.gauge("repro_queue_pending_jobs",
+                         "Jobs waiting in the pending queue right now")
+
+
+def _percentiles(values: Sequence[float]) -> Dict[str, object]:
+    """Exact p50/p95 of a latency sample (sorted nearest-rank)."""
+    if not values:
+        return {"count": 0, "p50": None, "p95": None}
+    ordered = sorted(values)
+
+    def pick(q: float) -> float:
+        index = min(len(ordered) - 1,
+                    max(0, int(round(q * (len(ordered) - 1)))))
+        return round(ordered[index], 6)
+
+    return {"count": len(ordered), "p50": pick(0.50), "p95": pick(0.95)}
 
 #: Job lifecycle states.
 QUEUED = "queued"
@@ -87,6 +126,11 @@ class JobEntry:
     submitted_at: float = 0.0
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    #: Monotonic twins of the wall-clock stamps: latency math must be
+    #: immune to wall-clock steps (NTP) on long-lived daemons.
+    submitted_mono: float = 0.0
+    started_mono: Optional[float] = None
+    finished_mono: Optional[float] = None
     #: Sweeps whose event logs this job's events fan out to.
     sweeps: Set[str] = field(default_factory=set)
     #: Total submissions observed (1 = never coalesced).
@@ -94,6 +138,11 @@ class JobEntry:
     attempts: int = 1
     degraded: bool = False
     cancel_requested: bool = False
+    #: The job's *submit span*: minted when the entry is created, shipped
+    #: with fabric lease grants so worker attempt spans parent to it; its
+    #: own record is written once when the job terminates.
+    trace: Optional[obs.TraceContext] = field(default=None, repr=False)
+    _span_recorded: bool = field(default=False, repr=False)
 
     def status_dict(self, include_result: bool = False) -> Dict[str, object]:
         """JSON-safe status payload (``GET /v1/jobs/<hash>``)."""
@@ -133,6 +182,12 @@ class SweepEntry:
     coalesced: int = 0
     cancelled: bool = False
     finished: bool = False
+    #: Trace identity of this sweep (one trace per sweep) and its root
+    #: span id; ``None`` when telemetry was disabled at submit.
+    trace_id: Optional[str] = None
+    root_span: Optional[str] = None
+    #: Span records uploaded by remote fabric workers for this trace.
+    spans: List[Dict[str, object]] = field(default_factory=list, repr=False)
 
     def status_dict(self, queue: "JobQueue") -> Dict[str, object]:
         """JSON-safe sweep summary (``GET /v1/sweeps/<id>``)."""
@@ -150,6 +205,8 @@ class SweepEntry:
             "coalesced": self.coalesced,
             "cancelled": self.cancelled,
             "events": len(self.events),
+            "trace": self.trace_id,
+            "latency": queue.latency_summary(self.job_hashes),
         }
 
     def state(self, queue: "JobQueue") -> str:
@@ -212,6 +269,9 @@ class JobQueue:
         self._tasks: List[asyncio.Task] = []
         self._pool: Optional[ThreadPoolExecutor] = None
         self._closed = False
+        #: Reverse index for stitching worker-uploaded spans: trace id ->
+        #: sweep id (one trace per sweep).
+        self._trace_to_sweep: Dict[str, str] = {}
         self.started_at = time.time()
         # Lifetime counters (also served by /v1/stats).
         self.submitted = 0
@@ -241,6 +301,9 @@ class JobQueue:
                                             thread_name_prefix="repro-job")
             self._tasks = [self._loop.create_task(self._worker())
                            for _ in range(self.workers)]
+        _OBS_PENDING.set_function(
+            lambda: self._pending.qsize()
+            if self._pending is not None and not self._closed else 0)
         return self
 
     async def close(self) -> None:
@@ -280,6 +343,10 @@ class JobQueue:
         sweep = SweepEntry(
             id=f"s{next(self._sweep_seq):04d}-{secrets.token_hex(4)}",
             job_hashes=[], created_at=time.time())
+        if obs.enabled():
+            sweep.trace_id = obs.new_trace_id()
+            sweep.root_span = obs.new_span_id()
+            self._trace_to_sweep[sweep.trace_id] = sweep.id
         self._sweeps[sweep.id] = sweep
         for job in jobs:
             job_hash = job.content_hash()
@@ -287,6 +354,7 @@ class JobQueue:
                 continue
             sweep.job_hashes.append(job_hash)
             self.submitted += 1
+            _OBS_SUBMITTED.inc()
             entry = self._jobs.get(job_hash)
             if entry is not None and entry.state not in (FAILED, CANCELLED):
                 entry.submissions += 1
@@ -298,16 +366,23 @@ class JobQueue:
                     # Already materialized in this queue's memory.
                     self.cache_hits += 1
                     sweep.cache_hits += 1
+                    _OBS_MEMO_HITS.inc()
                     self._emit_terminal(entry, sweeps=(sweep.id,))
                 else:
                     # Queued or running: share the in-flight execution.
                     self.coalesced += 1
                     sweep.coalesced += 1
+                    _OBS_COALESCED.inc()
                     if entry.state == RUNNING:
                         self._emit(entry, "running", sweeps=(sweep.id,))
                 continue
             entry = JobEntry(job=job, hash=job_hash,
-                             submitted_at=time.time(), sweeps={sweep.id})
+                             submitted_at=time.time(),
+                             submitted_mono=time.monotonic(),
+                             sweeps={sweep.id})
+            if sweep.trace_id is not None:
+                entry.trace = obs.TraceContext(trace_id=sweep.trace_id,
+                                               span_id=obs.new_span_id())
             self._jobs[job_hash] = entry
             cached = self.store.load(job) if self.store is not None else None
             if cached is not None:
@@ -315,10 +390,13 @@ class JobQueue:
                 entry.source = "store"
                 entry.result = cached
                 entry.finished_at = time.time()
+                entry.finished_mono = time.monotonic()
                 self.cache_hits += 1
                 sweep.cache_hits += 1
+                _OBS_STORE_HITS.inc()
                 self._emit(entry, "submitted", source="store")
                 self._emit_terminal(entry)
+                self._record_job_span(entry)
             else:
                 self._emit(entry, "submitted", source="executed")
                 self._pending.put_nowait(job_hash)
@@ -350,6 +428,28 @@ class JobQueue:
             raise KeyError(sweep_id)
         return sweep
 
+    def latency_summary(self, job_hashes: Optional[Sequence[str]] = None
+                        ) -> Dict[str, object]:
+        """Exact p50/p95 queue- and execution-latency (seconds).
+
+        Over the given job hashes, or every job this queue has seen.
+        Queue latency is submit→running, execution latency is
+        running→terminal; both use the monotonic stamps.  Store/memo hits
+        never start running, so they appear in neither sample.
+        """
+        if job_hashes is None:
+            entries: List[JobEntry] = list(self._jobs.values())
+        else:
+            entries = [self._jobs[h] for h in job_hashes if h in self._jobs]
+        waits = [entry.started_mono - entry.submitted_mono
+                 for entry in entries
+                 if entry.started_mono is not None and entry.submitted_mono]
+        execs = [entry.finished_mono - entry.started_mono
+                 for entry in entries
+                 if entry.finished_mono is not None
+                 and entry.started_mono is not None]
+        return {"queue": _percentiles(waits), "exec": _percentiles(execs)}
+
     def stats(self) -> Dict[str, object]:
         """Queue health summary (``GET /v1/stats``)."""
         states = [entry.state for entry in self._jobs.values()]
@@ -369,7 +469,47 @@ class JobQueue:
             "executed": self.executed,
             "failed": self.failed,
             "cancelled": self.cancelled,
+            "latency": self.latency_summary(),
         }
+
+    # -- tracing ------------------------------------------------------------
+
+    def add_remote_spans(self, trace_id: str,
+                         spans: Sequence[Dict[str, object]]) -> int:
+        """Stitch spans uploaded by a remote worker into their sweep.
+
+        Returns how many were accepted; spans for unknown traces are
+        dropped (the sweep may have been evicted, or the upload is stale).
+        """
+        sweep = self._sweeps.get(self._trace_to_sweep.get(trace_id, ""))
+        if sweep is None:
+            return 0
+        accepted = 0
+        for span in spans:
+            if isinstance(span, dict) and span.get("trace") == trace_id:
+                sweep.spans.append(dict(span))
+                accepted += 1
+        return accepted
+
+    def trace_spans(self, sweep_id: str) -> Dict[str, object]:
+        """Every span of one sweep's trace: local records + worker uploads.
+
+        Deduplicated by span id (a requeued lease legitimately yields two
+        *different* attempt spans; a re-uploaded identical span does not
+        appear twice).  Raises ``KeyError`` on unknown sweeps.
+        """
+        sweep = self._get_sweep(sweep_id)
+        spans: List[Dict[str, object]] = []
+        seen: Set[str] = set()
+        if sweep.trace_id is not None:
+            for span in list(sweep.spans) + obs.peek_spans(sweep.trace_id):
+                span_id = str(span.get("span"))
+                if span_id in seen:
+                    continue
+                seen.add(span_id)
+                spans.append(span)
+        spans.sort(key=lambda s: float(s.get("ts", 0.0)))
+        return {"sweep": sweep.id, "trace": sweep.trace_id, "spans": spans}
 
     # -- cancellation -------------------------------------------------------
 
@@ -398,9 +538,12 @@ class JobQueue:
                 if entry.state == QUEUED and not live_elsewhere:
                     entry.state = CANCELLED
                     entry.finished_at = time.time()
+                    entry.finished_mono = time.monotonic()
                     self.cancelled += 1
+                    _OBS_CANCELLED.inc()
                     cancelled_jobs.append(job_hash)
                     self._emit(entry, "cancelled")
+                    self._record_job_span(entry)
                 elif entry.state in (QUEUED, RUNNING):
                     entry.cancel_requested = True
                     flagged.append(job_hash)
@@ -450,6 +593,9 @@ class JobQueue:
                 continue  # cancelled (or superseded) while waiting
             entry.state = RUNNING
             entry.started_at = time.time()
+            entry.started_mono = time.monotonic()
+            _OBS_WAIT_SECONDS.observe(entry.started_mono
+                                      - entry.submitted_mono)
             self._emit(entry, "running")
             loop = self._loop
 
@@ -461,12 +607,14 @@ class JobQueue:
 
             try:
                 result, attempts, degraded = await loop.run_in_executor(
-                    self._pool, self._run_job, entry.job, report)
+                    self._pool, self._run_job, entry.job, report,
+                    entry.trace)
             except asyncio.CancelledError:
                 raise
             except Exception as exc:  # noqa: BLE001 - recorded, fanned out
                 entry.state = FAILED
                 entry.finished_at = time.time()
+                entry.finished_mono = time.monotonic()
                 entry.error = getattr(exc, "failure_payload", None) or {
                     "kind": "exception",
                     "error_type": type(exc).__name__,
@@ -474,6 +622,7 @@ class JobQueue:
                 }
                 entry.attempts = int(entry.error.get("attempts", 1))
                 self.failed += 1
+                _OBS_FAILED.inc()
                 self._emit_terminal(entry)
             else:
                 entry.attempts = attempts
@@ -482,33 +631,46 @@ class JobQueue:
                 entry.source = "executed"
                 entry.result = result
                 entry.finished_at = time.time()
+                entry.finished_mono = time.monotonic()
                 self.executed += 1
+                _OBS_EXECUTED.inc()
                 self._emit_terminal(entry)
+            if entry.started_mono is not None:
+                _OBS_EXEC_SECONDS.observe(entry.finished_mono
+                                          - entry.started_mono)
+            self._record_job_span(entry)
             self._maybe_finish_sweeps([entry.hash])
 
-    def _run_job(self, job: SweepJob,
-                 report: Callable[..., None]) -> Tuple[KernelRunResult, int,
-                                                       bool]:
+    def _run_job(self, job: SweepJob, report: Callable[..., None],
+                 trace: Optional[obs.TraceContext] = None
+                 ) -> Tuple[KernelRunResult, int, bool]:
         """Blocking per-job execution (worker thread).
 
         The default path is the shared supervised single-job core; a custom
         ``runner`` replaces just the execution, keeping store persistence
         and progress phases here.  Persisting from the worker thread keeps
         file I/O off the event loop; the store's save is thread-safe.
+
+        The attempt span parents to the job's submit span, so locally
+        executed jobs trace exactly like fabric ones (minus the process
+        hop); ``run_kernel``'s stage spans nest under it via the ambient
+        context of this worker thread.
         """
         start = time.perf_counter()
-        if self._runner is not None:
-            result = self._runner(job, report)
-            attempts, degraded = 1, False
-        else:
-            outcome = execute_supervised(job, self._retry, report=report)
-            if outcome.failure is not None:
-                error = JobExecutionError(outcome.failure.message)
-                error.failure_payload = dict(outcome.failure.to_dict(),
-                                             kind=outcome.failure.kind)
-                raise error from outcome.exception
-            result = outcome.result
-            attempts, degraded = outcome.attempts, outcome.degraded
+        with obs.span("attempt", parent=trace, job=job.label,
+                      kernel=job.kernel, variant=job.variant):
+            if self._runner is not None:
+                result = self._runner(job, report)
+                attempts, degraded = 1, False
+            else:
+                outcome = execute_supervised(job, self._retry, report=report)
+                if outcome.failure is not None:
+                    error = JobExecutionError(outcome.failure.message)
+                    error.failure_payload = dict(outcome.failure.to_dict(),
+                                                 kind=outcome.failure.kind)
+                    raise error from outcome.exception
+                result = outcome.result
+                attempts, degraded = outcome.attempts, outcome.degraded
         report("simulated", elapsed=round(time.perf_counter() - start, 4))
         if self.store is not None:
             self.store.save(job, result)
@@ -546,7 +708,10 @@ class JobQueue:
 
     def _append_event(self, sweep_ids: Sequence[str],
                       payload: Dict[str, object]) -> None:
-        payload = dict(payload, seq=next(self._event_seq), ts=time.time())
+        # Both clocks on every event: wall for humans and cross-process
+        # correlation, monotonic for latency math immune to clock steps.
+        payload = dict(payload, seq=next(self._event_seq), ts=time.time(),
+                       ts_mono=time.monotonic())
         for sweep_id in sweep_ids:
             sweep = self._sweeps.get(sweep_id)
             if sweep is not None and not sweep.finished:
@@ -586,6 +751,30 @@ class JobQueue:
             "coalesced": sweep.coalesced,
         })
         sweep.finished = True
+        if sweep.trace_id is not None and sweep.root_span is not None:
+            # The trace's root: one "sweep" span covering submit→done.
+            obs.record_span("sweep", sweep.trace_id, sweep.root_span, None,
+                            ts=sweep.created_at,
+                            dur=max(0.0, time.time() - sweep.created_at),
+                            sweep=sweep.id, jobs=len(sweep.job_hashes))
+
+    def _record_job_span(self, entry: JobEntry) -> None:
+        """Write the job's submit-span record once, at its first terminal
+        transition (its pre-minted span id is what worker attempt spans
+        parent to, so the id must exist from submit even though the record
+        is only written here, when the duration is known)."""
+        if entry.trace is None or entry._span_recorded:
+            return
+        entry._span_recorded = True
+        sweep_id = self._trace_to_sweep.get(entry.trace.trace_id)
+        sweep = self._sweeps.get(sweep_id) if sweep_id is not None else None
+        parent = sweep.root_span if sweep is not None else None
+        finished = entry.finished_at or time.time()
+        obs.record_span("submit", entry.trace.trace_id, entry.trace.span_id,
+                        parent, ts=entry.submitted_at,
+                        dur=max(0.0, finished - entry.submitted_at),
+                        job=entry.hash, label=entry.job.label,
+                        state=entry.state, source=entry.source)
 
 
 class JobExecutionError(RuntimeError):

@@ -13,6 +13,8 @@ GET    ``/v1/sweeps/<id>/events``        Server-Sent Events progress stream
 DELETE ``/v1/sweeps/<id>``               cancel the sweep (queued jobs die)
 GET    ``/v1/jobs/<hash>``               job status + full result when done
 GET    ``/v1/stats``                     queue + store + fabric health
+GET    ``/v1/metrics``                   Prometheus text exposition
+GET    ``/v1/sweeps/<id>/trace``         collected tracing spans (JSON)
 GET    ``/v1/healthz``                   liveness probe (no auth)
 POST   ``/v1/fabric/lease``              worker asks for leased jobs
 POST   ``/v1/fabric/leases/<id>/heartbeat``  renew a lease's TTL
@@ -48,7 +50,7 @@ import re
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
-from repro import __version__
+from repro import __version__, obs
 from repro.service.queue import JobQueue, QueueError
 from repro.service.spec import SpecError, jobs_from_payload
 
@@ -242,6 +244,8 @@ class ReproService:
             await self._post_sweeps(writer, body)
         elif path == "/v1/stats" and method == "GET":
             await self._get_stats(writer)
+        elif path == "/v1/metrics" and method == "GET":
+            await self._send_text(writer, 200, obs.render_prometheus())
         elif path == "/v1/fabric" and method == "GET":
             await self._send_json(writer, 200, self._require_fabric().stats())
         elif path == "/v1/fabric/lease" and method == "POST":
@@ -262,6 +266,8 @@ class ReproService:
             if rest.endswith("/events") and method == "GET":
                 await self._stream_events(writer, rest[:-len("/events")],
                                           query)
+            elif rest.endswith("/trace") and method == "GET":
+                await self._get_trace(writer, rest[:-len("/trace")])
             elif "/" not in rest and method == "GET":
                 await self._get_sweep(writer, rest)
             elif "/" not in rest and method == "DELETE":
@@ -377,12 +383,20 @@ class ReproService:
             raise HttpError(404, f"unknown sweep {sweep_id!r}") from None
         await self._send_json(writer, 200, payload)
 
+    async def _get_trace(self, writer, sweep_id: str) -> None:
+        try:
+            payload = self.queue.trace_spans(sweep_id)
+        except KeyError:
+            raise HttpError(404, f"unknown sweep {sweep_id!r}") from None
+        await self._send_json(writer, 200, payload)
+
     async def _get_stats(self, writer) -> None:
         payload: Dict[str, object] = {
             "version": __version__,
             "queue": self.queue.stats(),
             "store": (self.queue.store.stats()
                       if self.queue.store is not None else None),
+            "metrics": obs.snapshot(),
         }
         if self.fabric is not None:
             payload["fabric"] = self.fabric.stats()
@@ -448,6 +462,15 @@ class ReproService:
             "utf-8")
         head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
                 f"Content-Type: application/json; charset=utf-8\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n")
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    async def _send_text(self, writer, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                f"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 f"Connection: close\r\n\r\n")
         writer.write(head.encode("latin-1") + body)

@@ -45,6 +45,7 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor, wait
 from typing import Callable, Dict, Optional, Set
 
+from repro import obs
 from repro.runner import KernelRunResult
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.spec import SpecError, job_from_wire
@@ -52,6 +53,19 @@ from repro.sweep import faults
 from repro.sweep.job import SweepJob
 from repro.sweep.store import ResultStore
 from repro.sweep.supervisor import RetryPolicy, execute_supervised
+
+#: Worker-process metrics (scraped via ``repro doctor`` snapshots and the
+#: counters printed at exit; a worker has no HTTP listener of its own).
+_OBS_EXECUTED = obs.counter("repro_worker_executed_total",
+                            "Jobs simulated by this worker")
+_OBS_LOCAL_HITS = obs.counter("repro_worker_local_hits_total",
+                              "Grants served from the worker's local store")
+_OBS_UPLOADS = obs.counter("repro_worker_uploads_total",
+                           "Completion payloads accepted by the coordinator")
+_OBS_STALE_UPLOADS = obs.counter("repro_worker_stale_uploads_total",
+                                 "Uploads that landed stale")
+_OBS_NET_DROPS = obs.counter("repro_worker_net_drops_total",
+                             "Outbound requests lost to injected partitions")
 
 
 class FabricWorker:
@@ -73,6 +87,7 @@ class FabricWorker:
         self.client = ServiceClient(url, token=token)
         self.worker_id = (worker_id
                           or f"{socket.gethostname()}-{os.getpid()}")
+        obs.set_process_label(self.worker_id)
         self.capacity = max(1, int(capacity))
         self.store = store
         self.retry = retry if retry is not None else RetryPolicy()
@@ -169,6 +184,7 @@ class FabricWorker:
                             "worker": self.worker_id}})
             return
         job_hash = job.content_hash()
+        trace = obs.TraceContext.from_wire(grant.get("trace"))
         with self._lock:
             self._active[lease_id] = job_hash
         try:
@@ -181,8 +197,17 @@ class FabricWorker:
                 self._log(f"[{self.worker_id}] lease_stall on {job.label}: "
                           f"holding {lease_id} past its TTL")
                 self._stop.wait(min(stall.hang_seconds, self._ttl * 3.0))
-            payload = self._execute(job, job_hash)
+            # The attempt span parents to the coordinator's submit span
+            # (the grant's trace context), continuing the sweep's trace
+            # inside this process; its record — and everything nested
+            # under it — ships home with the completion payload.
+            with obs.span("attempt", parent=trace, worker=self.worker_id,
+                          lease=lease_id, job=job.label,
+                          attempt=int(grant.get("attempt", 1))):
+                payload = self._execute(job, job_hash)
             payload["lease_was_lost"] = lease_id in self._lost
+            if trace is not None:
+                payload["spans"] = obs.take_spans(trace.trace_id)
             self._upload(lease_id, payload)
         finally:
             with self._lock:
@@ -195,6 +220,7 @@ class FabricWorker:
         cached = self.store.load(job) if self.store is not None else None
         if cached is not None:
             self.local_hits += 1
+            _OBS_LOCAL_HITS.inc()
             return {"ok": True, "hash": job_hash,
                     "result": cached.to_json_dict(),
                     "attempts": 0, "degraded": False, "cache_hit": True}
@@ -220,6 +246,7 @@ class FabricWorker:
             result = outcome.result
             attempts, degraded = outcome.attempts, outcome.degraded
         self.executed += 1
+        _OBS_EXECUTED.inc()
         if self.store is not None:
             self.store.save(job, result)  # local cache tier
         return {"ok": True, "hash": job_hash,
@@ -245,8 +272,10 @@ class FabricWorker:
                 self._stop.wait(min(2.0, 0.1 * (2.0 ** attempt)))
                 continue
             self.uploaded += 1
+            _OBS_UPLOADS.inc()
             if receipt.get("stale"):
                 self.stale += 1
+                _OBS_STALE_UPLOADS.inc()
             return
 
     # -- heartbeats ---------------------------------------------------------
@@ -277,6 +306,7 @@ class FabricWorker:
         """Simulated partition: drop the next K outbound requests."""
         if faults.claim_node_fault("net_drop") is not None:
             self.net_drops += 1
+            _OBS_NET_DROPS.inc()
             raise ServiceError(
                 f"injected net_drop: outbound request from "
                 f"{self.worker_id} lost")

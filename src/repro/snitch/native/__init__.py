@@ -48,6 +48,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
+
 ENGINE_ENV_VAR = "REPRO_ENGINE"
 NATIVE_DIR_ENV_VAR = "REPRO_NATIVE_DIR"
 
@@ -292,12 +294,14 @@ def _build_library(source: str, digest: str) -> Optional[Path]:
             except OSError:
                 continue
             if hits:
+                _OBS_COMPILE_CACHE_HITS.inc()
                 return hits[0]
         return None
     filename = f"engine-{digest}-{_compiler_identity(cc)}-{pytag}.so"
     for directory in candidates:
         so_path = directory / filename
         if so_path.exists():
+            _OBS_COMPILE_CACHE_HITS.inc()
             return so_path
     flags = effective_cflags()
     for directory in candidates:
@@ -310,9 +314,12 @@ def _build_library(source: str, digest: str) -> Optional[Path]:
         tmp_path = directory / f"{filename}.tmp{os.getpid()}"
         try:
             src_path.write_text(source)
-            subprocess.run([cc, *flags, "-o", str(tmp_path), str(src_path)],
-                           check=True, capture_output=True, timeout=120)
+            with obs.phase("native.compile"):
+                subprocess.run([cc, *flags, "-o", str(tmp_path),
+                                str(src_path)],
+                               check=True, capture_output=True, timeout=120)
             os.replace(tmp_path, so_path)
+            _OBS_COMPILES.inc()
             return so_path
         except (OSError, subprocess.SubprocessError):
             try:
@@ -381,6 +388,22 @@ _FORCED_PYTHON = 0
 #: configuration or forced fallback).  Lets reports state which engine *ran*
 #: rather than merely which one was loadable.
 run_stats = {"native": 0, "fallback": 0}
+
+#: Registry-backed twins of ``run_stats`` plus engine-level activity, so the
+#: native engine shows up on ``GET /v1/metrics`` next to queue and fabric.
+_OBS_NATIVE_RUNS = obs.counter(
+    "repro_native_runs_total", "Cluster runs carried by the native C engine")
+_OBS_FALLBACK_RUNS = obs.counter(
+    "repro_native_fallback_runs_total",
+    "Cluster runs handed to the Python reference engine")
+_OBS_CYCLES = obs.counter(
+    "repro_native_cycles_total",
+    "Cluster cycles simulated by the native engine")
+_OBS_COMPILE_CACHE_HITS = obs.counter(
+    "repro_native_compile_cache_hits_total",
+    "Native engine loads served from the shared compile cache")
+_OBS_COMPILES = obs.counter(
+    "repro_native_compiles_total", "Native engine shared-library compiles")
 
 
 class forced_python:
@@ -760,12 +783,15 @@ def execute(cluster, max_cycles: int, wait_for_dma: bool = True,
     """
     if _FORCED_PYTHON:
         run_stats["fallback"] += 1
+        _OBS_FALLBACK_RUNS.inc()
         return None
     ffi, lib = _load_engine()
     if lib is None or not _cluster_eligible(cluster):
         run_stats["fallback"] += 1
+        _OBS_FALLBACK_RUNS.inc()
         return None
     run_stats["native"] += 1
+    _OBS_NATIVE_RUNS.inc()
 
     params = cluster.params
     cores = cluster.cores
@@ -887,6 +913,7 @@ def execute(cluster, max_cycles: int, wait_for_dma: bool = True,
     dma.transfers_completed = int(cl.dma_completed)
 
     if rc == 0:
+        _OBS_CYCLES.inc(max(0, int(final_cycle) - int(cl.start_cycle)))
         if corruption_active():
             # Mutation self-test: a one-bit lie in the architectural state,
             # exactly what a real native-engine bug would look like.  The

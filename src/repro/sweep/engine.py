@@ -194,6 +194,22 @@ class SweepReport:
         """Whether every job produced a result."""
         return not self.failures
 
+    def phase_totals(self) -> Dict[str, float]:
+        """Aggregate ``phase_seconds`` across every executed result.
+
+        Sums each phase over all non-``None`` results that carry phase
+        timings (telemetry enabled, job actually executed rather than
+        served from the store).  Empty when telemetry was off.
+        """
+        totals: Dict[str, float] = {}
+        for result in self.results:
+            if result is None:
+                continue
+            for name, seconds in getattr(result, "phase_seconds",
+                                         {}).items():
+                totals[name] = totals.get(name, 0.0) + float(seconds)
+        return totals
+
     def stats(self) -> Dict[str, object]:
         """Summary dictionary for reports and benchmark records."""
         return {

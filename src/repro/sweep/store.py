@@ -27,6 +27,7 @@ try:  # POSIX advisory locking; absent on some platforms (best-effort there).
 except ImportError:  # pragma: no cover - non-POSIX
     fcntl = None
 
+from repro import obs
 from repro.fingerprint import source_fingerprint
 from repro.runner import KernelRunResult
 from repro.sweep.job import SweepJob
@@ -53,6 +54,15 @@ _METRIC_SOURCES = ("runner.py", "machine.py", "core", "isa", "snitch")
 #: milliseconds.
 _TMP_STALE_SECONDS = 60.0
 
+#: Process-wide store metrics (all stores in the process share them, which
+#: matches the operational question: "is this *process* hitting its cache?").
+_OBS_HITS = obs.counter("repro_store_hits_total",
+                        "Result-store loads served from disk")
+_OBS_MISSES = obs.counter("repro_store_misses_total",
+                          "Result-store loads that missed")
+_OBS_QUARANTINED = obs.counter("repro_store_quarantined_total",
+                               "Corrupt result-store entries set aside")
+
 
 def engine_fingerprint() -> str:
     """Content hash of the simulator sources backing the stored metrics.
@@ -77,6 +87,10 @@ class ResultStore:
         #: Corrupt entries set aside by :meth:`load` over this store's
         #: lifetime (each renamed once to ``<name>.json.corrupt``).
         self.quarantined = 0
+        #: Load outcomes over this store's lifetime (also mirrored into the
+        #: process-wide ``repro_store_*`` metrics).
+        self.hits = 0
+        self.misses = 0
         #: Monotonic discriminator for temp-file names: with thread pools a
         #: thread id can be reused the moment a thread exits, so pid+tid
         #: alone is not collision-proof across a store's lifetime.
@@ -145,21 +159,29 @@ class ResultStore:
         try:
             payload = json.loads(path.read_text())
         except FileNotFoundError:
-            return None
+            return self._miss()
         except (OSError, ValueError):
             self._quarantine(path)
-            return None
+            return self._miss()
         if not isinstance(payload, dict):
             self._quarantine(path)
-            return None
+            return self._miss()
         if payload.get("engine_version") != self.engine_version:
-            return None
+            return self._miss()
         if payload.get("job") != job.spec():
-            return None
+            return self._miss()
         try:
-            return KernelRunResult.from_json_dict(payload["result"])
+            result = KernelRunResult.from_json_dict(payload["result"])
         except (KeyError, TypeError, ValueError):
-            return None
+            return self._miss()
+        self.hits += 1
+        _OBS_HITS.inc()
+        return result
+
+    def _miss(self) -> None:
+        self.misses += 1
+        _OBS_MISSES.inc()
+        return None
 
     def _quarantine(self, path: Path) -> None:
         """Set a corrupt entry aside as ``<name>.corrupt`` (best effort)."""
@@ -168,6 +190,7 @@ class ResultStore:
         except OSError:
             return
         self.quarantined += 1
+        _OBS_QUARANTINED.inc()
 
     def save(self, job: SweepJob, result: KernelRunResult) -> Path:
         """Persist ``result`` for ``job`` (atomic rename, no partial files).

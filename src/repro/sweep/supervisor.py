@@ -48,8 +48,25 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.runner import KernelRunResult
 from repro.sweep.job import SweepJob
+
+#: Supervision metrics: every attempt / retry / degradation / fault across
+#: all supervised execution in this process (serial engine path, service
+#: queue, fabric workers alike).
+_OBS_ATTEMPTS = obs.counter("repro_supervisor_attempts_total",
+                            "Supervised job execution attempts")
+_OBS_RETRIES = obs.counter("repro_supervisor_retries_total",
+                           "Supervised retries after in-band failures")
+_OBS_DEGRADATIONS = obs.counter(
+    "repro_supervisor_degradations_total",
+    "Jobs degraded to the forced Python engine after a native fault")
+_OBS_NATIVE_FAULTS = obs.counter(
+    "repro_supervisor_native_faults_total",
+    "Structured native-engine faults seen by the supervisor")
+_OBS_TIMEOUTS = obs.counter("repro_supervisor_timeouts_total",
+                            "Supervised pool tasks killed on timeout")
 
 #: Per-job wall-clock timeout in seconds (float), e.g. ``REPRO_SWEEP_TIMEOUT=30``.
 TIMEOUT_ENV_VAR = "REPRO_SWEEP_TIMEOUT"
@@ -333,6 +350,7 @@ def execute_supervised(job: SweepJob, policy: RetryPolicy,
     retries = 0
     native_faults = 0
     while True:
+        _OBS_ATTEMPTS.inc()
         start = time.perf_counter()
         try:
             if force_python:
@@ -347,11 +365,14 @@ def execute_supervised(job: SweepJob, policy: RetryPolicy,
             if (isinstance(exc, native.NativeEngineError)
                     and not force_python):
                 kind = "native_fault"
+                _OBS_NATIVE_FAULTS.inc()
                 if policy.degrade_to_python:
                     # Deterministic guard fault: retrying natively would
                     # hit it again — go straight to the Python engine.
                     native_faults += 1
                     retries += 1
+                    _OBS_DEGRADATIONS.inc()
+                    _OBS_RETRIES.inc()
                     if report is not None:
                         report("degraded", attempt=attempt,
                                error=type(exc).__name__)
@@ -362,6 +383,7 @@ def execute_supervised(job: SweepJob, policy: RetryPolicy,
             if (kind == "exception" and not force_python
                     and attempt < policy.max_attempts):
                 retries += 1
+                _OBS_RETRIES.inc()
                 if report is not None:
                     report("retry", attempt=attempt,
                            error=type(exc).__name__)
@@ -544,6 +566,7 @@ class SupervisedPool:
                             queue.append(task)
                     running.clear()
                     outcome.timeouts += len(hung)
+                    _OBS_TIMEOUTS.inc(len(hung))
                     for _future, task in hung:
                         self._opaque_failure(task, "timeout", queue, outcome)
                     self._kill_pool(pool)

@@ -431,3 +431,126 @@ class TestFabricEndToEnd:
             serial = execute_job(job)
             assert remote[job.content_hash()].metrics_hash() == \
                 serial.metrics_hash()
+
+
+class TestFabricTracing:
+    """Trace-context propagation across the lease protocol and real
+    worker processes (the observability acceptance scenario)."""
+
+    @pytest.fixture(autouse=True)
+    def telemetry_on(self):
+        from repro import obs
+
+        before = obs.enabled()
+        obs.set_enabled(True)
+        yield
+        obs.set_enabled(before)
+
+    def test_grant_carries_trace_and_requeue_reuses_it(self):
+        from repro import obs
+
+        result = execute_job_cached(None)
+        with running_fabric(ttl=0.4) as (service, client):
+            receipt = client.submit({"jobs": [JOB_WIRE]})
+            trace_id = client.sweep(receipt["sweep"])["trace"]
+            assert trace_id
+            grant = client.lease("doomed")["grants"][0]
+            wire = grant["trace"]
+            assert wire["trace"] == trace_id
+            # The context rides beside the job spec, never inside it —
+            # it must not perturb the content hash.
+            assert "trace" not in grant["job"]
+            assert job_from_wire(grant["job"]).content_hash() == \
+                grant["hash"]
+            wait_until(lambda: client.fabric()["requeues"] == 1,
+                       message="lease reaped and job requeued")
+            regrant = client.lease("rescuer")["grants"][0]
+            # The requeued grant ships the SAME submit-span context, so
+            # both attempts parent to the same submit span.
+            assert regrant["trace"] == wire
+            span1 = {"name": "attempt", "trace": wire["trace"],
+                     "span": "aaaa0001", "parent": wire["span"],
+                     "ts": time.time(), "dur": 0.05, "proc": "doomed",
+                     "tid": 0, "attrs": {}}
+            span2 = dict(span1, span="aaaa0002", proc="rescuer")
+            client.complete(regrant["lease"],
+                            dict(ok_payload(regrant["hash"], result),
+                                 spans=[span2]))
+            # The dead worker's late upload is stale, but its span is
+            # still stitched into the trace.
+            stale = client.complete(grant["lease"],
+                                    dict(ok_payload(grant["hash"], result),
+                                         spans=[span1]))
+            assert stale["stale"] is True
+            payload = client.trace(receipt["sweep"])
+            attempts = [s for s in payload["spans"]
+                        if s["name"] == "attempt"]
+            assert {s["span"] for s in attempts} == \
+                {"aaaa0001", "aaaa0002"}
+            assert all(s["parent"] == wire["span"] for s in attempts)
+            # An identical re-upload must not duplicate the span.
+            client.complete(regrant["lease"],
+                            dict(ok_payload(regrant["hash"], result),
+                                 spans=[span2]))
+            again = client.trace(receipt["sweep"])
+            assert len([s for s in again["spans"]
+                        if s["span"] == "aaaa0002"]) == 1
+            # The export is a well-formed Chrome trace document.
+            document = obs.chrome_trace(again["spans"])
+            assert any(e["ph"] == "X" for e in document["traceEvents"])
+
+    def test_trace_propagates_across_real_worker_processes(self, tmp_path):
+        """Two genuine ``repro worker`` subprocesses: every span lands
+        under the trace id minted at submit, worker attempt spans parent
+        to the coordinator's submit spans."""
+        from repro import obs
+
+        store = ResultStore(tmp_path / "coordinator-store")
+        wires = [JOB_WIRE, dict(JOB_WIRE, variant="saris")]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        env.pop("REPRO_SERVICE_URL", None)
+        env.pop("REPRO_OBS", None)  # telemetry on in the workers
+        with running_fabric(store=store, ttl=5.0) as (service, client):
+            receipt = client.submit({"jobs": wires})
+            trace_id = client.sweep(receipt["sweep"])["trace"]
+            assert trace_id
+            procs = [subprocess.Popen(
+                [sys.executable, "-m", "repro.cli", "worker",
+                 "--url", service.url, "--id", f"w{i}",
+                 "--cache-dir", str(tmp_path / f"worker-{i}-store"),
+                 "--poll", "0.2", "--exit-on-idle", "15"],
+                cwd=str(REPO_ROOT), env=env,
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+                for i in (1, 2)]
+            try:
+                final = client.wait(receipt["sweep"], timeout=120)
+                assert final["state"] == "done"
+                payload = client.trace(receipt["sweep"])
+            finally:
+                for proc in procs:
+                    try:
+                        proc.wait(timeout=60)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+                    proc.stdout.close()
+            assert payload["trace"] == trace_id
+            spans = payload["spans"]
+            assert spans and all(s["trace"] == trace_id for s in spans)
+            roots = [s for s in spans if s["name"] == "sweep"]
+            assert len(roots) == 1 and roots[0]["parent"] is None
+            submits = {s["span"]: s for s in spans
+                       if s["name"] == "submit"}
+            assert len(submits) == 2
+            assert all(s["parent"] == roots[0]["span"]
+                       for s in submits.values())
+            attempts = [s for s in spans if s["name"] == "attempt"]
+            assert len(attempts) >= 2
+            assert all(s["parent"] in submits for s in attempts)
+            # Worker spans carry the worker id as their process label.
+            worker_procs = {s["proc"] for s in attempts}
+            assert worker_procs and worker_procs <= {"w1", "w2"}
+            document = obs.chrome_trace(spans)
+            named = {e["args"]["name"] for e in document["traceEvents"]
+                     if e["ph"] == "M"}
+            assert worker_procs <= named

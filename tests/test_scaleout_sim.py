@@ -126,7 +126,11 @@ class TestSingleClusterIdentity:
         golden = json.loads(GOLDEN_PATH.read_text())[f"{name}/{variant}"]
         assert tile.cycles == golden["cycles"]
         direct_run = run_kernel(name, variant=variant).without_cluster()
-        assert tile.to_json_dict() == direct_run.to_json_dict()
+        # Identity is modulo diagnostic phase timing, which scaleout's
+        # bit-stable tile_results drop (a fresh run_kernel keeps its own).
+        expected = direct_run.to_json_dict()
+        expected.pop("phase_seconds", None)
+        assert tile.to_json_dict() == expected
         # Unconstrained HBM: every transfer runs at the cluster DMA engine's
         # isolated service time, so the makespan decomposes exactly.
         in_bytes, in_eff, out_bytes, out_eff = tile_transfer_model(
